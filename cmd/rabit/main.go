@@ -1,0 +1,213 @@
+// Command rabit runs an experiment workflow (or replays a recorded
+// trace) on a chosen deck and stage under RABIT supervision, printing the
+// command trace, any alert, and the ground-truth damage report.
+//
+// Usage:
+//
+//	rabit [flags]
+//
+//	-config path    lab JSON configuration (overrides -deck)
+//	-deck name      bundled deck: testbed | hein | berlinguette (default testbed)
+//	-stage name     simulator | testbed | production (default testbed)
+//	-workflow name  fig5 | solubility | screening | spray (default fig5)
+//	-replay path    replay a recorded JSONL trace instead of a workflow
+//	-generation g   initial | modified (default modified)
+//	-multiplex m    none | time | space (default time)
+//	-sim            attach the Extended Simulator
+//	-gui            render the simulator GUI on every check
+//	-unprotected    run without RABIT (baseline)
+//	-bug n          inject bug #n (1–16) into the fig5 workflow
+//	-trace path     write the RATracer-style JSONL trace
+//	-seed n         noise seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	rabit "repro"
+	"repro/internal/bugs"
+	"repro/internal/config"
+	"repro/internal/labs"
+	"repro/internal/trace"
+	"repro/internal/workflow"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rabit:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		configPath  = flag.String("config", "", "lab JSON configuration (overrides -deck)")
+		deck        = flag.String("deck", "testbed", "bundled deck: testbed | hein | berlinguette")
+		stageName   = flag.String("stage", "testbed", "simulator | testbed | production")
+		wfName      = flag.String("workflow", "fig5", "fig5 | solubility | screening | spray")
+		genName     = flag.String("generation", "modified", "initial | modified")
+		muxName     = flag.String("multiplex", "time", "none | time | space")
+		withSim     = flag.Bool("sim", false, "attach the Extended Simulator")
+		withGUI     = flag.Bool("gui", false, "render the simulator GUI on every check")
+		unprotected = flag.Bool("unprotected", false, "run without RABIT")
+		bugID       = flag.Int("bug", 0, "inject bug #n (1-16) into the fig5 workflow")
+		replayPath  = flag.String("replay", "", "replay a recorded JSONL trace instead of a workflow")
+		tracePath   = flag.String("trace", "", "write the JSONL command trace here")
+		seed        = flag.Int64("seed", 1, "noise seed")
+	)
+	flag.Parse()
+
+	opt := rabit.Options{
+		Unprotected:       *unprotected,
+		ExtendedSimulator: *withSim || *withGUI,
+		SimulatorGUI:      *withGUI,
+		Seed:              *seed,
+	}
+	switch *stageName {
+	case "simulator":
+		opt.Stage = rabit.StageSimulator
+	case "testbed":
+		opt.Stage = rabit.StageTestbed
+	case "production":
+		opt.Stage = rabit.StageProduction
+	default:
+		return fmt.Errorf("unknown stage %q", *stageName)
+	}
+	switch *genName {
+	case "initial":
+		opt.Generation = rabit.GenInitial
+	case "modified":
+		opt.Generation = rabit.GenModified
+	default:
+		return fmt.Errorf("unknown generation %q", *genName)
+	}
+	switch *muxName {
+	case "none":
+		opt.Multiplex = rabit.MultiplexNone
+	case "time":
+		opt.Multiplex = rabit.MultiplexTime
+	case "space":
+		opt.Multiplex = rabit.MultiplexSpace
+	default:
+		return fmt.Errorf("unknown multiplex policy %q", *muxName)
+	}
+
+	var spec *config.LabSpec
+	switch {
+	case *configPath != "":
+		lab, err := config.LoadFile(*configPath)
+		if err != nil {
+			return err
+		}
+		spec = lab.Spec
+	case *deck == "testbed":
+		spec = labs.TestbedSpec()
+	case *deck == "hein":
+		spec = labs.HeinProductionSpec()
+	case *deck == "berlinguette":
+		spec = labs.BerlinguetteSpec()
+	default:
+		return fmt.Errorf("unknown deck %q", *deck)
+	}
+
+	sys, err := rabit.New(spec, opt)
+	if err != nil {
+		return err
+	}
+
+	var wfErr error
+	switch {
+	case *replayPath != "":
+		f, err := os.Open(*replayPath)
+		if err != nil {
+			return err
+		}
+		records, rerr := trace.ReadJSONL(f)
+		if cerr := f.Close(); cerr != nil {
+			return cerr
+		}
+		if rerr != nil {
+			return rerr
+		}
+		fmt.Printf("replaying %d recorded commands from %s\n", len(records), *replayPath)
+		wfErr = trace.Replay(sys.Interceptor, records)
+	default:
+		wfErr = runWorkflow(sys, *wfName, *bugID)
+	}
+
+	fmt.Printf("\n=== command trace (%d commands) ===\n", len(sys.Trace()))
+	for _, r := range sys.Trace() {
+		line := fmt.Sprintf("%-50s %s", r.Cmd, r.Outcome)
+		if r.Detail != "" {
+			line += "  " + r.Detail
+		}
+		fmt.Println(line)
+	}
+
+	if wfErr != nil {
+		fmt.Printf("\nworkflow stopped: %v\n", wfErr)
+	} else {
+		fmt.Println("\nworkflow completed")
+	}
+	if alerts := sys.Alerts(); len(alerts) > 0 {
+		fmt.Println("\n=== RABIT alerts ===")
+		for _, a := range alerts {
+			fmt.Println(" ", a.Error())
+		}
+	}
+	if evs := sys.Env.World().Events(); len(evs) > 0 {
+		fmt.Println("\n=== ground-truth damage ===")
+		for _, ev := range evs {
+			fmt.Println(" ", ev)
+		}
+		fmt.Printf("stage-scaled damage cost: $%.2f\n", sys.DamageCost())
+	} else {
+		fmt.Println("\nno physical damage")
+	}
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := trace.WriteJSONL(f, sys.Trace()); err != nil {
+			return err
+		}
+		fmt.Println("trace written to", *tracePath)
+	}
+	return nil
+}
+
+// runWorkflow executes the named workflow, optionally with an injected
+// bug.
+func runWorkflow(sys *rabit.System, wfName string, bugID int) error {
+	switch wfName {
+	case "fig5":
+		steps := rabit.Fig5Workflow()
+		if bugID != 0 {
+			b, ok := bugs.ByID(bugID)
+			if !ok {
+				return fmt.Errorf("no bug #%d", bugID)
+			}
+			fmt.Printf("injecting bug %d (%s): %s\n", b.ID, b.Slug, b.Description)
+			steps = b.Mutate(sys.Session)
+		}
+		return rabit.RunSteps(sys.Session, steps)
+	case "solubility":
+		res, err := workflow.RunSolubility(sys.Session, workflow.DefaultSolubilityParams())
+		if res != nil {
+			fmt.Printf("solubility: dissolved=%v solvent=%.1f mL iterations=%d\n",
+				res.Dissolved, res.SolventML, res.Iterations)
+		}
+		return err
+	case "screening":
+		return rabit.RunSteps(sys.Session, workflow.ScreeningSteps())
+	case "spray":
+		return rabit.RunSteps(sys.Session, workflow.SpraySteps())
+	default:
+		return fmt.Errorf("unknown workflow %q", wfName)
+	}
+}

@@ -1,0 +1,213 @@
+// Command rabiteval regenerates the paper's evaluation artifacts: every
+// table (I–V), the Fig. 5/6 bug replays, the Section II-C latency
+// measurement, and the Section IV detection-rate progression.
+//
+// Usage:
+//
+//	rabiteval            run everything
+//	rabiteval -table 5   run one table (1, 2, 3, 4, 5)
+//	rabiteval -fig 5     run one figure experiment (5, 6)
+//	rabiteval -latency   run the latency experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/env"
+	"repro/internal/eval"
+	"repro/internal/rules"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rabiteval:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	table := flag.Int("table", 0, "regenerate one table (1-5)")
+	fig := flag.Int("fig", 0, "regenerate one figure experiment (5 or 6)")
+	latency := flag.Bool("latency", false, "run the latency experiment")
+	pilot := flag.Bool("pilot", false, "run the pilot-study configuration-error experiment")
+	seed := flag.Int64("seed", 1, "noise seed")
+	flag.Parse()
+
+	all := *table == 0 && *fig == 0 && !*latency && !*pilot
+
+	if all || *table == 1 {
+		if err := tableI(*seed); err != nil {
+			return err
+		}
+	}
+	if all || *table == 2 {
+		tableII()
+	}
+	if all || *table == 3 || *table == 4 {
+		if err := tablesIIIandIV(*seed, *table); err != nil {
+			return err
+		}
+	}
+	var study *eval.BugStudy
+	needStudy := all || *table == 5 || *fig == 5 || *fig == 6
+	if needStudy {
+		var err error
+		study, err = eval.RunBugStudy(*seed)
+		if err != nil {
+			return err
+		}
+	}
+	if all || *table == 5 {
+		tableV(study)
+	}
+	if all || *fig == 5 {
+		fig5(study)
+	}
+	if all || *fig == 6 {
+		fig6(study)
+	}
+	if all || *latency {
+		if err := latencyRun(*seed); err != nil {
+			return err
+		}
+	}
+	if all || *pilot {
+		if err := pilotRun(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pilotRun() error {
+	fmt.Println("=== Section V-A: pilot-study configuration mistakes vs. the linter ===")
+	results, err := eval.RunPilotStudy()
+	if err != nil {
+		return err
+	}
+	fmt.Print(eval.RenderPilot(results))
+	fmt.Println()
+	return nil
+}
+
+func tableI(seed int64) error {
+	fmt.Println("=== Table I: capabilities of RABIT's three stages ===")
+	rows, err := eval.TableI(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(eval.RenderTableI(rows))
+	fmt.Println()
+	return nil
+}
+
+func tableII() {
+	fmt.Println("=== Table II: state transition table (robot-arm rows) ===")
+	for _, e := range rules.TransitionTable() {
+		fmt.Printf("%-62s pre=%v action=%s post=%v\n",
+			e.Example, e.Preconditions, e.ActionLabel, e.Postconditions)
+	}
+	fmt.Println()
+}
+
+func tablesIIIandIV(seed int64, only int) error {
+	results, err := eval.RunControlled("testbed", env.StageTestbed, seed)
+	if err != nil {
+		return err
+	}
+	render := func(table string) {
+		fmt.Printf("=== Table %s: controlled rule-violation experiments ===\n", table)
+		detected, total := 0, 0
+		for _, r := range results {
+			if r.Scenario.Table != table {
+				continue
+			}
+			total++
+			mark := "MISSED"
+			if r.Detected && r.RuleHit {
+				mark = "DETECTED"
+				detected++
+			}
+			fmt.Printf("%2d  %-70s %s\n", r.Scenario.Number, r.Scenario.Name, mark)
+		}
+		fmt.Printf("→ %d/%d rules detected\n\n", detected, total)
+	}
+	if only == 0 || only == 3 {
+		render("III")
+	}
+	if only == 0 || only == 4 {
+		render("IV")
+	}
+	return nil
+}
+
+func tableV(st *eval.BugStudy) {
+	fmt.Println("=== Table V: severity of the 16 injected bugs (modified RABIT) ===")
+	fmt.Printf("%-14s %6s %9s\n", "Severity", "Total", "Detected")
+	for _, r := range st.TableV() {
+		fmt.Printf("%-14s %6d %9d\n", r.Severity, r.Total, r.Detected)
+	}
+	fmt.Printf("\nSection IV progression: initial %d/16 (%.0f%%) → modified %d/16 (%.0f%%) → +simulator %d/16 (%.0f%%)\n\n",
+		st.DetectedCount(eval.ConfigInitial), st.DetectionRate(eval.ConfigInitial),
+		st.DetectedCount(eval.ConfigModified), st.DetectionRate(eval.ConfigModified),
+		st.DetectedCount(eval.ConfigModifiedSim), st.DetectionRate(eval.ConfigModifiedSim))
+
+	fmt.Println("per-bug outcomes:")
+	fmt.Printf("%3s %-28s %-30s %-11s %8s %9s %6s\n",
+		"#", "bug", "category", "severity", "initial", "modified", "+sim")
+	for _, o := range st.Outcomes {
+		fmt.Printf("%3d %-28s %-30s %-11s %8v %9v %6v\n",
+			o.Bug.ID, o.Bug.Slug, o.Bug.Category, o.Bug.Severity,
+			o.Detected[eval.ConfigInitial], o.Detected[eval.ConfigModified],
+			o.Detected[eval.ConfigModifiedSim])
+	}
+	fmt.Println()
+}
+
+func fig5(st *eval.BugStudy) {
+	fmt.Println("=== Fig. 5: annotated bugs A, B, C ===")
+	for _, spec := range []struct {
+		id    int
+		label string
+	}{
+		{1, "Bug A: open_door omitted before re-entry"},
+		{7, "Bug B: ned2 moved next to the occupied grid"},
+		{14, "Bug C: pick-up call deleted"},
+	} {
+		o, _ := st.Outcome(spec.id)
+		fmt.Printf("%-48s initial=%v modified=%v +sim=%v\n", spec.label,
+			o.Detected[eval.ConfigInitial], o.Detected[eval.ConfigModified],
+			o.Detected[eval.ConfigModifiedSim])
+		for _, ev := range o.GroundTruthDamage {
+			fmt.Println("    unprotected ground truth:", ev)
+		}
+	}
+	fmt.Println()
+}
+
+func fig6(st *eval.BugStudy) {
+	fmt.Println("=== Fig. 6: Bug D (script location-table z edit) ===")
+	bare, _ := st.Outcome(9)
+	held, _ := st.Outcome(13)
+	fmt.Printf("bare gripper:  initial=%v modified=%v\n",
+		bare.Detected[eval.ConfigInitial], bare.Detected[eval.ConfigModified])
+	fmt.Printf("holding vial:  initial=%v modified=%v\n",
+		held.Detected[eval.ConfigInitial], held.Detected[eval.ConfigModified])
+	for _, ev := range held.GroundTruthDamage {
+		fmt.Println("    unprotected ground truth:", ev)
+	}
+	fmt.Println()
+}
+
+func latencyRun(seed int64) error {
+	fmt.Println("=== Section II-C: RABIT latency overhead (paced 2000×) ===")
+	rows, err := eval.Latency(seed, 2000)
+	if err != nil {
+		return err
+	}
+	fmt.Print(eval.RenderLatency(rows))
+	fmt.Println()
+	return nil
+}

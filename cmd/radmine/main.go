@@ -1,0 +1,75 @@
+// Command radmine reproduces the paper's rule-gathering step (Section
+// II-A): it synthesises a RAD-style command-trace corpus by replaying
+// safe workflow variants on the traced testbed, optionally persists the
+// traces as JSONL, and mines them for the safety rules they imply.
+//
+// Usage:
+//
+//	radmine [-seeds n] [-out dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/radmine"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "radmine:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	seeds := flag.Int("seeds", 3, "number of seeds per workflow variant")
+	out := flag.String("out", "", "directory to write the JSONL trace corpus into")
+	flag.Parse()
+
+	var seedList []int64
+	for i := 1; i <= *seeds; i++ {
+		seedList = append(seedList, int64(i))
+	}
+	corpus, lab, err := radmine.GenerateCorpus(seedList)
+	if err != nil {
+		return err
+	}
+	total := 0
+	for _, r := range corpus {
+		total += len(r.Records)
+	}
+	fmt.Printf("corpus: %d runs, %d commands\n", len(corpus), total)
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			return err
+		}
+		for _, r := range corpus {
+			path := filepath.Join(*out, r.Name+".jsonl")
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			err = trace.WriteJSONL(f, r.Records)
+			cerr := f.Close()
+			if err != nil {
+				return err
+			}
+			if cerr != nil {
+				return cerr
+			}
+		}
+		fmt.Printf("traces written to %s\n", *out)
+	}
+
+	fmt.Println("\n=== mined rules ===")
+	miner := radmine.NewMiner(lab)
+	for _, m := range miner.Mine(corpus) {
+		fmt.Println(" ", m)
+	}
+	return nil
+}

@@ -1,0 +1,36 @@
+// Package rabit is a from-scratch Go reproduction of "RABIT, a Robot Arm
+// Bug Intervention Tool for Self-Driving Labs" (Wattoo et al., DSN 2024).
+//
+// RABIT is a rule-based safety middleware for self-driving laboratories:
+// it intercepts every device command an experiment script issues,
+// validates the command's preconditions against a tracked model of the
+// lab (eleven general rules plus lab-specific custom rules), optionally
+// validates robot-arm trajectories against a 3D cuboid model of the deck
+// (the Extended Simulator), executes the command, and compares the
+// observed post-state against the expected post-state to detect device
+// malfunctions.
+//
+// Because the paper's system runs on real lab hardware, this reproduction
+// ships its own substrates: six-axis arm kinematics (internal/kin), a
+// ground-truth physical deck with collision and damage modelling
+// (internal/world), per-vendor device drivers with the firmware quirks the
+// paper's evaluation hinges on (internal/device), the three deployment
+// stages of the paper's Table I (internal/env), the RATracer-style
+// command interceptor (internal/trace), RAD-style trace mining
+// (internal/radmine), and the 16-bug naive-programmer study
+// (internal/bugs). See DESIGN.md for the full inventory and the
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+//
+// The root package is the public facade: build a lab System from a JSON
+// configuration (or one of the bundled deck presets), run workflows
+// through it, and inspect alerts.
+//
+//	sys, err := rabit.NewTestbed(rabit.Options{
+//		Stage:      rabit.StageTestbed,
+//		Generation: rabit.GenModified,
+//		Multiplex:  rabit.MultiplexTime,
+//	})
+//	...
+//	err = rabit.RunSteps(sys.Session, rabit.Fig5Workflow())
+//	for _, alert := range sys.Alerts() { ... }
+package rabit

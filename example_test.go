@@ -1,0 +1,53 @@
+package rabit_test
+
+import (
+	"fmt"
+
+	rabit "repro"
+)
+
+// ExampleNewTestbed runs the paper's safe Fig. 5 workflow on the
+// low-fidelity testbed under the modified RABIT.
+func ExampleNewTestbed() {
+	sys, err := rabit.NewTestbed(rabit.Options{
+		Stage:      rabit.StageTestbed,
+		Generation: rabit.GenModified,
+		Multiplex:  rabit.MultiplexTime,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := rabit.RunSteps(sys.Session, rabit.Fig5Workflow()); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("commands=%d alerts=%d damage=$%.0f\n",
+		len(sys.Trace()), len(sys.Alerts()), sys.DamageCost())
+	// Output: commands=40 alerts=0 damage=$0
+}
+
+// ExampleAsAlert shows RABIT stopping the paper's Bug A (the forgotten
+// door-open) before the arm reaches the glass.
+func ExampleAsAlert() {
+	sys, err := rabit.NewTestbed(rabit.Options{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	var buggy []rabit.Step
+	for _, st := range rabit.Fig5Workflow() {
+		if st.Name == "reopen-door" {
+			continue // the deleted line of Fig. 5's Bug A
+		}
+		buggy = append(buggy, st)
+	}
+	err = rabit.RunSteps(sys.Session, buggy)
+	if alert, ok := rabit.AsAlert(err); ok {
+		fmt.Println(alert.Kind)
+		fmt.Printf("damage=$%.0f\n", sys.DamageCost())
+	}
+	// Output:
+	// Invalid Command!
+	// damage=$0
+}

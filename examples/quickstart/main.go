@@ -1,0 +1,74 @@
+// Quickstart: build the paper's testbed deck, run the safe Fig. 5
+// workflow under RABIT, then re-run it with Bug A injected (the omitted
+// door-open of the paper's Fig. 5 annotation) and watch RABIT block the
+// unsafe command before the arm smashes the glass door.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rabit "repro"
+)
+
+func main() {
+	// 1. A safe run: the modified RABIT generation with time
+	// multiplexing, on the low-fidelity testbed stage.
+	sys, err := rabit.NewTestbed(rabit.Options{
+		Stage:      rabit.StageTestbed,
+		Generation: rabit.GenModified,
+		Multiplex:  rabit.MultiplexTime,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rabit.RunSteps(sys.Session, rabit.Fig5Workflow()); err != nil {
+		log.Fatalf("safe workflow should pass: %v", err)
+	}
+	fmt.Printf("safe run: %d commands, %d alerts, $%.2f damage\n",
+		len(sys.Trace()), len(sys.Alerts()), sys.DamageCost())
+
+	// 2. The same workflow with the paper's Bug A: the script forgets to
+	// reopen the dosing-device door before the arm returns for the vial.
+	buggy, err := rabit.NewTestbed(rabit.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	steps := rabit.Fig5Workflow()
+	var mutated []rabit.Step
+	for _, st := range steps {
+		if st.Name == "reopen-door" {
+			continue // ← the bug: this line is deleted
+		}
+		mutated = append(mutated, st)
+	}
+	err = rabit.RunSteps(buggy.Session, mutated)
+	if err == nil {
+		log.Fatal("RABIT should have stopped the buggy run")
+	}
+	alert, ok := rabit.AsAlert(err)
+	if !ok {
+		log.Fatalf("expected a RABIT alert, got: %v", err)
+	}
+	fmt.Println("\nbuggy run stopped by RABIT:")
+	fmt.Println(" ", alert.Error())
+	fmt.Printf("physical damage prevented: $%.2f incurred (the unprotected run smashes the glass door)\n",
+		buggy.DamageCost())
+
+	// 3. The counterfactual: the same bug with RABIT disabled.
+	unprotected, err := rabit.NewTestbed(rabit.Options{Unprotected: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var mutated2 []rabit.Step
+	for _, st := range rabit.Fig5Workflow() {
+		if st.Name != "reopen-door" {
+			mutated2 = append(mutated2, st)
+		}
+	}
+	_ = rabit.RunSteps(unprotected.Session, mutated2)
+	fmt.Println("\nunprotected counterfactual:")
+	for _, ev := range unprotected.Env.World().Events() {
+		fmt.Println(" ", ev)
+	}
+}

@@ -1,0 +1,46 @@
+// Solubility runs the paper's motivating experiment (Fig. 1b): the
+// automated solubility measurement on the Hein Lab production deck — dose
+// solid into a vial, add solvent stepwise, stir on the hotplate, and
+// image until the solid dissolves — under full RABIT supervision.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rabit "repro"
+	"repro/internal/workflow"
+)
+
+func main() {
+	sys, err := rabit.NewHeinProduction(rabit.Options{
+		Stage:     rabit.StageProduction,
+		Multiplex: rabit.MultiplexNone, // single-arm deck
+		Seed:      42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	params := workflow.DefaultSolubilityParams()
+	fmt.Printf("dosing %.1f mg into %s, stirring at %.0f °C…\n",
+		params.AmountMg, params.Vial, params.Temperature)
+
+	res, err := workflow.RunSolubility(sys.Session, params)
+	if err != nil {
+		log.Fatalf("experiment stopped: %v", err)
+	}
+
+	fmt.Printf("dissolved: %v\n", res.Dissolved)
+	fmt.Printf("solvent used: %.1f mL over %d dissolution cycles\n", res.SolventML, res.Iterations)
+	fmt.Printf("final dissolved fraction: %.2f\n", res.FinalFraction)
+	fmt.Printf("commands issued: %d, RABIT alerts: %d, lab time: %s\n",
+		len(sys.Trace()), len(sys.Alerts()), sys.Env.Now().Truncate(1e9))
+
+	// The experiment's own guard (Fig. 1b lines 10–11) still applies on
+	// top of RABIT: an over-capacity dose is rejected by the script.
+	params.AmountMg = 15
+	if _, err := workflow.RunSolubility(sys.Session, params); err != nil {
+		fmt.Printf("over-capacity dose rejected by the script's own check: %v\n", err)
+	}
+}

@@ -1,0 +1,51 @@
+// Testbed bugs replays the paper's Section IV naive-programmer study:
+// all sixteen mutations of the Fig. 5 workflow, under the three RABIT
+// configurations the paper steps through, printing the detection matrix,
+// the Table V severity breakdown, and the ground-truth damage each bug
+// causes when nothing protects the deck.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/eval"
+)
+
+func main() {
+	st, err := eval.RunBugStudy(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%3s %-28s %-11s %8s %9s %6s  %s\n",
+		"#", "bug", "severity", "initial", "modified", "+sim", "unprotected ground truth")
+	for _, o := range st.Outcomes {
+		truth := "no mechanical damage"
+		if len(o.GroundTruthDamage) > 0 {
+			worst := o.GroundTruthDamage[0]
+			for _, ev := range o.GroundTruthDamage {
+				if ev.Severity > worst.Severity {
+					worst = ev
+				}
+			}
+			truth = worst.Description
+		}
+		fmt.Printf("%3d %-28s %-11s %8v %9v %6v  %s\n",
+			o.Bug.ID, o.Bug.Slug, o.Bug.Severity,
+			o.Detected[eval.ConfigInitial],
+			o.Detected[eval.ConfigModified],
+			o.Detected[eval.ConfigModifiedSim],
+			truth)
+	}
+
+	fmt.Printf("\ndetection: initial %d/16 (%.0f%%) → modified %d/16 (%.0f%%) → +simulator %d/16 (%.0f%%)\n",
+		st.DetectedCount(eval.ConfigInitial), st.DetectionRate(eval.ConfigInitial),
+		st.DetectedCount(eval.ConfigModified), st.DetectionRate(eval.ConfigModified),
+		st.DetectedCount(eval.ConfigModifiedSim), st.DetectionRate(eval.ConfigModifiedSim))
+
+	fmt.Printf("\n%-14s %6s %9s   (Table V, modified RABIT)\n", "Severity", "Total", "Detected")
+	for _, r := range st.TableV() {
+		fmt.Printf("%-14s %6d %9d\n", r.Severity, r.Total, r.Detected)
+	}
+}

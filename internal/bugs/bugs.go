@@ -1,0 +1,459 @@
+// Package bugs implements the naive-programmer bug study of Section IV:
+// sixteen mutations of the safe Fig. 5 testbed workflow, produced — as in
+// the paper — by changing command arguments, deleting commands, or
+// changing command order, plus the Fig. 6-style edits to the script's own
+// location table. Each bug carries the paper's category and Table V
+// severity classification and the expected detection outcome per RABIT
+// configuration; the outcomes themselves are *emergent* — the evaluation
+// harness replays each mutated workflow through the real engine and
+// records what actually happened.
+package bugs
+
+import (
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/workflow"
+	"repro/internal/world"
+)
+
+// Category is the paper's four-way classification of the unsafe behaviors
+// the injected bugs produced (Section IV).
+type Category int
+
+// Bug categories from Section IV.
+const (
+	// CatDoor is "interactions with the dosing device door".
+	CatDoor Category = iota + 1
+	// CatTwoArm is "collisions between two robot arms".
+	CatTwoArm
+	// CatNoVial is "experiments without a vial".
+	CatNoVial
+	// CatCoordinates is "changing position coordinates" (and other
+	// argument changes).
+	CatCoordinates
+)
+
+// String names the category as the paper does.
+func (c Category) String() string {
+	switch c {
+	case CatDoor:
+		return "door interactions"
+	case CatTwoArm:
+		return "two-arm collisions"
+	case CatNoVial:
+		return "experiments without a vial"
+	case CatCoordinates:
+		return "changing position coordinates"
+	default:
+		return "unknown"
+	}
+}
+
+// Expectation is the paper-derived expected detection outcome per engine
+// configuration; tests assert the emergent behaviour matches.
+type Expectation struct {
+	Initial  bool // initial RABIT (8/16 in the paper)
+	Modified bool // after held-object + multiplexing fixes (12/16)
+	WithSim  bool // modified + Extended Simulator (13/16)
+}
+
+// Bug is one injected fault.
+type Bug struct {
+	// ID is the stable 1–16 index used by DESIGN.md's table.
+	ID int
+	// Slug is a short name.
+	Slug string
+	// Category classifies the unsafe behaviour.
+	Category Category
+	// Severity is the Table V potential-damage class.
+	Severity world.Severity
+	// Description explains the mutation and its physical consequence.
+	Description string
+	// Expect is the paper-aligned expected detection.
+	Expect Expectation
+	// Mutate edits the session (location-table edits) and returns the
+	// mutated step list.
+	Mutate func(s *workflow.Session) []workflow.Step
+}
+
+// base returns the pristine Fig. 5 workflow.
+func base() []workflow.Step { return workflow.Fig5Workflow() }
+
+// Suite returns the sixteen bugs.
+func Suite() []Bug {
+	return []Bug{
+		bugA(),                // 1
+		bugCloseDoorOnArm(),   // 2
+		bugDoseDoorOpen(),     // 3
+		bugOpenDoorRunning(),  // 4
+		bugHotplateOverTemp(), // 5
+		bugCentrifugeNoCap(),  // 6
+		bugB(),                // 7
+		bugConcurrentArms(),   // 8
+		bugDNoVial(),          // 9
+		bugSilentSkip(),       // 10
+		bugHeldVialClips(),    // 11
+		bugGripperRoll(),      // 12
+		bugDWithVial(),        // 13
+		bugC(),                // 14
+		bugGripperReorder(),   // 15
+		bugLiquidFirst(),      // 16
+	}
+}
+
+// ByID finds a bug.
+func ByID(id int) (Bug, bool) {
+	for _, b := range Suite() {
+		if b.ID == id {
+			return b, true
+		}
+	}
+	return Bug{}, false
+}
+
+// ---- Category 1: door interactions (High severity) ----
+
+// bugA is the paper's Bug A: the door-reopen line (Fig. 5 line 23) is
+// omitted, so ViperX drives into the closed dosing-device door when it
+// returns for the vial.
+func bugA() Bug {
+	return Bug{
+		ID: 1, Slug: "door-open-omitted", Category: CatDoor, Severity: world.SeverityHigh,
+		Description: "Bug A: open_door omitted before the arm re-enters the dosing device; the arm smashes the closed glass door",
+		Expect:      Expectation{Initial: true, Modified: true, WithSim: true},
+		Mutate: func(s *workflow.Session) []workflow.Step {
+			return workflow.DeleteStep(base(), "reopen-door")
+		},
+	}
+}
+
+// bugCloseDoorOnArm closes the door while the arm is still inside the
+// device (the reordering class).
+func bugCloseDoorOnArm() Bug {
+	return Bug{
+		ID: 2, Slug: "door-closed-on-arm", Category: CatDoor, Severity: world.SeverityHigh,
+		Description: "close_door reordered before the arm leaves the dosing device; the door closes onto the arm",
+		Expect:      Expectation{Initial: true, Modified: true, WithSim: true},
+		Mutate: func(s *workflow.Session) []workflow.Step {
+			steps := workflow.DeleteStep(base(), "close-door")
+			return workflow.InsertAfter(steps, "viperx-place-dd", workflow.Step{
+				Name: "close-door-early",
+				Run: func(s *workflow.Session) error {
+					return s.Device("dosing_device").SetDoor(false)
+				},
+			})
+		},
+	}
+}
+
+// bugDoseDoorOpen starts the dosing run with the door still open.
+func bugDoseDoorOpen() Bug {
+	return Bug{
+		ID: 3, Slug: "dose-with-door-open", Category: CatDoor, Severity: world.SeverityHigh,
+		Description: "close_door omitted; dosing starts with the enclosure open",
+		Expect:      Expectation{Initial: true, Modified: true, WithSim: true},
+		Mutate: func(s *workflow.Session) []workflow.Step {
+			return workflow.DeleteStep(base(), "close-door")
+		},
+	}
+}
+
+// bugOpenDoorRunning opens the door while the dosing mechanism runs.
+func bugOpenDoorRunning() Bug {
+	return Bug{
+		ID: 4, Slug: "door-opened-while-running", Category: CatDoor, Severity: world.SeverityHigh,
+		Description: "open_door reordered before stop_action; the door opens mid-run",
+		Expect:      Expectation{Initial: true, Modified: true, WithSim: true},
+		Mutate: func(s *workflow.Session) []workflow.Step {
+			steps := workflow.DeleteStep(base(), "reopen-door")
+			return workflow.InsertAfter(steps, "run-dosing", workflow.Step{
+				Name: "reopen-door-early",
+				Run: func(s *workflow.Session) error {
+					return s.Device("dosing_device").SetDoor(true)
+				},
+			})
+		},
+	}
+}
+
+// ---- Argument-change bugs of High severity ----
+
+// bugHotplateOverTemp sets the hotplate far above its configured
+// threshold (the firmware's own limit is laxer and accepts it).
+func bugHotplateOverTemp() Bug {
+	return Bug{
+		ID: 5, Slug: "hotplate-over-threshold", Category: CatCoordinates, Severity: world.SeverityHigh,
+		Description: "hotplate setpoint changed to 360 °C, beyond the 150 °C threshold; the plate would cook itself",
+		Expect:      Expectation{Initial: true, Modified: true, WithSim: true},
+		Mutate: func(s *workflow.Session) []workflow.Step {
+			return workflow.InsertAfter(base(), "viperx-place-grid",
+				workflow.Step{Name: "hotplate-hot", Run: func(s *workflow.Session) error {
+					return s.Device("hotplate").SetValue(360)
+				}},
+				workflow.Step{Name: "hotplate-start", Run: func(s *workflow.Session) error {
+					return s.Device("hotplate").Start(60 * time.Second)
+				}},
+			)
+		},
+	}
+}
+
+// bugCentrifugeNoCap spins an uncapped, unprepared vial in the
+// centrifuge.
+func bugCentrifugeNoCap() Bug {
+	spin := []workflow.Step{
+		{Name: "cf-open", Run: func(s *workflow.Session) error {
+			return s.Device("centrifuge").SetDoor(true)
+		}},
+		{Name: "cf-pick-vial2", Run: func(s *workflow.Session) error {
+			return s.Arm("viperx").PickUpObject("grid_SW_safe", "grid_SW", "vial_2")
+		}},
+		{Name: "cf-load", Run: func(s *workflow.Session) error {
+			return s.Arm("viperx").PlaceObject("cf_safe", "cf_slot", "vial_2")
+		}},
+		{Name: "cf-clear", Run: func(s *workflow.Session) error {
+			return s.Arm("viperx").GoHome()
+		}},
+		{Name: "cf-close", Run: func(s *workflow.Session) error {
+			return s.Device("centrifuge").SetDoor(false)
+		}},
+		{Name: "cf-spin", Run: func(s *workflow.Session) error {
+			c := s.Device("centrifuge")
+			if err := c.SetValue(3000); err != nil {
+				return err
+			}
+			return c.Start(30 * time.Second)
+		}},
+	}
+	return Bug{
+		ID: 6, Slug: "centrifuge-without-stopper", Category: CatCoordinates, Severity: world.SeverityHigh,
+		Description: "an uncapped, unprepared vial is loaded and spun in the centrifuge; the unbalanced rotor destroys it",
+		Expect:      Expectation{Initial: true, Modified: true, WithSim: true},
+		Mutate: func(s *workflow.Session) []workflow.Step {
+			return workflow.InsertAfter(base(), "viperx-place-grid", spin...)
+		},
+	}
+}
+
+// ---- Category 2: two-arm collisions (Medium-High) ----
+
+// bugB is the paper's Bug B: Ned2 is sent to a "random" point next to the
+// grid while ViperX hovers there.
+func bugB() Bug {
+	return Bug{
+		ID: 7, Slug: "two-arm-target", Category: CatTwoArm, Severity: world.SeverityMediumHigh,
+		Description: "Bug B: ned2.move_pose to a point near the grid while ViperX is stationed above it; the arms collide",
+		Expect:      Expectation{Initial: false, Modified: true, WithSim: true},
+		Mutate: func(s *workflow.Session) []workflow.Step {
+			return workflow.InsertAfter(base(), "viperx-place-grid",
+				workflow.Step{Name: "ned2-random-move", Run: func(s *workflow.Session) error {
+					// Deck point (0.34, 0.22, 0.24) in Ned2's frame.
+					return s.Arm("ned2").MovePose(geom.V(-0.46, 0.22, 0.24))
+				}},
+			)
+		},
+	}
+}
+
+// bugConcurrentArms moves both arms simultaneously on crossing paths.
+func bugConcurrentArms() Bug {
+	return Bug{
+		ID: 8, Slug: "two-arm-concurrent", Category: CatTwoArm, Severity: world.SeverityMediumHigh,
+		Description: "both arms are commanded to move at once on crossing paths and collide mid-flight",
+		Expect:      Expectation{Initial: false, Modified: true, WithSim: true},
+		Mutate: func(s *workflow.Session) []workflow.Step {
+			return workflow.InsertAfter(base(), "viperx-place-grid",
+				workflow.Step{Name: "concurrent-cross", Run: func(s *workflow.Session) error {
+					return s.MoveConcurrently(map[string]geom.Vec3{
+						"viperx": {X: 0.55, Y: 0.10, Z: 0.25},
+						"ned2":   {X: -0.45, Y: 0.10, Z: 0.25}, // deck (0.35, 0.10, 0.25)
+					})
+				}},
+			)
+		},
+	}
+}
+
+// ---- Category 4: changing position coordinates ----
+
+// bugDNoVial is Bug D's bare-gripper variant: a very low raw target rams
+// the gripper into the platform.
+func bugDNoVial() Bug {
+	return Bug{
+		ID: 9, Slug: "platform-strike-bare", Category: CatCoordinates, Severity: world.SeverityMediumHigh,
+		Description: "a move target's z is changed to 0.03; the bare gripper would punch into the platform",
+		Expect:      Expectation{Initial: true, Modified: true, WithSim: true},
+		Mutate: func(s *workflow.Session) []workflow.Step {
+			return workflow.InsertAfter(base(), "viperx-home-3",
+				workflow.Step{Name: "low-move", Run: func(s *workflow.Session) error {
+					return s.Arm("viperx").MovePose(geom.V(0.45, 0.10, 0.03))
+				}},
+			)
+		},
+	}
+}
+
+// bugSilentSkip reproduces the footnote-2 scenario: a waypoint is edited
+// to an infeasibly high point; the ViperX silently skips it, and the next
+// leg — planned from the waypoint that was never reached — sweeps through
+// the hotplate.
+func bugSilentSkip() Bug {
+	return Bug{
+		ID: 10, Slug: "silent-skip-waypoint", Category: CatCoordinates, Severity: world.SeverityMediumHigh,
+		Description: "a via waypoint is edited to an unreachable height; the ViperX silently skips it and the next leg collides",
+		Expect:      Expectation{Initial: false, Modified: false, WithSim: true},
+		Mutate: func(s *workflow.Session) []workflow.Step {
+			return workflow.InsertAfter(base(), "viperx-home-3",
+				workflow.Step{Name: "hover-a", Run: func(s *workflow.Session) error {
+					return s.Arm("viperx").MovePose(geom.V(0.63, -0.38, 0.30))
+				}},
+				workflow.Step{Name: "move-to-a", Run: func(s *workflow.Session) error {
+					// A: a low free spot south of the centrifuge.
+					return s.Arm("viperx").MovePose(geom.V(0.63, -0.38, 0.12))
+				}},
+				workflow.Step{Name: "via-b-prime", Run: func(s *workflow.Session) error {
+					// The intended via point B lifts the tool over the
+					// centrifuge before descending at C; the edit sends B'
+					// sky-high instead and the ViperX silently skips it.
+					return s.Arm("viperx").MovePose(geom.V(0.10, 0.10, 1.50))
+				}},
+				workflow.Step{Name: "leg-to-c", Run: func(s *workflow.Session) error {
+					// C itself is a free spot north of the centrifuge;
+					// only the direct low path from A — where the arm
+					// still is — sweeps across the device.
+					return s.Arm("viperx").MovePose(geom.V(0.63, -0.02, 0.12))
+				}},
+			)
+		},
+	}
+}
+
+// bugHeldVialClips adds a "shortcut" waypoint low over the hotplate while
+// the arm carries the vial: the bare gripper clears the cuboid, the
+// hanging vial does not.
+func bugHeldVialClips() Bug {
+	return Bug{
+		ID: 11, Slug: "held-vial-clips-device", Category: CatCoordinates, Severity: world.SeverityMediumHigh,
+		Description: "a carry waypoint passes low over the hotplate; the held vial strikes the device cuboid",
+		Expect:      Expectation{Initial: false, Modified: true, WithSim: true},
+		Mutate: func(s *workflow.Session) []workflow.Step {
+			return workflow.InsertAfter(base(), "viperx-exit-dd-2",
+				workflow.Step{Name: "shortcut-over-hotplate", Run: func(s *workflow.Session) error {
+					// Hotplate top is 0.20: the bare gripper (reach 0.062)
+					// clears at z=0.27, the hanging vial (0.075) does not.
+					return s.Arm("viperx").MovePose(geom.V(0.55, 0.45, 0.27))
+				}},
+			)
+		},
+	}
+}
+
+// bugGripperRoll commands a wrong wrist roll near the grid: the sideways
+// finger blade strikes the grid body. Neither RABIT's gripper model nor
+// the Extended Simulator models finger orientation, so no configuration
+// detects it.
+func bugGripperRoll() Bug {
+	return Bug{
+		ID: 12, Slug: "wrong-gripper-roll", Category: CatCoordinates, Severity: world.SeverityMediumHigh,
+		Description: "a move's orientation argument rolls the wrist 90°; the finger blade sweeps into the centrifuge body",
+		Expect:      Expectation{Initial: false, Modified: false, WithSim: false},
+		Mutate: func(s *workflow.Session) []workflow.Step {
+			return workflow.InsertAfter(base(), "viperx-home-3",
+				workflow.Step{Name: "hover-beside-cf", Run: func(s *workflow.Session) error {
+					// Just west of the centrifuge body.
+					return s.Arm("viperx").MovePose(geom.V(0.51, -0.18, 0.30))
+				}},
+				workflow.Step{Name: "rolled-descent", Run: func(s *workflow.Session) error {
+					// Roll +90°: the finger blade points east, into the
+					// centrifuge body — invisible to RABIT's vertical
+					// gripper model and to the Extended Simulator alike.
+					return s.Arm("viperx").MovePoseRolled(geom.V(0.51, -0.18, 0.10), 1.5707963)
+				}},
+			)
+		},
+	}
+}
+
+// bugDWithVial is Bug D proper (Fig. 6): the dd_pickup z in the script's
+// location table is lowered; with the vial in the gripper, the vial
+// crashes into the tray and breaks before the bare-gripper geometry ever
+// becomes unsafe.
+func bugDWithVial() Bug {
+	return Bug{
+		ID: 13, Slug: "platform-crash-held-vial", Category: CatCoordinates, Severity: world.SeverityMediumLow,
+		Description: "Bug D: the script's dd_pickup z is edited from 0.10 to 0.068; the held vial crashes into the tray and shatters",
+		Expect:      Expectation{Initial: false, Modified: true, WithSim: true},
+		Mutate: func(s *workflow.Session) []workflow.Step {
+			p, _ := s.Locs.Coord("viperx", "dd_pickup")
+			p.Z = 0.068
+			s.Locs.Set("viperx", "dd_pickup", p)
+			return base()
+		},
+	}
+}
+
+// ---- Category 3: experiments without a vial (Low) ----
+
+// bugC is the paper's Bug C: the grid pick-up call is deleted; the
+// experiment continues without a vial and the dosing device doses into an
+// empty chamber.
+func bugC() Bug {
+	return Bug{
+		ID: 14, Slug: "pick-up-omitted", Category: CatNoVial, Severity: world.SeverityLow,
+		Description: "Bug C: viperx_pick_up_object deleted; the experiment runs without a vial and solid is dosed into thin air",
+		Expect:      Expectation{Initial: false, Modified: false, WithSim: false},
+		Mutate: func(s *workflow.Session) []workflow.Step {
+			return workflow.DeleteStep(base(), "viperx-pick-grid")
+		},
+	}
+}
+
+// bugGripperReorder reorders open/close inside the pick helper: the
+// gripper closes on air before descending and opens at the vial, so
+// nothing is ever grasped.
+func bugGripperReorder() Bug {
+	return Bug{
+		ID: 15, Slug: "gripper-commands-reordered", Category: CatNoVial, Severity: world.SeverityLow,
+		Description: "open_gripper and close_gripper are swapped inside the pick helper; the vial is never grasped",
+		Expect:      Expectation{Initial: false, Modified: false, WithSim: false},
+		Mutate: func(s *workflow.Session) []workflow.Step {
+			return workflow.ReplaceStep(base(), "viperx-pick-grid", workflow.Step{
+				Name: "viperx-pick-grid-reordered",
+				Run: func(s *workflow.Session) error {
+					a := s.Arm("viperx")
+					if err := a.CloseGripper(); err != nil { // was open_gripper
+						return err
+					}
+					if err := a.GoToLocation("grid_NW_safe"); err != nil {
+						return err
+					}
+					if err := a.GoToLocationForPick("grid_NW", "vial_1"); err != nil {
+						return err
+					}
+					if err := a.OpenGripper(); err != nil { // was close_gripper
+						return err
+					}
+					return a.GoToLocationForPick("grid_NW_safe", "vial_1")
+				},
+			})
+		},
+	}
+}
+
+// bugLiquidFirst doses solvent into a vial that has received no solid —
+// the Hein Lab's order-of-addition custom rule.
+func bugLiquidFirst() Bug {
+	return Bug{
+		ID: 16, Slug: "liquid-before-solid", Category: CatCoordinates, Severity: world.SeverityLow,
+		Description: "the pump doses solvent into vial_2, which holds no solid yet; the batch would be ruined",
+		Expect:      Expectation{Initial: true, Modified: true, WithSim: true},
+		Mutate: func(s *workflow.Session) []workflow.Step {
+			return workflow.InsertAfter(base(), "stop-dosing",
+				workflow.Step{Name: "premature-solvent", Run: func(s *workflow.Session) error {
+					return s.Device("pump").DoseLiquid("vial_2", 2)
+				}},
+			)
+		},
+	}
+}

@@ -1,0 +1,111 @@
+package bugs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/env"
+	"repro/internal/labs"
+	"repro/internal/trace"
+	"repro/internal/workflow"
+	"repro/internal/world"
+)
+
+func testSession(t *testing.T) *workflow.Session {
+	t.Helper()
+	lab, err := labs.Testbed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := env.Build(lab, env.StageTestbed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return workflow.NewSession(trace.NewInterceptor(nil, e), lab)
+}
+
+func TestSuiteComposition(t *testing.T) {
+	suite := Suite()
+	if len(suite) != 16 {
+		t.Fatalf("suite size %d, want 16", len(suite))
+	}
+	// Table V totals by severity.
+	bySev := map[world.Severity]int{}
+	expectModified := 0
+	expectInitial := 0
+	expectSim := 0
+	for i, b := range suite {
+		if b.ID != i+1 {
+			t.Errorf("bug at index %d has ID %d", i, b.ID)
+		}
+		bySev[b.Severity]++
+		if b.Expect.Initial {
+			expectInitial++
+		}
+		if b.Expect.Modified {
+			expectModified++
+		}
+		if b.Expect.WithSim {
+			expectSim++
+		}
+		if b.Expect.Initial && !b.Expect.Modified {
+			t.Errorf("bug %d: the modified RABIT never regresses", b.ID)
+		}
+		if b.Expect.Modified && !b.Expect.WithSim {
+			t.Errorf("bug %d: attaching the simulator never regresses", b.ID)
+		}
+	}
+	if bySev[world.SeverityLow] != 3 || bySev[world.SeverityMediumLow] != 1 ||
+		bySev[world.SeverityMediumHigh] != 6 || bySev[world.SeverityHigh] != 6 {
+		t.Errorf("severity totals %v do not match Table V", bySev)
+	}
+	if expectInitial != 8 || expectModified != 12 || expectSim != 13 {
+		t.Errorf("expected detection %d/%d/%d, want 8/12/13", expectInitial, expectModified, expectSim)
+	}
+}
+
+func TestCategories(t *testing.T) {
+	for _, c := range []Category{CatDoor, CatTwoArm, CatNoVial, CatCoordinates} {
+		if s := c.String(); s == "" || s == "unknown" {
+			t.Errorf("category %d unnamed", c)
+		}
+	}
+	counts := map[Category]int{}
+	for _, b := range Suite() {
+		counts[b.Category]++
+	}
+	if counts[CatDoor] != 4 || counts[CatTwoArm] != 2 || counts[CatNoVial] != 2 {
+		t.Errorf("category counts %v", counts)
+	}
+}
+
+func TestMutationsActuallyMutate(t *testing.T) {
+	baseNames := strings.Join(workflow.StepNames(workflow.Fig5Workflow()), ",")
+	for _, b := range Suite() {
+		s := testSession(t)
+		steps := b.Mutate(s)
+		mutatedNames := strings.Join(workflow.StepNames(steps), ",")
+		locEdited := false
+		if p, ok := s.Locs.Coord("viperx", "dd_pickup"); ok && p.Z != 0.10 {
+			locEdited = true
+		}
+		if mutatedNames == baseNames && !locEdited {
+			t.Errorf("bug %d (%s) left the workflow untouched", b.ID, b.Slug)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	for id := 1; id <= 16; id++ {
+		b, ok := ByID(id)
+		if !ok || b.ID != id {
+			t.Errorf("ByID(%d) failed", id)
+		}
+	}
+	if _, ok := ByID(0); ok {
+		t.Error("ByID(0) found something")
+	}
+	if _, ok := ByID(17); ok {
+		t.Error("ByID(17) found something")
+	}
+}

@@ -1,0 +1,543 @@
+package config
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/rules"
+)
+
+// validSpec returns a minimal correct testbed spec.
+func validSpec() *LabSpec {
+	return &LabSpec{
+		Lab:    "testbed",
+		FloorZ: 0,
+		Arms: []ArmSpec{
+			{
+				ID: "viperx", Type: "robot_arm", Model: "viperx300", ClassName: "ViperXDriver",
+				Base:     Vec{0, 0, 0},
+				Gripper:  GripperSpec{FingerDrop: 0.05, FingerRadius: 0.012},
+				SleepBox: &BoxSpec{Min: Vec{-0.15, -0.15, 0}, Max: Vec{0.15, 0.15, 0.3}},
+			},
+			{
+				ID: "ned2", Type: "robot_arm", Model: "ned2", ClassName: "Ned2Driver",
+				Base:     Vec{0.8, 0, 0},
+				Gripper:  GripperSpec{FingerDrop: 0.05, FingerRadius: 0.012},
+				SleepBox: &BoxSpec{Min: Vec{-0.15, -0.15, 0}, Max: Vec{0.15, 0.15, 0.3}},
+				ZoneWall: &WallSpec{Normal: Vec{1, 0, 0}, Offset: -0.35},
+			},
+		},
+		Devices: []DeviceSpec{
+			{
+				ID: "dosing_device", Type: "dosing_system", Kind: "dosing", ClassName: "MTQuantos",
+				Expensive: true,
+				Door:      DoorSpec{Present: true, Side: "y-"},
+				Cuboid:    BoxSpec{Min: Vec{0.05, 0.35, 0}, Max: Vec{0.25, 0.55, 0.30}},
+				Interior:  &BoxSpec{Min: Vec{0.08, 0.38, 0.03}, Max: Vec{0.22, 0.52, 0.27}},
+			},
+			{
+				ID: "hotplate", Type: "action_device", Kind: "hotplate", ClassName: "IKAHotplate",
+				Cuboid:          BoxSpec{Min: Vec{0.48, 0.38, 0}, Max: Vec{0.62, 0.52, 0.12}},
+				ActionThreshold: 150, MaxSafeValue: 340,
+			},
+			{
+				ID: "centrifuge", Type: "action_device", Kind: "centrifuge", ClassName: "FisherCentrifuge",
+				Expensive: true,
+				Door:      DoorSpec{Present: true, Side: "z+"},
+				Cuboid:    BoxSpec{Min: Vec{0.60, 0.15, 0}, Max: Vec{0.80, 0.35, 0.20}},
+				Interior:  &BoxSpec{Min: Vec{0.63, 0.18, 0.03}, Max: Vec{0.77, 0.32, 0.17}},
+			},
+			{
+				ID: "grid", Type: "container_rack", Kind: "grid", ClassName: "CardboardMockup",
+				Cuboid: BoxSpec{Min: Vec{0.29, 0.19, 0}, Max: Vec{0.41, 0.31, 0.08}},
+			},
+		},
+		Containers: []ContainerSpec{
+			{ID: "vial_1", Type: "container", Height: 0.07, Radius: 0.012,
+				CapacityMg: 10, CapacityML: 12, Location: "grid_NW"},
+		},
+		Locations: []LocationSpec{
+			{Name: "grid_NW", Owner: "grid", DeckPos: Vec{0.32, 0.22, 0.16}},
+			{Name: "dd_pickup", Owner: "dosing_device", Inside: true, DeckPos: Vec{0.15, 0.45, 0.10},
+				PerArm: map[string]Vec{"viperx": {0.15, 0.45, 0.10}}},
+			{Name: "hp_place", Owner: "hotplate", DeckPos: Vec{0.55, 0.45, 0.20}},
+		},
+		Rules: []CustomRuleSpec{
+			{ID: "hein", Builtin: "hein", Centrifuge: "centrifuge"},
+		},
+	}
+}
+
+func TestLintAcceptsValidSpec(t *testing.T) {
+	ds := Lint(validSpec())
+	for _, d := range ds {
+		if d.Severity == SevError {
+			t.Errorf("unexpected error: %s", d)
+		}
+	}
+}
+
+func TestLintCatchesPilotStudyErrors(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*LabSpec)
+		wantSub string
+	}{
+		{
+			"sign-flip-in-location",
+			func(s *LabSpec) { s.Locations[0].DeckPos.Z = -0.16 },
+			"sign error",
+		},
+		{
+			"sign-flip-per-arm",
+			func(s *LabSpec) { s.Locations[1].PerArm["viperx"] = Vec{0.15, 0.45, -0.10} },
+			"sign error",
+		},
+		{
+			"mistyped-class-name",
+			func(s *LabSpec) { s.Devices[0].ClassName = "MTQuantoss" },
+			"unknown driver class",
+		},
+		{
+			"unknown-arm-model",
+			func(s *LabSpec) { s.Arms[0].Model = "kuka" },
+			"unknown arm model",
+		},
+		{
+			"duplicate-id",
+			func(s *LabSpec) { s.Devices[1].ID = "dosing_device" },
+			"duplicate id",
+		},
+		{
+			"dangling-location-owner",
+			func(s *LabSpec) { s.Locations[0].Owner = "ghost" },
+			"unknown device",
+		},
+		{
+			"container-at-unknown-location",
+			func(s *LabSpec) { s.Containers[0].Location = "nowhere" },
+			"unknown location",
+		},
+		{
+			"degenerate-cuboid",
+			func(s *LabSpec) { s.Devices[0].Cuboid.Max = s.Devices[0].Cuboid.Min },
+			"degenerate cuboid",
+		},
+		{
+			"interior-outside-body",
+			func(s *LabSpec) { s.Devices[0].Interior.Max = Vec{9, 9, 9} },
+			"not contained",
+		},
+		{
+			"door-without-interior",
+			func(s *LabSpec) { s.Devices[0].Interior = nil },
+			"no interior",
+		},
+		{
+			"bad-door-side",
+			func(s *LabSpec) { s.Devices[0].Door.Side = "q" },
+			"door side",
+		},
+		{
+			"threshold-above-physical-limit",
+			func(s *LabSpec) { s.Devices[1].ActionThreshold = 500 },
+			"exceeds its physical limit",
+		},
+		{
+			"hein-rules-missing-centrifuge",
+			func(s *LabSpec) { s.Rules[0].Centrifuge = "" },
+			"centrifuge",
+		},
+		{
+			"empty-declarative-rule",
+			func(s *LabSpec) {
+				s.Rules = append(s.Rules, CustomRuleSpec{ID: "r2"})
+			},
+			"applies to no actions",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			spec := validSpec()
+			tt.mutate(spec)
+			ds := Lint(spec)
+			if !HasErrors(ds) {
+				t.Fatalf("lint accepted a broken spec")
+			}
+			found := false
+			for _, d := range ds {
+				if strings.Contains(d.Message, tt.wantSub) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("no diagnostic mentions %q; got %v", tt.wantSub, ds)
+			}
+		})
+	}
+}
+
+func TestLintWarnsOnUnreachableLocation(t *testing.T) {
+	spec := validSpec()
+	spec.Locations = append(spec.Locations, LocationSpec{
+		Name: "far_away", DeckPos: Vec{5, 5, 0.2},
+	})
+	ds := Lint(spec)
+	found := false
+	for _, d := range ds {
+		if d.Severity == SevWarning && strings.Contains(d.Message, "beyond") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected reachability warning, got %v", ds)
+	}
+}
+
+func TestParseReportsSyntaxErrorPosition(t *testing.T) {
+	// A trailing comma — the classic JSON-editing mistake from the pilot
+	// study.
+	data := []byte("{\n  \"lab\": \"x\",\n  \"floor_z\": 0,\n}")
+	_, ds := Parse(data)
+	if len(ds) != 1 || ds[0].Severity != SevError {
+		t.Fatalf("want one syntax error, got %v", ds)
+	}
+	if ds[0].Line != 4 {
+		t.Errorf("error line = %d, want 4", ds[0].Line)
+	}
+	if !strings.Contains(ds[0].Message, "syntax") {
+		t.Errorf("message %q should mention syntax", ds[0].Message)
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	data := []byte(`{"lab": "x", "floor_zz": 0}`)
+	_, ds := Parse(data)
+	if len(ds) == 0 {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestCompileRejectsBrokenSpec(t *testing.T) {
+	spec := validSpec()
+	spec.Arms[0].Model = "kuka"
+	if _, err := Compile(spec); err == nil {
+		t.Fatal("Compile accepted a broken spec")
+	}
+}
+
+func TestLabModelInterface(t *testing.T) {
+	lab, err := Compile(validSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if ty, ok := lab.DeviceType("dosing_device"); !ok || ty != rules.TypeDosingSystem {
+		t.Errorf("dosing_device type = %v, %v", ty, ok)
+	}
+	if ty, ok := lab.DeviceType("hotplate"); !ok || ty != rules.TypeActionDevice {
+		t.Errorf("hotplate type = %v, %v", ty, ok)
+	}
+	if ty, ok := lab.DeviceType("viperx"); !ok || ty != rules.TypeRobotArm {
+		t.Errorf("viperx type = %v, %v", ty, ok)
+	}
+	if ty, ok := lab.DeviceType("vial_1"); !ok || ty != rules.TypeContainer {
+		t.Errorf("vial_1 type = %v, %v", ty, ok)
+	}
+	if _, ok := lab.DeviceType("ghost"); ok {
+		t.Error("ghost device has a type")
+	}
+
+	if !lab.DeviceHasDoor("dosing_device") || lab.DeviceHasDoor("hotplate") {
+		t.Error("door flags wrong")
+	}
+
+	arms := lab.ArmIDs()
+	if len(arms) != 2 || arms[0] != "viperx" || arms[1] != "ned2" {
+		t.Errorf("ArmIDs = %v", arms)
+	}
+
+	if owner, ok := lab.LocationOwner("grid_NW"); !ok || owner != "grid" {
+		t.Errorf("grid_NW owner = %q, %v", owner, ok)
+	}
+	if !lab.LocationIsInside("dd_pickup") || lab.LocationIsInside("grid_NW") {
+		t.Error("inside flags wrong")
+	}
+
+	// Derived arm-frame coordinates subtract the base.
+	p, ok := lab.LocationPos("ned2", "grid_NW")
+	if !ok || !p.ApproxEqual(geom.V(-0.48, 0.22, 0.16), 1e-9) {
+		t.Errorf("ned2 grid_NW = %v, %v", p, ok)
+	}
+	// Explicit per-arm coordinates win.
+	p, ok = lab.LocationPos("viperx", "dd_pickup")
+	if !ok || !p.ApproxEqual(geom.V(0.15, 0.45, 0.10), 1e-9) {
+		t.Errorf("viperx dd_pickup = %v, %v", p, ok)
+	}
+
+	boxes := lab.DeviceBoxes("ned2")
+	if len(boxes) != 4 {
+		t.Fatalf("ned2 sees %d boxes, want 4", len(boxes))
+	}
+	for _, b := range boxes {
+		if b.Name == "grid" {
+			want := geom.Box(geom.V(-0.51, 0.19, 0), geom.V(-0.39, 0.31, 0.08))
+			if !b.Box.Min.ApproxEqual(want.Min, 1e-9) || !b.Box.Max.ApproxEqual(want.Max, 1e-9) {
+				t.Errorf("grid box in ned2 frame = %v", b.Box)
+			}
+		}
+	}
+
+	// Sleep box of ned2 in viperx's frame: ned2 base (0.8,0,0) plus its
+	// own-frame box.
+	sb, ok := lab.SleepBox("viperx", "ned2")
+	if !ok {
+		t.Fatal("SleepBox missing")
+	}
+	if !sb.Min.ApproxEqual(geom.V(0.65, -0.15, 0), 1e-9) {
+		t.Errorf("sleep box min = %v", sb.Min)
+	}
+
+	g := lab.ArmGeometry("viperx")
+	if g.FingerReach != 0.062 || g.FingerRadius != 0.012 {
+		t.Errorf("arm geometry = %+v", g)
+	}
+
+	og, ok := lab.ObjectGeometry("vial_1")
+	if !ok || og.CarriedHang != 0.075 || og.CapacityMg != 10 {
+		t.Errorf("object geometry = %+v, %v", og, ok)
+	}
+
+	if th, ok := lab.ActionThreshold("hotplate"); !ok || th != 150 {
+		t.Errorf("threshold = %v, %v", th, ok)
+	}
+	if _, ok := lab.ActionThreshold("dosing_device"); ok {
+		t.Error("dosing device should have no threshold")
+	}
+
+	if z := lab.FloorZ("ned2"); z != 0 {
+		t.Errorf("floor in ned2 frame = %v", z)
+	}
+
+	if _, ok := lab.Zone("viperx"); ok {
+		t.Error("viperx has no zone wall configured")
+	}
+	if zone, ok := lab.Zone("ned2"); !ok || zone.N.X != 1 {
+		t.Errorf("ned2 zone = %+v, %v", zone, ok)
+	}
+}
+
+func TestCustomRulesFromConfig(t *testing.T) {
+	lab, err := Compile(validSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := lab.CustomRules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 4 {
+		t.Fatalf("want the 4 Hein rules, got %d", len(rs))
+	}
+
+	// Add a declarative rule.
+	spec := validSpec()
+	spec.Rules = append(spec.Rules, CustomRuleSpec{
+		ID: "film-loaded", Description: "spin coater needs a film",
+		Number:    5,
+		AppliesTo: []string{"start_action"},
+		Requires:  []RequirementSpec{{Var: "filmLoaded", Arg: "$device", Equals: true}},
+	})
+	lab2, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs2, err := lab2.CustomRules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs2) != 5 {
+		t.Fatalf("want 5 rules, got %d", len(rs2))
+	}
+}
+
+func TestInitialModelState(t *testing.T) {
+	lab, err := Compile(validSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := lab.InitialModelState()
+	if s.GetString("objectAtLocation[grid_NW]") != "vial_1" {
+		t.Error("initial vial position missing")
+	}
+	if s.GetBool("robotArmHolding[viperx]") {
+		t.Error("arms should start empty-handed")
+	}
+	if s.GetBool("containerStopper[vial_1]") {
+		t.Error("vial starts uncapped")
+	}
+	if s.GetString("containerInside[grid]") != "vial_1" {
+		t.Error("containerInside[grid] should reflect the initial placement")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	spec := validSpec()
+	lab, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := mustMarshal(t, spec)
+	parsed, ds := Parse(data)
+	if len(ds) != 0 {
+		t.Fatalf("round trip diagnostics: %v", ds)
+	}
+	lab2, err := Compile(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lab.ArmIDs()) != len(lab2.ArmIDs()) {
+		t.Error("round trip lost arms")
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Severity: SevError, Line: 3, Col: 7, Path: "arms[0].base", Message: "boom"}
+	s := d.String()
+	for _, want := range []string{"error", "line 3", "col 7", "arms[0].base", "boom"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("diagnostic %q missing %q", s, want)
+		}
+	}
+}
+
+func mustMarshal(t *testing.T, spec *LabSpec) []byte {
+	t.Helper()
+	data, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	data := mustMarshal(t, validSpec())
+	if err := os.WriteFile(good, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lab, err := LoadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lab.ArmIDs()) != 2 {
+		t.Error("LoadFile lost arms")
+	}
+	// Syntax errors surface with their diagnostic.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(bad); err == nil {
+		t.Fatal("broken JSON accepted")
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestCustomRuleValueTypes(t *testing.T) {
+	spec := validSpec()
+	spec.Rules = append(spec.Rules, CustomRuleSpec{
+		ID: "typed", Description: "typed requirements", Number: 7,
+		AppliesTo: []string{"start_action"},
+		Devices:   []string{"hotplate"},
+		Requires: []RequirementSpec{
+			{Var: "a", Arg: "$device", Equals: true},
+			{Var: "b", Arg: "$device", Equals: 42.0},
+			{Var: "c", Arg: "$device", Equals: "ready"},
+		},
+	})
+	lab, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lab.CustomRules(); err != nil {
+		t.Fatal(err)
+	}
+	// Unsupported value types are rejected.
+	spec2 := validSpec()
+	spec2.Rules = append(spec2.Rules, CustomRuleSpec{
+		ID: "bad", Description: "bad requirement", Number: 8,
+		AppliesTo: []string{"start_action"},
+		Requires:  []RequirementSpec{{Var: "x", Arg: "$device", Equals: []any{1, 2}}},
+	})
+	lab2, err := Compile(spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lab2.CustomRules(); err == nil {
+		t.Fatal("unsupported requirement value accepted")
+	}
+}
+
+func TestWallsInArmFrames(t *testing.T) {
+	spec := validSpec()
+	spec.Walls = []WallPlaneSpec{{Name: "north", Normal: Vec{Y: -1}, Offset: -0.7}}
+	lab, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In the viperx frame (base at origin) the wall is unchanged.
+	w1 := lab.Walls("viperx")
+	if len(w1) != 1 || w1[0].SignedDist(geom.V(0, 0.7, 0)) > 1e-9 {
+		t.Errorf("viperx wall wrong: %+v", w1)
+	}
+	// In the ned2 frame (base at x=0.8), the y-wall's offset is the same
+	// (the normal has no x component).
+	w2 := lab.Walls("ned2")
+	if len(w2) != 1 || w2[0].SignedDist(geom.V(-0.8, 0.7, 0)) > 1e-9 {
+		t.Errorf("ned2 wall wrong: %+v", w2)
+	}
+	// Zero normal is a lint error.
+	spec2 := validSpec()
+	spec2.Walls = []WallPlaneSpec{{Name: "bad"}}
+	if ds := Lint(spec2); !HasErrors(ds) {
+		t.Error("zero-normal wall accepted")
+	}
+}
+
+// TestParseNeverPanicsOnMutatedJSON flips random bytes in a valid config
+// and feeds the result to the parser: whatever the pilot-study
+// participant types, the loader must degrade to diagnostics, never
+// panic.
+func TestParseNeverPanicsOnMutatedJSON(t *testing.T) {
+	base := mustMarshal(t, validSpec())
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 2000; i++ {
+		data := append([]byte(nil), base...)
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			pos := rng.Intn(len(data))
+			data[pos] = byte(rng.Intn(256))
+		}
+		spec, _ := Parse(data) // must not panic
+		if spec != nil {
+			Lint(spec) // nor here
+		}
+	}
+	// Truncations too.
+	for i := 0; i < 200; i++ {
+		cut := rng.Intn(len(base))
+		spec, _ := Parse(base[:cut])
+		if spec != nil {
+			Lint(spec)
+		}
+	}
+}

@@ -1,0 +1,365 @@
+package config
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Severity grades lint diagnostics.
+type Severity int
+
+// Diagnostic severities.
+const (
+	SevError Severity = iota + 1
+	SevWarning
+)
+
+// String names the severity.
+func (s Severity) String() string {
+	switch s {
+	case SevError:
+		return "error"
+	case SevWarning:
+		return "warning"
+	default:
+		return "unknown"
+	}
+}
+
+// Diagnostic is one lint finding.
+type Diagnostic struct {
+	Severity Severity
+	// Line/Col locate syntax errors (0 when not applicable).
+	Line, Col int
+	// Path names the config element, e.g. "locations[3].deck_pos.z".
+	Path    string
+	Message string
+}
+
+// String renders the diagnostic in compiler style.
+func (d Diagnostic) String() string {
+	var b strings.Builder
+	b.WriteString(d.Severity.String())
+	if d.Line > 0 {
+		fmt.Fprintf(&b, " at line %d, col %d", d.Line, d.Col)
+	}
+	if d.Path != "" {
+		fmt.Fprintf(&b, " [%s]", d.Path)
+	}
+	b.WriteString(": ")
+	b.WriteString(d.Message)
+	return b.String()
+}
+
+// offsetToLineCol converts a byte offset into 1-based line/column.
+func offsetToLineCol(data []byte, off int64) (int, int) {
+	if off > int64(len(data)) {
+		off = int64(len(data))
+	}
+	line := 1 + bytes.Count(data[:off], []byte("\n"))
+	last := bytes.LastIndexByte(data[:off], '\n')
+	return line, int(off) - last
+}
+
+// Parse decodes a LabSpec, reporting syntax errors with positions.
+func Parse(data []byte) (*LabSpec, []Diagnostic) {
+	var spec LabSpec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		d := Diagnostic{Severity: SevError, Message: err.Error()}
+		switch e := err.(type) {
+		case *json.SyntaxError:
+			d.Line, d.Col = offsetToLineCol(data, e.Offset)
+			d.Message = "JSON syntax error: " + e.Error()
+		case *json.UnmarshalTypeError:
+			d.Line, d.Col = offsetToLineCol(data, e.Offset)
+			d.Path = e.Field
+			d.Message = fmt.Sprintf("wrong type: got %s, want %s", e.Value, e.Type)
+		}
+		return nil, []Diagnostic{d}
+	}
+	return &spec, nil
+}
+
+// ParseFile loads and parses a config file.
+func ParseFile(path string) (*LabSpec, []Diagnostic, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("config: read %s: %w", path, err)
+	}
+	spec, diags := Parse(data)
+	return spec, diags, nil
+}
+
+// Lint validates a parsed spec and returns all diagnostics, errors first.
+// It encodes the failure modes observed in the paper's pilot study:
+// mistyped class names, sign errors in coordinates (a location below the
+// deck or behind a wall), locations beyond an arm's plausible reach, and
+// dangling references.
+func Lint(spec *LabSpec) []Diagnostic {
+	var ds []Diagnostic
+	errf := func(path, format string, args ...any) {
+		ds = append(ds, Diagnostic{Severity: SevError, Path: path, Message: fmt.Sprintf(format, args...)})
+	}
+	warnf := func(path, format string, args ...any) {
+		ds = append(ds, Diagnostic{Severity: SevWarning, Path: path, Message: fmt.Sprintf(format, args...)})
+	}
+
+	if spec.Lab == "" {
+		errf("lab", "lab name is required")
+	}
+	for i, w := range spec.Walls {
+		if w.Normal.V3().Norm() == 0 {
+			errf(fmt.Sprintf("walls[%d].normal", i), "wall %q has a zero normal", w.Name)
+		}
+	}
+	ids := map[string]string{}
+	registerID := func(id, path string) {
+		if id == "" {
+			errf(path, "id is required")
+			return
+		}
+		if prev, dup := ids[id]; dup {
+			errf(path, "duplicate id %q (also declared at %s)", id, prev)
+			return
+		}
+		ids[id] = path
+	}
+
+	// Arms.
+	armReach := map[string]float64{}
+	for i, a := range spec.Arms {
+		path := fmt.Sprintf("arms[%d]", i)
+		registerID(a.ID, path)
+		if a.Type != "robot_arm" {
+			errf(path+".type", "arm %q must have type robot_arm, got %q", a.ID, a.Type)
+		}
+		reach, ok := modelReach(a.Model)
+		if !ok {
+			errf(path+".model", "unknown arm model %q", a.Model)
+		} else {
+			armReach[a.ID] = reach
+		}
+		if a.ClassName != "" && !KnownClassNames[a.ClassName] {
+			errf(path+".class_name", "unknown driver class %q", a.ClassName)
+		}
+		if a.Gripper.FingerDrop <= 0 || a.Gripper.FingerRadius <= 0 {
+			warnf(path+".gripper", "gripper geometry unset for %q; target collision checks will be blind to the gripper", a.ID)
+		}
+		if a.Base.Z < spec.FloorZ-1e-9 {
+			errf(path+".base.z", "arm %q is mounted below the deck platform (z=%.3f < floor %.3f) — check for a sign error", a.ID, a.Base.Z, spec.FloorZ)
+		}
+	}
+
+	// Devices.
+	deviceByID := map[string]DeviceSpec{}
+	for i, d := range spec.Devices {
+		path := fmt.Sprintf("devices[%d]", i)
+		registerID(d.ID, path)
+		deviceByID[d.ID] = d
+		switch d.Type {
+		case "dosing_system", "action_device", "container_rack", "sensor":
+		default:
+			errf(path+".type", "device %q has unknown type %q (want dosing_system, action_device, container_rack, or sensor)", d.ID, d.Type)
+		}
+		if d.ClassName != "" && !KnownClassNames[d.ClassName] {
+			errf(path+".class_name", "unknown driver class %q", d.ClassName)
+		}
+		box := d.Cuboid.AABB()
+		if !box.IsValid() || box.Volume() <= 0 {
+			errf(path+".cuboid", "device %q has a degenerate cuboid — check min/max corners for sign errors", d.ID)
+		}
+		if d.Cuboid.Min.X > d.Cuboid.Max.X || d.Cuboid.Min.Y > d.Cuboid.Max.Y || d.Cuboid.Min.Z > d.Cuboid.Max.Z {
+			errf(path+".cuboid", "device %q has min/max corners swapped — the loader would silently normalise them, but this usually signals a data-entry mistake", d.ID)
+		}
+		if box.Min.Z < spec.FloorZ-1e-9 {
+			errf(path+".cuboid.min.z", "device %q extends below the deck platform — check for a sign error", d.ID)
+		}
+		validSide := func(side, at string) {
+			switch side {
+			case "x-", "x+", "y-", "y+", "z+":
+			default:
+				errf(at, "device %q door side %q invalid (want x-, x+, y-, y+, or z+)", d.ID, side)
+			}
+		}
+		if d.Door.Present {
+			validSide(d.Door.Side, path+".door.side")
+			if d.Interior == nil {
+				errf(path+".interior", "device %q has a door but no interior region", d.ID)
+			}
+			if len(d.Doors) > 0 {
+				errf(path+".doors", "device %q declares both a single door and named doors", d.ID)
+			}
+		}
+		if len(d.Doors) > 0 {
+			if d.Interior == nil {
+				errf(path+".interior", "device %q has doors but no interior region", d.ID)
+			}
+			seen := map[string]bool{}
+			for di, nd := range d.Doors {
+				at := fmt.Sprintf("%s.doors[%d]", path, di)
+				if nd.Name == "" {
+					errf(at+".name", "device %q: named doors need names", d.ID)
+				}
+				if seen[nd.Name] {
+					errf(at+".name", "device %q: duplicate door %q", d.ID, nd.Name)
+				}
+				seen[nd.Name] = true
+				validSide(nd.Side, at+".side")
+			}
+		}
+		if d.Interior != nil {
+			in := d.Interior.AABB()
+			if !in.IsValid() || in.Volume() <= 0 {
+				errf(path+".interior", "device %q has a degenerate interior", d.ID)
+			} else if box.IsValid() && !(box.ContainsPoint(in.Min) && box.ContainsPoint(in.Max)) {
+				errf(path+".interior", "device %q interior is not contained in its cuboid", d.ID)
+			}
+		}
+		switch d.Shape {
+		case "", "cylinder", "dome":
+		default:
+			errf(path+".shape", "device %q has unknown shape %q (want cylinder or dome; omit for cuboid)", d.ID, d.Shape)
+		}
+		if d.Shape != "" && d.Interior != nil {
+			errf(path+".shape", "device %q: rounded shapes cannot carry an interior region", d.ID)
+		}
+		if d.MaxSafeValue > 0 && d.ActionThreshold > d.MaxSafeValue {
+			errf(path+".action_threshold", "device %q threshold %.1f exceeds its physical limit %.1f", d.ID, d.ActionThreshold, d.MaxSafeValue)
+		}
+	}
+
+	// Locations.
+	locByName := map[string]LocationSpec{}
+	for i, l := range spec.Locations {
+		path := fmt.Sprintf("locations[%d]", i)
+		if l.Name == "" {
+			errf(path+".name", "location name is required")
+			continue
+		}
+		if _, dup := locByName[l.Name]; dup {
+			errf(path+".name", "duplicate location %q", l.Name)
+			continue
+		}
+		locByName[l.Name] = l
+		if l.Owner != "" {
+			owner, ok := deviceByID[l.Owner]
+			if !ok {
+				errf(path+".owner", "location %q references unknown device %q", l.Name, l.Owner)
+			} else if l.Door != "" {
+				found := false
+				for _, nd := range owner.Doors {
+					if nd.Name == l.Door {
+						found = true
+					}
+				}
+				if !found {
+					errf(path+".door", "location %q names unknown door %q of device %q", l.Name, l.Door, l.Owner)
+				}
+			}
+		}
+		if l.DeckPos.Z < spec.FloorZ-1e-9 {
+			errf(path+".deck_pos.z", "location %q lies below the deck platform (z=%.3f) — check for a sign error", l.Name, l.DeckPos.Z)
+		}
+		// Plausibility: every arm that has explicit coordinates must be
+		// able to reach them; derived coordinates are checked against
+		// the deck position.
+		for j, a := range spec.Arms {
+			reach, ok := armReach[a.ID]
+			if !ok {
+				continue
+			}
+			p := l.DeckPos.V3().Sub(a.Base.V3())
+			if explicit, hasExplicit := l.PerArm[a.ID]; hasExplicit {
+				p = explicit.V3()
+				if p.Z+a.Base.Z < spec.FloorZ-1e-9 {
+					errf(fmt.Sprintf("%s.per_arm.%s.z", path, a.ID),
+						"location %q for arm %q lies below the platform — check for a sign error", l.Name, a.ID)
+				}
+			}
+			if p.Norm() > reach {
+				warnf(path, "location %q is %.3f m from arm %q's base, beyond its %.3f m reach", l.Name, p.Norm(), a.ID, reach)
+			}
+			_ = j
+		}
+	}
+
+	// Containers.
+	for i, c := range spec.Containers {
+		path := fmt.Sprintf("containers[%d]", i)
+		registerID(c.ID, path)
+		if c.Type != "container" {
+			errf(path+".type", "container %q must have type container, got %q", c.ID, c.Type)
+		}
+		if c.Height <= 0 || c.Radius <= 0 {
+			errf(path, "container %q needs positive height and radius", c.ID)
+		}
+		if c.Location != "" {
+			if _, ok := locByName[c.Location]; !ok {
+				errf(path+".location", "container %q starts at unknown location %q", c.ID, c.Location)
+			}
+		}
+	}
+
+	// Custom rules.
+	for i, r := range spec.Rules {
+		path := fmt.Sprintf("custom_rules[%d]", i)
+		switch {
+		case r.Builtin == "hein":
+			if r.Centrifuge == "" {
+				errf(path+".centrifuge", "the built-in Hein rules need the centrifuge device id")
+			} else if _, ok := deviceByID[r.Centrifuge]; !ok {
+				errf(path+".centrifuge", "unknown centrifuge device %q", r.Centrifuge)
+			}
+		case r.Builtin != "":
+			errf(path+".builtin", "unknown builtin rule set %q", r.Builtin)
+		default:
+			if r.ID == "" {
+				errf(path+".id", "custom rule needs an id")
+			}
+			if len(r.AppliesTo) == 0 {
+				errf(path+".applies_to", "custom rule %q applies to no actions", r.ID)
+			}
+			if len(r.Requires) == 0 {
+				errf(path+".requires", "custom rule %q has no requirements", r.ID)
+			}
+		}
+	}
+
+	sort.SliceStable(ds, func(i, j int) bool { return ds[i].Severity < ds[j].Severity })
+	return ds
+}
+
+// modelReach maps arm model names to their approximate reach (m), for the
+// plausibility lint.
+func modelReach(model string) (float64, bool) {
+	switch strings.ToLower(model) {
+	case "ur3e":
+		return 0.92, true
+	case "ur5e":
+		return 1.31, true
+	case "viperx", "viperx300":
+		return 0.91, true
+	case "ned2":
+		return 0.75, true
+	case "n9":
+		return 0.76, true
+	default:
+		return 0, false
+	}
+}
+
+// HasErrors reports whether any diagnostic is an error.
+func HasErrors(ds []Diagnostic) bool {
+	for _, d := range ds {
+		if d.Severity == SevError {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,218 @@
+// Package config implements RABIT's JSON lab-configuration pathway
+// (Section II-C of the paper): researchers describe their deck — devices
+// categorised into the four device types, doors, cuboids, locations with
+// per-arm coordinates (Fig. 6), thresholds, connection parameters, and
+// custom rules — in JSON files that RABIT loads into its lab model.
+//
+// The package also implements the linter motivated by the pilot study
+// (Section V-A): participant P lost hours to JSON syntax errors and a
+// sign flip in a coordinate; Lint reports syntax errors with line/column
+// positions and plausibility diagnostics (locations below the deck or
+// beyond an arm's reach).
+package config
+
+import (
+	"repro/internal/geom"
+)
+
+// Vec is a JSON-friendly 3D coordinate.
+type Vec struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+	Z float64 `json:"z"`
+}
+
+// V3 converts to the geometry type.
+func (v Vec) V3() geom.Vec3 { return geom.V(v.X, v.Y, v.Z) }
+
+// BoxSpec is a JSON cuboid.
+type BoxSpec struct {
+	Min Vec `json:"min"`
+	Max Vec `json:"max"`
+}
+
+// AABB converts to the geometry type.
+func (b BoxSpec) AABB() geom.AABB { return geom.Box(b.Min.V3(), b.Max.V3()) }
+
+// Connection carries the device connection parameters RABIT extracts from
+// the programming scripts (Section II-C) and uses for FetchState.
+type Connection struct {
+	Transport string `json:"transport,omitempty"` // "tcp", "serial", …
+	Host      string `json:"host,omitempty"`
+	Port      int    `json:"port,omitempty"`
+	SerialDev string `json:"serial_dev,omitempty"`
+}
+
+// DoorSpec describes a device door.
+type DoorSpec struct {
+	Present bool `json:"present"`
+	// Side is the face of the cuboid the door occupies: one of
+	// "x-", "x+", "y-", "y+", "z+".
+	Side string `json:"side,omitempty"`
+}
+
+// NamedDoorSpec is one panel of a multi-door device (Section V-C:
+// "devices might have multiple doors, for instance, for two robot arms
+// to approach the device simultaneously").
+type NamedDoorSpec struct {
+	Name string `json:"name"`
+	Side string `json:"side"`
+}
+
+// GripperSpec is the arm geometry RABIT's target checks use.
+type GripperSpec struct {
+	FingerDrop   float64 `json:"finger_drop"`
+	FingerRadius float64 `json:"finger_radius"`
+}
+
+// WallSpec is an arm's space-multiplexing software wall: the arm must stay
+// on the side its base is on. Expressed in the arm's own frame.
+type WallSpec struct {
+	Normal Vec     `json:"normal"`
+	Offset float64 `json:"offset"`
+}
+
+// ArmSpec declares a robot arm.
+type ArmSpec struct {
+	ID        string     `json:"id"`
+	Type      string     `json:"type"` // must be "robot_arm"
+	Model     string     `json:"model"`
+	ClassName string     `json:"class_name"`
+	Conn      Connection `json:"connection"`
+	// Base is the arm's mounting position in the deck frame; every
+	// arm-frame coordinate equals deck coordinate minus Base.
+	Base    Vec         `json:"base"`
+	Gripper GripperSpec `json:"gripper"`
+	// SleepBox is the cuboid the arm occupies in its sleep pose, in the
+	// arm's own frame (the time-multiplexing model of Section IV).
+	SleepBox *BoxSpec `json:"sleep_box,omitempty"`
+	// ZoneWall is the optional space-multiplexing wall.
+	ZoneWall *WallSpec `json:"zone_wall,omitempty"`
+}
+
+// DeviceSpec declares a stationary automation device.
+type DeviceSpec struct {
+	ID        string     `json:"id"`
+	Type      string     `json:"type"` // "dosing_system" | "action_device"
+	Kind      string     `json:"kind"` // "dosing", "hotplate", "centrifuge", …
+	ClassName string     `json:"class_name"`
+	Conn      Connection `json:"connection"`
+	Expensive bool       `json:"expensive,omitempty"`
+	Door      DoorSpec   `json:"door"`
+	// Doors declares multiple named door panels; mutually exclusive with
+	// the single Door.
+	Doors []NamedDoorSpec `json:"doors,omitempty"`
+	// Cuboid is the device body in the deck frame (Fig. 3's 3D objects).
+	Cuboid BoxSpec `json:"cuboid"`
+	// Shape refines the body for collision purposes: "" (cuboid,
+	// default), "cylinder", or "dome" — the Section V-C shape extension
+	// for devices that do not comply with the cuboid specification. The
+	// rounded shapes use the largest vertical capsule inscribed in the
+	// cuboid.
+	Shape string `json:"shape,omitempty"`
+	// Interior is the hollow region for devices arms reach into.
+	Interior *BoxSpec `json:"interior,omitempty"`
+	// ActionThreshold is the rule-11 limit for action devices (0 = none).
+	ActionThreshold float64 `json:"action_threshold,omitempty"`
+	// MaxSafeValue is the physical limit past which the device is
+	// damaged; defaults to ActionThreshold when omitted.
+	MaxSafeValue float64 `json:"max_safe_value,omitempty"`
+	// ActionCommands and StatusCommands name the driver methods RABIT
+	// intercepts and uses for FetchState (Section II-C).
+	ActionCommands []string `json:"action_commands,omitempty"`
+	StatusCommands []string `json:"status_commands,omitempty"`
+}
+
+// ContainerSpec declares a movable container.
+type ContainerSpec struct {
+	ID         string  `json:"id"`
+	Type       string  `json:"type"` // "container"
+	Height     float64 `json:"height"`
+	Radius     float64 `json:"radius"`
+	CapacityMg float64 `json:"capacity_mg,omitempty"`
+	CapacityML float64 `json:"capacity_ml,omitempty"`
+	Stopper    bool    `json:"stopper,omitempty"`
+	// InitialSolidMg / InitialLiquidML pre-load the container.
+	InitialSolidMg  float64 `json:"initial_solid_mg,omitempty"`
+	InitialLiquidML float64 `json:"initial_liquid_ml,omitempty"`
+	// Location is the container's initial resting place.
+	Location string `json:"location"`
+}
+
+// LocationSpec declares a named deck location, with per-arm coordinates as
+// in the paper's Fig. 6 utilities file. DeckPos is the position in the
+// deck frame; PerArm overrides the derived arm-frame coordinates for arms
+// whose calibration differs.
+type LocationSpec struct {
+	Name    string         `json:"name"`
+	Owner   string         `json:"owner,omitempty"`
+	Inside  bool           `json:"inside,omitempty"`
+	DeckPos Vec            `json:"deck_pos"`
+	PerArm  map[string]Vec `json:"per_arm,omitempty"`
+	Meta    string         `json:"meta,omitempty"`
+	// Door names which panel of a multi-door owner serves this inside
+	// location ("" for the sole door).
+	Door string `json:"door,omitempty"`
+}
+
+// RequirementSpec is a declarative custom-rule requirement.
+type RequirementSpec struct {
+	Var    string `json:"var"`
+	Arg    string `json:"arg,omitempty"`
+	Arg2   string `json:"arg2,omitempty"`
+	Equals any    `json:"equals"`
+}
+
+// CustomRuleSpec declares a lab-specific rule: either a reference to the
+// built-in Hein rule set, or a declarative requirement rule.
+type CustomRuleSpec struct {
+	ID          string            `json:"id"`
+	Builtin     string            `json:"builtin,omitempty"` // "hein" pulls in Table IV
+	Centrifuge  string            `json:"centrifuge,omitempty"`
+	Description string            `json:"description,omitempty"`
+	Number      int               `json:"number,omitempty"`
+	AppliesTo   []string          `json:"applies_to,omitempty"`
+	Devices     []string          `json:"devices,omitempty"`
+	Requires    []RequirementSpec `json:"requires,omitempty"`
+}
+
+// WallPlaneSpec is a lab wall: an infinite plane in the deck frame whose
+// positive side is the lab interior. The paper's Table V cites "robot arm
+// making holes in a wall" as a Medium-High hazard.
+type WallPlaneSpec struct {
+	Name   string  `json:"name"`
+	Normal Vec     `json:"normal"`
+	Offset float64 `json:"offset"`
+}
+
+// LabSpec is the root configuration document.
+type LabSpec struct {
+	Lab        string           `json:"lab"`
+	FloorZ     float64          `json:"floor_z"`
+	Walls      []WallPlaneSpec  `json:"walls,omitempty"`
+	Arms       []ArmSpec        `json:"arms"`
+	Devices    []DeviceSpec     `json:"devices"`
+	Containers []ContainerSpec  `json:"containers"`
+	Locations  []LocationSpec   `json:"locations"`
+	Rules      []CustomRuleSpec `json:"custom_rules,omitempty"`
+}
+
+// KnownClassNames lists the driver classes this RABIT build ships; the
+// linter flags unknown class names (a frequent pilot-study mistake was
+// mistyping them).
+var KnownClassNames = map[string]bool{
+	"UR3eDriver":       true,
+	"UR5eDriver":       true,
+	"ViperXDriver":     true,
+	"Ned2Driver":       true,
+	"N9Driver":         true,
+	"MTQuantos":        true,
+	"TecanPump":        true,
+	"IKAHotplate":      true,
+	"IKAThermoshaker":  true,
+	"FisherCentrifuge": true,
+	"CardboardMockup":  true,
+	"DecapperDriver":   true,
+	"SpinCoater":       true,
+	"SprayNozzle":      true,
+}

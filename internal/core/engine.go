@@ -1,0 +1,294 @@
+// Package core implements RABIT's execution algorithm (Fig. 2 of the
+// paper). The engine sits between the RATracer-style interceptor and the
+// lab: for every command it (1) validates the preconditions against its
+// tracked model state and raises "Invalid Command!" on violation, (2) for
+// robot commands, consults the Extended Simulator when one is attached
+// and raises "Invalid trajectory!", (3) computes the expected post-state
+// from the transition table, and (4) after execution compares the
+// observed device state against the expectation, raising "Device
+// malfunction!" on mismatch.
+//
+// An alert preemptively stops the experiment (the Hein Lab's chosen
+// policy); an optional fail-safe handler can be installed for labs where
+// freezing mid-action is itself dangerous (Section II-B's caveat about an
+// arm left holding a volatile substance).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/action"
+	"repro/internal/rules"
+	"repro/internal/state"
+	"repro/internal/trace"
+)
+
+// AlertKind classifies the three alerts of Fig. 2.
+type AlertKind int
+
+// Alert kinds.
+const (
+	// AlertInvalidCommand is Fig. 2 line 7: a precondition violation.
+	AlertInvalidCommand AlertKind = iota + 1
+	// AlertInvalidTrajectory is Fig. 2 line 10: the Extended Simulator
+	// rejected the motion.
+	AlertInvalidTrajectory
+	// AlertMalfunction is Fig. 2 line 15: observed state diverged from
+	// the expected state.
+	AlertMalfunction
+)
+
+// String renders the alert text of Fig. 2.
+func (k AlertKind) String() string {
+	switch k {
+	case AlertInvalidCommand:
+		return "Invalid Command!"
+	case AlertInvalidTrajectory:
+		return "Invalid trajectory!"
+	case AlertMalfunction:
+		return "Device malfunction!"
+	default:
+		return "Unknown alert"
+	}
+}
+
+// Alert is one raised safety alert.
+type Alert struct {
+	Kind       AlertKind
+	Cmd        action.Command
+	Violations []rules.Violation
+	Mismatches []state.Mismatch
+	Reason     string
+	Time       time.Duration
+}
+
+// Error renders the alert as the error the script receives (RATracer
+// raises a Python exception in the paper's implementation).
+func (a *Alert) Error() string {
+	msg := fmt.Sprintf("RABIT alert: %s command %s", a.Kind, a.Cmd)
+	if len(a.Violations) > 0 {
+		msg += ": " + a.Violations[0].Error()
+	}
+	if len(a.Mismatches) > 0 {
+		msg += ": " + a.Mismatches[0].String()
+	}
+	if a.Reason != "" {
+		msg += ": " + a.Reason
+	}
+	return msg
+}
+
+// AsAlert extracts an Alert from an error chain.
+func AsAlert(err error) (*Alert, bool) {
+	var a *Alert
+	if errors.As(err, &a) {
+		return a, true
+	}
+	return nil, false
+}
+
+// ErrStopped is wrapped by errors returned once the experiment has been
+// halted by an alert.
+var ErrStopped = errors.New("core: experiment stopped by a previous RABIT alert")
+
+// TrajectoryValidator is the Extended Simulator's interface (Fig. 2,
+// lines 8–10). Observe lets the simulator mirror accepted commands.
+type TrajectoryValidator interface {
+	ValidTrajectory(cmd action.Command, model state.Snapshot) error
+	Observe(cmd action.Command, model state.Snapshot)
+}
+
+// Environment is what the engine needs from a deployment stage.
+type Environment interface {
+	Execute(cmd action.Command) error
+	FetchState() state.Snapshot
+	Now() time.Duration
+}
+
+// Option configures the engine.
+type Option func(*Engine)
+
+// WithSimulator attaches an Extended Simulator.
+func WithSimulator(v TrajectoryValidator) Option {
+	return func(e *Engine) { e.sim = v }
+}
+
+// WithFailSafe installs a handler invoked on every alert, e.g. to command
+// a safe parking pose instead of freezing.
+func WithFailSafe(fn func(Alert)) Option {
+	return func(e *Engine) { e.failSafe = fn }
+}
+
+// WithInitialModel seeds the engine's dead-reckoned model facts (container
+// positions, stoppers) from the lab configuration.
+func WithInitialModel(s state.Snapshot) Option {
+	return func(e *Engine) { e.seed = s.Clone() }
+}
+
+// Engine is RABIT's core checker.
+type Engine struct {
+	mu  sync.Mutex
+	rb  *rules.Rulebase
+	env Environment
+	sim TrajectoryValidator
+
+	seed  state.Snapshot
+	model state.Snapshot // S_current: observed facts + dead-reckoned model
+	// pending is S_expected for the in-flight command(s). Concurrent
+	// batches chain several Befores onto one cumulative expectation that
+	// a single After settles.
+	pending  state.Snapshot
+	started  bool
+	stopped  *Alert
+	alerts   []Alert
+	failSafe func(Alert)
+
+	// checkNS accumulates wall time spent inside Before/After — the
+	// latency overhead the paper measures in Section II-C.
+	checkNS int64
+	// commands counts commands fully processed.
+	commands int
+}
+
+var _ trace.Checker = (*Engine)(nil)
+
+// New builds an engine over a rulebase and an environment.
+func New(rb *rules.Rulebase, env Environment, opts ...Option) *Engine {
+	e := &Engine{rb: rb, env: env, seed: state.Snapshot{}}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Start acquires S_initial (Fig. 2 lines 1–3): the configured model facts
+// overlaid with the first observed snapshot.
+func (e *Engine) Start() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	observed := e.env.FetchState()
+	e.model = e.seed.Merge(observed)
+	e.started = true
+	e.stopped = nil
+	e.alerts = nil
+	e.pending = nil
+	e.checkNS = 0
+	e.commands = 0
+}
+
+// Model returns a copy of the engine's current model state.
+func (e *Engine) Model() state.Snapshot {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.model.Clone()
+}
+
+// Alerts returns all alerts raised so far.
+func (e *Engine) Alerts() []Alert {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Alert, len(e.alerts))
+	copy(out, e.alerts)
+	return out
+}
+
+// Stopped returns the alert that halted the experiment, if any.
+func (e *Engine) Stopped() *Alert {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stopped
+}
+
+// CheckOverhead returns the cumulative wall time spent in RABIT checks
+// and the number of commands processed.
+func (e *Engine) CheckOverhead() (time.Duration, int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return time.Duration(e.checkNS), e.commands
+}
+
+// raise records an alert, halts the experiment, and invokes the fail-safe
+// handler.
+func (e *Engine) raise(a Alert) *Alert {
+	a.Time = e.env.Now()
+	e.alerts = append(e.alerts, a)
+	stored := &e.alerts[len(e.alerts)-1]
+	e.stopped = stored
+	if e.failSafe != nil {
+		// Invoke outside the lock? The handler may command devices; the
+		// engine is already stopped, so re-entry would fail anyway. Call
+		// inline with the lock released.
+		fn := e.failSafe
+		e.mu.Unlock()
+		fn(a)
+		e.mu.Lock()
+	}
+	return stored
+}
+
+// Before implements Fig. 2 lines 5–11: validity, trajectory, and the
+// expected-state computation.
+func (e *Engine) Before(cmd action.Command) error {
+	start := time.Now()
+	e.mu.Lock()
+	defer func() {
+		e.checkNS += time.Since(start).Nanoseconds()
+		e.mu.Unlock()
+	}()
+	if !e.started {
+		return fmt.Errorf("core: engine not started")
+	}
+	if e.stopped != nil {
+		return fmt.Errorf("%w: %s", ErrStopped, e.stopped.Error())
+	}
+	cmd = rules.NormalizeCommand(e.rb.Lab(), cmd)
+	if vs := e.rb.Validate(e.model, cmd); len(vs) > 0 {
+		return e.raise(Alert{Kind: AlertInvalidCommand, Cmd: cmd, Violations: vs})
+	}
+	if cmd.Action.IsRobotMotion() && e.sim != nil {
+		if err := e.sim.ValidTrajectory(cmd, e.model); err != nil {
+			return e.raise(Alert{Kind: AlertInvalidTrajectory, Cmd: cmd, Reason: err.Error()})
+		}
+	}
+	base := e.pending
+	if base == nil {
+		base = e.model
+	}
+	e.pending = e.rb.Expected(base, cmd)
+	return nil
+}
+
+// After implements Fig. 2 lines 13–16: fetch the actual state, compare
+// with the expectation, and commit S_current.
+func (e *Engine) After(cmd action.Command) error {
+	cmd = rules.NormalizeCommand(e.rb.Lab(), cmd)
+	start := time.Now()
+	e.mu.Lock()
+	defer func() {
+		e.checkNS += time.Since(start).Nanoseconds()
+		e.commands++
+		e.mu.Unlock()
+	}()
+	if e.stopped != nil {
+		return fmt.Errorf("%w: %s", ErrStopped, e.stopped.Error())
+	}
+	expected := e.pending
+	if expected == nil {
+		expected = e.model
+	}
+	e.pending = nil
+	observed := e.env.FetchState()
+	if ms := state.CompareObserved(expected, observed); len(ms) > 0 {
+		return e.raise(Alert{Kind: AlertMalfunction, Cmd: cmd, Mismatches: ms})
+	}
+	// S_current ← SetState(S_actual): observed facts win, dead-reckoned
+	// model facts persist.
+	e.model = expected.Merge(observed)
+	if e.sim != nil && cmd.Action.IsRobotMotion() {
+		e.sim.Observe(cmd, e.model)
+	}
+	return nil
+}

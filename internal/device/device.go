@@ -1,0 +1,53 @@
+// Package device implements the software layer between RABIT's command
+// stream and the physical (simulated) world: per-vendor robot-arm drivers
+// and automation-device drivers, including the firmware quirks the
+// paper's evaluation turns on — the ViperX silently skipping targets it
+// cannot plan to, the Ned2 raising and halting, and devices with
+// injectable malfunctions for exercising the Fig. 2 post-state check.
+package device
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/action"
+	"repro/internal/state"
+	"repro/internal/world"
+)
+
+// Fault is an injectable device malfunction.
+type Fault int
+
+// Injectable faults.
+const (
+	FaultNone Fault = iota
+	// FaultDoorStuck makes door commands report success without moving
+	// the door — the malfunction class the S_expected ≠ S_actual check
+	// exists for.
+	FaultDoorStuck
+	// FaultActionStuck makes start/stop commands report success without
+	// changing the run state.
+	FaultActionStuck
+)
+
+// ErrHalted is returned for commands sent to a halted arm (the Ned2
+// behaviour: after a planning failure it refuses further motion).
+var ErrHalted = errors.New("device: arm controller halted; requires reset")
+
+// Driver executes commands against the world and reports observable state.
+type Driver interface {
+	// ID returns the device ID commands address.
+	ID() string
+	// Execute runs one command.
+	Execute(w *world.World, cmd action.Command) error
+	// ReadState appends the device's observable state variables — what
+	// its status commands report — into the snapshot.
+	ReadState(w *world.World, into state.Snapshot)
+	// InjectFault arms a malfunction (FaultNone clears it).
+	InjectFault(f Fault)
+}
+
+// unknownAction builds the common error for commands a driver cannot run.
+func unknownAction(id string, a action.Label) error {
+	return fmt.Errorf("device: %s does not implement action %q", id, a)
+}

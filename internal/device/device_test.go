@@ -1,0 +1,369 @@
+package device
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/action"
+	"repro/internal/geom"
+	"repro/internal/kin"
+	"repro/internal/state"
+	"repro/internal/world"
+)
+
+// resolverFunc adapts a function to LocationResolver.
+type resolverFunc func(armID, loc string) (geom.Vec3, bool)
+
+func (f resolverFunc) LocationPos(armID, loc string) (geom.Vec3, bool) { return f(armID, loc) }
+
+// deckWithArm builds a bare world with one arm of the given model.
+func deckWithArm(t *testing.T, model kin.Model) (*world.World, *ArmDriver) {
+	t.Helper()
+	w := world.New(1)
+	p, err := kin.NewProfile(model, geom.IdentityPose())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AddArm("arm", p); err != nil {
+		t.Fatal(err)
+	}
+	resolver := resolverFunc(func(armID, loc string) (geom.Vec3, bool) {
+		if loc == "bench" {
+			return geom.V(0.30, 0.10, 0.25), true
+		}
+		return geom.Vec3{}, false
+	})
+	d := NewArmDriver("arm", geom.Vec3{}, p, BehaviorForModel(model), resolver)
+	return w, d
+}
+
+func TestBehaviorForModel(t *testing.T) {
+	tests := []struct {
+		model kin.Model
+		want  VendorBehavior
+	}{
+		{kin.ModelUR3e, BehaviorAccurate},
+		{kin.ModelUR5e, BehaviorAccurate},
+		{kin.ModelN9, BehaviorAccurate},
+		{kin.ModelViperX300, BehaviorSilentSkip},
+		{kin.ModelNed2, BehaviorHaltOnError},
+	}
+	for _, tt := range tests {
+		if got := BehaviorForModel(tt.model); got != tt.want {
+			t.Errorf("%v: behavior %v, want %v", tt.model, got, tt.want)
+		}
+	}
+}
+
+func TestArmDriverMoveAndStatus(t *testing.T) {
+	w, d := deckWithArm(t, kin.ModelUR3e)
+	err := d.Execute(w, action.Command{Device: "arm", Action: action.MoveRobot, Target: geom.V(0.30, 0.10, 0.25)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := w.Arm("arm")
+	tcp, _ := a.TCP()
+	if tcp.Dist(geom.V(0.30, 0.10, 0.25)) > 0.01 {
+		t.Errorf("arm did not reach the target: %v", tcp)
+	}
+	s := state.Snapshot{}
+	d.ReadState(w, s)
+	if s.GetBool(state.ArmAsleep("arm")) {
+		t.Error("arm should not report asleep")
+	}
+	if _, reported := s.Get(state.Holding("arm")); reported {
+		t.Error("holding must never be observable (no pressure sensor)")
+	}
+}
+
+func TestArmDriverNamedLocation(t *testing.T) {
+	w, d := deckWithArm(t, kin.ModelUR3e)
+	if err := w.AddLocation(world.Location{Name: "bench", Pos: geom.V(0.30, 0.10, 0.25)}); err != nil {
+		t.Fatal(err)
+	}
+	err := d.Execute(w, action.Command{Device: "arm", Action: action.MoveRobot, TargetName: "bench"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := state.Snapshot{}
+	d.ReadState(w, s)
+	if got := s.GetString(state.ArmAt("arm")); got != "bench" {
+		t.Errorf("reported location %q, want bench", got)
+	}
+	// Unknown named location is a driver error.
+	err = d.Execute(w, action.Command{Device: "arm", Action: action.MoveRobot, TargetName: "ghost"})
+	if err == nil {
+		t.Fatal("unknown location accepted")
+	}
+}
+
+func TestViperXSilentlySkipsInfeasibleTargets(t *testing.T) {
+	w, d := deckWithArm(t, kin.ModelViperX300)
+	a, _ := w.Arm("arm")
+	before, _ := a.TCP()
+	// The paper: "it failed to compute the trajectory and silently
+	// ignored the command".
+	err := d.Execute(w, action.Command{Device: "arm", Action: action.MoveRobot, Target: geom.V(0.1, 0.1, 3)})
+	if err != nil {
+		t.Fatalf("the ViperX must report success on an infeasible target, got %v", err)
+	}
+	after, _ := a.TCP()
+	if before.Dist(after) > 1e-9 {
+		t.Error("the arm moved despite the silent skip")
+	}
+}
+
+func TestNed2HaltsOnInfeasibleTargets(t *testing.T) {
+	w, d := deckWithArm(t, kin.ModelNed2)
+	// The paper: "it throws an exception and halts immediately".
+	err := d.Execute(w, action.Command{Device: "arm", Action: action.MoveRobot, Target: geom.V(0.1, 0.1, 3)})
+	if err == nil {
+		t.Fatal("the Ned2 must raise on an infeasible target")
+	}
+	if !d.Halted() {
+		t.Fatal("the Ned2 must latch halted")
+	}
+	err = d.Execute(w, action.Command{Device: "arm", Action: action.MoveRobot, Target: geom.V(0.2, 0, 0.2)})
+	if !errors.Is(err, ErrHalted) {
+		t.Fatalf("halted arm accepted a move: %v", err)
+	}
+	d.Reset()
+	if err := d.Execute(w, action.Command{Device: "arm", Action: action.MoveRobot, Target: geom.V(0.2, 0, 0.2)}); err != nil {
+		t.Fatalf("reset did not clear the halt: %v", err)
+	}
+}
+
+func TestUR3eRaisesOnInfeasibleTargets(t *testing.T) {
+	w, d := deckWithArm(t, kin.ModelUR3e)
+	err := d.Execute(w, action.Command{Device: "arm", Action: action.MoveRobot, Target: geom.V(5, 5, 5)})
+	if err == nil {
+		t.Fatal("the UR3e must raise on an infeasible target")
+	}
+	if d.Halted() {
+		t.Error("the UR3e does not halt; the script sees the error and decides")
+	}
+}
+
+func TestArmDriverHomeSleepGripper(t *testing.T) {
+	w, d := deckWithArm(t, kin.ModelUR3e)
+	if err := d.Execute(w, action.Command{Device: "arm", Action: action.MoveSleep}); err != nil {
+		t.Fatal(err)
+	}
+	s := state.Snapshot{}
+	d.ReadState(w, s)
+	if !s.GetBool(state.ArmAsleep("arm")) {
+		t.Error("sleep not reported")
+	}
+	if err := d.Execute(w, action.Command{Device: "arm", Action: action.MoveHome}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Execute(w, action.Command{Device: "arm", Action: action.CloseGripper}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Execute(w, action.Command{Device: "arm", Action: action.OpenGripper}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Execute(w, action.Command{Device: "arm", Action: action.DoseSolid}); err == nil {
+		t.Fatal("arm accepted a dosing command")
+	}
+}
+
+// fixtureDeck builds a world with one dosing fixture.
+func fixtureDeck(t *testing.T) (*world.World, *FixtureDriver) {
+	t.Helper()
+	w := world.New(1)
+	f := &world.Fixture{
+		ID: "dd", Kind: world.KindDosing, Expensive: true,
+		Body:         geom.Box(geom.V(0, 0, 0), geom.V(0.2, 0.2, 0.3)),
+		Interior:     geom.Box(geom.V(0.03, 0.03, 0.03), geom.V(0.17, 0.17, 0.27)),
+		Door:         world.DoorYNeg,
+		MaxSafeValue: 340,
+	}
+	if err := w.AddFixture(f); err != nil {
+		t.Fatal(err)
+	}
+	return w, NewFixtureDriver("dd", true, 400)
+}
+
+func TestFixtureDriverDoorAndStatus(t *testing.T) {
+	w, d := fixtureDeck(t)
+	if err := d.Execute(w, action.Command{Device: "dd", Action: action.OpenDoor}); err != nil {
+		t.Fatal(err)
+	}
+	s := state.Snapshot{}
+	d.ReadState(w, s)
+	if !s.GetBool(state.DoorStatus("dd")) {
+		t.Error("door status not reported open")
+	}
+	if err := d.Execute(w, action.Command{Device: "dd", Action: action.CloseDoor}); err != nil {
+		t.Fatal(err)
+	}
+	s = state.Snapshot{}
+	d.ReadState(w, s)
+	if s.GetBool(state.DoorStatus("dd")) {
+		t.Error("door status not reported closed")
+	}
+}
+
+func TestFixtureDriverDoorStuckFault(t *testing.T) {
+	w, d := fixtureDeck(t)
+	d.InjectFault(FaultDoorStuck)
+	if err := d.Execute(w, action.Command{Device: "dd", Action: action.OpenDoor}); err != nil {
+		t.Fatal("a stuck door still acknowledges the command")
+	}
+	s := state.Snapshot{}
+	d.ReadState(w, s)
+	if s.GetBool(state.DoorStatus("dd")) {
+		t.Error("the stuck door physically moved")
+	}
+	d.InjectFault(FaultNone)
+	if err := d.Execute(w, action.Command{Device: "dd", Action: action.OpenDoor}); err != nil {
+		t.Fatal(err)
+	}
+	s = state.Snapshot{}
+	d.ReadState(w, s)
+	if !s.GetBool(state.DoorStatus("dd")) {
+		t.Error("cleared fault should restore the door")
+	}
+}
+
+func TestFixtureDriverFirmwareLimit(t *testing.T) {
+	w, d := fixtureDeck(t)
+	err := d.Execute(w, action.Command{Device: "dd", Action: action.SetActionValue, Value: 500})
+	if err == nil || !strings.Contains(err.Error(), "firmware") {
+		t.Fatalf("firmware limit not enforced: %v", err)
+	}
+	if err := d.Execute(w, action.Command{Device: "dd", Action: action.SetActionValue, Value: 300}); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := w.Fixture("dd")
+	if f.ActionValue != 300 {
+		t.Errorf("setpoint = %v", f.ActionValue)
+	}
+}
+
+func TestFixtureDriverRunAndDose(t *testing.T) {
+	w, d := fixtureDeck(t)
+	if err := d.Execute(w, action.Command{Device: "dd", Action: action.StartAction}); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := w.Fixture("dd")
+	if !f.Running {
+		t.Error("not running")
+	}
+	if err := d.Execute(w, action.Command{Device: "dd", Action: action.DoseSolid, Value: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Execute(w, action.Command{Device: "dd", Action: action.StopAction}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Running {
+		t.Error("still running")
+	}
+	// A doorless driver refuses door commands.
+	noDoor := NewFixtureDriver("dd", false, 0)
+	if err := noDoor.Execute(w, action.Command{Device: "dd", Action: action.OpenDoor}); err == nil {
+		t.Fatal("doorless device accepted a door command")
+	}
+}
+
+func TestContainerDriver(t *testing.T) {
+	w := world.New(1)
+	if err := w.AddLocation(world.Location{Name: "slot", Pos: geom.V(0.1, 0.1, 0.2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddObject(&world.Object{ID: "vial", HeightM: 0.07, RadiusM: 0.012, At: "slot"}); err != nil {
+		t.Fatal(err)
+	}
+	d := NewContainerDriver("vial")
+	if err := d.Execute(w, action.Command{Device: "vial", Action: action.CapContainer, Object: "vial"}); err != nil {
+		t.Fatal(err)
+	}
+	o, _ := w.Object("vial")
+	if !o.Capped {
+		t.Error("cap not applied")
+	}
+	if err := d.Execute(w, action.Command{Device: "vial", Action: action.DecapContainer, Object: "vial"}); err != nil {
+		t.Fatal(err)
+	}
+	if o.Capped {
+		t.Error("cap not removed")
+	}
+	// Containers report nothing.
+	s := state.Snapshot{}
+	d.ReadState(w, s)
+	if len(s) != 0 {
+		t.Errorf("container reported state: %v", s)
+	}
+	if err := d.Execute(w, action.Command{Device: "vial", Action: action.MoveRobot}); err == nil {
+		t.Fatal("container accepted a motion command")
+	}
+}
+
+func TestSensorDriver(t *testing.T) {
+	w := world.New(1)
+	if err := w.AddFixture(&world.Fixture{
+		ID: "zone_sensor", Kind: world.KindSensor,
+		Body: geom.Box(geom.V(0, -0.5, 0), geom.V(1, 0.5, 0.6)),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	d := NewSensorDriver("zone_sensor")
+	if d.ID() != "zone_sensor" {
+		t.Error("ID wrong")
+	}
+	// Sensors only answer status queries.
+	if err := d.Execute(w, action.Command{Device: "zone_sensor", Action: action.ReadStatus}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Execute(w, action.Command{Device: "zone_sensor", Action: action.OpenDoor}); err == nil {
+		t.Fatal("sensor accepted a door command")
+	}
+	s := state.Snapshot{}
+	d.ReadState(w, s)
+	if s.GetBool(state.ZoneOccupied("zone_sensor")) {
+		t.Error("empty zone reported occupied")
+	}
+	f, _ := w.Fixture("zone_sensor")
+	f.Occupied = true
+	s = state.Snapshot{}
+	d.ReadState(w, s)
+	if !s.GetBool(state.ZoneOccupied("zone_sensor")) {
+		t.Error("occupied zone reported clear")
+	}
+	// A frozen sensor keeps reporting clear.
+	d.InjectFault(FaultActionStuck)
+	s = state.Snapshot{}
+	d.ReadState(w, s)
+	if s.GetBool(state.ZoneOccupied("zone_sensor")) {
+		t.Error("frozen sensor should read clear")
+	}
+}
+
+func TestArmDriverPickPlaceRoundTrip(t *testing.T) {
+	w, d := deckWithArm(t, kin.ModelUR3e)
+	if err := w.AddLocation(world.Location{Name: "slot", Pos: geom.V(0.30, 0.10, 0.25)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddObject(&world.Object{ID: "vial", HeightM: 0.07, RadiusM: 0.012, At: "slot"}); err != nil {
+		t.Fatal(err)
+	}
+	steps := []action.Command{
+		{Device: "arm", Action: action.MoveRobot, Target: geom.V(0.30, 0.10, 0.40)},
+		{Device: "arm", Action: action.MoveRobot, Target: geom.V(0.30, 0.10, 0.25), Object: "vial"},
+		{Device: "arm", Action: action.PickObject},
+		{Device: "arm", Action: action.MoveRobot, Target: geom.V(0.30, 0.10, 0.40)},
+		{Device: "arm", Action: action.MoveRobot, Target: geom.V(0.30, 0.10, 0.25), Object: "vial"},
+		{Device: "arm", Action: action.PlaceObject},
+	}
+	for i, cmd := range steps {
+		if err := d.Execute(w, cmd); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	o, _ := w.Object("vial")
+	if o.At != "slot" || o.Broken {
+		t.Errorf("vial state after round trip: at=%q broken=%v", o.At, o.Broken)
+	}
+}

@@ -1,0 +1,51 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/env"
+)
+
+// TestControlledScenariosOnTestbed reproduces the controlled experiments
+// of Section IV on the testbed: every rule in Tables III and IV is
+// deliberately violated once, and RABIT detects all of them with the
+// targeted rule among the violations.
+func TestControlledScenariosOnTestbed(t *testing.T) {
+	results, err := RunControlled("testbed", env.StageTestbed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 15 {
+		t.Fatalf("got %d scenarios, want 15 (11 general + 4 custom)", len(results))
+	}
+	for _, r := range results {
+		if !r.Detected {
+			t.Errorf("scenario %s (%s) not detected", r.Scenario.RuleID, r.Scenario.Name)
+			continue
+		}
+		if !r.RuleHit {
+			t.Errorf("scenario %s: alert raised but rule not among violations: %v",
+				r.Scenario.RuleID, r.Alert.Error())
+		}
+	}
+}
+
+// TestControlledScenariosOnProduction runs the same battery on the Hein
+// production deck under the simulator stage (the paper exercised both
+// platforms).
+func TestControlledScenariosOnProduction(t *testing.T) {
+	results, err := RunControlled("production", env.StageSimulator, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if !r.Detected || !r.RuleHit {
+			detail := "no alert"
+			if r.Alert != nil {
+				detail = r.Alert.Error()
+			}
+			t.Errorf("scenario %s (%s): detected=%v ruleHit=%v (%s)",
+				r.Scenario.RuleID, r.Scenario.Name, r.Detected, r.RuleHit, detail)
+		}
+	}
+}

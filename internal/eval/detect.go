@@ -1,0 +1,180 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bugs"
+	"repro/internal/env"
+	"repro/internal/rules"
+	"repro/internal/workflow"
+	"repro/internal/world"
+)
+
+// ConfigName identifies one of the three engine configurations the
+// paper's narrative steps through.
+type ConfigName string
+
+// The three configurations of Section IV's summary.
+const (
+	ConfigInitial     ConfigName = "initial"
+	ConfigModified    ConfigName = "modified"
+	ConfigModifiedSim ConfigName = "modified+sim"
+)
+
+// StudyConfigs returns the three configurations in narrative order.
+func StudyConfigs() []ConfigName {
+	return []ConfigName{ConfigInitial, ConfigModified, ConfigModifiedSim}
+}
+
+// options maps a configuration name to harness options.
+func (c ConfigName) options(seed int64) Options {
+	switch c {
+	case ConfigInitial:
+		return Options{
+			Stage:     env.StageTestbed,
+			Rules:     rules.Config{Generation: rules.GenInitial, Multiplex: rules.MultiplexNone},
+			WithRABIT: true, Seed: seed,
+		}
+	case ConfigModified:
+		return Options{
+			Stage:     env.StageTestbed,
+			Rules:     rules.Config{Generation: rules.GenModified, Multiplex: rules.MultiplexTime},
+			WithRABIT: true, Seed: seed,
+		}
+	case ConfigModifiedSim:
+		return Options{
+			Stage:     env.StageTestbed,
+			Rules:     rules.Config{Generation: rules.GenModified, Multiplex: rules.MultiplexTime},
+			WithRABIT: true, WithSim: true, Seed: seed,
+		}
+	default:
+		return Options{}
+	}
+}
+
+// BugOutcome records what actually happened when one bug ran under every
+// configuration, plus the unprotected ground truth.
+type BugOutcome struct {
+	Bug bugs.Bug
+	// Detected reports whether RABIT raised any alert, per configuration.
+	Detected map[ConfigName]bool
+	// AlertKinds records the first alert's kind per configuration ("" if
+	// none).
+	AlertKinds map[ConfigName]string
+	// GroundTruthDamage is the damage log of the unprotected run.
+	GroundTruthDamage []world.Event
+	// GroundTruthCost is the unscaled damage cost of the unprotected run.
+	GroundTruthCost float64
+}
+
+// BugStudy is the full Section IV study.
+type BugStudy struct {
+	Outcomes []BugOutcome
+}
+
+// RunBugStudy replays all sixteen bugs under the three configurations and
+// once unprotected.
+func RunBugStudy(seed int64) (*BugStudy, error) {
+	study := &BugStudy{}
+	for _, b := range bugs.Suite() {
+		out := BugOutcome{
+			Bug:        b,
+			Detected:   make(map[ConfigName]bool, 3),
+			AlertKinds: make(map[ConfigName]string, 3),
+		}
+		for _, cfg := range StudyConfigs() {
+			detected, kind, err := runBugOnce(b, cfg.options(seed))
+			if err != nil {
+				return nil, fmt.Errorf("eval: bug %d (%s) under %s: %w", b.ID, b.Slug, cfg, err)
+			}
+			out.Detected[cfg] = detected
+			out.AlertKinds[cfg] = kind
+		}
+		// Unprotected ground truth.
+		s, err := NewTestbedSetup(Options{Stage: env.StageTestbed, WithRABIT: false, Seed: seed})
+		if err != nil {
+			return nil, fmt.Errorf("eval: bug %d baseline: %w", b.ID, err)
+		}
+		steps := b.Mutate(s.Session)
+		_ = workflow.RunSteps(s.Session, steps) // failures ARE the ground truth
+		out.GroundTruthDamage = s.Env.World().Events()
+		out.GroundTruthCost = s.Env.World().DamageCost()
+		study.Outcomes = append(study.Outcomes, out)
+	}
+	return study, nil
+}
+
+// runBugOnce replays one bug under one configuration; detected is whether
+// the engine raised any alert.
+func runBugOnce(b bugs.Bug, o Options) (bool, string, error) {
+	s, err := NewTestbedSetup(o)
+	if err != nil {
+		return false, "", err
+	}
+	steps := b.Mutate(s.Session)
+	_ = workflow.RunSteps(s.Session, steps) // the error is the alert/crash itself
+	alerts := s.Engine.Alerts()
+	if len(alerts) == 0 {
+		return false, "", nil
+	}
+	return true, alerts[0].Kind.String(), nil
+}
+
+// DetectedCount returns how many bugs a configuration detected.
+func (st *BugStudy) DetectedCount(cfg ConfigName) int {
+	n := 0
+	for _, o := range st.Outcomes {
+		if o.Detected[cfg] {
+			n++
+		}
+	}
+	return n
+}
+
+// DetectionRate returns the detection percentage for a configuration.
+func (st *BugStudy) DetectionRate(cfg ConfigName) float64 {
+	if len(st.Outcomes) == 0 {
+		return 0
+	}
+	return 100 * float64(st.DetectedCount(cfg)) / float64(len(st.Outcomes))
+}
+
+// TableVRow is one row of Table V.
+type TableVRow struct {
+	Severity world.Severity
+	Total    int
+	Detected int // under the modified configuration, as in the paper
+}
+
+// TableV aggregates the study into the paper's Table V.
+func (st *BugStudy) TableV() []TableVRow {
+	bySev := map[world.Severity]*TableVRow{}
+	for _, o := range st.Outcomes {
+		r, ok := bySev[o.Bug.Severity]
+		if !ok {
+			r = &TableVRow{Severity: o.Bug.Severity}
+			bySev[o.Bug.Severity] = r
+		}
+		r.Total++
+		if o.Detected[ConfigModified] {
+			r.Detected++
+		}
+	}
+	rows := make([]TableVRow, 0, len(bySev))
+	for _, r := range bySev {
+		rows = append(rows, *r)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Severity < rows[j].Severity })
+	return rows
+}
+
+// Outcome finds a bug's outcome by ID.
+func (st *BugStudy) Outcome(id int) (BugOutcome, bool) {
+	for _, o := range st.Outcomes {
+		if o.Bug.ID == id {
+			return o, true
+		}
+	}
+	return BugOutcome{}, false
+}

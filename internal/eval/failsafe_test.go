@@ -1,0 +1,80 @@
+package eval
+
+import (
+	"testing"
+
+	rabit "repro"
+	"repro/internal/action"
+	"repro/internal/state"
+)
+
+// TestFailSafeParksTheArm implements Section II-B's caveat: preemptively
+// freezing can itself be dangerous ("if a robot arm is left holding a
+// volatile substance, a person can bump into it"), so a fail-safe handler
+// can be installed that — as a hardwired reflex outside the stopped
+// engine — parks the arm in its sleep pose when an alert fires.
+func TestFailSafeParksTheArm(t *testing.T) {
+	var sys *rabit.System
+	failSafe := func(a rabit.Alert) {
+		// The reflex bypasses the (now stopped) engine and commands the
+		// environment directly: fold the arm out of everyone's way.
+		_ = sys.Env.Execute(action.Command{Device: "viperx", Action: action.MoveSleep})
+	}
+	var err error
+	sys, err = rabit.NewTestbed(rabit.Options{FailSafe: failSafe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Session.Arm("ned2").GoSleep(); err != nil {
+		t.Fatal(err)
+	}
+	// Provoke an alert: drive toward the closed dosing device.
+	if err := sys.Session.Arm("viperx").GoToLocation("dd_approach"); err != nil {
+		t.Fatal(err)
+	}
+	err = sys.Session.Arm("viperx").GoToLocation("dd_safe_height")
+	if err == nil {
+		t.Fatal("unsafe move accepted")
+	}
+	// The engine is stopped…
+	if sys.Stopped() == nil {
+		t.Fatal("engine should be stopped")
+	}
+	// …but the fail-safe reflex already parked the arm.
+	a, _ := sys.Env.World().Arm("viperx")
+	if !a.Asleep {
+		t.Fatal("fail-safe reflex did not park the arm")
+	}
+	// Ground truth: parking from the approach point caused no damage.
+	if evs := sys.Env.World().Events(); len(evs) != 0 {
+		t.Fatalf("fail-safe parking caused damage: %v", evs)
+	}
+}
+
+// TestFailSafeObservedByRestart shows the recovery path: after the
+// fail-safe reflex, restarting the engine re-acquires S_initial and the
+// observed state matches reality (the arm reports asleep).
+func TestFailSafeObservedByRestart(t *testing.T) {
+	var sys *rabit.System
+	var err error
+	sys, err = rabit.NewTestbed(rabit.Options{
+		FailSafe: func(rabit.Alert) {
+			_ = sys.Env.Execute(action.Command{Device: "viperx", Action: action.MoveSleep})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Session.Arm("ned2").GoSleep(); err != nil {
+		t.Fatal(err)
+	}
+	_ = sys.Session.Arm("viperx").GoToLocation("dd_safe_height") // alert + reflex
+	sys.Engine.Start()
+	if !sys.Engine.Model().GetBool(state.ArmAsleep("viperx")) {
+		t.Fatal("restarted engine should observe the parked arm")
+	}
+	// The deck is quiesced; normal work resumes.
+	if err := sys.Session.Arm("viperx").GoToLocation("grid_NW_safe"); err != nil {
+		t.Fatalf("post-recovery move failed: %v", err)
+	}
+}

@@ -1,0 +1,100 @@
+// Package eval is the evaluation harness: it reproduces every table and
+// figure of the paper's evaluation (Tables I, III, IV, V; the Fig. 5/6
+// bug study; the Section II-C latency measurements; the Section IV
+// detection-rate progression) by running the full RABIT stack over the
+// simulated stages.
+package eval
+
+import (
+	"fmt"
+
+	rabit "repro"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/env"
+	"repro/internal/labs"
+	"repro/internal/rules"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workflow"
+)
+
+// Options selects one experimental configuration.
+type Options struct {
+	// Stage is the deployment stage to build.
+	Stage env.Stage
+	// Rules selects the RABIT generation and multiplexing policy.
+	Rules rules.Config
+	// WithRABIT attaches the engine; false runs the bare lab (the
+	// no-protection baseline used for ground-truth damage measurements).
+	WithRABIT bool
+	// WithSim attaches the Extended Simulator.
+	WithSim bool
+	// SimGUI enables the simulator's offscreen GUI rendering (the
+	// overhead experiment).
+	SimGUI bool
+	// Seed drives all stochastic fidelity noise.
+	Seed int64
+}
+
+// DefaultOptions is the modified-RABIT testbed configuration most
+// experiments start from.
+func DefaultOptions() Options {
+	return Options{
+		Stage:     env.StageTestbed,
+		Rules:     rules.Config{Generation: rules.GenModified, Multiplex: rules.MultiplexTime},
+		WithRABIT: true,
+		Seed:      1,
+	}
+}
+
+// Setup is one fully wired experimental stack.
+type Setup struct {
+	Lab         *config.Lab
+	Env         *env.Env
+	Engine      *core.Engine
+	Simulator   *sim.Simulator
+	Interceptor *trace.Interceptor
+	Session     *workflow.Session
+	Opt         Options
+}
+
+// NewSetup wires a stack for an arbitrary lab spec via the public facade.
+func NewSetup(spec *config.LabSpec, o Options) (*Setup, error) {
+	sys, err := rabit.New(spec, rabit.Options{
+		Stage:             o.Stage,
+		Generation:        o.Rules.Generation,
+		Multiplex:         o.Rules.Multiplex,
+		Unprotected:       !o.WithRABIT,
+		ExtendedSimulator: o.WithSim,
+		SimulatorGUI:      o.SimGUI,
+		Seed:              o.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("eval: %w", err)
+	}
+	return &Setup{
+		Lab:         sys.Lab,
+		Env:         sys.Env,
+		Engine:      sys.Engine,
+		Simulator:   sys.Simulator,
+		Interceptor: sys.Interceptor,
+		Session:     sys.Session,
+		Opt:         o,
+	}, nil
+}
+
+// NewTestbedSetup wires the testbed deck.
+func NewTestbedSetup(o Options) (*Setup, error) {
+	return NewSetup(labs.TestbedSpec(), o)
+}
+
+// NewProductionSetup wires the Hein production deck.
+func NewProductionSetup(o Options) (*Setup, error) {
+	return NewSetup(labs.HeinProductionSpec(), o)
+}
+
+// NewBerlinguetteSetup wires the Berlinguette deck.
+func NewBerlinguetteSetup(o Options) (*Setup, error) {
+	return NewSetup(labs.BerlinguetteSpec(), o)
+}

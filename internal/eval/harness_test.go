@@ -1,0 +1,60 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/env"
+	"repro/internal/rules"
+	"repro/internal/workflow"
+)
+
+// configsUnderTest enumerates the three engine configurations the paper's
+// narrative steps through.
+func configsUnderTest() []Options {
+	return []Options{
+		{Rules: rules.Config{Generation: rules.GenInitial}, WithRABIT: true, Seed: 1},
+		{Rules: rules.Config{Generation: rules.GenModified, Multiplex: rules.MultiplexTime}, WithRABIT: true, Seed: 1},
+		{Rules: rules.Config{Generation: rules.GenModified, Multiplex: rules.MultiplexTime}, WithRABIT: true, WithSim: true, Seed: 1},
+	}
+}
+
+func TestSafeFig5WorkflowProducesNoAlertsAndNoDamage(t *testing.T) {
+	for i, o := range configsUnderTest() {
+		o.Stage = env.StageTestbed
+		s, err := NewTestbedSetup(o)
+		if err != nil {
+			t.Fatalf("config %d: %v", i, err)
+		}
+		if err := workflow.RunSteps(s.Session, workflow.Fig5Workflow()); err != nil {
+			t.Fatalf("config %d (%s, sim=%v): safe workflow failed: %v",
+				i, o.Rules.Generation, o.WithSim, err)
+		}
+		if alerts := s.Engine.Alerts(); len(alerts) != 0 {
+			t.Errorf("config %d: false positives: %v", i, alerts)
+		}
+		if evs := s.Env.World().Events(); len(evs) != 0 {
+			t.Errorf("config %d: physical damage in safe workflow: %v", i, evs)
+		}
+	}
+}
+
+func TestSafeFig5WorkflowWithoutRABIT(t *testing.T) {
+	s, err := NewTestbedSetup(Options{Stage: env.StageTestbed, WithRABIT: false, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := workflow.RunSteps(s.Session, workflow.Fig5Workflow()); err != nil {
+		t.Fatalf("safe workflow without RABIT failed: %v", err)
+	}
+	if evs := s.Env.World().Events(); len(evs) != 0 {
+		t.Errorf("physical damage: %v", evs)
+	}
+	// The vial ended up dosed and back in Ned2's gripper.
+	o, ok := s.Env.World().Object("vial_1")
+	if !ok || o.SolidMg != 5 {
+		t.Errorf("vial solid = %v, want 5 mg", o.SolidMg)
+	}
+	if o.HeldBy != "ned2" {
+		t.Errorf("vial held by %q, want ned2", o.HeldBy)
+	}
+}

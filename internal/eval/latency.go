@@ -1,0 +1,93 @@
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/env"
+	"repro/internal/rules"
+	"repro/internal/workflow"
+)
+
+// LatencyResult is one row of the Section II-C latency experiment.
+type LatencyResult struct {
+	// Mode names the configuration.
+	Mode string
+	// Commands is how many commands the workload issued.
+	Commands int
+	// CheckPerCommand is RABIT's mean checking time per command.
+	CheckPerCommand time.Duration
+	// ExecPerCommand is the mean (paced) execution time per command.
+	ExecPerCommand time.Duration
+	// OverheadPct is check time relative to execution time — the
+	// paper's 1.5% (no simulator) and 112% (simulator with GUI).
+	OverheadPct float64
+}
+
+// Latency measures RABIT's interception overhead over the safe Fig. 5
+// workload, under real-time pacing (device time divided by speedup):
+// once without the Extended Simulator, once with it headless, and once
+// with its GUI rendering every collision check — the deployment the
+// paper measured at 112% overhead.
+func Latency(seed int64, speedup float64) ([]LatencyResult, error) {
+	modes := []struct {
+		name string
+		opt  Options
+	}{
+		{"RABIT (no simulator)", Options{
+			Stage:     env.StageTestbed,
+			Rules:     rules.Config{Generation: rules.GenModified, Multiplex: rules.MultiplexTime},
+			WithRABIT: true, Seed: seed,
+		}},
+		{"RABIT + Extended Simulator (headless)", Options{
+			Stage:     env.StageTestbed,
+			Rules:     rules.Config{Generation: rules.GenModified, Multiplex: rules.MultiplexTime},
+			WithRABIT: true, WithSim: true, Seed: seed,
+		}},
+		{"RABIT + Extended Simulator (GUI)", Options{
+			Stage:     env.StageTestbed,
+			Rules:     rules.Config{Generation: rules.GenModified, Multiplex: rules.MultiplexTime},
+			WithRABIT: true, WithSim: true, SimGUI: true, Seed: seed,
+		}},
+	}
+	var out []LatencyResult
+	for _, m := range modes {
+		s, err := NewTestbedSetup(m.opt)
+		if err != nil {
+			return nil, fmt.Errorf("eval: latency %s: %w", m.name, err)
+		}
+		s.Env.SetPacing(speedup)
+		start := time.Now()
+		if err := workflow.RunSteps(s.Session, workflow.Fig5Workflow()); err != nil {
+			return nil, fmt.Errorf("eval: latency %s: workload failed: %w", m.name, err)
+		}
+		total := time.Since(start)
+		check, commands := s.Engine.CheckOverhead()
+		exec := total - check
+		if commands == 0 {
+			commands = 1
+		}
+		res := LatencyResult{
+			Mode:            m.name,
+			Commands:        commands,
+			CheckPerCommand: check / time.Duration(commands),
+			ExecPerCommand:  exec / time.Duration(commands),
+		}
+		if exec > 0 {
+			res.OverheadPct = 100 * float64(check) / float64(exec)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// RenderLatency prints the latency rows.
+func RenderLatency(rows []LatencyResult) string {
+	out := fmt.Sprintf("%-42s %10s %14s %14s %10s\n",
+		"Configuration", "commands", "check/cmd", "exec/cmd", "overhead")
+	for _, r := range rows {
+		out += fmt.Sprintf("%-42s %10d %14s %14s %9.1f%%\n",
+			r.Mode, r.Commands, r.CheckPerCommand, r.ExecPerCommand, r.OverheadPct)
+	}
+	return out
+}

@@ -1,0 +1,33 @@
+package eval
+
+import "testing"
+
+// TestLatencyShape reproduces the Section II-C finding: without the
+// Extended Simulator, RABIT's interception overhead is a small fraction
+// of command execution time (the paper measured 1.5%); with the
+// simulator's GUI rendering on every collision check, the overhead
+// exceeds the execution time itself (the paper measured 112%).
+func TestLatencyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paced latency run")
+	}
+	rows, err := Latency(2, 2000) // 2000× faster than real time
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("want 3 modes, got %d", len(rows))
+	}
+	noSim, headless, gui := rows[0], rows[1], rows[2]
+	if noSim.OverheadPct > 25 {
+		t.Errorf("no-simulator overhead %.1f%% should be small", noSim.OverheadPct)
+	}
+	if gui.OverheadPct < 100 {
+		t.Errorf("GUI-simulator overhead %.1f%% should exceed 100%% (the paper's 112%%)", gui.OverheadPct)
+	}
+	if !(noSim.CheckPerCommand < headless.CheckPerCommand &&
+		headless.CheckPerCommand < gui.CheckPerCommand) {
+		t.Errorf("check-time ordering wrong: %v < %v < %v",
+			noSim.CheckPerCommand, headless.CheckPerCommand, gui.CheckPerCommand)
+	}
+}

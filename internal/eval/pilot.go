@@ -1,0 +1,160 @@
+package eval
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/labs"
+)
+
+// PilotMistake is one configuration error of the classes participant P
+// made during the paper's pilot study (Section V-A).
+type PilotMistake struct {
+	// Name identifies the mistake.
+	Name string
+	// Class is "syntax" or "semantic".
+	Class string
+	// Corrupt applies the mistake to a pristine config. Syntax mistakes
+	// edit the serialized JSON; semantic ones edit the spec.
+	CorruptJSON func(data []byte) []byte
+	CorruptSpec func(spec *config.LabSpec)
+}
+
+// PilotMistakes returns the mistake corpus: the concrete errors the paper
+// reports (a negative sign instead of a positive one, JSON syntax errors)
+// plus the adjacent classes a JSON-naive researcher makes.
+func PilotMistakes() []PilotMistake {
+	return []PilotMistake{
+		{
+			Name: "trailing-comma", Class: "syntax",
+			CorruptJSON: func(data []byte) []byte {
+				// Turn the last "}\n}" into "},\n}" — the classic.
+				s := string(data)
+				i := strings.LastIndex(s, "}")
+				j := strings.LastIndex(s[:i], "}")
+				return []byte(s[:j+1] + "," + s[j+1:])
+			},
+		},
+		{
+			Name: "unquoted-key", Class: "syntax",
+			CorruptJSON: func(data []byte) []byte {
+				return []byte(strings.Replace(string(data), `"floor_z"`, `floor_z`, 1))
+			},
+		},
+		{
+			Name: "misspelled-field", Class: "syntax",
+			CorruptJSON: func(data []byte) []byte {
+				return []byte(strings.Replace(string(data), `"floor_z"`, `"floor_zz"`, 1))
+			},
+		},
+		{
+			Name: "negative-sign-in-location", Class: "semantic",
+			CorruptSpec: func(spec *config.LabSpec) {
+				// The paper: "participant P accidentally entered a
+				// negative sign instead of a positive sign in a location".
+				spec.Locations[0].DeckPos.Z = -spec.Locations[0].DeckPos.Z
+			},
+		},
+		{
+			Name: "mistyped-class-name", Class: "semantic",
+			CorruptSpec: func(spec *config.LabSpec) {
+				spec.Devices[0].ClassName += "s"
+			},
+		},
+		{
+			Name: "swapped-cuboid-corners", Class: "semantic",
+			CorruptSpec: func(spec *config.LabSpec) {
+				d := &spec.Devices[0]
+				d.Cuboid.Min, d.Cuboid.Max = d.Cuboid.Max, d.Cuboid.Min
+			},
+		},
+		{
+			Name: "dangling-owner", Class: "semantic",
+			CorruptSpec: func(spec *config.LabSpec) {
+				spec.Locations[0].Owner = "dosing_devce" // typo
+			},
+		},
+		{
+			Name: "duplicate-device-id", Class: "semantic",
+			CorruptSpec: func(spec *config.LabSpec) {
+				spec.Devices[1].ID = spec.Devices[0].ID
+			},
+		},
+		{
+			Name: "threshold-above-rating", Class: "semantic",
+			CorruptSpec: func(spec *config.LabSpec) {
+				for i := range spec.Devices {
+					if spec.Devices[i].MaxSafeValue > 0 {
+						spec.Devices[i].ActionThreshold = spec.Devices[i].MaxSafeValue * 2
+						return
+					}
+				}
+			},
+		},
+		{
+			Name: "container-on-missing-location", Class: "semantic",
+			CorruptSpec: func(spec *config.LabSpec) {
+				spec.Containers[0].Location = "grid_NWW"
+			},
+		},
+	}
+}
+
+// PilotResult is the linter's verdict on one mistake.
+type PilotResult struct {
+	Mistake  PilotMistake
+	Caught   bool
+	Severity config.Severity
+	Message  string
+}
+
+// RunPilotStudy corrupts the testbed configuration once per mistake and
+// runs the linter — the tooling the paper concludes the pilot study
+// called for.
+func RunPilotStudy() ([]PilotResult, error) {
+	var out []PilotResult
+	for _, m := range PilotMistakes() {
+		pristine := labs.TestbedSpec()
+		var diags []config.Diagnostic
+		if m.CorruptJSON != nil {
+			data, err := json.MarshalIndent(pristine, "", "  ")
+			if err != nil {
+				return nil, fmt.Errorf("eval: pilot %s: %w", m.Name, err)
+			}
+			spec, ds := config.Parse(m.CorruptJSON(data))
+			diags = ds
+			if spec != nil {
+				diags = append(diags, config.Lint(spec)...)
+			}
+		} else {
+			m.CorruptSpec(pristine)
+			diags = config.Lint(pristine)
+		}
+		res := PilotResult{Mistake: m}
+		for _, d := range diags {
+			if d.Severity == config.SevError {
+				res.Caught = true
+				res.Severity = d.Severity
+				res.Message = d.String()
+				break
+			}
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// RenderPilot prints the pilot-study results.
+func RenderPilot(results []PilotResult) string {
+	out := fmt.Sprintf("%-34s %-9s %s\n", "Mistake", "class", "linter verdict")
+	for _, r := range results {
+		verdict := "MISSED"
+		if r.Caught {
+			verdict = "caught: " + r.Message
+		}
+		out += fmt.Sprintf("%-34s %-9s %s\n", r.Mistake.Name, r.Mistake.Class, verdict)
+	}
+	return out
+}

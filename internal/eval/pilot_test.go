@@ -1,0 +1,31 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPilotStudyLintCoverage reproduces the Section V-A conclusion in
+// code: every configuration mistake of the pilot study's classes is
+// caught by the linter before RABIT ever runs.
+func TestPilotStudyLintCoverage(t *testing.T) {
+	results, err := RunPilotStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) < 10 {
+		t.Fatalf("mistake corpus too small: %d", len(results))
+	}
+	for _, r := range results {
+		if !r.Caught {
+			t.Errorf("mistake %s (%s) slipped past the linter", r.Mistake.Name, r.Mistake.Class)
+		}
+	}
+	rendered := RenderPilot(results)
+	if !strings.Contains(rendered, "negative-sign-in-location") {
+		t.Errorf("render missing rows:\n%s", rendered)
+	}
+	if strings.Contains(rendered, "MISSED") {
+		t.Errorf("render shows misses:\n%s", rendered)
+	}
+}

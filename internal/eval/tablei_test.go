@@ -1,0 +1,59 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/env"
+)
+
+// TestTableIShape reproduces the qualitative shape of the paper's
+// Table I: the simulator explores fastest with the lowest fidelity and
+// zero damage exposure; production is slowest, most precise, most
+// accurate, and most expensive to damage; the testbed sits in between.
+func TestTableIShape(t *testing.T) {
+	rows, err := TableI(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("want 3 stages, got %d", len(rows))
+	}
+	sim, tb, prod := rows[0], rows[1], rows[2]
+	if sim.Stage != env.StageSimulator || prod.Stage != env.StageProduction {
+		t.Fatal("stage order wrong")
+	}
+
+	// Speed: Simulator > Testbed > Production.
+	if !(sim.CommandsPerSecond > tb.CommandsPerSecond && tb.CommandsPerSecond > prod.CommandsPerSecond) {
+		t.Errorf("speed ordering wrong: sim=%.2f tb=%.2f prod=%.2f",
+			sim.CommandsPerSecond, tb.CommandsPerSecond, prod.CommandsPerSecond)
+	}
+	// Precision error: Simulator > Testbed > Production (production UR3e
+	// repeatability is tens of micrometres).
+	if !(sim.PrecisionErrorM > tb.PrecisionErrorM && tb.PrecisionErrorM > prod.PrecisionErrorM) {
+		t.Errorf("precision ordering wrong: sim=%.4f tb=%.4f prod=%.4f",
+			sim.PrecisionErrorM, tb.PrecisionErrorM, prod.PrecisionErrorM)
+	}
+	// Accuracy error: Simulator > Testbed > Production.
+	if !(sim.MeasurementErrorAbs > tb.MeasurementErrorAbs && tb.MeasurementErrorAbs > prod.MeasurementErrorAbs) {
+		t.Errorf("accuracy ordering wrong: sim=%.4f tb=%.4f prod=%.4f",
+			sim.MeasurementErrorAbs, tb.MeasurementErrorAbs, prod.MeasurementErrorAbs)
+	}
+	// Damage exposure: Simulator (0) < Testbed < Production.
+	if !(sim.DamageExposure < tb.DamageExposure && tb.DamageExposure < prod.DamageExposure) {
+		t.Errorf("risk ordering wrong: sim=%.2f tb=%.2f prod=%.2f",
+			sim.DamageExposure, tb.DamageExposure, prod.DamageExposure)
+	}
+	if sim.DamageExposure != 0 {
+		t.Errorf("simulated crashes must cost nothing, got %v", sim.DamageExposure)
+	}
+
+	// The rendered table grades match the paper's qualitative rows.
+	rendered := RenderTableI(rows)
+	for _, want := range []string{"Speed of exploration", "Risk of damage", "High", "Medium", "Low"} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, rendered)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package geom
+
+import "math"
+
+// SegmentAABBDist returns the minimum distance between a segment and an
+// axis-aligned box (zero if they intersect). It is computed by a bounded
+// golden-section refinement over the segment parameter of the (convex)
+// point-to-box distance function, seeded by uniform sampling so that flat
+// regions (segment parallel to a face) do not trap the search.
+func SegmentAABBDist(s Segment, b AABB) float64 {
+	// Fast paths: either endpoint inside, or the segment clearly crosses.
+	if b.ContainsPoint(s.A) || b.ContainsPoint(s.B) {
+		return 0
+	}
+	if hit, _ := SegmentAABBIntersect(s, b); hit {
+		return 0
+	}
+	f := func(t float64) float64 { return b.DistToPoint(s.Point(t)) }
+	// Seed: coarse sampling to bracket the global minimum of a piecewise
+	// smooth convex-ish function.
+	const n = 16
+	bestT, bestD := 0.0, f(0)
+	for i := 1; i <= n; i++ {
+		t := float64(i) / n
+		if d := f(t); d < bestD {
+			bestD, bestT = d, t
+		}
+	}
+	lo := math.Max(0, bestT-1.0/n)
+	hi := math.Min(1, bestT+1.0/n)
+	// Golden-section refine.
+	const phi = 0.6180339887498949
+	for i := 0; i < 40; i++ {
+		m1 := hi - phi*(hi-lo)
+		m2 := lo + phi*(hi-lo)
+		if f(m1) <= f(m2) {
+			hi = m2
+		} else {
+			lo = m1
+		}
+	}
+	return f((lo + hi) / 2)
+}
+
+// SegmentAABBIntersect reports whether the segment intersects the box,
+// using the slab method. When it does, it also returns the smallest
+// parameter t ∈ [0,1] at which the segment is inside the box.
+func SegmentAABBIntersect(s Segment, b AABB) (bool, float64) {
+	d := s.B.Sub(s.A)
+	tmin, tmax := 0.0, 1.0
+	axes := [3][3]float64{
+		{s.A.X, d.X, 0}, {s.A.Y, d.Y, 0}, {s.A.Z, d.Z, 0},
+	}
+	mins := [3]float64{b.Min.X, b.Min.Y, b.Min.Z}
+	maxs := [3]float64{b.Max.X, b.Max.Y, b.Max.Z}
+	for i := 0; i < 3; i++ {
+		o, dir := axes[i][0], axes[i][1]
+		if math.Abs(dir) < 1e-12 {
+			if o < mins[i] || o > maxs[i] {
+				return false, 0
+			}
+			continue
+		}
+		t1 := (mins[i] - o) / dir
+		t2 := (maxs[i] - o) / dir
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		tmin = math.Max(tmin, t1)
+		tmax = math.Min(tmax, t2)
+		if tmin > tmax {
+			return false, 0
+		}
+	}
+	return true, tmin
+}
+
+// CapsuleAABBIntersect reports whether a capsule overlaps a box: the
+// segment-to-box distance is at most the capsule radius.
+func CapsuleAABBIntersect(c Capsule, b AABB) bool {
+	// Cheap reject on bounds first.
+	if !c.Bounds().Intersects(b) {
+		return false
+	}
+	return SegmentAABBDist(c.Seg, b) <= c.Radius
+}
+
+// SegmentSegmentDist returns the minimum distance between two segments,
+// using the standard closest-point parametrisation with clamping.
+func SegmentSegmentDist(s1, s2 Segment) float64 {
+	d1 := s1.B.Sub(s1.A)
+	d2 := s2.B.Sub(s2.A)
+	r := s1.A.Sub(s2.A)
+	a := d1.NormSq()
+	e := d2.NormSq()
+	f := d2.Dot(r)
+
+	var s, t float64
+	const eps = 1e-12
+	switch {
+	case a <= eps && e <= eps:
+		return s1.A.Dist(s2.A)
+	case a <= eps:
+		s = 0
+		t = clamp01(f / e)
+	default:
+		c := d1.Dot(r)
+		if e <= eps {
+			t = 0
+			s = clamp01(-c / a)
+		} else {
+			b := d1.Dot(d2)
+			den := a*e - b*b
+			if den > eps {
+				s = clamp01((b*f - c*e) / den)
+			} else {
+				s = 0
+			}
+			t = (b*s + f) / e
+			if t < 0 {
+				t = 0
+				s = clamp01(-c / a)
+			} else if t > 1 {
+				t = 1
+				s = clamp01((b - c) / a)
+			}
+		}
+	}
+	return s1.Point(s).Dist(s2.Point(t))
+}
+
+// CapsuleCapsuleIntersect reports whether two capsules overlap.
+func CapsuleCapsuleIntersect(c1, c2 Capsule) bool {
+	return SegmentSegmentDist(c1.Seg, c2.Seg) <= c1.Radius+c2.Radius
+}
+
+// CapsulePlanePenetrates reports whether a capsule penetrates the negative
+// half-space of the plane (i.e. extends below the deck platform or past a
+// wall). The capsule's lowest extent is min(dist(A), dist(B)) − Radius;
+// it penetrates when that extent is negative. A capsule resting exactly on
+// the plane does not penetrate.
+func CapsulePlanePenetrates(c Capsule, pl Plane) bool {
+	da := pl.SignedDist(c.Seg.A)
+	db := pl.SignedDist(c.Seg.B)
+	return math.Min(da, db)-c.Radius < 0
+}
+
+func clamp01(t float64) float64 { return math.Max(0, math.Min(1, t)) }

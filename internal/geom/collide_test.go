@@ -1,0 +1,216 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSegmentAABBIntersect(t *testing.T) {
+	b := Box(V(0, 0, 0), V(1, 1, 1))
+	tests := []struct {
+		name string
+		s    Segment
+		want bool
+	}{
+		{"through-center", Segment{V(-1, 0.5, 0.5), V(2, 0.5, 0.5)}, true},
+		{"diagonal", Segment{V(-0.5, -0.5, -0.5), V(1.5, 1.5, 1.5)}, true},
+		{"inside", Segment{V(0.2, 0.2, 0.2), V(0.8, 0.8, 0.8)}, true},
+		{"starts-inside", Segment{V(0.5, 0.5, 0.5), V(5, 5, 5)}, true},
+		{"miss-parallel", Segment{V(-1, 2, 0.5), V(2, 2, 0.5)}, false},
+		{"stops-short", Segment{V(-2, 0.5, 0.5), V(-0.5, 0.5, 0.5)}, false},
+		{"graze-face", Segment{V(-1, 1, 0.5), V(2, 1, 0.5)}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, _ := SegmentAABBIntersect(tt.s, b)
+			if got != tt.want {
+				t.Errorf("intersect = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSegmentAABBIntersectEntryParam(t *testing.T) {
+	b := Box(V(0, 0, 0), V(1, 1, 1))
+	s := Segment{V(-1, 0.5, 0.5), V(1, 0.5, 0.5)}
+	hit, tEntry := SegmentAABBIntersect(s, b)
+	if !hit {
+		t.Fatal("expected hit")
+	}
+	if math.Abs(tEntry-0.5) > 1e-12 {
+		t.Errorf("entry param = %v, want 0.5", tEntry)
+	}
+}
+
+func TestSegmentAABBDist(t *testing.T) {
+	b := Box(V(0, 0, 0), V(1, 1, 1))
+	tests := []struct {
+		name string
+		s    Segment
+		want float64
+	}{
+		{"intersecting", Segment{V(-1, 0.5, 0.5), V(2, 0.5, 0.5)}, 0},
+		{"parallel-above", Segment{V(-1, 0.5, 2), V(2, 0.5, 2)}, 1},
+		{"point-like-near-face", Segment{V(1.5, 0.5, 0.5), V(1.5, 0.5, 0.5)}, 0.5},
+		{"near-corner", Segment{V(2, 2, 1), V(3, 3, 1)}, math.Sqrt2},
+		{"endpoint-inside", Segment{V(0.5, 0.5, 0.5), V(9, 9, 9)}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := SegmentAABBDist(tt.s, b)
+			if math.Abs(got-tt.want) > 1e-6 {
+				t.Errorf("dist = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+// TestSegmentAABBDistMatchesSampling cross-validates the refined distance
+// against brute-force dense sampling on random segments and boxes.
+func TestSegmentAABBDistMatchesSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	rv := func(scale float64) Vec3 {
+		return V(rng.Float64()*scale-scale/2, rng.Float64()*scale-scale/2, rng.Float64()*scale-scale/2)
+	}
+	for i := 0; i < 200; i++ {
+		b := Box(rv(2), rv(2))
+		s := Segment{A: rv(4), B: rv(4)}
+		got := SegmentAABBDist(s, b)
+		brute := math.Inf(1)
+		const n = 2000
+		for k := 0; k <= n; k++ {
+			d := b.DistToPoint(s.Point(float64(k) / n))
+			if d < brute {
+				brute = d
+			}
+		}
+		if math.Abs(got-brute) > 1e-3 {
+			t.Fatalf("case %d: refined %v vs brute %v (seg %v box %v)", i, got, brute, s, b)
+		}
+		if got > brute+1e-9 && brute > 0 {
+			t.Fatalf("case %d: refined dist above brute-force bound", i)
+		}
+	}
+}
+
+func TestCapsuleAABBIntersect(t *testing.T) {
+	b := Box(V(0, 0, 0), V(1, 1, 1))
+	tests := []struct {
+		name string
+		c    Capsule
+		want bool
+	}{
+		{"far", NewCapsule(V(5, 5, 5), V(6, 6, 6), 0.2), false},
+		{"touching-radius", NewCapsule(V(-0.5, 0.5, 0.5), V(-0.3, 0.5, 0.5), 0.35), true},
+		{"just-outside", NewCapsule(V(-0.5, 0.5, 0.5), V(-0.3, 0.5, 0.5), 0.25), false},
+		{"piercing", NewCapsule(V(-1, 0.5, 0.5), V(2, 0.5, 0.5), 0.05), true},
+		{"inside", NewCapsule(V(0.4, 0.4, 0.4), V(0.6, 0.6, 0.6), 0.05), true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := CapsuleAABBIntersect(tt.c, b); got != tt.want {
+				t.Errorf("intersect = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSegmentSegmentDist(t *testing.T) {
+	tests := []struct {
+		name   string
+		s1, s2 Segment
+		want   float64
+	}{
+		{
+			"crossing-skew",
+			Segment{V(0, 0, 0), V(1, 0, 0)},
+			Segment{V(0.5, -1, 1), V(0.5, 1, 1)},
+			1,
+		},
+		{
+			"parallel",
+			Segment{V(0, 0, 0), V(1, 0, 0)},
+			Segment{V(0, 2, 0), V(1, 2, 0)},
+			2,
+		},
+		{
+			"intersecting",
+			Segment{V(-1, 0, 0), V(1, 0, 0)},
+			Segment{V(0, -1, 0), V(0, 1, 0)},
+			0,
+		},
+		{
+			"endpoint-to-endpoint",
+			Segment{V(0, 0, 0), V(1, 0, 0)},
+			Segment{V(2, 0, 0), V(3, 0, 0)},
+			1,
+		},
+		{
+			"degenerate-both",
+			Segment{V(0, 0, 0), V(0, 0, 0)},
+			Segment{V(0, 3, 4), V(0, 3, 4)},
+			5,
+		},
+		{
+			"degenerate-one",
+			Segment{V(0, 0, 0), V(10, 0, 0)},
+			Segment{V(5, 2, 0), V(5, 2, 0)},
+			2,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := SegmentSegmentDist(tt.s1, tt.s2)
+			if math.Abs(got-tt.want) > 1e-9 {
+				t.Errorf("dist = %v, want %v", got, tt.want)
+			}
+			// Symmetry.
+			if rev := SegmentSegmentDist(tt.s2, tt.s1); math.Abs(rev-got) > 1e-9 {
+				t.Errorf("asymmetric: %v vs %v", got, rev)
+			}
+		})
+	}
+}
+
+func TestSegmentSegmentDistProperty(t *testing.T) {
+	// Distance is bounded above by all endpoint pair distances.
+	if err := quick.Check(func(a, b, c, d Vec3) bool {
+		a, b, c, d = boundedVec(a), boundedVec(b), boundedVec(c), boundedVec(d)
+		s1, s2 := Segment{a, b}, Segment{c, d}
+		dist := SegmentSegmentDist(s1, s2)
+		ub := math.Min(math.Min(a.Dist(c), a.Dist(d)), math.Min(b.Dist(c), b.Dist(d)))
+		return dist <= ub+1e-6*(1+ub)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCapsuleCapsuleIntersect(t *testing.T) {
+	c1 := NewCapsule(V(0, 0, 0), V(1, 0, 0), 0.3)
+	c2 := NewCapsule(V(0, 0.5, 0), V(1, 0.5, 0), 0.3)
+	if !CapsuleCapsuleIntersect(c1, c2) {
+		t.Error("overlapping capsules (gap 0.5 < 0.6) reported disjoint")
+	}
+	c3 := NewCapsule(V(0, 0.7, 0), V(1, 0.7, 0), 0.3)
+	if CapsuleCapsuleIntersect(c1, c3) {
+		t.Error("disjoint capsules (gap 0.7 > 0.6) reported overlapping")
+	}
+}
+
+func TestCapsulePlanePenetrates(t *testing.T) {
+	floor := PlaneFromPointNormal(V(0, 0, 0), V(0, 0, 1))
+	resting := NewCapsule(V(0, 0, 0.1), V(1, 0, 0.1), 0.1)
+	if CapsulePlanePenetrates(resting, floor) {
+		t.Error("capsule resting exactly on floor reported penetrating")
+	}
+	dipping := NewCapsule(V(0, 0, 0.05), V(1, 0, 0.3), 0.1)
+	if !CapsulePlanePenetrates(dipping, floor) {
+		t.Error("capsule dipping below floor not detected")
+	}
+	high := NewCapsule(V(0, 0, 1), V(1, 0, 1), 0.1)
+	if CapsulePlanePenetrates(high, floor) {
+		t.Error("capsule well above floor reported penetrating")
+	}
+}

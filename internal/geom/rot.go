@@ -1,0 +1,148 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mat3 is a 3×3 rotation (or general linear) matrix in row-major order.
+type Mat3 struct {
+	M [3][3]float64
+}
+
+// Identity3 returns the identity rotation.
+func Identity3() Mat3 {
+	return Mat3{M: [3][3]float64{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}}
+}
+
+// RotX returns the rotation about the X axis by angle rad.
+func RotX(rad float64) Mat3 {
+	c, s := math.Cos(rad), math.Sin(rad)
+	return Mat3{M: [3][3]float64{
+		{1, 0, 0},
+		{0, c, -s},
+		{0, s, c},
+	}}
+}
+
+// RotY returns the rotation about the Y axis by angle rad.
+func RotY(rad float64) Mat3 {
+	c, s := math.Cos(rad), math.Sin(rad)
+	return Mat3{M: [3][3]float64{
+		{c, 0, s},
+		{0, 1, 0},
+		{-s, 0, c},
+	}}
+}
+
+// RotZ returns the rotation about the Z axis by angle rad.
+func RotZ(rad float64) Mat3 {
+	c, s := math.Cos(rad), math.Sin(rad)
+	return Mat3{M: [3][3]float64{
+		{c, -s, 0},
+		{s, c, 0},
+		{0, 0, 1},
+	}}
+}
+
+// Mul returns the matrix product m·n.
+func (m Mat3) Mul(n Mat3) Mat3 {
+	var r Mat3
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			var s float64
+			for k := 0; k < 3; k++ {
+				s += m.M[i][k] * n.M[k][j]
+			}
+			r.M[i][j] = s
+		}
+	}
+	return r
+}
+
+// Apply returns m·v.
+func (m Mat3) Apply(v Vec3) Vec3 {
+	return Vec3{
+		X: m.M[0][0]*v.X + m.M[0][1]*v.Y + m.M[0][2]*v.Z,
+		Y: m.M[1][0]*v.X + m.M[1][1]*v.Y + m.M[1][2]*v.Z,
+		Z: m.M[2][0]*v.X + m.M[2][1]*v.Y + m.M[2][2]*v.Z,
+	}
+}
+
+// Transpose returns mᵀ, which for a rotation matrix is its inverse.
+func (m Mat3) Transpose() Mat3 {
+	var r Mat3
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			r.M[i][j] = m.M[j][i]
+		}
+	}
+	return r
+}
+
+// Col returns the j-th column of m as a vector.
+func (m Mat3) Col(j int) Vec3 {
+	return Vec3{X: m.M[0][j], Y: m.M[1][j], Z: m.M[2][j]}
+}
+
+// ApproxEqual reports whether every entry of m and n differs by at most eps.
+func (m Mat3) ApproxEqual(n Mat3, eps float64) bool {
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if math.Abs(m.M[i][j]-n.M[i][j]) > eps {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// RPY builds a rotation from roll (about X), pitch (about Y), and yaw
+// (about Z), applied in Z·Y·X order, the convention used by the arm drivers.
+func RPY(roll, pitch, yaw float64) Mat3 {
+	return RotZ(yaw).Mul(RotY(pitch)).Mul(RotX(roll))
+}
+
+// Pose is a rigid transform: a rotation followed by a translation.
+type Pose struct {
+	R Mat3
+	T Vec3
+}
+
+// IdentityPose returns the identity transform.
+func IdentityPose() Pose { return Pose{R: Identity3()} }
+
+// PoseAt returns a pure translation to p.
+func PoseAt(p Vec3) Pose { return Pose{R: Identity3(), T: p} }
+
+// Apply transforms point v by the pose.
+func (p Pose) Apply(v Vec3) Vec3 { return p.R.Apply(v).Add(p.T) }
+
+// Compose returns the transform equivalent to applying q first, then p.
+func (p Pose) Compose(q Pose) Pose {
+	return Pose{R: p.R.Mul(q.R), T: p.R.Apply(q.T).Add(p.T)}
+}
+
+// Inverse returns the inverse rigid transform.
+func (p Pose) Inverse() Pose {
+	rt := p.R.Transpose()
+	return Pose{R: rt, T: rt.Apply(p.T).Neg()}
+}
+
+// String renders the pose's translation; rotations rarely matter in logs.
+func (p Pose) String() string { return fmt.Sprintf("pose@%v", p.T) }
+
+// FrameTransform maps a point expressed in one robot arm's base frame into
+// another frame. The paper (Section IV, category 2) reports that
+// transforming the testbed arms into a global frame incurred ~3 cm of
+// error; Noise models that calibration error as a fixed per-axis offset.
+type FrameTransform struct {
+	Pose  Pose
+	Noise Vec3 // systematic calibration error added on every mapping
+}
+
+// Map transforms p and applies the calibration error.
+func (f FrameTransform) Map(p Vec3) Vec3 { return f.Pose.Apply(p).Add(f.Noise) }
+
+// Error returns the magnitude of the systematic mapping error.
+func (f FrameTransform) Error() float64 { return f.Noise.Norm() }

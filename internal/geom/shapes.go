@@ -1,0 +1,188 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// AABB is an axis-aligned box. The paper's Extended Simulator models every
+// deck device as a 3D cuboid (Fig. 3); axis-aligned boxes are exactly that
+// representation, since deck devices sit squarely on the deck.
+type AABB struct {
+	Min Vec3 `json:"min"`
+	Max Vec3 `json:"max"`
+}
+
+// Box builds an AABB from any two opposite corners.
+func Box(a, b Vec3) AABB {
+	return AABB{Min: a.Min(b), Max: a.Max(b)}
+}
+
+// BoxAt builds an AABB centred at c with full dimensions dims.
+func BoxAt(c, dims Vec3) AABB {
+	h := dims.Scale(0.5)
+	return AABB{Min: c.Sub(h), Max: c.Add(h)}
+}
+
+// Center returns the centre of the box.
+func (b AABB) Center() Vec3 { return b.Min.Add(b.Max).Scale(0.5) }
+
+// Dims returns the full edge lengths of the box.
+func (b AABB) Dims() Vec3 { return b.Max.Sub(b.Min) }
+
+// Volume returns the box volume.
+func (b AABB) Volume() float64 {
+	d := b.Dims()
+	return d.X * d.Y * d.Z
+}
+
+// IsValid reports whether Min ≤ Max component-wise and all components are
+// finite.
+func (b AABB) IsValid() bool {
+	return b.Min.IsFinite() && b.Max.IsFinite() &&
+		b.Min.X <= b.Max.X && b.Min.Y <= b.Max.Y && b.Min.Z <= b.Max.Z
+}
+
+// ContainsPoint reports whether p lies inside or on the box.
+func (b AABB) ContainsPoint(p Vec3) bool {
+	return p.X >= b.Min.X && p.X <= b.Max.X &&
+		p.Y >= b.Min.Y && p.Y <= b.Max.Y &&
+		p.Z >= b.Min.Z && p.Z <= b.Max.Z
+}
+
+// Intersects reports whether the two boxes overlap (touching counts).
+func (b AABB) Intersects(o AABB) bool {
+	return b.Min.X <= o.Max.X && b.Max.X >= o.Min.X &&
+		b.Min.Y <= o.Max.Y && b.Max.Y >= o.Min.Y &&
+		b.Min.Z <= o.Max.Z && b.Max.Z >= o.Min.Z
+}
+
+// Expand returns the box grown by r on every side. Negative r shrinks it;
+// the result may become invalid if shrunk past its centre.
+func (b AABB) Expand(r float64) AABB {
+	d := Vec3{r, r, r}
+	return AABB{Min: b.Min.Sub(d), Max: b.Max.Add(d)}
+}
+
+// Union returns the smallest box containing both b and o.
+func (b AABB) Union(o AABB) AABB {
+	return AABB{Min: b.Min.Min(o.Min), Max: b.Max.Max(o.Max)}
+}
+
+// Translate returns the box shifted by d.
+func (b AABB) Translate(d Vec3) AABB {
+	return AABB{Min: b.Min.Add(d), Max: b.Max.Add(d)}
+}
+
+// ClosestPoint returns the point on or in the box closest to p.
+func (b AABB) ClosestPoint(p Vec3) Vec3 {
+	return p.Clamp(b.Min, b.Max)
+}
+
+// DistToPoint returns the distance from p to the box (zero if inside).
+func (b AABB) DistToPoint(p Vec3) float64 {
+	return b.ClosestPoint(p).Dist(p)
+}
+
+// String renders the box corners.
+func (b AABB) String() string { return fmt.Sprintf("box[%v..%v]", b.Min, b.Max) }
+
+// Segment is a straight line segment between two points, used for swept
+// trajectory samples and arm links.
+type Segment struct {
+	A, B Vec3
+}
+
+// Length returns the segment length.
+func (s Segment) Length() float64 { return s.A.Dist(s.B) }
+
+// Point returns the point at parameter t ∈ [0,1] along the segment.
+func (s Segment) Point(t float64) Vec3 { return s.A.Lerp(s.B, t) }
+
+// ClosestParam returns the parameter t ∈ [0,1] of the point on the segment
+// closest to p.
+func (s Segment) ClosestParam(p Vec3) float64 {
+	d := s.B.Sub(s.A)
+	den := d.NormSq()
+	if den == 0 {
+		return 0
+	}
+	t := p.Sub(s.A).Dot(d) / den
+	return math.Max(0, math.Min(1, t))
+}
+
+// ClosestPoint returns the point on the segment closest to p.
+func (s Segment) ClosestPoint(p Vec3) Vec3 { return s.Point(s.ClosestParam(p)) }
+
+// DistToPoint returns the distance from the segment to point p.
+func (s Segment) DistToPoint(p Vec3) float64 { return s.ClosestPoint(p).Dist(p) }
+
+// Capsule is a segment with a radius: the swept volume of a sphere along
+// the segment. Robot-arm links are modelled as capsules, which is the
+// standard fast approximation for cylindrical links with rounded joints.
+type Capsule struct {
+	Seg    Segment
+	Radius float64
+}
+
+// NewCapsule builds a capsule between two points with the given radius.
+func NewCapsule(a, b Vec3, r float64) Capsule {
+	return Capsule{Seg: Segment{A: a, B: b}, Radius: r}
+}
+
+// ContainsPoint reports whether p lies within the capsule.
+func (c Capsule) ContainsPoint(p Vec3) bool {
+	return c.Seg.DistToPoint(p) <= c.Radius
+}
+
+// Bounds returns the AABB enclosing the capsule.
+func (c Capsule) Bounds() AABB {
+	r := Vec3{c.Radius, c.Radius, c.Radius}
+	return AABB{
+		Min: c.Seg.A.Min(c.Seg.B).Sub(r),
+		Max: c.Seg.A.Max(c.Seg.B).Add(r),
+	}
+}
+
+// InscribedVerticalCapsule returns the largest vertical capsule that fits
+// inside the box: the rounded-solid approximation for dome- or
+// cylinder-shaped devices (the paper's pilot participant noted a
+// centrifuge "resembles a hemisphere more than a cuboid"). For boxes too
+// flat to fit a capsule of the footprint's radius, the radius shrinks to
+// half the height (a sphere), under-approximating the footprint.
+func InscribedVerticalCapsule(b AABB) Capsule {
+	c := b.Center()
+	d := b.Dims()
+	r := math.Min(d.X, d.Y) / 2
+	if d.Z < 2*r {
+		r = d.Z / 2
+	}
+	lo := V(c.X, c.Y, b.Min.Z+r)
+	hi := V(c.X, c.Y, b.Max.Z-r)
+	return NewCapsule(lo, hi, r)
+}
+
+// Plane is an infinite plane given by a unit normal N and offset D such
+// that points p on the plane satisfy N·p = D. Walls, the deck platform, and
+// the space-multiplexing "software wall" are planes.
+type Plane struct {
+	N Vec3    `json:"normal"`
+	D float64 `json:"offset"`
+}
+
+// PlaneFromPointNormal builds a plane through p with normal n (normalised).
+func PlaneFromPointNormal(p, n Vec3) Plane {
+	u := n.Unit()
+	return Plane{N: u, D: u.Dot(p)}
+}
+
+// SignedDist returns the signed distance from p to the plane (positive on
+// the normal side).
+func (pl Plane) SignedDist(p Vec3) float64 { return pl.N.Dot(p) - pl.D }
+
+// SegmentCrosses reports whether the segment crosses (or touches) the
+// plane, i.e. its endpoints are on opposite sides or on the plane.
+func (pl Plane) SegmentCrosses(s Segment) bool {
+	da, db := pl.SignedDist(s.A), pl.SignedDist(s.B)
+	return da*db <= 0
+}

@@ -1,0 +1,222 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAABBConstruction(t *testing.T) {
+	b := Box(V(1, 2, 3), V(-1, 5, 0))
+	if b.Min != V(-1, 2, 0) || b.Max != V(1, 5, 3) {
+		t.Errorf("Box normalised wrong: %v", b)
+	}
+	c := BoxAt(V(0, 0, 1), V(2, 4, 2))
+	if c.Min != V(-1, -2, 0) || c.Max != V(1, 2, 2) {
+		t.Errorf("BoxAt wrong: %v", c)
+	}
+	if got := c.Center(); !got.ApproxEqual(V(0, 0, 1), 1e-12) {
+		t.Errorf("Center = %v", got)
+	}
+	if got := c.Dims(); !got.ApproxEqual(V(2, 4, 2), 1e-12) {
+		t.Errorf("Dims = %v", got)
+	}
+	if got := c.Volume(); math.Abs(got-16) > 1e-12 {
+		t.Errorf("Volume = %v, want 16", got)
+	}
+}
+
+func TestAABBValidity(t *testing.T) {
+	if !Box(V(0, 0, 0), V(1, 1, 1)).IsValid() {
+		t.Error("valid box reported invalid")
+	}
+	bad := AABB{Min: V(1, 0, 0), Max: V(0, 1, 1)}
+	if bad.IsValid() {
+		t.Error("inverted box reported valid")
+	}
+	nan := AABB{Min: Vec3{X: math.NaN()}, Max: V(1, 1, 1)}
+	if nan.IsValid() {
+		t.Error("NaN box reported valid")
+	}
+}
+
+func TestAABBContainsAndIntersects(t *testing.T) {
+	b := Box(V(0, 0, 0), V(1, 1, 1))
+	tests := []struct {
+		name string
+		p    Vec3
+		want bool
+	}{
+		{"inside", V(0.5, 0.5, 0.5), true},
+		{"face", V(1, 0.5, 0.5), true},
+		{"corner", V(1, 1, 1), true},
+		{"outside-x", V(1.01, 0.5, 0.5), false},
+		{"outside-z", V(0.5, 0.5, -0.01), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := b.ContainsPoint(tt.p); got != tt.want {
+				t.Errorf("ContainsPoint(%v) = %v, want %v", tt.p, got, tt.want)
+			}
+		})
+	}
+
+	o := Box(V(0.5, 0.5, 0.5), V(2, 2, 2))
+	if !b.Intersects(o) {
+		t.Error("overlapping boxes reported disjoint")
+	}
+	far := Box(V(5, 5, 5), V(6, 6, 6))
+	if b.Intersects(far) {
+		t.Error("disjoint boxes reported overlapping")
+	}
+	touch := Box(V(1, 0, 0), V(2, 1, 1))
+	if !b.Intersects(touch) {
+		t.Error("touching boxes should count as intersecting")
+	}
+}
+
+func TestAABBExpandTranslateUnion(t *testing.T) {
+	b := Box(V(0, 0, 0), V(1, 1, 1))
+	e := b.Expand(0.5)
+	if e.Min != V(-0.5, -0.5, -0.5) || e.Max != V(1.5, 1.5, 1.5) {
+		t.Errorf("Expand = %v", e)
+	}
+	tr := b.Translate(V(1, 0, -1))
+	if tr.Min != V(1, 0, -1) || tr.Max != V(2, 1, 0) {
+		t.Errorf("Translate = %v", tr)
+	}
+	u := b.Union(Box(V(2, 2, 2), V(3, 3, 3)))
+	if u.Min != V(0, 0, 0) || u.Max != V(3, 3, 3) {
+		t.Errorf("Union = %v", u)
+	}
+}
+
+func TestAABBClosestPointProperty(t *testing.T) {
+	b := Box(V(-1, -1, -1), V(1, 1, 1))
+	if err := quick.Check(func(p Vec3) bool {
+		if !p.IsFinite() {
+			return true
+		}
+		cp := b.ClosestPoint(p)
+		if !b.ContainsPoint(cp) {
+			return false
+		}
+		// Distance via closest point must match DistToPoint, and be zero
+		// iff the point is inside.
+		d := b.DistToPoint(p)
+		if b.ContainsPoint(p) {
+			return d == 0
+		}
+		return d > 0
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSegmentClosestPoint(t *testing.T) {
+	s := Segment{A: V(0, 0, 0), B: V(10, 0, 0)}
+	tests := []struct {
+		name  string
+		p     Vec3
+		wantT float64
+		wantD float64
+	}{
+		{"mid", V(5, 3, 0), 0.5, 3},
+		{"before-A", V(-5, 0, 0), 0, 5},
+		{"past-B", V(15, 0, 4), 1, math.Sqrt(25 + 16)},
+		{"on-segment", V(7, 0, 0), 0.7, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := s.ClosestParam(tt.p); math.Abs(got-tt.wantT) > 1e-12 {
+				t.Errorf("ClosestParam = %v, want %v", got, tt.wantT)
+			}
+			if got := s.DistToPoint(tt.p); math.Abs(got-tt.wantD) > 1e-9 {
+				t.Errorf("DistToPoint = %v, want %v", got, tt.wantD)
+			}
+		})
+	}
+
+	deg := Segment{A: V(1, 1, 1), B: V(1, 1, 1)}
+	if got := deg.DistToPoint(V(1, 1, 3)); math.Abs(got-2) > 1e-12 {
+		t.Errorf("degenerate segment dist = %v, want 2", got)
+	}
+}
+
+func TestCapsule(t *testing.T) {
+	c := NewCapsule(V(0, 0, 0), V(0, 0, 1), 0.1)
+	if !c.ContainsPoint(V(0.05, 0, 0.5)) {
+		t.Error("point inside capsule reported outside")
+	}
+	if c.ContainsPoint(V(0.2, 0, 0.5)) {
+		t.Error("point outside capsule reported inside")
+	}
+	// The spherical cap extends past the endpoints.
+	if !c.ContainsPoint(V(0, 0, 1.05)) {
+		t.Error("point in end cap reported outside")
+	}
+	b := c.Bounds()
+	if !b.ContainsPoint(V(0.1, 0.1, 1.1)) || b.ContainsPoint(V(0.2, 0, 0)) {
+		t.Errorf("Bounds wrong: %v", b)
+	}
+}
+
+func TestPlane(t *testing.T) {
+	floor := PlaneFromPointNormal(V(0, 0, 0), V(0, 0, 1))
+	if got := floor.SignedDist(V(3, 4, 2)); math.Abs(got-2) > 1e-12 {
+		t.Errorf("SignedDist above = %v, want 2", got)
+	}
+	if got := floor.SignedDist(V(0, 0, -1)); math.Abs(got+1) > 1e-12 {
+		t.Errorf("SignedDist below = %v, want -1", got)
+	}
+	cross := Segment{A: V(0, 0, 1), B: V(0, 0, -1)}
+	if !floor.SegmentCrosses(cross) {
+		t.Error("crossing segment not detected")
+	}
+	above := Segment{A: V(0, 0, 1), B: V(1, 0, 2)}
+	if floor.SegmentCrosses(above) {
+		t.Error("non-crossing segment reported crossing")
+	}
+	// Normal is normalised even if given unnormalised.
+	pl := PlaneFromPointNormal(V(0, 0, 5), V(0, 0, 10))
+	if math.Abs(pl.N.Norm()-1) > 1e-12 {
+		t.Errorf("plane normal not unit: %v", pl.N)
+	}
+	if math.Abs(pl.SignedDist(V(0, 0, 7))-2) > 1e-12 {
+		t.Error("offset wrong for unnormalised input")
+	}
+}
+
+func TestInscribedVerticalCapsule(t *testing.T) {
+	// Tall box: the capsule uses the footprint radius.
+	tall := Box(V(0, 0, 0), V(0.2, 0.2, 0.6))
+	c := InscribedVerticalCapsule(tall)
+	if math.Abs(c.Radius-0.1) > 1e-12 {
+		t.Errorf("radius = %v, want 0.1", c.Radius)
+	}
+	if c.Seg.A.Z != 0.1 || c.Seg.B.Z != 0.5 {
+		t.Errorf("segment z = %v..%v", c.Seg.A.Z, c.Seg.B.Z)
+	}
+	// The capsule stays inside the box.
+	b := c.Bounds()
+	if !tall.ContainsPoint(b.Min) || !tall.ContainsPoint(b.Max) {
+		t.Errorf("capsule bounds %v escape the box", b)
+	}
+	// Flat box: degenerates toward a sphere of half the height.
+	flat := Box(V(0, 0, 0), V(0.4, 0.4, 0.1))
+	c2 := InscribedVerticalCapsule(flat)
+	if math.Abs(c2.Radius-0.05) > 1e-12 {
+		t.Errorf("flat radius = %v, want 0.05", c2.Radius)
+	}
+	if c2.Bounds().Max.Z > 0.1+1e-12 {
+		t.Error("flat capsule pokes above the box")
+	}
+	// A corner point inside the box is outside the rounded solid.
+	corner := V(0.02, 0.02, 0.58)
+	if c.ContainsPoint(corner) {
+		t.Error("corner should be outside the capsule")
+	}
+	if !tall.ContainsPoint(corner) {
+		t.Error("corner should be inside the box")
+	}
+}

@@ -1,0 +1,267 @@
+package kin
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// ErrUnreachable is returned when inverse kinematics cannot find a joint
+// configuration that reaches the target within tolerance. How an arm's
+// firmware reacts to this differs per vendor — the paper observed that the
+// ViperX silently skips the command while the Ned2 raises and halts — and
+// that difference is reproduced by the device drivers, not here.
+var ErrUnreachable = errors.New("kin: target unreachable")
+
+// IKOptions tunes the damped-least-squares solver.
+type IKOptions struct {
+	// Tol is the acceptable Cartesian position error (m).
+	Tol float64
+	// MaxIters bounds solver iterations per restart.
+	MaxIters int
+	// Restarts is the number of deterministic seed restarts tried before
+	// giving up.
+	Restarts int
+	// Lambda is the damping factor.
+	Lambda float64
+	// OrientWeight softly biases the solution so that the tool axis
+	// aligns with ToolAxis (metres of equivalent error per radian of
+	// misalignment). Zero disables the bias. The bias is soft: only the
+	// position residual gates success, so cramped targets that cannot be
+	// reached tool-down still solve.
+	OrientWeight float64
+	// ToolAxis is the preferred tool direction; lab arms work top-down,
+	// so the default points straight at the deck.
+	ToolAxis geom.Vec3
+}
+
+// DefaultIKOptions returns solver settings adequate for lab-deck targets:
+// millimetre tolerance, a few hundred iterations, a handful of restarts,
+// and a top-down tool preference that keeps wrists above grip points.
+func DefaultIKOptions() IKOptions {
+	return IKOptions{
+		Tol:          1e-3,
+		MaxIters:     300,
+		Restarts:     6,
+		Lambda:       0.35,
+		OrientWeight: 0.2,
+		ToolAxis:     geom.V(0, 0, -1),
+	}
+}
+
+// Solve runs damped-least-squares IK for the end-effector position target,
+// seeded from q0. It returns a joint configuration within limits whose
+// end-effector is within Tol of target, or ErrUnreachable.
+func (c *Chain) Solve(target geom.Vec3, q0 []float64, opt IKOptions) ([]float64, error) {
+	if len(q0) != len(c.Links) {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrDOFMismatch, len(q0), len(c.Links))
+	}
+	if !target.IsFinite() {
+		return nil, fmt.Errorf("%w: non-finite target %v", ErrUnreachable, target)
+	}
+	// Quick reachability reject: target beyond the arm's maximum reach.
+	if target.Dist(c.Base.T) > c.Reach()+opt.Tol {
+		return nil, fmt.Errorf("%w: target %v is %.3f m from base, reach is %.3f m",
+			ErrUnreachable, target, target.Dist(c.Base.T), c.Reach())
+	}
+
+	n := len(c.Links)
+	seeds := make([][]float64, 0, opt.Restarts+1)
+	seeds = append(seeds, append([]float64(nil), q0...))
+	// Deterministic spread of seeds across the joint space.
+	for r := 1; r <= opt.Restarts; r++ {
+		s := make([]float64, n)
+		for i, l := range c.Links {
+			span := l.MaxAngle - l.MinAngle
+			frac := math.Mod(0.318*float64(r)+0.618*float64(i+1), 1.0)
+			s[i] = l.MinAngle + span*frac
+		}
+		seeds = append(seeds, s)
+	}
+
+	var best []float64
+	bestScore := math.Inf(1)
+	bestPosErr := math.Inf(1)
+	for _, seed := range seeds {
+		q, posErr, axErr := c.solveFrom(target, seed, opt)
+		if posErr > opt.Tol {
+			// Track in case nothing converges (error reporting).
+			if posErr < bestPosErr {
+				bestPosErr = posErr
+			}
+			continue
+		}
+		// Among converged solutions, prefer the best tool alignment.
+		score := axErr
+		if score < bestScore {
+			bestScore = score
+			best = q
+			bestPosErr = posErr
+		}
+		if opt.OrientWeight == 0 || score < 0.1 {
+			break
+		}
+	}
+	if best == nil {
+		if opt.OrientWeight > 0 {
+			// The tool-down preference is soft: if no seed converged with
+			// it, solve for position alone rather than reporting an
+			// unreachable target.
+			bare := opt
+			bare.OrientWeight = 0
+			return c.Solve(target, q0, bare)
+		}
+		return nil, fmt.Errorf("%w: best residual %.4f m > tol %.4f m for target %v",
+			ErrUnreachable, bestPosErr, opt.Tol, target)
+	}
+	return best, nil
+}
+
+// solveFrom iterates DLS from one seed; it returns the best configuration
+// found, its position residual, and its tool-axis misalignment (rad).
+func (c *Chain) solveFrom(target geom.Vec3, seed []float64, opt IKOptions) ([]float64, float64, float64) {
+	n := len(c.Links)
+	q := append([]float64(nil), seed...)
+	lambda2 := opt.Lambda * opt.Lambda
+	useOrient := opt.OrientWeight > 0 && opt.ToolAxis.Norm() > 0
+	rows := 3
+	if useOrient {
+		rows = 6
+	}
+	want := opt.ToolAxis.Unit()
+
+	residual := func(q []float64) ([]float64, float64, float64, bool) {
+		pose, err := c.Forward(q)
+		if err != nil {
+			return nil, math.Inf(1), math.Inf(1), false
+		}
+		e := make([]float64, rows)
+		pe := target.Sub(pose.T)
+		e[0], e[1], e[2] = pe.X, pe.Y, pe.Z
+		axErr := 0.0
+		if useOrient {
+			axis := pose.R.Col(2)
+			// Least-squares on the axis vector itself: e = want − axis.
+			// (A cross-product formulation has zero gradient when the
+			// axis is exactly anti-parallel to the preference.)
+			diff := want.Sub(axis)
+			axErr = math.Acos(math.Max(-1, math.Min(1, axis.Dot(want))))
+			e[3] = opt.OrientWeight * diff.X
+			e[4] = opt.OrientWeight * diff.Y
+			e[5] = opt.OrientWeight * diff.Z
+		}
+		return e, pe.Norm(), axErr, true
+	}
+
+	e, posErr, axErr, ok := residual(q)
+	if !ok {
+		return q, math.Inf(1), math.Inf(1)
+	}
+
+	for iter := 0; iter < opt.MaxIters && (posErr > opt.Tol || (useOrient && axErr > 0.05 && iter < opt.MaxIters/2)); iter++ {
+		j := c.taskJacobian(q, rows, opt.OrientWeight)
+		// dq = Jᵀ (J Jᵀ + λ² I)⁻¹ e
+		jjt := make([][]float64, rows)
+		for r := 0; r < rows; r++ {
+			jjt[r] = make([]float64, rows)
+			for s := 0; s < rows; s++ {
+				var sum float64
+				for k := 0; k < n; k++ {
+					sum += j[r][k] * j[s][k]
+				}
+				jjt[r][s] = sum
+			}
+			jjt[r][r] += lambda2
+		}
+		w, ok := solveLinear(jjt, e)
+		if !ok {
+			break
+		}
+		for k := 0; k < n; k++ {
+			var dq float64
+			for r := 0; r < rows; r++ {
+				dq += j[r][k] * w[r]
+			}
+			q[k] += dq
+		}
+		q = c.ClampJoints(q)
+		e, posErr, axErr, ok = residual(q)
+		if !ok {
+			return q, math.Inf(1), math.Inf(1)
+		}
+	}
+	return q, posErr, axErr
+}
+
+// taskJacobian returns the rows×n Jacobian: position rows always, plus
+// tool-axis rows (scaled by orientWeight) when rows == 6.
+func (c *Chain) taskJacobian(q []float64, rows int, orientWeight float64) [][]float64 {
+	n := len(c.Links)
+	j := make([][]float64, rows)
+	for r := range j {
+		j[r] = make([]float64, n)
+	}
+	cur := c.Base
+	origins := make([]geom.Vec3, n)
+	axes := make([]geom.Vec3, n)
+	for i, l := range c.Links {
+		origins[i] = cur.T
+		axes[i] = cur.R.Col(2) // joint axis is local Z
+		cur = cur.Compose(linkTransform(l, q[i]))
+	}
+	ee := cur.T
+	tool := cur.R.Col(2)
+	for i := 0; i < n; i++ {
+		col := axes[i].Cross(ee.Sub(origins[i]))
+		j[0][i], j[1][i], j[2][i] = col.X, col.Y, col.Z
+		if rows == 6 {
+			// d(tool)/dq_i = z_i × tool; the residual uses tool × want,
+			// whose derivative we approximate by the axis velocity term.
+			av := axes[i].Cross(tool)
+			j[3][i] = orientWeight * av.X
+			j[4][i] = orientWeight * av.Y
+			j[5][i] = orientWeight * av.Z
+		}
+	}
+	return j
+}
+
+// solveLinear solves A·x = b by Gaussian elimination with partial
+// pivoting; ok is false when A is singular.
+func solveLinear(a [][]float64, b []float64) ([]float64, bool) {
+	n := len(a)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append(append([]float64(nil), a[i]...), b[i])
+	}
+	for col := 0; col < n; col++ {
+		// Pivot.
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(m[piv][col]) < 1e-15 {
+			return nil, false
+		}
+		m[col], m[piv] = m[piv], m[col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] / m[col][col]
+			for k := col; k <= n; k++ {
+				m[r][k] -= f * m[col][k]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		sum := m[r][n]
+		for k := r + 1; k < n; k++ {
+			sum -= m[r][k] * x[k]
+		}
+		x[r] = sum / m[r][r]
+	}
+	return x, true
+}

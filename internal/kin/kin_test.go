@@ -1,0 +1,398 @@
+package kin
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func allModels() []Model {
+	return []Model{ModelUR3e, ModelUR5e, ModelViperX300, ModelNed2, ModelN9}
+}
+
+func mustProfile(t *testing.T, m Model, base geom.Pose) *Profile {
+	t.Helper()
+	p, err := NewProfile(m, base)
+	if err != nil {
+		t.Fatalf("NewProfile(%v): %v", m, err)
+	}
+	return p
+}
+
+func TestModelString(t *testing.T) {
+	tests := []struct {
+		m    Model
+		want string
+	}{
+		{ModelUR3e, "UR3e"},
+		{ModelUR5e, "UR5e"},
+		{ModelViperX300, "ViperX 300"},
+		{ModelNed2, "Ned2"},
+		{ModelN9, "N9"},
+	}
+	for _, tt := range tests {
+		if got := tt.m.String(); got != tt.want {
+			t.Errorf("String(%d) = %q, want %q", int(tt.m), got, tt.want)
+		}
+	}
+}
+
+func TestParseModel(t *testing.T) {
+	for _, s := range []string{"ur3e", "UR3e"} {
+		m, err := ParseModel(s)
+		if err != nil || m != ModelUR3e {
+			t.Errorf("ParseModel(%q) = %v, %v", s, m, err)
+		}
+	}
+	if _, err := ParseModel("kuka"); err == nil {
+		t.Error("ParseModel of unknown model should fail")
+	}
+}
+
+func TestForwardAtZeroIsFinite(t *testing.T) {
+	for _, m := range allModels() {
+		p := mustProfile(t, m, geom.IdentityPose())
+		q := make([]float64, p.Chain.DOF())
+		pose, err := p.Chain.Forward(q)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if !pose.T.IsFinite() {
+			t.Errorf("%v: non-finite FK at zero: %v", m, pose.T)
+		}
+		if pose.T.Norm() > p.Chain.Reach()+1e-9 {
+			t.Errorf("%v: FK %v beyond reach %v", m, pose.T, p.Chain.Reach())
+		}
+	}
+}
+
+func TestForwardRespectsBaseMount(t *testing.T) {
+	base := geom.PoseAt(geom.V(1, 2, 0.5))
+	p := mustProfile(t, ModelUR3e, base)
+	p0 := mustProfile(t, ModelUR3e, geom.IdentityPose())
+	home, err := p.Chain.EndEffector(p.Home)
+	if err != nil {
+		t.Fatal(err)
+	}
+	home0, err := p0.Chain.EndEffector(p0.Home)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !home.Sub(home0).ApproxEqual(geom.V(1, 2, 0.5), 1e-9) {
+		t.Errorf("base translation not reflected: %v vs %v", home, home0)
+	}
+}
+
+func TestJointChecks(t *testing.T) {
+	p := mustProfile(t, ModelNed2, geom.IdentityPose())
+	if err := p.Chain.CheckJoints(p.Home); err != nil {
+		t.Errorf("home pose should be within limits: %v", err)
+	}
+	bad := append([]float64(nil), p.Home...)
+	bad[0] = 100
+	if err := p.Chain.CheckJoints(bad); !errors.Is(err, ErrJointLimits) {
+		t.Errorf("want ErrJointLimits, got %v", err)
+	}
+	if err := p.Chain.CheckJoints([]float64{0}); !errors.Is(err, ErrDOFMismatch) {
+		t.Errorf("want ErrDOFMismatch, got %v", err)
+	}
+	clamped := p.Chain.ClampJoints(bad)
+	if err := p.Chain.CheckJoints(clamped); err != nil {
+		t.Errorf("clamped config should validate: %v", err)
+	}
+}
+
+func TestJointOriginsChainConnectivity(t *testing.T) {
+	p := mustProfile(t, ModelUR3e, geom.IdentityPose())
+	pts, err := p.Chain.JointOrigins(p.Home)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != p.Chain.DOF()+1 {
+		t.Fatalf("want %d origins, got %d", p.Chain.DOF()+1, len(pts))
+	}
+	// Consecutive origins can be at most one link apart.
+	for i := 0; i+1 < len(pts); i++ {
+		l := p.Chain.Links[i]
+		maxLen := math.Abs(l.A) + math.Abs(l.D) + 1e-9
+		if d := pts[i].Dist(pts[i+1]); d > maxLen {
+			t.Errorf("link %d span %.4f exceeds geometric max %.4f", i, d, maxLen)
+		}
+	}
+	// The last origin equals the FK end-effector.
+	ee, err := p.Chain.EndEffector(p.Home)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pts[len(pts)-1].ApproxEqual(ee, 1e-9) {
+		t.Errorf("last origin %v != end effector %v", pts[len(pts)-1], ee)
+	}
+}
+
+func TestLinkCapsulesCoverEndEffector(t *testing.T) {
+	for _, m := range allModels() {
+		p := mustProfile(t, m, geom.IdentityPose())
+		caps, err := p.Chain.LinkCapsules(p.Home)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if len(caps) == 0 {
+			t.Fatalf("%v: no capsules", m)
+		}
+		ee, err := p.Chain.EndEffector(p.Home)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, c := range caps {
+			if c.ContainsPoint(ee) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%v: no capsule covers the end effector", m)
+		}
+		for i, c := range caps {
+			if c.Radius <= 0 {
+				t.Errorf("%v: capsule %d has non-positive radius", m, i)
+			}
+		}
+	}
+}
+
+func TestIKReachesDeckTargets(t *testing.T) {
+	for _, m := range allModels() {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			p := mustProfile(t, m, geom.IdentityPose())
+			reach := p.Chain.Reach()
+			targets := []geom.Vec3{
+				geom.V(reach*0.5, 0, reach*0.3),
+				geom.V(reach*0.3, reach*0.3, reach*0.25),
+				geom.V(-reach*0.4, reach*0.2, reach*0.35),
+				geom.V(reach*0.2, -reach*0.4, reach*0.2),
+			}
+			opt := DefaultIKOptions()
+			for _, tgt := range targets {
+				q, err := p.Chain.Solve(tgt, p.Home, opt)
+				if err != nil {
+					t.Errorf("Solve(%v): %v", tgt, err)
+					continue
+				}
+				got, err := p.Chain.EndEffector(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d := got.Dist(tgt); d > opt.Tol*1.01 {
+					t.Errorf("Solve(%v) residual %.5f > tol", tgt, d)
+				}
+				if err := p.Chain.CheckJoints(q); err != nil {
+					t.Errorf("IK solution violates limits: %v", err)
+				}
+			}
+		})
+	}
+}
+
+func TestIKRejectsInfeasibleTargets(t *testing.T) {
+	p := mustProfile(t, ModelViperX300, geom.IdentityPose())
+	tests := []struct {
+		name string
+		tgt  geom.Vec3
+	}{
+		{"beyond-reach", geom.V(5, 5, 5)},
+		{"very-high", geom.V(0.1, 0.1, 3.0)}, // the paper's "very high, clearly infeasible" target
+		{"nan", geom.Vec3{X: math.NaN()}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := p.Chain.Solve(tt.tgt, p.Home, DefaultIKOptions()); !errors.Is(err, ErrUnreachable) {
+				t.Errorf("want ErrUnreachable, got %v", err)
+			}
+		})
+	}
+}
+
+func TestIKDOFMismatch(t *testing.T) {
+	p := mustProfile(t, ModelUR3e, geom.IdentityPose())
+	if _, err := p.Chain.Solve(geom.V(0.2, 0, 0.2), []float64{0, 0}, DefaultIKOptions()); !errors.Is(err, ErrDOFMismatch) {
+		t.Errorf("want ErrDOFMismatch, got %v", err)
+	}
+}
+
+func TestTrajectoryInterpolation(t *testing.T) {
+	p := mustProfile(t, ModelUR3e, geom.IdentityPose())
+	tr, err := p.Chain.PlanJointMove(p.Home, geom.V(0.25, 0.1, 0.2), DefaultIKOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.At(0); !equalSlice(got, tr.From) {
+		t.Errorf("At(0) = %v, want From", got)
+	}
+	if got := tr.At(1); !equalSlice(got, tr.To) {
+		t.Errorf("At(1) = %v, want To", got)
+	}
+	// Clamped outside [0,1].
+	if got := tr.At(-1); !equalSlice(got, tr.From) {
+		t.Errorf("At(-1) not clamped")
+	}
+	if got := tr.At(2); !equalSlice(got, tr.To) {
+		t.Errorf("At(2) not clamped")
+	}
+	if tr.Duration() <= 0 {
+		t.Error("non-positive duration")
+	}
+	if tr.JointSpan() < 0 {
+		t.Error("negative joint span")
+	}
+}
+
+func TestTrajectorySweepVisitsEndpoints(t *testing.T) {
+	p := mustProfile(t, ModelNed2, geom.IdentityPose())
+	tr, err := p.Chain.PlanJointMove(p.Home, geom.V(0.2, 0.1, 0.15), DefaultIKOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first, last float64 = -1, -1
+	count := 0
+	err = tr.SweepCapsules(0.02, func(tt float64, caps []geom.Capsule) bool {
+		if first < 0 {
+			first = tt
+		}
+		last = tt
+		count++
+		if len(caps) == 0 {
+			t.Error("empty capsule set during sweep")
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 0 || last != 1 {
+		t.Errorf("sweep t range [%v,%v], want [0,1]", first, last)
+	}
+	if count < 2 {
+		t.Errorf("sweep visited only %d samples", count)
+	}
+}
+
+func TestTrajectorySweepEarlyStop(t *testing.T) {
+	p := mustProfile(t, ModelNed2, geom.IdentityPose())
+	tr, err := p.Chain.PlanJointMove(p.Home, geom.V(0.2, 0.1, 0.15), DefaultIKOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	if err := tr.SweepCapsules(0.02, func(float64, []geom.Capsule) bool {
+		count++
+		return count < 3
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Errorf("early stop after %d samples, want 3", count)
+	}
+}
+
+func TestEndEffectorPath(t *testing.T) {
+	p := mustProfile(t, ModelUR3e, geom.IdentityPose())
+	tr, err := p.Chain.PlanJointMove(p.Home, geom.V(0.25, 0.1, 0.2), DefaultIKOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := tr.EndEffectorPath(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 20 {
+		t.Fatalf("path length %d, want 20", len(path))
+	}
+	end, err := p.Chain.EndEffector(tr.To)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !path[len(path)-1].ApproxEqual(end, 1e-9) {
+		t.Errorf("path end %v != FK end %v", path[len(path)-1], end)
+	}
+}
+
+func TestSleepBoxEnclosesBase(t *testing.T) {
+	for _, m := range allModels() {
+		base := geom.PoseAt(geom.V(0.5, -0.2, 0))
+		p := mustProfile(t, m, base)
+		box := p.SleepBox()
+		if !box.IsValid() {
+			t.Errorf("%v: invalid sleep box", m)
+		}
+		if !box.ContainsPoint(base.T.Add(geom.V(0, 0, 0.01))) {
+			t.Errorf("%v: sleep box %v does not cover base %v", m, box, base.T)
+		}
+	}
+}
+
+// TestFKProperty verifies a fundamental kinematic invariant on random
+// configurations: the end effector never exceeds the chain's reach.
+func TestFKProperty(t *testing.T) {
+	p := mustProfile(t, ModelUR3e, geom.IdentityPose())
+	n := p.Chain.DOF()
+	if err := quick.Check(func(raw []float64) bool {
+		q := make([]float64, n)
+		for i := 0; i < n && i < len(raw); i++ {
+			x := raw[i]
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				x = 0
+			}
+			q[i] = math.Mod(x, math.Pi)
+		}
+		ee, err := p.Chain.EndEffector(q)
+		if err != nil {
+			return false
+		}
+		return ee.Norm() <= p.Chain.Reach()+1e-9
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func equalSlice(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestIKPrefersToolDown: for comfortable deck targets the solver lands in
+// a wrist-above-TCP posture — the pose real lab arms use, and the reason
+// the forearm stays out of the racks.
+func TestIKPrefersToolDown(t *testing.T) {
+	p := mustProfile(t, ModelViperX300, geom.IdentityPose())
+	targets := []geom.Vec3{
+		geom.V(0.32, 0.22, 0.20), geom.V(0.25, 0.05, 0.25),
+		geom.V(0.40, 0.10, 0.22), geom.V(0.30, -0.15, 0.24),
+	}
+	for _, tgt := range targets {
+		q, err := p.Chain.Solve(tgt, p.Home, DefaultIKOptions())
+		if err != nil {
+			t.Fatalf("Solve(%v): %v", tgt, err)
+		}
+		pts, err := p.Chain.JointOrigins(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wrist := pts[len(pts)-2]
+		tcp := pts[len(pts)-1]
+		if wrist.Z <= tcp.Z {
+			t.Errorf("target %v: wrist %v below TCP %v (tool not pointing down)", tgt, wrist, tcp)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package kin
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/geom"
+)
+
+// Trajectory is a joint-space move of a chain between two configurations,
+// linearly interpolated in joint space — the standard "MoveJ" profile the
+// UR3e and the testbed arms execute. The Extended Simulator validates
+// trajectories by sampling them (the paper polls the robot arm's trajectory
+// and compares against the 3D objects' coordinates).
+type Trajectory struct {
+	Chain *Chain
+	From  []float64
+	To    []float64
+}
+
+// PlanJointMove builds the trajectory from configuration from to the IK
+// solution of target, validating limits.
+func (c *Chain) PlanJointMove(from []float64, target geom.Vec3, opt IKOptions) (*Trajectory, error) {
+	if err := c.CheckJoints(from); err != nil {
+		return nil, fmt.Errorf("plan joint move: %w", err)
+	}
+	to, err := c.Solve(target, from, opt)
+	if err != nil {
+		return nil, fmt.Errorf("plan joint move to %v: %w", target, err)
+	}
+	return &Trajectory{Chain: c, From: from, To: to}, nil
+}
+
+// At returns the joint configuration at parameter t ∈ [0,1].
+func (tr *Trajectory) At(t float64) []float64 {
+	t = math.Max(0, math.Min(1, t))
+	q := make([]float64, len(tr.From))
+	for i := range q {
+		q[i] = tr.From[i] + (tr.To[i]-tr.From[i])*t
+	}
+	return q
+}
+
+// JointSpan returns the largest absolute joint displacement of the move
+// (rad), which with the chain's MaxJointSpeed determines its duration.
+func (tr *Trajectory) JointSpan() float64 {
+	var span float64
+	for i := range tr.From {
+		span = math.Max(span, math.Abs(tr.To[i]-tr.From[i]))
+	}
+	return span
+}
+
+// Duration returns how long the move takes at the chain's maximum joint
+// speed. Zero-length moves still take a minimal settling time.
+func (tr *Trajectory) Duration() time.Duration {
+	speed := tr.Chain.MaxJointSpeed
+	if speed <= 0 {
+		speed = 1
+	}
+	secs := tr.JointSpan() / speed
+	if secs < 0.05 {
+		secs = 0.05
+	}
+	return time.Duration(secs * float64(time.Second))
+}
+
+// SampleCount returns the number of intermediate samples needed so that the
+// end effector moves at most maxStep between consecutive samples; used by
+// collision sweeps.
+func (tr *Trajectory) SampleCount(maxStep float64) int {
+	if maxStep <= 0 {
+		maxStep = 0.01
+	}
+	a, errA := tr.Chain.EndEffector(tr.From)
+	b, errB := tr.Chain.EndEffector(tr.To)
+	if errA != nil || errB != nil {
+		return 2
+	}
+	// Joint-space interpolation can sweep a longer arc than the chord;
+	// use a conservative multiple of the chord length plus a floor
+	// proportional to the joint span.
+	est := 2*a.Dist(b) + 0.5*tr.JointSpan()
+	n := int(math.Ceil(est/maxStep)) + 1
+	if n < 2 {
+		n = 2
+	}
+	if n > 2048 {
+		n = 2048
+	}
+	return n
+}
+
+// SweepCapsules invokes fn once per sample with the arm's collision
+// capsules along the trajectory; fn returning false stops the sweep early.
+// The parameter passed to fn is the trajectory parameter of that sample.
+func (tr *Trajectory) SweepCapsules(maxStep float64, fn func(t float64, caps []geom.Capsule) bool) error {
+	n := tr.SampleCount(maxStep)
+	for i := 0; i <= n; i++ {
+		t := float64(i) / float64(n)
+		caps, err := tr.Chain.LinkCapsules(tr.At(t))
+		if err != nil {
+			return fmt.Errorf("sweep capsules at t=%.3f: %w", t, err)
+		}
+		if !fn(t, caps) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// EndEffectorPath returns the sampled end-effector positions along the
+// trajectory, for display and for the testbed's polling-based checks.
+func (tr *Trajectory) EndEffectorPath(samples int) ([]geom.Vec3, error) {
+	if samples < 2 {
+		samples = 2
+	}
+	path := make([]geom.Vec3, 0, samples)
+	for i := 0; i < samples; i++ {
+		t := float64(i) / float64(samples-1)
+		p, err := tr.Chain.EndEffector(tr.At(t))
+		if err != nil {
+			return nil, fmt.Errorf("end-effector path: %w", err)
+		}
+		path = append(path, p)
+	}
+	return path, nil
+}

@@ -1,0 +1,131 @@
+package labs
+
+import "repro/internal/config"
+
+// BerlinguetteSpec returns the Berlinguette Lab deck the paper's
+// generalization study visits (Section V-B): a central UR5e serving
+// walled stations, an N9 arm at the precursor-mixing station, a spin
+// coater, a spray-coating station with a hotplate, an automated syringe
+// pump drawing solvent, ultrasonic nozzles, a decapper, and a dosing
+// device with a door like the Hein Lab's.
+//
+// Categorisation per the paper: the dosing device and pump are dosing
+// systems; the decapper, spin coater, hotplate, and nozzles are action
+// devices (capping/uncapping, spinning, heating, and spraying being their
+// actions).
+func BerlinguetteSpec() *config.LabSpec {
+	return &config.LabSpec{
+		Lab:    "berlinguette",
+		FloorZ: 0,
+		Arms: []config.ArmSpec{
+			{
+				ID: "ur5e", Type: "robot_arm", Model: "ur5e", ClassName: "UR5eDriver",
+				Conn:     config.Connection{Transport: "tcp", Host: "10.0.0.10", Port: 30002},
+				Base:     config.Vec{X: 0, Y: 0, Z: 0},
+				Gripper:  config.GripperSpec{FingerDrop: 0.05, FingerRadius: 0.012},
+				SleepBox: &config.BoxSpec{Min: config.Vec{X: -0.20, Y: -0.20, Z: 0}, Max: config.Vec{X: 0.20, Y: 0.20, Z: 0.40}},
+				// The UR5e stays on its side of the station wall.
+				ZoneWall: &config.WallSpec{Normal: config.Vec{X: -1, Y: 0, Z: 0}, Offset: -0.85},
+			},
+			{
+				ID: "n9", Type: "robot_arm", Model: "n9", ClassName: "N9Driver",
+				Conn:     config.Connection{Transport: "tcp", Host: "10.0.0.11", Port: 9000},
+				Base:     config.Vec{X: 1.3, Y: 0.2, Z: 0},
+				Gripper:  config.GripperSpec{FingerDrop: 0.05, FingerRadius: 0.012},
+				SleepBox: &config.BoxSpec{Min: config.Vec{X: -0.15, Y: -0.15, Z: 0}, Max: config.Vec{X: 0.15, Y: 0.15, Z: 0.30}},
+				ZoneWall: &config.WallSpec{Normal: config.Vec{X: 1, Y: 0, Z: 0}, Offset: -0.45},
+			},
+		},
+		Devices: []config.DeviceSpec{
+			{
+				ID: "rack", Type: "container_rack", Kind: "grid", ClassName: "CardboardMockup",
+				Cuboid: box(0.29, 0.19, 0, 0.41, 0.31, 0.08),
+			},
+			{
+				ID: "dosing_device", Type: "dosing_system", Kind: "dosing", ClassName: "MTQuantos",
+				Conn:      config.Connection{Transport: "tcp", Host: "10.0.0.30", Port: 8100},
+				Expensive: true,
+				Door:      config.DoorSpec{Present: true, Side: "y-"},
+				Cuboid:    box(0.05, 0.35, 0, 0.25, 0.55, 0.30),
+				Interior:  boxPtr(0.08, 0.38, 0.03, 0.22, 0.52, 0.27),
+			},
+			{
+				ID: "decapper", Type: "action_device", Kind: "decapper", ClassName: "DecapperDriver",
+				Conn:   config.Connection{Transport: "tcp", Host: "10.0.0.33", Port: 8400},
+				Cuboid: box(0.46, 0.14, 0, 0.58, 0.26, 0.14),
+			},
+			{
+				ID: "spin_coater", Type: "action_device", Kind: "spin_coater", ClassName: "SpinCoater",
+				Conn:            config.Connection{Transport: "tcp", Host: "10.0.0.34", Port: 8500},
+				Expensive:       true,
+				Cuboid:          box(0.46, 0.36, 0, 0.60, 0.50, 0.10),
+				ActionThreshold: 6000, // rpm
+				MaxSafeValue:    9000,
+			},
+			{
+				ID: "spray_hotplate", Type: "action_device", Kind: "hotplate", ClassName: "IKAHotplate",
+				Conn:            config.Connection{Transport: "serial", SerialDev: "/dev/ttyUSB2"},
+				Cuboid:          box(0.13, -0.30, 0, 0.27, -0.16, 0.12),
+				ActionThreshold: 200,
+				MaxSafeValue:    400,
+			},
+			{
+				ID: "solvent_pump", Type: "dosing_system", Kind: "pump", ClassName: "TecanPump",
+				Conn:   config.Connection{Transport: "tcp", Host: "10.0.0.32", Port: 8300},
+				Cuboid: box(-0.30, 0.35, 0, -0.18, 0.47, 0.18),
+			},
+			{
+				ID: "nozzle_a", Type: "action_device", Kind: "nozzle", ClassName: "SprayNozzle",
+				Conn:   config.Connection{Transport: "tcp", Host: "10.0.0.35", Port: 8600},
+				Cuboid: box(-0.30, -0.30, 0, -0.22, -0.22, 0.25),
+			},
+			{
+				ID: "nozzle_b", Type: "action_device", Kind: "nozzle", ClassName: "SprayNozzle",
+				Conn:   config.Connection{Transport: "tcp", Host: "10.0.0.36", Port: 8601},
+				Cuboid: box(-0.18, -0.30, 0, -0.10, -0.22, 0.25),
+			},
+		},
+		Containers: []config.ContainerSpec{
+			{ID: "precursor_vial", Type: "container", Height: 0.07, Radius: 0.012,
+				CapacityMg: 20, CapacityML: 15, Location: "rack_A"},
+			// The substrate travels in a carrier tall enough for the
+			// gripper fingers to clear the racks and chucks it rests on.
+			{ID: "film_substrate", Type: "container", Height: 0.06, Radius: 0.025,
+				CapacityML: 1, Location: "rack_B"},
+		},
+		Locations: []config.LocationSpec{
+			{Name: "rack_A", Owner: "rack", DeckPos: config.Vec{X: 0.32, Y: 0.22, Z: 0.16}},
+			{Name: "rack_A_safe", Owner: "rack", DeckPos: config.Vec{X: 0.32, Y: 0.22, Z: 0.23}},
+			{Name: "rack_B", Owner: "rack", DeckPos: config.Vec{X: 0.38, Y: 0.22, Z: 0.15}},
+			{Name: "rack_B_safe", Owner: "rack", DeckPos: config.Vec{X: 0.38, Y: 0.22, Z: 0.23}},
+			{Name: "dd_approach", Owner: "dosing_device", DeckPos: config.Vec{X: 0.15, Y: 0.30, Z: 0.19}},
+			{Name: "dd_safe_height", Owner: "dosing_device", Inside: true,
+				DeckPos: config.Vec{X: 0.15, Y: 0.45, Z: 0.19}},
+			{Name: "dd_slot", Owner: "dosing_device", Inside: true,
+				DeckPos: config.Vec{X: 0.15, Y: 0.45, Z: 0.10}},
+			{Name: "decap_safe", Owner: "decapper", DeckPos: config.Vec{X: 0.52, Y: 0.20, Z: 0.30}},
+			{Name: "decap_slot", Owner: "decapper", DeckPos: config.Vec{X: 0.52, Y: 0.20, Z: 0.22}},
+			{Name: "coater_safe", Owner: "spin_coater", DeckPos: config.Vec{X: 0.53, Y: 0.43, Z: 0.26}},
+			{Name: "coater_chuck", Owner: "spin_coater", DeckPos: config.Vec{X: 0.53, Y: 0.43, Z: 0.17}},
+			{Name: "spray_safe", Owner: "spray_hotplate", DeckPos: config.Vec{X: 0.20, Y: -0.23, Z: 0.28}},
+			{Name: "spray_place", Owner: "spray_hotplate", DeckPos: config.Vec{X: 0.20, Y: -0.23, Z: 0.19}},
+		},
+		Rules: []config.CustomRuleSpec{
+			// The Berlinguette Lab has no centrifuge; its one custom rule
+			// guards the spin coater: never spin without a film loaded.
+			{
+				ID:          "film-loaded",
+				Description: "Spin the coater only when a film substrate is loaded on the chuck",
+				Number:      1,
+				AppliesTo:   []string{"start_action"},
+				Devices:     []string{"spin_coater"},
+				Requires: []config.RequirementSpec{
+					{Var: "containerInside", Arg: "$device", Equals: "film_substrate"},
+				},
+			},
+		},
+	}
+}
+
+// Berlinguette compiles the Berlinguette spec.
+func Berlinguette() (*config.Lab, error) { return config.Compile(BerlinguetteSpec()) }

@@ -1,0 +1,119 @@
+package labs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/config"
+)
+
+func TestSpecsCompile(t *testing.T) {
+	for _, build := range []func() (*config.Lab, error){Testbed, HeinProduction, Berlinguette} {
+		if _, err := build(); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestSpecsMatchPaperInventory(t *testing.T) {
+	// The Hein production deck (Fig. 1a): a UR3e and five automation
+	// devices — dosing device, syringe pump, centrifuge, thermoshaker,
+	// hotplate — around a vial grid.
+	hein := HeinProductionSpec()
+	if len(hein.Arms) != 1 || hein.Arms[0].Model != "ur3e" {
+		t.Errorf("hein arms: %+v", hein.Arms)
+	}
+	wantDevices := map[string]bool{
+		"grid": true, "dosing_device": true, "pump": true,
+		"hotplate": true, "thermoshaker": true, "centrifuge": true,
+	}
+	for _, d := range hein.Devices {
+		delete(wantDevices, d.ID)
+	}
+	if len(wantDevices) != 0 {
+		t.Errorf("hein deck missing devices: %v", wantDevices)
+	}
+
+	// The testbed (Fig. 4): a ViperX 300 and a Ned2.
+	tb := TestbedSpec()
+	if len(tb.Arms) != 2 || tb.Arms[0].Model != "viperx300" || tb.Arms[1].Model != "ned2" {
+		t.Errorf("testbed arms: %+v", tb.Arms)
+	}
+	for _, a := range tb.Arms {
+		if a.SleepBox == nil {
+			t.Errorf("testbed arm %s needs a sleep box for time multiplexing", a.ID)
+		}
+		if a.ZoneWall == nil {
+			t.Errorf("testbed arm %s needs a zone wall for space multiplexing", a.ID)
+		}
+	}
+
+	// The Berlinguette deck (Section V-B): UR5e + N9, spin coater,
+	// spray hotplate, nozzles, decapper, dosing device, pump.
+	bl := BerlinguetteSpec()
+	if len(bl.Arms) != 2 {
+		t.Errorf("berlinguette arms: %+v", bl.Arms)
+	}
+	kinds := map[string]int{}
+	for _, d := range bl.Devices {
+		kinds[d.Kind]++
+	}
+	if kinds["nozzle"] != 2 || kinds["spin_coater"] != 1 || kinds["decapper"] != 1 {
+		t.Errorf("berlinguette device kinds: %v", kinds)
+	}
+	if len(bl.Rules) == 0 {
+		t.Error("berlinguette should carry a declarative custom rule")
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	for _, spec := range []*config.LabSpec{TestbedSpec(), HeinProductionSpec(), BerlinguetteSpec()} {
+		path, err := WriteJSON(spec, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if filepath.Base(path) != spec.Lab+".json" {
+			t.Errorf("file name %s", path)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parsed, diags := config.Parse(data)
+		if len(diags) != 0 {
+			t.Fatalf("%s: %v", spec.Lab, diags)
+		}
+		if _, err := config.Compile(parsed); err != nil {
+			t.Fatalf("%s: %v", spec.Lab, err)
+		}
+		// The canonical files stay strictly valid JSON.
+		var raw map[string]any
+		if err := json.Unmarshal(data, &raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestHeinAndTestbedShareLocationVocabulary(t *testing.T) {
+	// The controlled scenarios run on both decks; the location names
+	// they use must exist on each.
+	shared := []string{
+		"grid_NW", "grid_NW_safe", "grid_NE", "grid_NE_safe",
+		"dd_approach", "dd_safe_height", "dd_pickup",
+		"hp_safe", "hp_place", "cf_safe", "cf_slot", "pump_reservoir",
+	}
+	for _, spec := range []*config.LabSpec{TestbedSpec(), HeinProductionSpec()} {
+		names := map[string]bool{}
+		for _, l := range spec.Locations {
+			names[l.Name] = true
+		}
+		for _, want := range shared {
+			if !names[want] {
+				t.Errorf("%s: location %q missing", spec.Lab, want)
+			}
+		}
+	}
+}

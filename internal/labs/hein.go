@@ -1,0 +1,110 @@
+package labs
+
+import "repro/internal/config"
+
+// HeinProductionSpec returns the Hein Lab production deck of Fig. 1(a): a
+// lab computer driving a six-axis UR3e and five automation devices — a
+// solid dosing device, an automated syringe pump, a centrifuge, a
+// thermoshaker, and a hotplate — around a vial grid.
+//
+// Deck frame: UR3e base at the origin, floor at z=0. The layout keeps
+// every manipulation point within the UR3e's comfortable top-down
+// envelope.
+func HeinProductionSpec() *config.LabSpec {
+	return &config.LabSpec{
+		Lab:    "hein-production",
+		FloorZ: 0,
+		Arms: []config.ArmSpec{
+			{
+				ID: "ur3e", Type: "robot_arm", Model: "ur3e", ClassName: "UR3eDriver",
+				Conn:     config.Connection{Transport: "tcp", Host: "192.168.0.10", Port: 30002},
+				Base:     config.Vec{X: 0, Y: 0, Z: 0},
+				Gripper:  config.GripperSpec{FingerDrop: 0.05, FingerRadius: 0.012},
+				SleepBox: &config.BoxSpec{Min: config.Vec{X: -0.18, Y: -0.18, Z: 0}, Max: config.Vec{X: 0.18, Y: 0.18, Z: 0.35}},
+			},
+		},
+		Devices: []config.DeviceSpec{
+			{
+				ID: "grid", Type: "container_rack", Kind: "grid", ClassName: "CardboardMockup",
+				Cuboid: box(0.29, 0.19, 0, 0.41, 0.31, 0.08),
+			},
+			{
+				ID: "dosing_device", Type: "dosing_system", Kind: "dosing", ClassName: "MTQuantos",
+				Conn:      config.Connection{Transport: "tcp", Host: "192.168.0.30", Port: 8100},
+				Expensive: true,
+				Door:      config.DoorSpec{Present: true, Side: "y-"},
+				Cuboid:    box(0.05, 0.35, 0, 0.25, 0.55, 0.30),
+				Interior:  boxPtr(0.08, 0.38, 0.03, 0.22, 0.52, 0.27),
+			},
+			{
+				ID: "pump", Type: "dosing_system", Kind: "pump", ClassName: "TecanPump",
+				Conn:   config.Connection{Transport: "tcp", Host: "192.168.0.32", Port: 8300},
+				Cuboid: box(-0.30, 0.35, 0, -0.18, 0.47, 0.18),
+			},
+			{
+				ID: "hotplate", Type: "action_device", Kind: "hotplate", ClassName: "IKAHotplate",
+				Conn:   config.Connection{Transport: "serial", SerialDev: "/dev/ttyUSB0"},
+				Cuboid: box(0.46, -0.07, 0, 0.60, 0.07, 0.12),
+				// The IKA plate's configured safe-temperature threshold
+				// (rule 11); its physical rating sits higher.
+				ActionThreshold: 150,
+				MaxSafeValue:    340,
+			},
+			{
+				ID: "thermoshaker", Type: "action_device", Kind: "thermoshaker", ClassName: "IKAThermoshaker",
+				Conn:            config.Connection{Transport: "serial", SerialDev: "/dev/ttyUSB1"},
+				Cuboid:          box(0.46, 0.14, 0, 0.60, 0.28, 0.12),
+				ActionThreshold: 1500, // rpm
+				MaxSafeValue:    3000,
+			},
+			{
+				ID: "centrifuge", Type: "action_device", Kind: "centrifuge", ClassName: "FisherCentrifuge",
+				Conn:            config.Connection{Transport: "tcp", Host: "192.168.0.31", Port: 8200},
+				Expensive:       true,
+				Door:            config.DoorSpec{Present: true, Side: "z+"},
+				Cuboid:          box(0.13, -0.30, 0, 0.29, -0.14, 0.16),
+				Interior:        boxPtr(0.16, -0.27, 0.02, 0.26, -0.17, 0.13),
+				ActionThreshold: 4000,
+				MaxSafeValue:    6000,
+			},
+		},
+		Containers: []config.ContainerSpec{
+			{ID: "vial_1", Type: "container", Height: 0.07, Radius: 0.012,
+				CapacityMg: 10, CapacityML: 12, Location: "grid_NW"},
+			{ID: "vial_2", Type: "container", Height: 0.07, Radius: 0.012,
+				CapacityMg: 10, CapacityML: 12, Location: "grid_SW"},
+			{ID: "vial_3", Type: "container", Height: 0.07, Radius: 0.012,
+				CapacityMg: 10, CapacityML: 12, Stopper: true,
+				InitialSolidMg: 5, InitialLiquidML: 1, Location: "grid_NE"},
+			{ID: "beaker", Type: "container", Height: 0.12, Radius: 0.04,
+				CapacityML: 500, InitialLiquidML: 300, Location: "pump_reservoir"},
+		},
+		Locations: []config.LocationSpec{
+			{Name: "grid_NW", Owner: "grid", DeckPos: config.Vec{X: 0.32, Y: 0.22, Z: 0.16}},
+			{Name: "grid_NW_safe", Owner: "grid", DeckPos: config.Vec{X: 0.32, Y: 0.22, Z: 0.23}},
+			{Name: "grid_NE", Owner: "grid", DeckPos: config.Vec{X: 0.38, Y: 0.22, Z: 0.16}},
+			{Name: "grid_NE_safe", Owner: "grid", DeckPos: config.Vec{X: 0.38, Y: 0.22, Z: 0.23}},
+			{Name: "grid_SW", Owner: "grid", DeckPos: config.Vec{X: 0.32, Y: 0.28, Z: 0.16}},
+			{Name: "grid_SW_safe", Owner: "grid", DeckPos: config.Vec{X: 0.32, Y: 0.28, Z: 0.23}},
+			{Name: "dd_approach", Owner: "dosing_device", DeckPos: config.Vec{X: 0.15, Y: 0.30, Z: 0.19}},
+			{Name: "dd_safe_height", Owner: "dosing_device", Inside: true,
+				DeckPos: config.Vec{X: 0.15, Y: 0.45, Z: 0.19}},
+			{Name: "dd_pickup", Owner: "dosing_device", Inside: true,
+				DeckPos: config.Vec{X: 0.15, Y: 0.45, Z: 0.10}},
+			{Name: "hp_safe", Owner: "hotplate", DeckPos: config.Vec{X: 0.53, Y: 0.00, Z: 0.33}},
+			{Name: "hp_place", Owner: "hotplate", DeckPos: config.Vec{X: 0.53, Y: 0.00, Z: 0.20}},
+			{Name: "ts_safe", Owner: "thermoshaker", DeckPos: config.Vec{X: 0.53, Y: 0.21, Z: 0.28}},
+			{Name: "ts_place", Owner: "thermoshaker", DeckPos: config.Vec{X: 0.53, Y: 0.21, Z: 0.20}},
+			{Name: "cf_safe", Owner: "centrifuge", DeckPos: config.Vec{X: 0.21, Y: -0.22, Z: 0.25}},
+			{Name: "cf_slot", Owner: "centrifuge", Inside: true,
+				DeckPos: config.Vec{X: 0.21, Y: -0.22, Z: 0.10}},
+			{Name: "pump_reservoir", Owner: "pump", DeckPos: config.Vec{X: -0.24, Y: 0.41, Z: 0.25}},
+		},
+		Rules: []config.CustomRuleSpec{
+			{ID: "hein", Builtin: "hein", Centrifuge: "centrifuge"},
+		},
+	}
+}
+
+// HeinProduction compiles the production spec.
+func HeinProduction() (*config.Lab, error) { return config.Compile(HeinProductionSpec()) }

@@ -1,0 +1,167 @@
+// Package labs provides the canonical deck configurations of the paper:
+// the Hein Lab production deck (Fig. 1a), the low-fidelity testbed
+// (Fig. 4), and the Berlinguette Lab deck used for the generalization
+// study (Section V-B). Each is expressed as the JSON-serialisable
+// config.LabSpec a researcher would author; WriteJSON emits the canonical
+// files.
+package labs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/config"
+)
+
+// TestbedSpec returns the testbed deck of Fig. 4: a ViperX 300 and a Ned2
+// on a shared platform with a vial grid, a dosing-device mockup with a
+// working door, a hotplate mockup, a centrifuge mockup, and a syringe
+// pump mockup.
+//
+// Severity bookkeeping: the dosing device and centrifuge are marked
+// expensive even though the physical testbed uses cardboard — Table V
+// grades bugs by the damage they would cause on the production deck, and
+// the testbed's cheap reality is captured by the stage's damage-cost
+// scale instead.
+//
+// Deck frame: ViperX base at the origin, Ned2 base at (0.8, 0, 0), floor
+// at z=0.
+func TestbedSpec() *config.LabSpec {
+	return &config.LabSpec{
+		Lab:    "hein-testbed",
+		FloorZ: 0,
+		Walls: []config.WallPlaneSpec{
+			// The lab wall behind the dosing device; the interior is on
+			// the -y side of y = 0.62.
+			{Name: "back_wall", Normal: config.Vec{X: 0, Y: -1, Z: 0}, Offset: -0.62},
+		},
+		Arms: []config.ArmSpec{
+			{
+				ID: "viperx", Type: "robot_arm", Model: "viperx300", ClassName: "ViperXDriver",
+				Conn:     config.Connection{Transport: "tcp", Host: "192.168.1.20", Port: 50000},
+				Base:     config.Vec{X: 0, Y: 0, Z: 0},
+				Gripper:  config.GripperSpec{FingerDrop: 0.05, FingerRadius: 0.012},
+				SleepBox: &config.BoxSpec{Min: config.Vec{X: -0.15, Y: -0.15, Z: 0}, Max: config.Vec{X: 0.15, Y: 0.15, Z: 0.30}},
+				// ViperX owns the deck half x < 0.45 (its own frame equals
+				// the deck frame).
+				ZoneWall: &config.WallSpec{Normal: config.Vec{X: -1, Y: 0, Z: 0}, Offset: -0.45},
+			},
+			{
+				ID: "ned2", Type: "robot_arm", Model: "ned2", ClassName: "Ned2Driver",
+				Conn:     config.Connection{Transport: "tcp", Host: "192.168.1.21", Port: 40001},
+				Base:     config.Vec{X: 0.8, Y: 0, Z: 0},
+				Gripper:  config.GripperSpec{FingerDrop: 0.05, FingerRadius: 0.012},
+				SleepBox: &config.BoxSpec{Min: config.Vec{X: -0.15, Y: -0.15, Z: 0}, Max: config.Vec{X: 0.15, Y: 0.15, Z: 0.30}},
+				// Ned2 owns x > 0.45 deck, i.e. x > -0.35 in its frame.
+				ZoneWall: &config.WallSpec{Normal: config.Vec{X: 1, Y: 0, Z: 0}, Offset: -0.35},
+			},
+		},
+		Devices: []config.DeviceSpec{
+			{
+				ID: "grid", Type: "container_rack", Kind: "grid", ClassName: "CardboardMockup",
+				Cuboid: box(0.29, 0.19, 0, 0.41, 0.31, 0.08),
+			},
+			{
+				ID: "dosing_device", Type: "dosing_system", Kind: "dosing", ClassName: "MTQuantos",
+				Conn:      config.Connection{Transport: "tcp", Host: "192.168.1.30", Port: 8100},
+				Expensive: true,
+				Door:      config.DoorSpec{Present: true, Side: "y-"},
+				Cuboid:    box(0.05, 0.35, 0, 0.25, 0.55, 0.30),
+				Interior:  boxPtr(0.08, 0.38, 0.03, 0.22, 0.52, 0.27),
+			},
+			{
+				ID: "hotplate", Type: "action_device", Kind: "hotplate", ClassName: "IKAHotplate",
+				Conn: config.Connection{Transport: "serial", SerialDev: "/dev/ttyUSB0"},
+				// The mockup is a tall toy plate with a stirrer tower; its
+				// height keeps the ViperX's drooping forearm clear of the
+				// grid when working above it.
+				Cuboid:          box(0.48, 0.38, 0, 0.62, 0.52, 0.20),
+				ActionThreshold: 150,
+				MaxSafeValue:    340,
+			},
+			{
+				ID: "centrifuge", Type: "action_device", Kind: "centrifuge", ClassName: "FisherCentrifuge",
+				Conn:      config.Connection{Transport: "tcp", Host: "192.168.1.31", Port: 8200},
+				Expensive: true,
+				Door:      config.DoorSpec{Present: true, Side: "z+"},
+				Cuboid:    box(0.55, -0.26, 0, 0.71, -0.10, 0.16),
+				Interior:  boxPtr(0.58, -0.23, 0.02, 0.68, -0.13, 0.13),
+				// Spin rate limit (rpm).
+				ActionThreshold: 4000,
+				MaxSafeValue:    6000,
+			},
+			{
+				ID: "pump", Type: "dosing_system", Kind: "pump", ClassName: "TecanPump",
+				Conn:   config.Connection{Transport: "tcp", Host: "192.168.1.32", Port: 8300},
+				Cuboid: box(0.70, -0.50, 0, 0.80, -0.40, 0.15),
+			},
+		},
+		Containers: []config.ContainerSpec{
+			{ID: "vial_1", Type: "container", Height: 0.07, Radius: 0.012,
+				CapacityMg: 10, CapacityML: 12, Location: "grid_NW"},
+			{ID: "vial_2", Type: "container", Height: 0.07, Radius: 0.012,
+				CapacityMg: 10, CapacityML: 12, Location: "grid_SW"},
+			{ID: "vial_3", Type: "container", Height: 0.07, Radius: 0.012,
+				CapacityMg: 10, CapacityML: 12, Stopper: true,
+				InitialSolidMg: 5, InitialLiquidML: 1, Location: "grid_NE"},
+			{ID: "beaker", Type: "container", Height: 0.10, Radius: 0.03,
+				CapacityML: 100, InitialLiquidML: 50, Location: "pump_reservoir"},
+		},
+		Locations: []config.LocationSpec{
+			{Name: "grid_NW", Owner: "grid", DeckPos: config.Vec{X: 0.32, Y: 0.22, Z: 0.16},
+				Meta: "original vial location"},
+			{Name: "grid_NW_safe", Owner: "grid", DeckPos: config.Vec{X: 0.32, Y: 0.22, Z: 0.23}},
+			{Name: "grid_NE", Owner: "grid", DeckPos: config.Vec{X: 0.38, Y: 0.22, Z: 0.16}},
+			{Name: "grid_NE_safe", Owner: "grid", DeckPos: config.Vec{X: 0.38, Y: 0.22, Z: 0.23}},
+			{Name: "grid_SW", Owner: "grid", DeckPos: config.Vec{X: 0.32, Y: 0.28, Z: 0.16}},
+			{Name: "grid_SW_safe", Owner: "grid", DeckPos: config.Vec{X: 0.32, Y: 0.28, Z: 0.23}},
+			{Name: "dd_approach", Owner: "dosing_device", DeckPos: config.Vec{X: 0.15, Y: 0.30, Z: 0.19},
+				Meta: "in front of the dosing device door"},
+			{Name: "dd_safe_height", Owner: "dosing_device", Inside: true,
+				DeckPos: config.Vec{X: 0.15, Y: 0.45, Z: 0.19}},
+			{Name: "dd_pickup", Owner: "dosing_device", Inside: true,
+				DeckPos: config.Vec{X: 0.15, Y: 0.45, Z: 0.10}},
+			{Name: "hp_safe", Owner: "hotplate", DeckPos: config.Vec{X: 0.55, Y: 0.45, Z: 0.36}},
+			{Name: "hp_place", Owner: "hotplate", DeckPos: config.Vec{X: 0.55, Y: 0.45, Z: 0.28}},
+			{Name: "cf_safe", Owner: "centrifuge", DeckPos: config.Vec{X: 0.63, Y: -0.18, Z: 0.25}},
+			{Name: "cf_slot", Owner: "centrifuge", Inside: true,
+				DeckPos: config.Vec{X: 0.63, Y: -0.18, Z: 0.10}},
+			{Name: "pump_reservoir", Owner: "pump", DeckPos: config.Vec{X: 0.75, Y: -0.45, Z: 0.26}},
+		},
+		Rules: []config.CustomRuleSpec{
+			{ID: "hein", Builtin: "hein", Centrifuge: "centrifuge"},
+		},
+	}
+}
+
+// box is a compact BoxSpec constructor.
+func box(x0, y0, z0, x1, y1, z1 float64) config.BoxSpec {
+	return config.BoxSpec{
+		Min: config.Vec{X: x0, Y: y0, Z: z0},
+		Max: config.Vec{X: x1, Y: y1, Z: z1},
+	}
+}
+
+func boxPtr(x0, y0, z0, x1, y1, z1 float64) *config.BoxSpec {
+	b := box(x0, y0, z0, x1, y1, z1)
+	return &b
+}
+
+// Testbed compiles the testbed spec.
+func Testbed() (*config.Lab, error) { return config.Compile(TestbedSpec()) }
+
+// WriteJSON writes a spec to dir/<lab>.json in the canonical format the
+// paper's researchers edit.
+func WriteJSON(spec *config.LabSpec, dir string) (string, error) {
+	data, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("labs: marshal %s: %w", spec.Lab, err)
+	}
+	path := filepath.Join(dir, spec.Lab+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("labs: write %s: %w", path, err)
+	}
+	return path, nil
+}

@@ -1,0 +1,410 @@
+// Package radmine reproduces the rule-gathering methodology of Section
+// II-A: the paper's authors mined the Robot Arm Dataset (RAD) — three
+// months of command traces from the Hein Lab — for rules implied by
+// command sequences ("device doors must be opened before a robot arm can
+// enter them", "solids must be added to containers before liquids"), then
+// reconciled them with researcher-stated safety criteria.
+//
+// The package synthesises a RAD-style corpus by replaying safe workflow
+// variants through the traced lab substrate, then mines the traces for
+// invariant patterns, each mapped to the Table III/IV rule it implies.
+package radmine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/action"
+	"repro/internal/config"
+	"repro/internal/rules"
+	"repro/internal/trace"
+)
+
+// Run is one experiment's command trace.
+type Run struct {
+	// Name identifies the workflow variant.
+	Name string
+	// Records is the command stream.
+	Records []trace.Record
+}
+
+// MinedRule is one invariant the miner extracted from the corpus.
+type MinedRule struct {
+	// Pattern is a short slug for the invariant class.
+	Pattern string
+	// Description states the mined rule in prose.
+	Description string
+	// MapsTo is the Table III/IV rule the invariant corresponds to
+	// ("general-1", "hein-1", …), or "" for lab-specific thresholds.
+	MapsTo string
+	// Support counts how many times the pattern was observed to hold.
+	Support int
+	// Threshold carries a learned numeric limit (rule 11 mining).
+	Threshold float64
+	// Device scopes device-specific rules.
+	Device string
+}
+
+// String renders the mined rule.
+func (m MinedRule) String() string {
+	s := fmt.Sprintf("[%s] %s (support %d", m.Pattern, m.Description, m.Support)
+	if m.MapsTo != "" {
+		s += ", maps to " + m.MapsTo
+	}
+	s += ")"
+	return s
+}
+
+// Miner extracts invariants from a corpus. It needs the lab configuration
+// to re-derive named locations from the raw coordinates scripts send —
+// the same normalisation RABIT itself performs.
+type Miner struct {
+	lab *config.Lab
+	// MinSupport is the minimum number of positive observations before
+	// an invariant is reported.
+	MinSupport int
+}
+
+// NewMiner builds a miner.
+func NewMiner(lab *config.Lab) *Miner {
+	return &Miner{lab: lab, MinSupport: 3}
+}
+
+// Mine runs every pattern miner over the corpus and returns the
+// invariants that held without exception.
+func (m *Miner) Mine(corpus []Run) []MinedRule {
+	var out []MinedRule
+	out = append(out, m.mineDoorBeforeEntry(corpus)...)
+	out = append(out, m.mineNoCloseWhileInside(corpus)...)
+	out = append(out, m.mineGripperAlternation(corpus)...)
+	out = append(out, m.mineDoseBehindClosedDoor(corpus)...)
+	out = append(out, m.mineDoorStaysClosedWhileRunning(corpus)...)
+	out = append(out, m.mineContainerBeforeAction(corpus)...)
+	out = append(out, m.mineActionThresholds(corpus)...)
+	out = append(out, m.mineSolidBeforeLiquid(corpus)...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pattern != out[j].Pattern {
+			return out[i].Pattern < out[j].Pattern
+		}
+		return out[i].Device < out[j].Device
+	})
+	return out
+}
+
+// normalized returns the commands of a run with named locations
+// re-derived (only successful commands participate in mining; RAD's
+// traces are predominantly successful production runs).
+func (m *Miner) normalized(r Run) []action.Command {
+	out := make([]action.Command, 0, len(r.Records))
+	for _, rec := range r.Records {
+		if rec.Outcome != "ok" {
+			continue
+		}
+		out = append(out, rules.NormalizeCommand(m.lab, rec.Cmd))
+	}
+	return out
+}
+
+// mineDoorBeforeEntry: in every run, whenever an arm moves into a device,
+// that device's door had been opened and not re-closed — general rule 1.
+func (m *Miner) mineDoorBeforeEntry(corpus []Run) []MinedRule {
+	support := 0
+	for _, r := range corpus {
+		doorOpen := map[string]bool{}
+		for _, c := range m.normalized(r) {
+			switch c.Action {
+			case action.OpenDoor:
+				doorOpen[c.Device] = true
+			case action.CloseDoor:
+				doorOpen[c.Device] = false
+			case action.MoveRobotInside:
+				if !doorOpen[c.InsideDevice] {
+					return nil // counter-example: the invariant does not hold
+				}
+				support++
+			}
+		}
+	}
+	if support < m.MinSupport {
+		return nil
+	}
+	return []MinedRule{{
+		Pattern:     "door-before-entry",
+		Description: "device doors are always opened before a robot arm enters the device",
+		MapsTo:      "general-1",
+		Support:     support,
+	}}
+}
+
+// mineNoCloseWhileInside: no close_door ever occurs while an arm is still
+// inside that device — general rule 2.
+func (m *Miner) mineNoCloseWhileInside(corpus []Run) []MinedRule {
+	support := 0
+	for _, r := range corpus {
+		inside := map[string]string{} // arm → device it is inside of
+		for _, c := range m.normalized(r) {
+			switch {
+			case c.Action == action.MoveRobotInside:
+				inside[c.Device] = c.InsideDevice
+			case c.Action.IsRobotMotion():
+				delete(inside, c.Device)
+			case c.Action == action.CloseDoor:
+				for _, dev := range inside {
+					if dev == c.Device {
+						return nil
+					}
+				}
+				support++
+			}
+		}
+	}
+	if support < m.MinSupport {
+		return nil
+	}
+	return []MinedRule{{
+		Pattern:     "no-close-on-arm",
+		Description: "device doors are never closed while a robot arm is inside the device",
+		MapsTo:      "general-2",
+		Support:     support,
+	}}
+}
+
+// mineGripperAlternation: per arm, gripper closes and opens strictly
+// alternate — a pick never happens on a full gripper (general rule 4).
+func (m *Miner) mineGripperAlternation(corpus []Run) []MinedRule {
+	support := 0
+	for _, r := range corpus {
+		closed := map[string]bool{}
+		for _, c := range m.normalized(r) {
+			switch c.Action {
+			case action.CloseGripper, action.PickObject:
+				if closed[c.Device] {
+					return nil
+				}
+				closed[c.Device] = true
+				support++
+			case action.OpenGripper, action.PlaceObject:
+				closed[c.Device] = false
+			}
+		}
+	}
+	if support < m.MinSupport {
+		return nil
+	}
+	return []MinedRule{{
+		Pattern:     "gripper-alternation",
+		Description: "a robot arm only picks up an object when it is not already holding one",
+		MapsTo:      "general-4",
+		Support:     support,
+	}}
+}
+
+// mineDoseBehindClosedDoor: dosing always happens with the device door
+// closed — general rule 9.
+func (m *Miner) mineDoseBehindClosedDoor(corpus []Run) []MinedRule {
+	support := 0
+	for _, r := range corpus {
+		doorOpen := map[string]bool{}
+		hasDoor := map[string]bool{}
+		for _, c := range m.normalized(r) {
+			switch c.Action {
+			case action.OpenDoor:
+				doorOpen[c.Device] = true
+				hasDoor[c.Device] = true
+			case action.CloseDoor:
+				doorOpen[c.Device] = false
+				hasDoor[c.Device] = true
+			case action.StartAction, action.DoseSolid:
+				if hasDoor[c.Device] {
+					if doorOpen[c.Device] {
+						return nil
+					}
+					support++
+				}
+			}
+		}
+	}
+	if support < m.MinSupport {
+		return nil
+	}
+	return []MinedRule{{
+		Pattern:     "dose-behind-closed-door",
+		Description: "devices with doors only dose or act while their doors are closed",
+		MapsTo:      "general-9",
+		Support:     support,
+	}}
+}
+
+// mineDoorStaysClosedWhileRunning: doors are never opened between
+// start_action and stop_action — general rule 10.
+func (m *Miner) mineDoorStaysClosedWhileRunning(corpus []Run) []MinedRule {
+	support := 0
+	for _, r := range corpus {
+		running := map[string]bool{}
+		for _, c := range m.normalized(r) {
+			switch c.Action {
+			case action.StartAction:
+				running[c.Device] = true
+			case action.StopAction:
+				running[c.Device] = false
+			case action.OpenDoor:
+				if running[c.Device] {
+					return nil
+				}
+				support++
+			}
+		}
+	}
+	if support < m.MinSupport {
+		return nil
+	}
+	return []MinedRule{{
+		Pattern:     "door-closed-while-running",
+		Description: "device doors are never opened while the device is running",
+		MapsTo:      "general-10",
+		Support:     support,
+	}}
+}
+
+// mineContainerBeforeAction: every start_action on a container-hosting
+// action device is preceded (since the last pick from it) by a placement
+// into that device — general rule 5.
+func (m *Miner) mineContainerBeforeAction(corpus []Run) []MinedRule {
+	support := 0
+	for _, r := range corpus {
+		hasContainer := map[string]bool{}
+		armLoc := map[string]string{}
+		for _, c := range m.normalized(r) {
+			switch c.Action {
+			case action.MoveRobot, action.MoveRobotInside:
+				armLoc[c.Device] = c.TargetName
+			case action.OpenGripper, action.PlaceObject:
+				if owner, ok := m.lab.LocationOwner(armLoc[c.Device]); ok {
+					hasContainer[owner] = true
+				}
+			case action.CloseGripper, action.PickObject:
+				if owner, ok := m.lab.LocationOwner(armLoc[c.Device]); ok {
+					hasContainer[owner] = false
+				}
+			case action.StartAction:
+				t, ok := m.lab.DeviceType(c.Device)
+				if !ok || t != rules.TypeActionDevice || !m.lab.HostsContainers(c.Device) {
+					continue
+				}
+				if !hasContainer[c.Device] {
+					return nil
+				}
+				support++
+			}
+		}
+	}
+	if support < m.MinSupport {
+		return nil
+	}
+	return []MinedRule{{
+		Pattern:     "container-before-action",
+		Description: "action devices only run with a container placed inside them",
+		MapsTo:      "general-5",
+		Support:     support,
+	}}
+}
+
+// mineActionThresholds learns each action device's maximum observed
+// setpoint — the data-derived seed for rule 11's thresholds.
+func (m *Miner) mineActionThresholds(corpus []Run) []MinedRule {
+	maxSeen := map[string]float64{}
+	count := map[string]int{}
+	for _, r := range corpus {
+		for _, c := range m.normalized(r) {
+			if c.Action == action.SetActionValue {
+				if c.Value > maxSeen[c.Device] {
+					maxSeen[c.Device] = c.Value
+				}
+				count[c.Device]++
+			}
+		}
+	}
+	var out []MinedRule
+	devices := make([]string, 0, len(maxSeen))
+	for d := range maxSeen {
+		devices = append(devices, d)
+	}
+	sort.Strings(devices)
+	for _, d := range devices {
+		if count[d] < m.MinSupport {
+			continue
+		}
+		out = append(out, MinedRule{
+			Pattern:     "action-threshold",
+			Description: fmt.Sprintf("%s action values never exceed %.0f", d, maxSeen[d]),
+			MapsTo:      "general-11",
+			Support:     count[d],
+			Threshold:   maxSeen[d],
+			Device:      d,
+		})
+	}
+	return out
+}
+
+// mineSolidBeforeLiquid: liquid is only ever added to containers that
+// already received solid — the Hein-specific custom rule the paper
+// highlights as RAD-mined ("solids must be added to containers before
+// liquids").
+func (m *Miner) mineSolidBeforeLiquid(corpus []Run) []MinedRule {
+	support := 0
+	for _, r := range corpus {
+		hasSolid := map[string]bool{}
+		insideDD := map[string]string{} // dosing device → container inside
+		armHeld := map[string]string{}
+		armLoc := map[string]string{}
+		pendingObj := map[string]string{} // object declared on the last descend
+		for _, c := range m.normalized(r) {
+			switch c.Action {
+			case action.MoveRobot, action.MoveRobotInside:
+				armLoc[c.Device] = c.TargetName
+				pendingObj[c.Device] = c.Object
+			case action.CloseGripper, action.PickObject:
+				obj := c.Object
+				if obj == "" {
+					obj = pendingObj[c.Device]
+				}
+				if obj != "" {
+					armHeld[c.Device] = obj
+				}
+			case action.OpenGripper, action.PlaceObject:
+				obj := armHeld[c.Device]
+				if obj == "" {
+					continue
+				}
+				loc := armLoc[c.Device]
+				if owner, ok := m.lab.LocationOwner(loc); ok && m.lab.LocationIsInside(loc) {
+					insideDD[owner] = obj
+				}
+				armHeld[c.Device] = ""
+			case action.DoseSolid:
+				if obj := insideDD[c.Device]; obj != "" {
+					hasSolid[obj] = true
+				}
+				if c.Object != "" {
+					hasSolid[c.Object] = true
+				}
+			case action.DoseLiquid:
+				if c.Object != "" {
+					if !hasSolid[c.Object] {
+						return nil
+					}
+					support++
+				}
+			}
+		}
+	}
+	if support < m.MinSupport {
+		return nil
+	}
+	return []MinedRule{{
+		Pattern:     "solid-before-liquid",
+		Description: "solids are always added to containers before liquids",
+		MapsTo:      "hein-1",
+		Support:     support,
+	}}
+}

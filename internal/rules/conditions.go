@@ -1,0 +1,230 @@
+package rules
+
+import (
+	"fmt"
+
+	"repro/internal/action"
+	"repro/internal/geom"
+	"repro/internal/state"
+)
+
+// NormalizeCommand re-derives RABIT's view of a raw scripted command:
+// experiment scripts carry their own location tables and send raw
+// coordinates; RABIT matches them against its configured locations to
+// recover the named location, the inside-a-device relationship, and the
+// move_robot_inside labelling. A script-side coordinate edit (Fig. 6's
+// Bug D) breaks the match and silently degrades the move to an untracked
+// raw one — faithfully reproducing the paper's observability gap.
+func NormalizeCommand(lab LabModel, cmd action.Command) action.Command {
+	if !cmd.Action.IsRobotMotion() {
+		return cmd
+	}
+	if cmd.TargetName == "" && cmd.Target.IsFinite() {
+		if name, ok := lab.MatchLocation(cmd.Device, cmd.Target); ok {
+			cmd.TargetName = name
+		}
+	}
+	if cmd.TargetName != "" && cmd.Action == action.MoveRobot && lab.LocationIsInside(cmd.TargetName) {
+		if owner, ok := lab.LocationOwner(cmd.TargetName); ok {
+			cmd.Action = action.MoveRobotInside
+			cmd.InsideDevice = owner
+		}
+	}
+	return cmd
+}
+
+// resolveTarget returns the motion command's target position in the
+// commanded arm's frame, preferring the named location's configured
+// coordinates.
+func resolveTarget(ctx *EvalContext) (geom.Vec3, bool) {
+	if ctx.Cmd.TargetName != "" {
+		if p, ok := ctx.Lab.LocationPos(ctx.Cmd.Device, ctx.Cmd.TargetName); ok {
+			return p, true
+		}
+		return geom.Vec3{}, false
+	}
+	if ctx.Cmd.Target.IsFinite() {
+		return ctx.Cmd.Target, true
+	}
+	return geom.Vec3{}, false
+}
+
+// heldObjectOf returns the object the model believes the arm is holding.
+func heldObjectOf(ctx *EvalContext, armID string) string {
+	if !ctx.State.GetBool(state.Holding(armID)) {
+		return ""
+	}
+	return ctx.State.GetString(state.HeldObject(armID))
+}
+
+// armVolumesAtTarget builds the capsules RABIT models the arm with when
+// its TCP sits at the target: the gripper assembly reaching down, plus —
+// only for the modified generation — the held object hanging below.
+func armVolumesAtTarget(ctx *EvalContext, target geom.Vec3) []geom.Capsule {
+	g := ctx.Lab.ArmGeometry(ctx.Cmd.Device)
+	drop := g.FingerReach - g.FingerRadius
+	if drop < 0 {
+		drop = 0
+	}
+	caps := []geom.Capsule{
+		geom.NewCapsule(target, target.Add(geom.V(0, 0, -drop)), g.FingerRadius),
+	}
+	if ctx.Cfg.HeldObjectAware() {
+		if held := heldObjectOf(ctx, ctx.Cmd.Device); held != "" {
+			if og, ok := ctx.Lab.ObjectGeometry(held); ok {
+				hang := og.CarriedHang - og.Radius
+				if hang < 0 {
+					hang = 0
+				}
+				caps = append(caps, geom.NewCapsule(target,
+					target.Add(geom.V(0, 0, -hang)), og.Radius))
+			}
+		}
+	}
+	return caps
+}
+
+// checkTargetGeometry performs the target-location collision check the
+// paper describes for deployments without the Extended Simulator: "only
+// the target location is checked for potential collisions". It validates
+// the arm's modelled volume at the target against the platform and every
+// cuboid registered in this arm's frame. The box of the device that hosts
+// an *inside* target location is excluded — reaching into an open device
+// is the point of such a move (its door is guarded by general rule 1).
+func checkTargetGeometry(ctx *EvalContext) string {
+	target, ok := resolveTarget(ctx)
+	if !ok {
+		return "" // unresolvable targets are caught by structural validation
+	}
+	armID := ctx.Cmd.Device
+	caps := armVolumesAtTarget(ctx, target)
+	floor := geom.PlaneFromPointNormal(geom.V(0, 0, ctx.Lab.FloorZ(armID)), geom.V(0, 0, 1))
+	for i, c := range caps {
+		if geom.CapsulePlanePenetrates(c, floor) {
+			part := "gripper"
+			if i > 0 {
+				part = "held object"
+			}
+			return fmt.Sprintf("%s would penetrate the platform at target %v", part, target)
+		}
+		for _, wall := range ctx.Lab.Walls(armID) {
+			if geom.CapsulePlanePenetrates(c, wall) {
+				part := "gripper"
+				if i > 0 {
+					part = "held object"
+				}
+				return fmt.Sprintf("%s would punch into a lab wall at target %v", part, target)
+			}
+		}
+	}
+
+	// Devices whose door the model believes is open may be legitimately
+	// reached into, so their cuboids are excluded (their closed-door case
+	// is rule 1's concern); so is the owner of an inside target location.
+	excluded := map[string]bool{}
+	if ctx.Cmd.TargetName != "" && ctx.Lab.LocationIsInside(ctx.Cmd.TargetName) {
+		if owner, ok := ctx.Lab.LocationOwner(ctx.Cmd.TargetName); ok {
+			excluded[owner] = true
+		}
+	}
+	boxes := ctx.Lab.DeviceBoxes(armID)
+	for _, nb := range boxes {
+		for _, door := range ctx.Lab.DeviceDoors(nb.Name) {
+			if ctx.State.GetBool(state.DoorStatusOf(nb.Name, door)) {
+				excluded[nb.Name] = true
+				break
+			}
+		}
+	}
+	// Time multiplexing: sleeping arms appear as cuboids in this arm's
+	// frame (awake arms are handled by the others-asleep precondition).
+	if ctx.Cfg.Generation >= GenModified && ctx.Cfg.Multiplex == MultiplexTime {
+		for _, other := range ctx.Lab.ArmIDs() {
+			if other == armID {
+				continue
+			}
+			if ctx.State.GetBool(state.ArmAsleep(other)) {
+				if box, ok := ctx.Lab.SleepBox(armID, other); ok {
+					boxes = append(boxes, NamedBox{Name: "sleeping:" + other, Box: box})
+				}
+			}
+		}
+	}
+	for _, nb := range boxes {
+		if excluded[nb.Name] {
+			continue
+		}
+		for i, c := range caps {
+			if nb.IntersectsCapsule(c) {
+				part := "gripper"
+				if i > 0 {
+					part = "held object"
+				}
+				return fmt.Sprintf("%s would collide with %s at target %v", part, nb.Name, target)
+			}
+		}
+	}
+	return ""
+}
+
+// checkOthersAsleep is the time-multiplexing precondition: while this arm
+// moves, every other arm must rest in its sleep pose.
+func checkOthersAsleep(ctx *EvalContext) string {
+	for _, other := range ctx.Lab.ArmIDs() {
+		if other == ctx.Cmd.Device {
+			continue
+		}
+		if !ctx.State.GetBool(state.ArmAsleep(other)) {
+			return fmt.Sprintf("time multiplexing requires arm %s to be in its sleep pose", other)
+		}
+	}
+	return ""
+}
+
+// checkWithinZone is the space-multiplexing precondition: the move's
+// target must stay on the arm's side of its software wall.
+func checkWithinZone(ctx *EvalContext) string {
+	zone, ok := ctx.Lab.Zone(ctx.Cmd.Device)
+	if !ok {
+		return ""
+	}
+	target, ok := resolveTarget(ctx)
+	if !ok {
+		return ""
+	}
+	g := ctx.Lab.ArmGeometry(ctx.Cmd.Device)
+	if zone.SignedDist(target) < g.FingerRadius {
+		return fmt.Sprintf("target %v crosses the software wall of arm %s", target, ctx.Cmd.Device)
+	}
+	return ""
+}
+
+// placedContainer resolves which container a place-style command deposits
+// and into which device: explicit fields first, then the model's belief
+// about what the arm holds and where it stands.
+func placedContainer(ctx *EvalContext) (object, device string) {
+	object = ctx.Cmd.Object
+	if object == "" {
+		object = heldObjectOf(ctx, ctx.Cmd.Device)
+	}
+	device = ctx.Cmd.InsideDevice
+	if device == "" {
+		loc := ctx.State.GetString(state.ArmAt(ctx.Cmd.Device))
+		if loc != "" {
+			if owner, ok := ctx.Lab.LocationOwner(loc); ok && ctx.Lab.LocationIsInside(loc) {
+				device = owner
+			}
+		}
+	}
+	return object, device
+}
+
+// dosedContainer resolves which container a dosing command fills: the
+// explicit object, or whatever the model believes sits inside the dosing
+// device.
+func dosedContainer(ctx *EvalContext) string {
+	if ctx.Cmd.Object != "" {
+		return ctx.Cmd.Object
+	}
+	return ctx.State.GetString(state.ContainerInside(ctx.Cmd.Device))
+}

@@ -1,0 +1,222 @@
+package rules
+
+import (
+	"fmt"
+
+	"repro/internal/action"
+	"repro/internal/state"
+)
+
+// HeinCustomRules returns the four Hein-Lab custom rules of Table IV,
+// parameterised by the lab's centrifuge device ID.
+func HeinCustomRules(centrifugeID string) []*Rule {
+	return []*Rule{
+		heinCustomRule1(),
+		heinCustomRule2(centrifugeID),
+		heinCustomRule3(centrifugeID),
+		heinCustomRule4(centrifugeID),
+	}
+}
+
+// Custom rule 1: Add liquid to a container only if the container already
+// has solid.
+func heinCustomRule1() *Rule {
+	return &Rule{
+		ID: "hein-1", Scope: ScopeCustom, Number: 1,
+		Description: "Add liquid to a container only if the container already has solid",
+		AppliesTo:   appliesToLabels(action.DoseLiquid, action.TransferSubstance),
+		Check: func(ctx *EvalContext) string {
+			c := ctx.Cmd.Object
+			if ctx.Cmd.Action == action.TransferSubstance {
+				c = ctx.Cmd.ToContainer
+			}
+			if c == "" {
+				c = dosedContainer(ctx)
+			}
+			if c == "" {
+				return ""
+			}
+			if !ctx.State.GetBool(state.HasSolid(c)) {
+				return fmt.Sprintf("container %s has no solid yet", c)
+			}
+			return ""
+		},
+	}
+}
+
+// appliesToCentrifugePlacement matches any command that deposits a
+// container into the centrifuge: the production-level semantic place, or
+// a testbed gripper release while the arm stands at a centrifuge slot.
+func appliesToCentrifugePlacement(centrifugeID string) func(ctx *EvalContext) bool {
+	return func(ctx *EvalContext) bool {
+		if !ctx.Cmd.Action.IsManipulation() {
+			return false
+		}
+		if ctx.Cmd.Action == action.PickObject || ctx.Cmd.Action == action.CloseGripper {
+			return false
+		}
+		_, dev := placedContainer(ctx)
+		return dev == centrifugeID
+	}
+}
+
+// heinCustomRule2: Place the container in the centrifuge only if the
+// container contains both a solid and a liquid.
+func heinCustomRule2(centrifugeID string) *Rule {
+	match := appliesToCentrifugePlacement(centrifugeID)
+	return &Rule{
+		ID: "hein-2", Scope: ScopeCustom, Number: 2,
+		Description: "Place the container in the centrifuge only if it contains both a solid and a liquid",
+		AppliesTo:   appliesToLabels(action.PlaceObject, action.OpenGripper),
+		Check: func(ctx *EvalContext) string {
+			if !match(ctx) {
+				return ""
+			}
+			c, _ := placedContainer(ctx)
+			if c == "" {
+				return ""
+			}
+			if !ctx.State.GetBool(state.HasSolid(c)) || !ctx.State.GetBool(state.HasLiquid(c)) {
+				return fmt.Sprintf("container %s does not contain both solid and liquid", c)
+			}
+			return ""
+		},
+	}
+}
+
+// heinCustomRule3: Place the container in the centrifuge only if the red
+// dot on the centrifuge faces North.
+func heinCustomRule3(centrifugeID string) *Rule {
+	match := appliesToCentrifugePlacement(centrifugeID)
+	return &Rule{
+		ID: "hein-3", Scope: ScopeCustom, Number: 3,
+		Description: "Place the container in the centrifuge only if the red dot on the centrifuge faces North",
+		AppliesTo:   appliesToLabels(action.PlaceObject, action.OpenGripper),
+		Check: func(ctx *EvalContext) string {
+			if !match(ctx) {
+				return ""
+			}
+			if !ctx.State.GetBool(state.RedDotNorth(centrifugeID)) {
+				return fmt.Sprintf("red dot on %s does not face North", centrifugeID)
+			}
+			return ""
+		},
+	}
+}
+
+// heinCustomRule4: Place the container in the centrifuge only if the
+// container has a stopper on it.
+func heinCustomRule4(centrifugeID string) *Rule {
+	match := appliesToCentrifugePlacement(centrifugeID)
+	return &Rule{
+		ID: "hein-4", Scope: ScopeCustom, Number: 4,
+		Description: "Place the container in the centrifuge only if the container has a stopper on it",
+		AppliesTo:   appliesToLabels(action.PlaceObject, action.OpenGripper),
+		Check: func(ctx *EvalContext) string {
+			if !match(ctx) {
+				return ""
+			}
+			c, _ := placedContainer(ctx)
+			if c == "" {
+				return ""
+			}
+			if !ctx.State.GetBool(state.Stopper(c)) {
+				return fmt.Sprintf("container %s has no stopper on", c)
+			}
+			return ""
+		},
+	}
+}
+
+// MultiplexRules returns the engine preconditions the modified RABIT adds
+// for multi-arm decks, per the configured policy.
+func MultiplexRules(policy MultiplexPolicy) []*Rule {
+	switch policy {
+	case MultiplexTime:
+		return []*Rule{{
+			ID: "mux-time", Scope: ScopeEngine, Number: 1,
+			Description: "Time multiplexing: only one arm may be out of its sleep pose",
+			AppliesTo: func(cmd action.Command) bool {
+				return cmd.Action.IsRobotMotion() && cmd.Action != action.MoveSleep
+			},
+			Check: checkOthersAsleep,
+		}}
+	case MultiplexSpace:
+		return []*Rule{{
+			ID: "mux-space", Scope: ScopeEngine, Number: 2,
+			Description: "Space multiplexing: each arm must stay inside its software-walled zone",
+			AppliesTo: func(cmd action.Command) bool {
+				return cmd.Action == action.MoveRobot || cmd.Action == action.MoveRobotInside
+			},
+			Check: checkWithinZone,
+		}}
+	default:
+		return nil
+	}
+}
+
+// VarRequirement is one declaratively configured requirement: the state
+// variable named by Var (after substituting $device and $object with the
+// command's fields) must equal Equals.
+type VarRequirement struct {
+	Var    string      `json:"var"`
+	Arg    string      `json:"arg"`    // "$device", "$object", or a literal
+	Arg2   string      `json:"arg2"`   // optional second qualifier
+	Equals state.Value `json:"equals"` // required value
+}
+
+// resolveArg substitutes command fields into a requirement argument.
+func resolveArg(arg string, cmd action.Command) string {
+	switch arg {
+	case "$device":
+		return cmd.Device
+	case "$object":
+		return cmd.Object
+	case "$inside_device":
+		return cmd.InsideDevice
+	case "$target":
+		return cmd.TargetName
+	default:
+		return arg
+	}
+}
+
+// NewDeclarativeRule builds a custom rule from JSON-configurable parts —
+// the mechanism lab researchers use to add their own rules (Section II-C
+// and the pilot study, where participant P entered a custom rule).
+// devices restricts the rule to commands addressed to those devices
+// (empty = any device).
+func NewDeclarativeRule(id, description string, number int, labels []action.Label, devices []string, reqs []VarRequirement) *Rule {
+	labelMatch := appliesToLabels(labels...)
+	deviceSet := make(map[string]bool, len(devices))
+	for _, d := range devices {
+		deviceSet[d] = true
+	}
+	return &Rule{
+		ID: id, Scope: ScopeCustom, Number: number,
+		Description: description,
+		AppliesTo: func(cmd action.Command) bool {
+			if !labelMatch(cmd) {
+				return false
+			}
+			return len(deviceSet) == 0 || deviceSet[cmd.Device]
+		},
+		Check: func(ctx *EvalContext) string {
+			for _, req := range reqs {
+				args := make([]string, 0, 2)
+				if req.Arg != "" {
+					args = append(args, resolveArg(req.Arg, ctx.Cmd))
+				}
+				if req.Arg2 != "" {
+					args = append(args, resolveArg(req.Arg2, ctx.Cmd))
+				}
+				key := state.MakeKey(req.Var, args...)
+				got, ok := ctx.State.Get(key)
+				if !ok || !got.Equal(req.Equals) {
+					return fmt.Sprintf("%s is %v, required %v", key, got, req.Equals)
+				}
+			}
+			return ""
+		},
+	}
+}

@@ -1,0 +1,330 @@
+package rules
+
+import (
+	"fmt"
+
+	"repro/internal/action"
+	"repro/internal/state"
+)
+
+// GeneralRules returns the eleven general rules of Table III, plus the
+// Table II transition-table preconditions that are not themselves
+// numbered rules (semantic place requires holding). The rules are fresh
+// instances so callers may filter or annotate them freely.
+func GeneralRules() []*Rule {
+	return []*Rule{
+		generalRule1(),
+		generalRule2(),
+		generalRule3(),
+		generalRule4(),
+		generalRule5(),
+		generalRule6(),
+		generalRule7(),
+		generalRule8(),
+		generalRule9(),
+		generalRule10(),
+		generalRule11(),
+		tableIIPlaceNeedsHolding(),
+	}
+}
+
+// targetDoorDevice resolves which device's door guards a motion command.
+func targetDoorDevice(ctx *EvalContext) string {
+	if ctx.Cmd.InsideDevice != "" {
+		return ctx.Cmd.InsideDevice
+	}
+	if ctx.Cmd.TargetName != "" && ctx.Lab.LocationIsInside(ctx.Cmd.TargetName) {
+		if owner, ok := ctx.Lab.LocationOwner(ctx.Cmd.TargetName); ok {
+			return owner
+		}
+	}
+	return ""
+}
+
+// Rule 1: Robot arm cannot move into a device whose door is closed.
+func generalRule1() *Rule {
+	return &Rule{
+		ID: "general-1", Scope: ScopeGeneral, Number: 1,
+		Description: "Robot arm cannot move into a device whose door is closed",
+		AppliesTo:   appliesToLabels(action.MoveRobotInside, action.MoveRobot),
+		Check: func(ctx *EvalContext) string {
+			dev := targetDoorDevice(ctx)
+			if dev == "" || !ctx.Lab.DeviceHasDoor(dev) {
+				return ""
+			}
+			door := ctx.Lab.LocationDoor(ctx.Cmd.TargetName)
+			if !ctx.State.GetBool(state.DoorStatusOf(dev, door)) {
+				if door != "" {
+					return fmt.Sprintf("door %q of %s is closed", door, dev)
+				}
+				return fmt.Sprintf("door of %s is closed", dev)
+			}
+			return ""
+		},
+	}
+}
+
+// Rule 2: Device door cannot be closed when the robot is inside the device.
+func generalRule2() *Rule {
+	return &Rule{
+		ID: "general-2", Scope: ScopeGeneral, Number: 2,
+		Description: "Device door cannot be closed when the robot is inside the device",
+		AppliesTo:   appliesToLabels(action.CloseDoor),
+		Check: func(ctx *EvalContext) string {
+			for _, arm := range ctx.Lab.ArmIDs() {
+				if ctx.State.GetBool(state.ArmInside(arm, ctx.Cmd.Device)) {
+					return fmt.Sprintf("arm %s is inside %s", arm, ctx.Cmd.Device)
+				}
+			}
+			return ""
+		},
+	}
+}
+
+// Rule 3: Robot arm can move to any location not occupied by any object.
+func generalRule3() *Rule {
+	return &Rule{
+		ID: "general-3", Scope: ScopeGeneral, Number: 3,
+		Description: "Robot arm can move to any location not occupied by any object",
+		AppliesTo:   appliesToLabels(action.MoveRobot, action.MoveRobotInside),
+		Check: func(ctx *EvalContext) string {
+			if ctx.Cmd.TargetName != "" {
+				occupant := ctx.State.GetString(state.ObjectAt(ctx.Cmd.TargetName))
+				if occupant != "" && occupant != ctx.Cmd.Object {
+					return fmt.Sprintf("location %s is occupied by %s", ctx.Cmd.TargetName, occupant)
+				}
+			}
+			return checkTargetGeometry(ctx)
+		},
+	}
+}
+
+// Rule 4: Robot arm can pick up an object when it isn't holding something.
+func generalRule4() *Rule {
+	return &Rule{
+		ID: "general-4", Scope: ScopeGeneral, Number: 4,
+		Description: "Robot arm can pick up an object when it isn't holding something",
+		AppliesTo:   appliesToLabels(action.PickObject, action.CloseGripper),
+		Check: func(ctx *EvalContext) string {
+			if ctx.State.GetBool(state.Holding(ctx.Cmd.Device)) {
+				return fmt.Sprintf("arm %s is already holding %s",
+					ctx.Cmd.Device, ctx.State.GetString(state.HeldObject(ctx.Cmd.Device)))
+			}
+			return ""
+		},
+	}
+}
+
+// Rule 5: Action device can perform actions when a container is inside it.
+func generalRule5() *Rule {
+	return &Rule{
+		ID: "general-5", Scope: ScopeGeneral, Number: 5,
+		Description: "Action device can perform actions when a container is inside it",
+		AppliesTo:   appliesToLabels(action.StartAction),
+		Check: func(ctx *EvalContext) string {
+			if t, ok := ctx.Lab.DeviceType(ctx.Cmd.Device); !ok || t != TypeActionDevice {
+				return ""
+			}
+			if !ctx.Lab.HostsContainers(ctx.Cmd.Device) {
+				return "" // nozzles and the like act on nothing held inside
+			}
+			if ctx.State.GetString(state.ContainerInside(ctx.Cmd.Device)) == "" {
+				return fmt.Sprintf("no container is in %s", ctx.Cmd.Device)
+			}
+			return ""
+		},
+	}
+}
+
+// Rule 6: Action device can perform actions when a container is not empty.
+func generalRule6() *Rule {
+	return &Rule{
+		ID: "general-6", Scope: ScopeGeneral, Number: 6,
+		Description: "Action device can perform actions when a container is not empty",
+		AppliesTo:   appliesToLabels(action.StartAction),
+		Check: func(ctx *EvalContext) string {
+			if t, ok := ctx.Lab.DeviceType(ctx.Cmd.Device); !ok || t != TypeActionDevice {
+				return ""
+			}
+			if !ctx.Lab.HostsContainers(ctx.Cmd.Device) {
+				return ""
+			}
+			c := ctx.State.GetString(state.ContainerInside(ctx.Cmd.Device))
+			if c == "" {
+				return "" // rule 5's concern
+			}
+			if !ctx.State.GetBool(state.HasSolid(c)) && !ctx.State.GetBool(state.HasLiquid(c)) {
+				return fmt.Sprintf("container %s in %s is empty", c, ctx.Cmd.Device)
+			}
+			return ""
+		},
+	}
+}
+
+// Rule 7: A substance can be transferred from a delivering container to a
+// receiving container when neither has a stopper on it.
+func generalRule7() *Rule {
+	return &Rule{
+		ID: "general-7", Scope: ScopeGeneral, Number: 7,
+		Description: "A substance can be transferred only when neither container has a stopper on it",
+		AppliesTo:   appliesToLabels(action.TransferSubstance),
+		Check: func(ctx *EvalContext) string {
+			if ctx.State.GetBool(state.Stopper(ctx.Cmd.FromContainer)) {
+				return fmt.Sprintf("delivering container %s has its stopper on", ctx.Cmd.FromContainer)
+			}
+			if ctx.State.GetBool(state.Stopper(ctx.Cmd.ToContainer)) {
+				return fmt.Sprintf("receiving container %s has its stopper on", ctx.Cmd.ToContainer)
+			}
+			return ""
+		},
+	}
+}
+
+// Rule 8: A substance can be transferred from a filled delivering
+// container to an empty or partially filled receiving container. The same
+// capacity logic guards dosing commands (the pilot-study scenario where a
+// dose exceeded the vial's capacity).
+func generalRule8() *Rule {
+	return &Rule{
+		ID: "general-8", Scope: ScopeGeneral, Number: 8,
+		Description: "Substance transfer requires a filled delivering container and room in the receiving container",
+		AppliesTo:   appliesToLabels(action.TransferSubstance, action.DoseSolid, action.DoseLiquid),
+		Check: func(ctx *EvalContext) string {
+			switch ctx.Cmd.Action {
+			case action.TransferSubstance:
+				if !ctx.State.GetBool(state.HasLiquid(ctx.Cmd.FromContainer)) {
+					return fmt.Sprintf("delivering container %s is empty", ctx.Cmd.FromContainer)
+				}
+				return checkRoom(ctx, ctx.Cmd.ToContainer, 0, ctx.Cmd.Value)
+			case action.DoseSolid:
+				c := dosedContainer(ctx)
+				if c == "" {
+					return "" // no container known; rules 5/9 and the workflow guard this
+				}
+				return checkRoom(ctx, c, ctx.Cmd.Value, 0)
+			case action.DoseLiquid:
+				c := dosedContainer(ctx)
+				if c == "" {
+					return ""
+				}
+				return checkRoom(ctx, c, 0, ctx.Cmd.Value)
+			default:
+				return ""
+			}
+		},
+	}
+}
+
+// checkRoom validates that the receiving container has room for the added
+// amounts, using the model-tracked contents and configured capacities.
+func checkRoom(ctx *EvalContext, container string, addMg, addML float64) string {
+	og, ok := ctx.Lab.ObjectGeometry(container)
+	if !ok {
+		return ""
+	}
+	if addMg > 0 && og.CapacityMg > 0 {
+		cur := 0.0
+		if v, ok := ctx.State.Get(state.SolidAmount(container)); ok {
+			cur = v.AsFloat()
+		}
+		if cur+addMg > og.CapacityMg {
+			return fmt.Sprintf("dosing %.1f mg would exceed %s's capacity (%.1f/%.1f mg)",
+				addMg, container, cur, og.CapacityMg)
+		}
+	}
+	if addML > 0 && og.CapacityML > 0 {
+		cur := 0.0
+		if v, ok := ctx.State.Get(state.LiquidAmount(container)); ok {
+			cur = v.AsFloat()
+		}
+		if cur+addML > og.CapacityML {
+			return fmt.Sprintf("adding %.1f mL would exceed %s's capacity (%.1f/%.1f mL)",
+				addML, container, cur, og.CapacityML)
+		}
+	}
+	return ""
+}
+
+// Rule 9: Dosing systems or action devices with doors should start dosing
+// or performing an action only when their doors are closed.
+func generalRule9() *Rule {
+	return &Rule{
+		ID: "general-9", Scope: ScopeGeneral, Number: 9,
+		Description: "Devices with doors must start dosing/actions only when their doors are closed",
+		AppliesTo:   appliesToLabels(action.StartAction, action.DoseSolid),
+		Check: func(ctx *EvalContext) string {
+			for _, door := range ctx.Lab.DeviceDoors(ctx.Cmd.Device) {
+				if ctx.State.GetBool(state.DoorStatusOf(ctx.Cmd.Device, door)) {
+					if door != "" {
+						return fmt.Sprintf("door %q of %s is open", door, ctx.Cmd.Device)
+					}
+					return fmt.Sprintf("door of %s is open", ctx.Cmd.Device)
+				}
+			}
+			return ""
+		},
+	}
+}
+
+// Rule 10: The door of dosing systems or action devices with doors should
+// be closed (i.e. must not be opened) while they are running.
+func generalRule10() *Rule {
+	return &Rule{
+		ID: "general-10", Scope: ScopeGeneral, Number: 10,
+		Description: "Device doors must stay closed while the device is running",
+		AppliesTo:   appliesToLabels(action.OpenDoor),
+		Check: func(ctx *EvalContext) string {
+			if ctx.State.GetBool(state.Running(ctx.Cmd.Device)) {
+				return fmt.Sprintf("%s is running", ctx.Cmd.Device)
+			}
+			return ""
+		},
+	}
+}
+
+// Rule 11: The action value for a given action device must not exceed its
+// predefined threshold.
+func generalRule11() *Rule {
+	return &Rule{
+		ID: "general-11", Scope: ScopeGeneral, Number: 11,
+		Description: "Action values must not exceed the device's predefined threshold",
+		AppliesTo:   appliesToLabels(action.SetActionValue, action.StartAction),
+		Check: func(ctx *EvalContext) string {
+			limit, ok := ctx.Lab.ActionThreshold(ctx.Cmd.Device)
+			if !ok {
+				return ""
+			}
+			val := ctx.Cmd.Value
+			if ctx.Cmd.Action == action.StartAction {
+				if v, ok := ctx.State.Get(state.ActionValue(ctx.Cmd.Device)); ok {
+					val = v.AsFloat()
+				} else {
+					return ""
+				}
+			}
+			if val > limit {
+				return fmt.Sprintf("action value %.1f exceeds %s's threshold %.1f", val, ctx.Cmd.Device, limit)
+			}
+			return ""
+		},
+	}
+}
+
+// tableIIPlaceNeedsHolding encodes the Table II place_object precondition
+// (robotArmHolding = 1). It guards only the *semantic* production-level
+// place action; the testbed's raw open_gripper command has no such
+// precondition — which is exactly why the paper's Bug C (a deleted
+// pick-up call) slips past RABIT on the testbed.
+func tableIIPlaceNeedsHolding() *Rule {
+	return &Rule{
+		ID: "table2-place", Scope: ScopeGeneral, Number: 0,
+		Description: "place_object requires the arm to be holding an object (Table II precondition)",
+		AppliesTo:   appliesToLabels(action.PlaceObject),
+		Check: func(ctx *EvalContext) string {
+			if !ctx.State.GetBool(state.Holding(ctx.Cmd.Device)) {
+				return fmt.Sprintf("arm %s is not holding anything", ctx.Cmd.Device)
+			}
+			return ""
+		},
+	}
+}

@@ -1,0 +1,150 @@
+package rules
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/action"
+	"repro/internal/geom"
+	"repro/internal/state"
+)
+
+// randomCommand draws a plausible command from the fake lab's vocabulary.
+func randomCommand(rng *rand.Rand) action.Command {
+	arms := []string{"viperx", "ned2"}
+	devices := []string{"dosing_device", "hotplate", "centrifuge", "pump"}
+	objects := []string{"vial_1", "beaker", ""}
+	locs := []string{"grid_NW", "dd_pickup", "hp_place", "cf_slot", ""}
+	labels := []action.Label{
+		action.MoveRobot, action.MoveRobotInside, action.MoveHome, action.MoveSleep,
+		action.OpenGripper, action.CloseGripper, action.PickObject, action.PlaceObject,
+		action.OpenDoor, action.CloseDoor, action.StartAction, action.StopAction,
+		action.SetActionValue, action.DoseSolid, action.DoseLiquid, action.TransferSubstance,
+	}
+	cmd := action.Command{Action: labels[rng.Intn(len(labels))]}
+	if cmd.Action.IsRobotMotion() || cmd.Action.IsManipulation() {
+		cmd.Device = arms[rng.Intn(len(arms))]
+	} else {
+		cmd.Device = devices[rng.Intn(len(devices))]
+	}
+	if rng.Intn(2) == 0 {
+		cmd.TargetName = locs[rng.Intn(len(locs))]
+	} else {
+		cmd.Target = geom.V(rng.Float64(), rng.Float64()-0.5, rng.Float64()*0.5)
+	}
+	cmd.Object = objects[rng.Intn(len(objects))]
+	cmd.FromContainer = "beaker"
+	cmd.ToContainer = "vial_1"
+	cmd.Value = rng.Float64() * 200
+	return cmd
+}
+
+// randomState perturbs the initial model with random variable flips.
+func randomState(rng *rand.Rand) state.Snapshot {
+	s := initialModel()
+	flip := func(k state.Key) {
+		s.Set(k, state.Bool(rng.Intn(2) == 0))
+	}
+	flip(state.DoorStatus("dosing_device"))
+	flip(state.Running("dosing_device"))
+	flip(state.Running("hotplate"))
+	flip(state.Holding("viperx"))
+	flip(state.ArmAsleep("ned2"))
+	flip(state.HasSolid("vial_1"))
+	flip(state.HasLiquid("beaker"))
+	flip(state.Stopper("vial_1"))
+	if s.GetBool(state.Holding("viperx")) {
+		s.Set(state.HeldObject("viperx"), state.Str("vial_1"))
+	}
+	return s
+}
+
+// TestNormalizeIsIdempotent: normalising twice equals normalising once.
+func TestNormalizeIsIdempotent(t *testing.T) {
+	lab := newFakeLab()
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		cmd := randomCommand(rng)
+		once := NormalizeCommand(lab, cmd)
+		twice := NormalizeCommand(lab, once)
+		if !reflect.DeepEqual(once, twice) {
+			t.Fatalf("not idempotent for %+v: %+v vs %+v", cmd, once, twice)
+		}
+	}
+}
+
+// TestValidateIsPureAndDeterministic: validation neither mutates the
+// snapshot nor changes its verdict across calls.
+func TestValidateIsPureAndDeterministic(t *testing.T) {
+	rb := newRB(Config{Generation: GenModified, Multiplex: MultiplexTime})
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 300; i++ {
+		s := randomState(rng)
+		snapshot := s.Clone()
+		cmd := NormalizeCommand(rb.Lab(), randomCommand(rng))
+		v1 := rb.Validate(s, cmd)
+		v2 := rb.Validate(s, cmd)
+		if len(v1) != len(v2) {
+			t.Fatalf("non-deterministic verdict for %v: %d vs %d", cmd, len(v1), len(v2))
+		}
+		if !reflect.DeepEqual(s, snapshot) {
+			t.Fatalf("Validate mutated the state for %v", cmd)
+		}
+	}
+}
+
+// TestApplyIsDeterministicAndPure: UpdateState is a function.
+func TestApplyIsDeterministicAndPure(t *testing.T) {
+	lab := newFakeLab()
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 300; i++ {
+		s := randomState(rng)
+		snapshot := s.Clone()
+		cmd := NormalizeCommand(lab, randomCommand(rng))
+		a := Apply(s, cmd, lab)
+		b := Apply(s, cmd, lab)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("Apply non-deterministic for %v", cmd)
+		}
+		if !reflect.DeepEqual(s, snapshot) {
+			t.Fatalf("Apply mutated its input for %v", cmd)
+		}
+	}
+}
+
+// TestModifiedGenerationNeverRegresses: anything the initial RABIT flags,
+// the modified RABIT flags too — the paper's modification only *adds*
+// checks (held-object geometry, multiplexing).
+func TestModifiedGenerationNeverRegresses(t *testing.T) {
+	initial := newRB(Config{Generation: GenInitial, Multiplex: MultiplexNone})
+	modified := newRB(Config{Generation: GenModified, Multiplex: MultiplexTime})
+	rng := rand.New(rand.NewSource(14))
+	flagged := 0
+	for i := 0; i < 500; i++ {
+		s := randomState(rng)
+		cmd := NormalizeCommand(initial.Lab(), randomCommand(rng))
+		vi := initial.Validate(s, cmd)
+		if len(vi) == 0 {
+			continue
+		}
+		flagged++
+		vm := modified.Validate(s, cmd)
+		if len(vm) == 0 {
+			t.Fatalf("modified generation dropped a detection for %v (initial: %v)", cmd, vi)
+		}
+		// Every initial rule ID remains among the modified violations.
+		got := map[string]bool{}
+		for _, v := range vm {
+			got[v.Rule.ID] = true
+		}
+		for _, v := range vi {
+			if !got[v.Rule.ID] {
+				t.Fatalf("modified generation lost rule %s for %v", v.Rule.ID, cmd)
+			}
+		}
+	}
+	if flagged < 50 {
+		t.Fatalf("property exercised too rarely: %d flagged commands", flagged)
+	}
+}

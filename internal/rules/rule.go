@@ -1,0 +1,84 @@
+package rules
+
+import (
+	"fmt"
+
+	"repro/internal/action"
+)
+
+// Scope distinguishes the general rulebase (Table III) from lab-specific
+// custom rules (Table IV) and engine-added preconditions.
+type Scope int
+
+// Rule scopes.
+const (
+	ScopeGeneral Scope = iota + 1
+	ScopeCustom
+	ScopeEngine // multiplexing preconditions added by the modified RABIT
+)
+
+// String names the scope.
+func (s Scope) String() string {
+	switch s {
+	case ScopeGeneral:
+		return "general"
+	case ScopeCustom:
+		return "custom"
+	case ScopeEngine:
+		return "engine"
+	default:
+		return "unknown"
+	}
+}
+
+// Rule is one safety rule: an applicability filter plus a precondition
+// check that either passes or yields a violation reason.
+type Rule struct {
+	// ID is a stable slug, e.g. "general-1".
+	ID string
+	// Scope and Number reproduce the paper's tables: general rules are
+	// numbered 1–11 (Table III), custom rules 1–4 (Table IV).
+	Scope  Scope
+	Number int
+	// Description is the rule text from the paper.
+	Description string
+	// AppliesTo reports whether the rule guards this command at all.
+	AppliesTo func(cmd action.Command) bool
+	// Check returns a non-empty reason when the command would violate
+	// the rule in the given context.
+	Check func(ctx *EvalContext) string
+}
+
+// Violation reports one rule violated by one command.
+type Violation struct {
+	Rule   *Rule
+	Cmd    action.Command
+	Reason string
+}
+
+// Error renders the violation as the alert text shown to the researcher.
+func (v Violation) Error() string {
+	return fmt.Sprintf("rule %s (%s #%d) violated by %s: %s — %s",
+		v.Rule.ID, v.Rule.Scope, v.Rule.Number, v.Cmd, v.Rule.Description, v.Reason)
+}
+
+// Evaluate checks the command against the rule, returning a violation or
+// nil.
+func (r *Rule) Evaluate(ctx *EvalContext) *Violation {
+	if r.AppliesTo != nil && !r.AppliesTo(ctx.Cmd) {
+		return nil
+	}
+	if reason := r.Check(ctx); reason != "" {
+		return &Violation{Rule: r, Cmd: ctx.Cmd, Reason: reason}
+	}
+	return nil
+}
+
+// appliesToLabels builds an applicability filter from a label set.
+func appliesToLabels(labels ...action.Label) func(action.Command) bool {
+	set := make(map[action.Label]bool, len(labels))
+	for _, l := range labels {
+		set[l] = true
+	}
+	return func(cmd action.Command) bool { return set[cmd.Action] }
+}

@@ -1,0 +1,78 @@
+package rules
+
+import (
+	"sort"
+
+	"repro/internal/action"
+	"repro/internal/state"
+)
+
+// Rulebase is the complete set of rules the engine validates commands
+// against.
+type Rulebase struct {
+	rules []*Rule
+	lab   LabModel
+	cfg   Config
+}
+
+// NewRulebase assembles a rulebase: the general rules always, plus any
+// custom rules, plus the multiplexing preconditions when the modified
+// generation is configured.
+func NewRulebase(lab LabModel, cfg Config, custom ...*Rule) *Rulebase {
+	rb := &Rulebase{lab: lab, cfg: cfg}
+	rb.rules = append(rb.rules, GeneralRules()...)
+	rb.rules = append(rb.rules, custom...)
+	if cfg.Generation >= GenModified {
+		rb.rules = append(rb.rules, MultiplexRules(cfg.Multiplex)...)
+	}
+	sort.SliceStable(rb.rules, func(i, j int) bool {
+		if rb.rules[i].Scope != rb.rules[j].Scope {
+			return rb.rules[i].Scope < rb.rules[j].Scope
+		}
+		return rb.rules[i].Number < rb.rules[j].Number
+	})
+	return rb
+}
+
+// Config returns the engine configuration the rulebase was built with.
+func (rb *Rulebase) Config() Config { return rb.cfg }
+
+// Lab returns the lab model.
+func (rb *Rulebase) Lab() LabModel { return rb.lab }
+
+// Rules returns the rules, ordered by scope and number.
+func (rb *Rulebase) Rules() []*Rule {
+	out := make([]*Rule, len(rb.rules))
+	copy(out, rb.rules)
+	return out
+}
+
+// RuleByID finds a rule.
+func (rb *Rulebase) RuleByID(id string) (*Rule, bool) {
+	for _, r := range rb.rules {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return nil, false
+}
+
+// Validate implements Valid(S_current, a_next) from Fig. 2, line 6: it
+// evaluates every applicable rule and returns all violations (empty when
+// the command is safe).
+func (rb *Rulebase) Validate(s state.Snapshot, cmd action.Command) []Violation {
+	ctx := &EvalContext{State: s, Cmd: cmd, Lab: rb.lab, Cfg: rb.cfg}
+	var out []Violation
+	for _, r := range rb.rules {
+		if v := r.Evaluate(ctx); v != nil {
+			out = append(out, *v)
+		}
+	}
+	return out
+}
+
+// Expected implements UpdateState(S_current, a_next) from Fig. 2,
+// line 11.
+func (rb *Rulebase) Expected(s state.Snapshot, cmd action.Command) state.Snapshot {
+	return Apply(s, cmd, rb.lab)
+}

@@ -1,0 +1,712 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/action"
+	"repro/internal/geom"
+	"repro/internal/state"
+)
+
+// fakeLab is a configurable LabModel for unit tests, loosely shaped like
+// the paper's testbed: two arms, a dosing device with a door, a hotplate
+// with a threshold, a centrifuge, a grid, and one vial.
+type fakeLab struct {
+	types      map[string]DeviceType
+	doors      map[string]bool
+	arms       []string
+	locOwner   map[string]string
+	locInside  map[string]bool
+	locPos     map[string]geom.Vec3 // same for all arms in this fake
+	boxes      map[string][]NamedBox
+	sleepBoxes map[string]geom.AABB
+	thresholds map[string]float64
+	objects    map[string]ObjectGeom
+	zones      map[string]geom.Plane
+}
+
+var _ LabModel = (*fakeLab)(nil)
+
+func newFakeLab() *fakeLab {
+	return &fakeLab{
+		types: map[string]DeviceType{
+			"viperx":        TypeRobotArm,
+			"ned2":          TypeRobotArm,
+			"dosing_device": TypeDosingSystem,
+			"hotplate":      TypeActionDevice,
+			"centrifuge":    TypeActionDevice,
+			"pump":          TypeDosingSystem,
+		},
+		doors: map[string]bool{"dosing_device": true, "centrifuge": true},
+		arms:  []string{"viperx", "ned2"},
+		locOwner: map[string]string{
+			"grid_NW":   "grid",
+			"dd_pickup": "dosing_device",
+			"hp_place":  "hotplate",
+			"cf_slot":   "centrifuge",
+		},
+		locInside: map[string]bool{"dd_pickup": true, "cf_slot": true},
+		locPos: map[string]geom.Vec3{
+			"grid_NW":   geom.V(0.32, 0.22, 0.16),
+			"dd_pickup": geom.V(0.15, 0.45, 0.10),
+			"hp_place":  geom.V(0.55, 0.45, 0.20),
+			"cf_slot":   geom.V(0.75, 0.40, 0.12),
+		},
+		boxes: map[string][]NamedBox{
+			"viperx": {
+				{Name: "grid", Box: geom.Box(geom.V(0.29, 0.19, 0), geom.V(0.41, 0.31, 0.08))},
+				{Name: "dosing_device", Box: geom.Box(geom.V(0.05, 0.35, 0), geom.V(0.25, 0.55, 0.30))},
+				{Name: "hotplate", Box: geom.Box(geom.V(0.48, 0.38, 0), geom.V(0.62, 0.52, 0.12))},
+			},
+			"ned2": {},
+		},
+		sleepBoxes: map[string]geom.AABB{
+			"viperx": geom.Box(geom.V(-0.15, -0.15, 0), geom.V(0.15, 0.15, 0.3)),
+			"ned2":   geom.Box(geom.V(0.65, -0.15, 0), geom.V(0.95, 0.15, 0.3)),
+		},
+		thresholds: map[string]float64{"hotplate": 150},
+		objects: map[string]ObjectGeom{
+			"vial_1": {CarriedHang: 0.075, Radius: 0.012, CapacityMg: 10, CapacityML: 12},
+			"beaker": {CarriedHang: 0.1, Radius: 0.03, CapacityML: 100},
+		},
+		zones: map[string]geom.Plane{
+			// ViperX owns x < 0.45, Ned2 owns x > 0.45.
+			"viperx": {N: geom.V(-1, 0, 0), D: -0.45},
+			"ned2":   {N: geom.V(1, 0, 0), D: 0.45},
+		},
+	}
+}
+
+func (f *fakeLab) DeviceType(id string) (DeviceType, bool) { t, ok := f.types[id]; return t, ok }
+func (f *fakeLab) DeviceHasDoor(id string) bool            { return f.doors[id] }
+func (f *fakeLab) DeviceDoors(id string) []string {
+	if f.doors[id] {
+		return []string{""}
+	}
+	return nil
+}
+func (f *fakeLab) LocationDoor(loc string) string        { return "" }
+func (f *fakeLab) ArmIDs() []string                      { return f.arms }
+func (f *fakeLab) LocationOwner(l string) (string, bool) { o, ok := f.locOwner[l]; return o, ok }
+func (f *fakeLab) LocationIsInside(l string) bool        { return f.locInside[l] }
+func (f *fakeLab) LocationPos(arm, l string) (geom.Vec3, bool) {
+	p, ok := f.locPos[l]
+	return p, ok
+}
+func (f *fakeLab) MatchLocation(arm string, p geom.Vec3) (string, bool) {
+	for name, lp := range f.locPos {
+		if lp.Dist(p) <= 0.005 {
+			return name, true
+		}
+	}
+	return "", false
+}
+func (f *fakeLab) DeviceBoxes(arm string) []NamedBox { return f.boxes[arm] }
+func (f *fakeLab) SleepBox(arm, other string) (geom.AABB, bool) {
+	b, ok := f.sleepBoxes[other]
+	return b, ok
+}
+func (f *fakeLab) ArmGeometry(arm string) ArmGeom {
+	return ArmGeom{FingerReach: 0.062, FingerRadius: 0.012}
+}
+func (f *fakeLab) HostsContainers(id string) bool {
+	for _, owner := range f.locOwner {
+		if owner == id {
+			return true
+		}
+	}
+	return false
+}
+func (f *fakeLab) ObjectGeometry(id string) (ObjectGeom, bool) { g, ok := f.objects[id]; return g, ok }
+func (f *fakeLab) ActionThreshold(id string) (float64, bool)   { t, ok := f.thresholds[id]; return t, ok }
+func (f *fakeLab) FloorZ(arm string) float64                   { return 0 }
+func (f *fakeLab) Walls(arm string) []geom.Plane               { return nil }
+func (f *fakeLab) Zone(arm string) (geom.Plane, bool)          { z, ok := f.zones[arm]; return z, ok }
+
+func initialModel() state.Snapshot {
+	s := state.Snapshot{}
+	s.Set(state.DoorStatus("dosing_device"), state.Bool(false))
+	s.Set(state.DoorStatus("centrifuge"), state.Bool(false))
+	s.Set(state.Running("dosing_device"), state.Bool(false))
+	s.Set(state.Running("hotplate"), state.Bool(false))
+	s.Set(state.Holding("viperx"), state.Bool(false))
+	s.Set(state.Holding("ned2"), state.Bool(false))
+	s.Set(state.ArmAsleep("viperx"), state.Bool(false))
+	s.Set(state.ArmAsleep("ned2"), state.Bool(false))
+	s.Set(state.ObjectAt("grid_NW"), state.Str("vial_1"))
+	s.Set(state.RedDotNorth("centrifuge"), state.Bool(true))
+	return s
+}
+
+func newRB(cfg Config) *Rulebase {
+	return NewRulebase(newFakeLab(), cfg, HeinCustomRules("centrifuge")...)
+}
+
+func violates(t *testing.T, rb *Rulebase, s state.Snapshot, cmd action.Command, wantRule string) {
+	t.Helper()
+	vs := rb.Validate(s, cmd)
+	for _, v := range vs {
+		if v.Rule.ID == wantRule {
+			return
+		}
+	}
+	t.Errorf("command %v: want violation of %s, got %v", cmd, wantRule, vs)
+}
+
+func passes(t *testing.T, rb *Rulebase, s state.Snapshot, cmd action.Command) {
+	t.Helper()
+	if vs := rb.Validate(s, cmd); len(vs) != 0 {
+		t.Errorf("command %v: unexpected violations: %v", cmd, vs)
+	}
+}
+
+func TestGeneralRule1ClosedDoor(t *testing.T) {
+	rb := newRB(Config{Generation: GenInitial})
+	s := initialModel()
+	cmd := action.Command{Device: "viperx", Action: action.MoveRobotInside,
+		InsideDevice: "dosing_device", TargetName: "dd_pickup"}
+	violates(t, rb, s, cmd, "general-1")
+
+	s.Set(state.DoorStatus("dosing_device"), state.Bool(true))
+	passes(t, rb, s, cmd)
+}
+
+func TestGeneralRule1AlsoGuardsPlainMovesToInsideLocations(t *testing.T) {
+	rb := newRB(Config{Generation: GenInitial})
+	s := initialModel()
+	cmd := action.Command{Device: "viperx", Action: action.MoveRobot, TargetName: "dd_pickup"}
+	violates(t, rb, s, cmd, "general-1")
+}
+
+func TestGeneralRule2CloseDoorOnArm(t *testing.T) {
+	rb := newRB(Config{Generation: GenInitial})
+	s := initialModel()
+	s.Set(state.DoorStatus("dosing_device"), state.Bool(true))
+	s.Set(state.ArmInside("viperx", "dosing_device"), state.Bool(true))
+	cmd := action.Command{Device: "dosing_device", Action: action.CloseDoor}
+	violates(t, rb, s, cmd, "general-2")
+
+	s.Set(state.ArmInside("viperx", "dosing_device"), state.Bool(false))
+	passes(t, rb, s, cmd)
+}
+
+func TestGeneralRule3OccupiedLocation(t *testing.T) {
+	rb := newRB(Config{Generation: GenInitial})
+	s := initialModel()
+	// Moving to the vial's slot without declaring a pick is a violation.
+	cmd := action.Command{Device: "viperx", Action: action.MoveRobot, TargetName: "grid_NW"}
+	violates(t, rb, s, cmd, "general-3")
+	// Declaring the pick target waives the occupancy check.
+	pick := cmd
+	pick.Object = "vial_1"
+	passes(t, rb, s, pick)
+}
+
+func TestGeneralRule3PlatformGeometry(t *testing.T) {
+	rb := newRB(Config{Generation: GenInitial})
+	s := initialModel()
+	// Bug 9: target so low the gripper fingers would penetrate the deck.
+	cmd := action.Command{Device: "viperx", Action: action.MoveRobot, Target: geom.V(0.45, 0.10, 0.03)}
+	violates(t, rb, s, cmd, "general-3")
+	// The paper's Fig. 6 z=0.10 is fine for the bare gripper.
+	passes(t, rb, s, action.Command{Device: "viperx", Action: action.MoveRobot, Target: geom.V(0.45, 0.10, 0.10)})
+}
+
+func TestGeneralRule3DeviceCuboidGeometry(t *testing.T) {
+	rb := newRB(Config{Generation: GenInitial})
+	s := initialModel()
+	// Raw-coordinate move straight into the grid cuboid (the paper's
+	// controlled experiment: "move UR3e inside the grid").
+	cmd := action.Command{Device: "viperx", Action: action.MoveRobot, Target: geom.V(0.35, 0.25, 0.05)}
+	violates(t, rb, s, cmd, "general-3")
+}
+
+func TestGeneralRule3InsideLocationExcludesOwnerBox(t *testing.T) {
+	rb := newRB(Config{Generation: GenInitial})
+	s := initialModel()
+	s.Set(state.DoorStatus("dosing_device"), state.Bool(true))
+	// dd_pickup lies within the dosing device body; reaching it must not
+	// trip the geometric check.
+	cmd := action.Command{Device: "viperx", Action: action.MoveRobotInside,
+		InsideDevice: "dosing_device", TargetName: "dd_pickup"}
+	passes(t, rb, s, cmd)
+}
+
+func TestGeneralRule3HeldObjectOnlyInModifiedGeneration(t *testing.T) {
+	s := initialModel()
+	s.Set(state.Holding("viperx"), state.Bool(true))
+	s.Set(state.HeldObject("viperx"), state.Str("vial_1"))
+	// Bug 13 geometry: z=0.07 clears the bare gripper (reach 0.062) but
+	// not the hanging vial (hang 0.075).
+	cmd := action.Command{Device: "viperx", Action: action.MoveRobot, Target: geom.V(0.45, 0.10, 0.07)}
+
+	initial := newRB(Config{Generation: GenInitial})
+	passes(t, initial, s, cmd)
+
+	modified := newRB(Config{Generation: GenModified, Multiplex: MultiplexNone})
+	violates(t, modified, s, cmd, "general-3")
+}
+
+func TestGeneralRule3HeldObjectVsDeviceCuboid(t *testing.T) {
+	// Bug 11 geometry: approach over the hotplate at z=0.19 clears the
+	// gripper but the held vial dips into the cuboid.
+	s := initialModel()
+	s.Set(state.Holding("viperx"), state.Bool(true))
+	s.Set(state.HeldObject("viperx"), state.Str("vial_1"))
+	cmd := action.Command{Device: "viperx", Action: action.MoveRobot, Target: geom.V(0.55, 0.45, 0.19)}
+
+	initial := newRB(Config{Generation: GenInitial})
+	passes(t, initial, s, cmd)
+
+	modified := newRB(Config{Generation: GenModified, Multiplex: MultiplexNone})
+	violates(t, modified, s, cmd, "general-3")
+}
+
+func TestGeneralRule4PickWhileHolding(t *testing.T) {
+	rb := newRB(Config{Generation: GenInitial})
+	s := initialModel()
+	s.Set(state.Holding("viperx"), state.Bool(true))
+	s.Set(state.HeldObject("viperx"), state.Str("vial_1"))
+	violates(t, rb, s,
+		action.Command{Device: "viperx", Action: action.CloseGripper}, "general-4")
+	violates(t, rb, s,
+		action.Command{Device: "viperx", Action: action.PickObject, Object: "beaker"}, "general-4")
+
+	s.Set(state.Holding("viperx"), state.Bool(false))
+	passes(t, rb, s, action.Command{Device: "viperx", Action: action.CloseGripper})
+}
+
+func TestGeneralRule5NoContainer(t *testing.T) {
+	rb := newRB(Config{Generation: GenInitial})
+	s := initialModel()
+	cmd := action.Command{Device: "hotplate", Action: action.StartAction}
+	violates(t, rb, s, cmd, "general-5")
+
+	s.Set(state.ContainerInside("hotplate"), state.Str("vial_1"))
+	s.Set(state.HasSolid("vial_1"), state.Bool(true))
+	passes(t, rb, s, cmd)
+}
+
+func TestGeneralRule6EmptyContainer(t *testing.T) {
+	rb := newRB(Config{Generation: GenInitial})
+	s := initialModel()
+	s.Set(state.ContainerInside("hotplate"), state.Str("vial_1"))
+	cmd := action.Command{Device: "hotplate", Action: action.StartAction}
+	violates(t, rb, s, cmd, "general-6")
+
+	s.Set(state.HasLiquid("vial_1"), state.Bool(true))
+	passes(t, rb, s, cmd)
+}
+
+func TestGeneralRule7Stoppers(t *testing.T) {
+	rb := newRB(Config{Generation: GenInitial})
+	s := initialModel()
+	s.Set(state.HasLiquid("beaker"), state.Bool(true))
+	s.Set(state.HasSolid("vial_1"), state.Bool(true))
+	cmd := action.Command{Device: "pump", Action: action.TransferSubstance,
+		FromContainer: "beaker", ToContainer: "vial_1", Value: 2}
+	passes(t, rb, s, cmd)
+
+	s.Set(state.Stopper("vial_1"), state.Bool(true))
+	violates(t, rb, s, cmd, "general-7")
+
+	s.Set(state.Stopper("vial_1"), state.Bool(false))
+	s.Set(state.Stopper("beaker"), state.Bool(true))
+	violates(t, rb, s, cmd, "general-7")
+}
+
+func TestGeneralRule8TransferNeedsFilledSource(t *testing.T) {
+	rb := newRB(Config{Generation: GenInitial})
+	s := initialModel()
+	s.Set(state.HasSolid("vial_1"), state.Bool(true))
+	cmd := action.Command{Device: "pump", Action: action.TransferSubstance,
+		FromContainer: "beaker", ToContainer: "vial_1", Value: 2}
+	violates(t, rb, s, cmd, "general-8")
+}
+
+func TestGeneralRule8DoseOverflow(t *testing.T) {
+	rb := newRB(Config{Generation: GenInitial})
+	s := initialModel()
+	s.Set(state.ContainerInside("dosing_device"), state.Str("vial_1"))
+	s.Set(state.DoorStatus("dosing_device"), state.Bool(false))
+	// The pilot-study scenario: dose more solid than the vial can hold.
+	cmd := action.Command{Device: "dosing_device", Action: action.DoseSolid, Value: 25}
+	violates(t, rb, s, cmd, "general-8")
+	passes(t, rb, s, action.Command{Device: "dosing_device", Action: action.DoseSolid, Value: 5})
+
+	// Accumulation counts: 8 then 8 overflows on the second dose.
+	s.Set(state.SolidAmount("vial_1"), state.Float(8))
+	violates(t, rb, s, action.Command{Device: "dosing_device", Action: action.DoseSolid, Value: 8}, "general-8")
+}
+
+func TestGeneralRule9DoorOpenWhileStarting(t *testing.T) {
+	rb := newRB(Config{Generation: GenInitial})
+	s := initialModel()
+	s.Set(state.DoorStatus("dosing_device"), state.Bool(true))
+	s.Set(state.ContainerInside("dosing_device"), state.Str("vial_1"))
+	cmd := action.Command{Device: "dosing_device", Action: action.DoseSolid, Value: 5}
+	violates(t, rb, s, cmd, "general-9")
+
+	s.Set(state.DoorStatus("dosing_device"), state.Bool(false))
+	passes(t, rb, s, cmd)
+}
+
+func TestGeneralRule10OpenDoorWhileRunning(t *testing.T) {
+	rb := newRB(Config{Generation: GenInitial})
+	s := initialModel()
+	s.Set(state.Running("dosing_device"), state.Bool(true))
+	cmd := action.Command{Device: "dosing_device", Action: action.OpenDoor}
+	violates(t, rb, s, cmd, "general-10")
+
+	s.Set(state.Running("dosing_device"), state.Bool(false))
+	passes(t, rb, s, cmd)
+}
+
+func TestGeneralRule11Threshold(t *testing.T) {
+	rb := newRB(Config{Generation: GenInitial})
+	s := initialModel()
+	violates(t, rb, s,
+		action.Command{Device: "hotplate", Action: action.SetActionValue, Value: 200}, "general-11")
+	passes(t, rb, s,
+		action.Command{Device: "hotplate", Action: action.SetActionValue, Value: 120})
+
+	// Starting with an over-threshold setpoint also violates.
+	s.Set(state.ActionValue("hotplate"), state.Float(200))
+	s.Set(state.ContainerInside("hotplate"), state.Str("vial_1"))
+	s.Set(state.HasSolid("vial_1"), state.Bool(true))
+	violates(t, rb, s,
+		action.Command{Device: "hotplate", Action: action.StartAction}, "general-11")
+}
+
+func TestTableIIPlaceNeedsHoldingOnlyForSemanticPlace(t *testing.T) {
+	rb := newRB(Config{Generation: GenInitial})
+	s := initialModel()
+	// Production-level semantic place with empty hands: invalid command.
+	violates(t, rb, s,
+		action.Command{Device: "viperx", Action: action.PlaceObject, Object: "vial_1"}, "table2-place")
+	// Testbed-level open_gripper with empty hands: allowed — the exact
+	// reason Bug C is undetectable on the testbed.
+	passes(t, rb, s, action.Command{Device: "viperx", Action: action.OpenGripper})
+}
+
+func TestHeinCustomRule1LiquidBeforeSolid(t *testing.T) {
+	rb := newRB(Config{Generation: GenInitial})
+	s := initialModel()
+	cmd := action.Command{Device: "pump", Action: action.DoseLiquid, Object: "vial_1", Value: 2}
+	violates(t, rb, s, cmd, "hein-1")
+
+	s.Set(state.HasSolid("vial_1"), state.Bool(true))
+	passes(t, rb, s, cmd)
+}
+
+func TestHeinCustomRules234CentrifugePlacement(t *testing.T) {
+	rb := newRB(Config{Generation: GenInitial})
+	s := initialModel()
+	s.Set(state.Holding("viperx"), state.Bool(true))
+	s.Set(state.HeldObject("viperx"), state.Str("vial_1"))
+	s.Set(state.ArmAt("viperx"), state.Str("cf_slot"))
+	cmd := action.Command{Device: "viperx", Action: action.OpenGripper}
+
+	// Empty, uncapped, red dot north: violates rules 2 and 4.
+	violates(t, rb, s, cmd, "hein-2")
+	violates(t, rb, s, cmd, "hein-4")
+
+	s.Set(state.HasSolid("vial_1"), state.Bool(true))
+	s.Set(state.HasLiquid("vial_1"), state.Bool(true))
+	s.Set(state.Stopper("vial_1"), state.Bool(true))
+	passes(t, rb, s, cmd)
+
+	// Red dot misaligned: rule 3.
+	s.Set(state.RedDotNorth("centrifuge"), state.Bool(false))
+	violates(t, rb, s, cmd, "hein-3")
+}
+
+func TestHeinCustomRulesDoNotFireElsewhere(t *testing.T) {
+	rb := newRB(Config{Generation: GenInitial})
+	s := initialModel()
+	s.Set(state.Holding("viperx"), state.Bool(true))
+	s.Set(state.HeldObject("viperx"), state.Str("vial_1"))
+	s.Set(state.ArmAt("viperx"), state.Str("grid_NW"))
+	s.Set(state.ObjectAt("grid_NW"), state.Str("")) // slot free
+	// Placing an empty uncapped vial on the grid is fine.
+	passes(t, rb, s, action.Command{Device: "viperx", Action: action.OpenGripper})
+}
+
+func TestTimeMultiplexing(t *testing.T) {
+	rb := newRB(Config{Generation: GenModified, Multiplex: MultiplexTime})
+	s := initialModel()
+	// Ned2 awake: ViperX may not move.
+	cmd := action.Command{Device: "viperx", Action: action.MoveRobot, Target: geom.V(0.45, 0.10, 0.25)}
+	violates(t, rb, s, cmd, "mux-time")
+
+	s.Set(state.ArmAsleep("ned2"), state.Bool(true))
+	passes(t, rb, s, cmd)
+
+	// Going to sleep is always allowed (that is how the deck quiesces).
+	s.Set(state.ArmAsleep("ned2"), state.Bool(false))
+	passes(t, rb, s, action.Command{Device: "viperx", Action: action.MoveSleep})
+}
+
+func TestTimeMultiplexingSleepingArmIsACuboid(t *testing.T) {
+	rb := newRB(Config{Generation: GenModified, Multiplex: MultiplexTime})
+	s := initialModel()
+	s.Set(state.ArmAsleep("ned2"), state.Bool(true))
+	// A target inside Ned2's sleep cuboid is a collision target.
+	cmd := action.Command{Device: "viperx", Action: action.MoveRobot, Target: geom.V(0.8, 0, 0.2)}
+	violates(t, rb, s, cmd, "general-3")
+}
+
+func TestSpaceMultiplexing(t *testing.T) {
+	rb := newRB(Config{Generation: GenModified, Multiplex: MultiplexSpace})
+	s := initialModel()
+	// ViperX stays in its zone (x < 0.45).
+	passes(t, rb, s,
+		action.Command{Device: "viperx", Action: action.MoveRobot, Target: geom.V(0.30, 0.10, 0.25)})
+	// Crossing the software wall violates.
+	violates(t, rb, s,
+		action.Command{Device: "viperx", Action: action.MoveRobot, Target: geom.V(0.60, 0.10, 0.25)}, "mux-space")
+	violates(t, rb, s,
+		action.Command{Device: "ned2", Action: action.MoveRobot, Target: geom.V(0.30, 0.10, 0.25)}, "mux-space")
+}
+
+func TestInitialGenerationHasNoMultiplexRules(t *testing.T) {
+	rb := newRB(Config{Generation: GenInitial, Multiplex: MultiplexTime})
+	for _, r := range rb.Rules() {
+		if r.Scope == ScopeEngine {
+			t.Errorf("initial generation must not contain engine rule %s", r.ID)
+		}
+	}
+}
+
+func TestApplyEffects(t *testing.T) {
+	lab := newFakeLab()
+	s := initialModel()
+
+	s2 := Apply(s, action.Command{Device: "dosing_device", Action: action.OpenDoor}, lab)
+	if !s2.GetBool(state.DoorStatus("dosing_device")) {
+		t.Error("open_door effect missing")
+	}
+	if s.GetBool(state.DoorStatus("dosing_device")) {
+		t.Error("Apply mutated its input")
+	}
+
+	s3 := Apply(s2, action.Command{Device: "viperx", Action: action.MoveRobot, TargetName: "grid_NW"}, lab)
+	if got := s3.GetString(state.ArmAt("viperx")); got != "grid_NW" {
+		t.Errorf("arm location = %q", got)
+	}
+
+	// Pick at the grid: the model transfers the vial to the gripper.
+	s4 := Apply(s3, action.Command{Device: "viperx", Action: action.CloseGripper}, lab)
+	if !s4.GetBool(state.Holding("viperx")) {
+		t.Error("pick effect missing")
+	}
+	if got := s4.GetString(state.HeldObject("viperx")); got != "vial_1" {
+		t.Errorf("held object = %q", got)
+	}
+	if got := s4.GetString(state.ObjectAt("grid_NW")); got != "" {
+		t.Errorf("grid slot still shows %q", got)
+	}
+
+	// Move inside the dosing device and place.
+	s5 := Apply(s4, action.Command{Device: "viperx", Action: action.MoveRobotInside,
+		InsideDevice: "dosing_device", TargetName: "dd_pickup"}, lab)
+	if !s5.GetBool(state.ArmInside("viperx", "dosing_device")) {
+		t.Error("move_robot_inside effect missing")
+	}
+	s6 := Apply(s5, action.Command{Device: "viperx", Action: action.OpenGripper}, lab)
+	if s6.GetBool(state.Holding("viperx")) {
+		t.Error("place should clear holding")
+	}
+	if got := s6.GetString(state.ContainerInside("dosing_device")); got != "vial_1" {
+		t.Errorf("containerInside = %q", got)
+	}
+	if got := s6.GetString(state.ObjectAt("dd_pickup")); got != "vial_1" {
+		t.Errorf("objectAt dd_pickup = %q", got)
+	}
+
+	// Moving away clears the inside flag.
+	s7 := Apply(s6, action.Command{Device: "viperx", Action: action.MoveHome}, lab)
+	if s7.GetBool(state.ArmInside("viperx", "dosing_device")) {
+		t.Error("move_home should clear robotArmInside")
+	}
+
+	// Dose solid: contents tracked.
+	s8 := Apply(s7, action.Command{Device: "dosing_device", Action: action.DoseSolid, Value: 5}, lab)
+	if !s8.GetBool(state.HasSolid("vial_1")) {
+		t.Error("dose_solid effect missing")
+	}
+	if v, _ := s8.Get(state.SolidAmount("vial_1")); v.AsFloat() != 5 {
+		t.Errorf("solid amount = %v", v)
+	}
+
+	// Sleep sets the flag.
+	s9 := Apply(s8, action.Command{Device: "viperx", Action: action.MoveSleep}, lab)
+	if !s9.GetBool(state.ArmAsleep("viperx")) {
+		t.Error("move_sleep effect missing")
+	}
+}
+
+func TestApplyGripperOnAirAndEmptyOpen(t *testing.T) {
+	lab := newFakeLab()
+	s := initialModel()
+	s.Set(state.ArmAt("viperx"), state.Str("hp_place")) // nothing there
+
+	s2 := Apply(s, action.Command{Device: "viperx", Action: action.CloseGripper}, lab)
+	if s2.GetBool(state.Holding("viperx")) {
+		t.Error("closing on air should not set holding")
+	}
+	s3 := Apply(s2, action.Command{Device: "viperx", Action: action.OpenGripper}, lab)
+	if s3.GetBool(state.Holding("viperx")) {
+		t.Error("opening an empty gripper should be a no-op")
+	}
+}
+
+func TestApplyTransfer(t *testing.T) {
+	lab := newFakeLab()
+	s := initialModel()
+	s.Set(state.HasLiquid("beaker"), state.Bool(true))
+	s.Set(state.LiquidAmount("beaker"), state.Float(10))
+	s2 := Apply(s, action.Command{Device: "pump", Action: action.TransferSubstance,
+		FromContainer: "beaker", ToContainer: "vial_1", Value: 4}, lab)
+	if !s2.GetBool(state.HasLiquid("vial_1")) {
+		t.Error("transfer should fill receiver")
+	}
+	if v, _ := s2.Get(state.LiquidAmount("beaker")); v.AsFloat() != 6 {
+		t.Errorf("source amount = %v, want 6", v)
+	}
+	// Draining the source clears its hasLiquid.
+	s3 := Apply(s2, action.Command{Device: "pump", Action: action.TransferSubstance,
+		FromContainer: "beaker", ToContainer: "vial_1", Value: 6}, lab)
+	if s3.GetBool(state.HasLiquid("beaker")) {
+		t.Error("drained source should not report liquid")
+	}
+}
+
+func TestRulebaseOrderingAndLookup(t *testing.T) {
+	rb := newRB(Config{Generation: GenModified, Multiplex: MultiplexTime})
+	rules := rb.Rules()
+	if len(rules) == 0 {
+		t.Fatal("empty rulebase")
+	}
+	lastScope, lastNum := Scope(0), -1
+	for _, r := range rules {
+		if r.Scope < lastScope || (r.Scope == lastScope && r.Number < lastNum) {
+			t.Fatalf("rules out of order at %s", r.ID)
+		}
+		lastScope, lastNum = r.Scope, r.Number
+	}
+	if _, ok := rb.RuleByID("general-3"); !ok {
+		t.Error("RuleByID failed")
+	}
+	if _, ok := rb.RuleByID("nope"); ok {
+		t.Error("RuleByID found a ghost")
+	}
+}
+
+func TestGeneralRulesCoverTableIII(t *testing.T) {
+	nums := map[int]bool{}
+	for _, r := range GeneralRules() {
+		if r.Scope == ScopeGeneral && r.Number >= 1 {
+			nums[r.Number] = true
+		}
+	}
+	for i := 1; i <= 11; i++ {
+		if !nums[i] {
+			t.Errorf("general rule %d missing", i)
+		}
+	}
+}
+
+func TestCustomRulesCoverTableIV(t *testing.T) {
+	rs := HeinCustomRules("centrifuge")
+	if len(rs) != 4 {
+		t.Fatalf("want 4 custom rules, got %d", len(rs))
+	}
+	for i, r := range rs {
+		if r.Number != i+1 || r.Scope != ScopeCustom {
+			t.Errorf("custom rule %d mis-numbered: %s", i+1, r.ID)
+		}
+	}
+}
+
+func TestTransitionTableMatchesPaperTableII(t *testing.T) {
+	table := TransitionTable()
+	byLabel := map[action.Label]TransitionEntry{}
+	for _, e := range table {
+		byLabel[e.ActionLabel] = e
+	}
+	// The three rows shown in the paper's Table II.
+	moveIn, ok := byLabel[action.MoveRobotInside]
+	if !ok {
+		t.Fatal("move_robot_inside row missing")
+	}
+	if moveIn.Preconditions[0] != "deviceDoorStatus[device] = 1" {
+		t.Errorf("move_robot_inside precondition = %q", moveIn.Preconditions[0])
+	}
+	if moveIn.Postconditions[0] != "robotArmInside[robot][device] = 1" {
+		t.Errorf("move_robot_inside postcondition = %q", moveIn.Postconditions[0])
+	}
+	pick := byLabel[action.PickObject]
+	if pick.Preconditions[0] != "robotArmHolding[robot] = 0" ||
+		pick.Postconditions[0] != "robotArmHolding[robot] = 1" {
+		t.Errorf("pick_object row wrong: %+v", pick)
+	}
+	place := byLabel[action.PlaceObject]
+	if place.Preconditions[0] != "robotArmHolding[robot] = 1" ||
+		place.Postconditions[0] != "robotArmHolding[robot] = 0" {
+		t.Errorf("place_object row wrong: %+v", place)
+	}
+}
+
+func TestDeclarativeRule(t *testing.T) {
+	r := NewDeclarativeRule("custom-x", "spin coater needs a film loaded", 5,
+		[]action.Label{action.StartAction}, []string{"spin_coater"},
+		[]VarRequirement{{Var: "filmLoaded", Arg: "$device", Equals: state.Bool(true)}})
+	lab := newFakeLab()
+	s := initialModel()
+	ctx := &EvalContext{State: s, Cmd: action.Command{Device: "spin_coater", Action: action.StartAction}, Lab: lab}
+	v := r.Evaluate(ctx)
+	if v == nil {
+		t.Fatal("expected violation when filmLoaded is unset")
+	}
+	if !strings.Contains(v.Reason, "filmLoaded[spin_coater]") {
+		t.Errorf("reason %q should name the variable", v.Reason)
+	}
+	s.Set(state.MakeKey("filmLoaded", "spin_coater"), state.Bool(true))
+	if v := r.Evaluate(ctx); v != nil {
+		t.Errorf("unexpected violation: %v", v)
+	}
+}
+
+func TestViolationErrorMessage(t *testing.T) {
+	rb := newRB(Config{Generation: GenInitial})
+	s := initialModel()
+	vs := rb.Validate(s, action.Command{Device: "viperx", Action: action.MoveRobotInside,
+		InsideDevice: "dosing_device", TargetName: "dd_pickup"})
+	if len(vs) == 0 {
+		t.Fatal("expected violations")
+	}
+	msg := vs[0].Error()
+	for _, want := range []string{"general-1", "door", "dosing_device"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("violation message %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if TypeContainer.String() != "Container" || TypeRobotArm.String() != "Robot Arm" ||
+		TypeDosingSystem.String() != "Dosing System" || TypeActionDevice.String() != "Action Device" {
+		t.Error("device type names wrong")
+	}
+	if GenInitial.String() != "initial" || GenModified.String() != "modified" {
+		t.Error("generation names wrong")
+	}
+	if MultiplexTime.String() != "time" || MultiplexSpace.String() != "space" || MultiplexNone.String() != "none" {
+		t.Error("multiplex names wrong")
+	}
+	if ScopeGeneral.String() != "general" || ScopeCustom.String() != "custom" || ScopeEngine.String() != "engine" {
+		t.Error("scope names wrong")
+	}
+}

@@ -1,0 +1,262 @@
+package rules
+
+import (
+	"repro/internal/action"
+	"repro/internal/state"
+)
+
+// Apply computes S_expected = UpdateState(S_current, a_next) — Fig. 2,
+// line 11: the model state after the command's postconditions, assuming
+// every device behaves. The engine later compares this against the
+// observed state to detect device malfunctions.
+//
+// The model dead-reckons facts no sensor reports (gripper contents,
+// container contents); those variables simply never appear in observed
+// snapshots, so they cannot raise malfunction alerts — but they do drive
+// precondition checks.
+func Apply(model state.Snapshot, cmd action.Command, lab LabModel) state.Snapshot {
+	s := model.Clone()
+	arm := cmd.Device
+	switch cmd.Action {
+	case action.OpenDoor:
+		s.Set(state.DoorStatusOf(cmd.Device, cmd.Door), state.Bool(true))
+
+	case action.CloseDoor:
+		s.Set(state.DoorStatusOf(cmd.Device, cmd.Door), state.Bool(false))
+
+	case action.MoveRobot:
+		clearInside(s, lab, arm)
+		if cmd.TargetName != "" {
+			s.Set(state.ArmAt(arm), state.Str(cmd.TargetName))
+		} else {
+			// A raw-coordinate move leaves the arm at a position the
+			// model cannot name; drop the variable so the malfunction
+			// comparison holds no opinion. This is the observability gap
+			// that lets the ViperX's silent command skip go unnoticed
+			// (Section IV, category 4).
+			s.Delete(state.ArmAt(arm))
+		}
+		s.Set(state.ArmAsleep(arm), state.Bool(false))
+		if cmd.TargetName != "" && lab != nil && lab.LocationIsInside(cmd.TargetName) {
+			if owner, ok := lab.LocationOwner(cmd.TargetName); ok {
+				s.Set(state.ArmInside(arm, owner), state.Bool(true))
+			}
+		}
+
+	case action.MoveRobotInside:
+		clearInside(s, lab, arm)
+		s.Set(state.ArmAt(arm), state.Str(cmd.TargetName))
+		s.Set(state.ArmAsleep(arm), state.Bool(false))
+		if cmd.InsideDevice != "" {
+			s.Set(state.ArmInside(arm, cmd.InsideDevice), state.Bool(true))
+		}
+
+	case action.MoveHome:
+		clearInside(s, lab, arm)
+		// The home pose is not a named deck location; the model holds no
+		// opinion about the reported location tag.
+		s.Delete(state.ArmAt(arm))
+		s.Set(state.ArmAsleep(arm), state.Bool(false))
+
+	case action.MoveSleep:
+		clearInside(s, lab, arm)
+		s.Delete(state.ArmAt(arm))
+		s.Set(state.ArmAsleep(arm), state.Bool(true))
+
+	case action.PickObject, action.CloseGripper:
+		applyPick(s, cmd, lab)
+
+	case action.PlaceObject, action.OpenGripper:
+		applyPlace(s, cmd, lab)
+
+	case action.StartAction:
+		s.Set(state.Running(cmd.Device), state.Bool(true))
+
+	case action.StopAction:
+		s.Set(state.Running(cmd.Device), state.Bool(false))
+
+	case action.SetActionValue:
+		s.Set(state.ActionValue(cmd.Device), state.Float(cmd.Value))
+
+	case action.DoseSolid:
+		c := cmd.Object
+		if c == "" {
+			c = s.GetString(state.ContainerInside(cmd.Device))
+		}
+		if c != "" {
+			s.Set(state.HasSolid(c), state.Bool(true))
+			addAmount(s, state.SolidAmount(c), cmd.Value)
+		}
+
+	case action.DoseLiquid:
+		if cmd.Object != "" {
+			s.Set(state.HasLiquid(cmd.Object), state.Bool(true))
+			addAmount(s, state.LiquidAmount(cmd.Object), cmd.Value)
+		}
+
+	case action.CapContainer:
+		if cmd.Object != "" {
+			s.Set(state.Stopper(cmd.Object), state.Bool(true))
+		}
+
+	case action.DecapContainer:
+		if cmd.Object != "" {
+			s.Set(state.Stopper(cmd.Object), state.Bool(false))
+		}
+
+	case action.TransferSubstance:
+		if cmd.ToContainer != "" {
+			s.Set(state.HasLiquid(cmd.ToContainer), state.Bool(true))
+			addAmount(s, state.LiquidAmount(cmd.ToContainer), cmd.Value)
+		}
+		if cmd.FromContainer != "" {
+			addAmount(s, state.LiquidAmount(cmd.FromContainer), -cmd.Value)
+			if v, ok := s.Get(state.LiquidAmount(cmd.FromContainer)); ok && v.AsFloat() <= 0 {
+				s.Set(state.LiquidAmount(cmd.FromContainer), state.Float(0))
+				s.Set(state.HasLiquid(cmd.FromContainer), state.Bool(false))
+			}
+		}
+
+	case action.ReadStatus, action.RecordImage:
+		// Observation only; no state change.
+	}
+	return s
+}
+
+// clearInside resets every robotArmInside flag of the arm (moving away
+// from wherever it was).
+func clearInside(s state.Snapshot, lab LabModel, arm string) {
+	if lab == nil {
+		return
+	}
+	for k := range s {
+		if k.Variable() == "robotArmInside" {
+			args := k.Args()
+			if len(args) == 2 && args[0] == arm {
+				s.Set(k, state.Bool(false))
+			}
+		}
+	}
+}
+
+// applyPick models a grasp attempt: if the model believes an object rests
+// where the arm stands (or the command names one), the arm now holds it.
+func applyPick(s state.Snapshot, cmd action.Command, lab LabModel) {
+	arm := cmd.Device
+	if s.GetBool(state.Holding(arm)) {
+		return // already holding; a second close is a no-op
+	}
+	loc := s.GetString(state.ArmAt(arm))
+	obj := cmd.Object
+	if obj == "" && loc != "" {
+		obj = s.GetString(state.ObjectAt(loc))
+	}
+	if obj == "" {
+		return // closing on air
+	}
+	s.Set(state.Holding(arm), state.Bool(true))
+	s.Set(state.HeldObject(arm), state.Str(obj))
+	if loc != "" {
+		s.Set(state.ObjectAt(loc), state.Str(""))
+		if lab != nil {
+			if owner, ok := lab.LocationOwner(loc); ok {
+				if s.GetString(state.ContainerInside(owner)) == obj {
+					s.Set(state.ContainerInside(owner), state.Str(""))
+				}
+			}
+		}
+	}
+}
+
+// applyPlace models a release: a held object lands at the arm's current
+// named location (if any); with no known location beneath, the model can
+// only record that the arm no longer holds it.
+func applyPlace(s state.Snapshot, cmd action.Command, lab LabModel) {
+	arm := cmd.Device
+	if !s.GetBool(state.Holding(arm)) {
+		return // opening an empty gripper
+	}
+	obj := s.GetString(state.HeldObject(arm))
+	s.Set(state.Holding(arm), state.Bool(false))
+	s.Set(state.HeldObject(arm), state.Str(""))
+	if obj == "" {
+		return
+	}
+	loc := s.GetString(state.ArmAt(arm))
+	if loc == "" {
+		return
+	}
+	s.Set(state.ObjectAt(loc), state.Str(obj))
+	if lab != nil {
+		if owner, ok := lab.LocationOwner(loc); ok {
+			s.Set(state.ContainerInside(owner), state.Str(obj))
+		}
+	}
+}
+
+// addAmount accumulates a float state variable.
+func addAmount(s state.Snapshot, k state.Key, delta float64) {
+	cur := 0.0
+	if v, ok := s.Get(k); ok {
+		cur = v.AsFloat()
+	}
+	s.Set(k, state.Float(cur+delta))
+}
+
+// TransitionEntry documents one row of the state transition table, as in
+// Table II of the paper.
+type TransitionEntry struct {
+	Example        string
+	Preconditions  []string
+	ActionLabel    action.Label
+	Postconditions []string
+}
+
+// TransitionTable returns the Table II rows (the paper shows the robot-arm
+// excerpt; the full table covers all device types).
+func TransitionTable() []TransitionEntry {
+	return []TransitionEntry{
+		{
+			Example:        "Moving a robot arm inside a specific device",
+			Preconditions:  []string{"deviceDoorStatus[device] = 1"},
+			ActionLabel:    action.MoveRobotInside,
+			Postconditions: []string{"robotArmInside[robot][device] = 1"},
+		},
+		{
+			Example:        "Using a robot arm to pick up an object (a vial in this case)",
+			Preconditions:  []string{"robotArmHolding[robot] = 0"},
+			ActionLabel:    action.PickObject,
+			Postconditions: []string{"robotArmHolding[robot] = 1"},
+		},
+		{
+			Example:        "Using a robot arm to place an object (a vial in this case)",
+			Preconditions:  []string{"robotArmHolding[robot] = 1"},
+			ActionLabel:    action.PlaceObject,
+			Postconditions: []string{"robotArmHolding[robot] = 0"},
+		},
+		{
+			Example:        "Opening a device door",
+			Preconditions:  []string{"deviceRunning[device] = 0"},
+			ActionLabel:    action.OpenDoor,
+			Postconditions: []string{"deviceDoorStatus[device] = 1"},
+		},
+		{
+			Example:        "Closing a device door",
+			Preconditions:  []string{"robotArmInside[*][device] = 0"},
+			ActionLabel:    action.CloseDoor,
+			Postconditions: []string{"deviceDoorStatus[device] = 0"},
+		},
+		{
+			Example:        "Starting an action device",
+			Preconditions:  []string{"containerInside[device] != \"\"", "actionValue[device] <= threshold"},
+			ActionLabel:    action.StartAction,
+			Postconditions: []string{"deviceRunning[device] = 1"},
+		},
+		{
+			Example:        "Dosing solid into the container inside a dosing system",
+			Preconditions:  []string{"deviceDoorStatus[device] = 0", "amount fits container capacity"},
+			ActionLabel:    action.DoseSolid,
+			Postconditions: []string{"containerHasSolid[container] = 1"},
+		},
+	}
+}

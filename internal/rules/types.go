@@ -1,0 +1,237 @@
+// Package rules implements RABIT's rulebase: the four-way device
+// taxonomy of Section II-A, the state transition table (Table II), the
+// eleven general rules of Table III, the four Hein-Lab custom rules of
+// Table IV, and the time/space-multiplexing preconditions the paper added
+// after the two-arm collision findings (Section IV, category 2).
+//
+// Rules evaluate over RABIT's *model* of the lab — a state.Snapshot plus
+// the static facts the researcher configured in JSON (device types, doors,
+// cuboids, locations, thresholds). They never touch ground truth.
+package rules
+
+import (
+	"repro/internal/action"
+	"repro/internal/geom"
+	"repro/internal/state"
+)
+
+// DeviceType is the paper's four-way device classification.
+type DeviceType int
+
+// The four device types of Section II-A.
+const (
+	// TypeContainer is any object that can contain a substance and
+	// typically has a stopper.
+	TypeContainer DeviceType = iota + 1
+	// TypeRobotArm moves between locations and can pick, move, and place
+	// objects.
+	TypeRobotArm
+	// TypeDosingSystem adds substances into containers.
+	TypeDosingSystem
+	// TypeActionDevice has active/inactive states (heating, stirring,
+	// shaking, spinning, capping…).
+	TypeActionDevice
+	// TypeSensor is the device class the paper's Section V-B sketches as
+	// future work: a read-only device whose observations (e.g. a person
+	// standing in a monitored zone) feed rule preconditions.
+	TypeSensor
+)
+
+// String names the device type as the paper does.
+func (t DeviceType) String() string {
+	switch t {
+	case TypeContainer:
+		return "Container"
+	case TypeRobotArm:
+		return "Robot Arm"
+	case TypeDosingSystem:
+		return "Dosing System"
+	case TypeActionDevice:
+		return "Action Device"
+	case TypeSensor:
+		return "Sensor"
+	default:
+		return "Unknown"
+	}
+}
+
+// NamedBox is a solid registered in some arm's frame — a deck device, or
+// a sleeping arm modelled as a stationary object. By default the solid is
+// the cuboid Box; devices configured with a rounded shape (cylinder,
+// dome) additionally carry the inscribed capsule, which collision checks
+// use instead — the Section V-C shape extension.
+type NamedBox struct {
+	Name string
+	Box  geom.AABB
+	// Rounded, when non-nil, replaces the box for collision purposes.
+	Rounded *geom.Capsule
+}
+
+// IntersectsCapsule tests an arm capsule against the solid.
+func (nb NamedBox) IntersectsCapsule(c geom.Capsule) bool {
+	if nb.Rounded != nil {
+		return geom.CapsuleCapsuleIntersect(c, *nb.Rounded)
+	}
+	return geom.CapsuleAABBIntersect(c, nb.Box)
+}
+
+// ArmGeom is the arm geometry RABIT is configured with: how far the
+// gripper assembly reaches below a commanded tool centre point.
+type ArmGeom struct {
+	// FingerReach is fingerDrop + fingerRadius.
+	FingerReach float64
+	// FingerRadius is the gripper's collision radius for box tests.
+	FingerRadius float64
+}
+
+// ObjectGeom is a container's configured geometry.
+type ObjectGeom struct {
+	// CarriedHang is how far the container's bottom hangs below the TCP
+	// while gripped.
+	CarriedHang float64
+	Radius      float64
+	// CapacityMg / CapacityML bound the contents (for rule 8 and the
+	// dosing-overflow checks).
+	CapacityMg float64
+	CapacityML float64
+}
+
+// LabModel is everything the rulebase knows about the lab from its JSON
+// configuration. It is RABIT's map of the world — deliberately partial
+// (e.g. cross-arm geometry is absent because the testbed arms share no
+// usable common frame; the paper measured ~3 cm of transform error).
+type LabModel interface {
+	// DeviceType returns the configured type of a device.
+	DeviceType(id string) (DeviceType, bool)
+	// DeviceHasDoor reports whether the device was configured with a door.
+	DeviceHasDoor(id string) bool
+	// DeviceDoors lists the device's door panel names: nil for doorless
+	// devices, [""] for the common single-door case, and explicit names
+	// for multi-door devices (the Section V-C extension).
+	DeviceDoors(id string) []string
+	// LocationDoor names the door panel that serves an inside location
+	// ("" for the sole door).
+	LocationDoor(loc string) string
+	// ArmIDs lists the configured robot arms.
+	ArmIDs() []string
+	// LocationOwner returns the device hosting a named location.
+	LocationOwner(loc string) (string, bool)
+	// LocationIsInside reports whether the location lies inside its
+	// owner (reaching it requires an open door).
+	LocationIsInside(loc string) bool
+	// LocationPos returns a named location's coordinates in the given
+	// arm's frame.
+	LocationPos(armID, loc string) (geom.Vec3, bool)
+	// MatchLocation finds the configured location whose coordinates (in
+	// the arm's frame) coincide with p. Experiment scripts carry their
+	// own location tables (the Fig. 6 utilities file) and send raw
+	// coordinates; RABIT re-derives the named location, which is how a
+	// script-side coordinate edit (Bug D) silently turns a tracked named
+	// move into an untracked raw one.
+	MatchLocation(armID string, p geom.Vec3) (string, bool)
+	// DeviceBoxes returns the cuboids registered in the arm's frame.
+	DeviceBoxes(armID string) []NamedBox
+	// SleepBox returns the cuboid another arm occupies when asleep,
+	// expressed in armID's frame — the time-multiplexing model.
+	SleepBox(armID, otherID string) (geom.AABB, bool)
+	// ArmGeometry returns the arm's configured gripper geometry.
+	ArmGeometry(armID string) ArmGeom
+	// ObjectGeometry returns a container's configured geometry.
+	ObjectGeometry(objectID string) (ObjectGeom, bool)
+	// HostsContainers reports whether the device has any configured
+	// container location (a slot, chuck, or plate). Rules 5–6 only make
+	// sense for such devices; an ultrasonic nozzle performs its action
+	// with no container inside it.
+	HostsContainers(deviceID string) bool
+	// ActionThreshold returns the configured maximum action value for an
+	// action device (general rule 11).
+	ActionThreshold(deviceID string) (float64, bool)
+	// FloorZ returns the deck platform height in the arm's frame.
+	FloorZ(armID string) float64
+	// Walls returns the lab's wall planes in the arm's frame; the lab
+	// interior is on each plane's positive side.
+	Walls(armID string) []geom.Plane
+	// Zone returns the arm's software wall for space multiplexing: the
+	// arm must stay on the positive side. ok is false when no wall is
+	// configured for this arm.
+	Zone(armID string) (geom.Plane, bool)
+}
+
+// Generation selects which iteration of RABIT is running, following the
+// paper's narrative: the initial deployment detected 8/16 injected bugs;
+// after accounting for held-object dimensions and adding multiplexing
+// preconditions it detected 12/16.
+type Generation int
+
+// RABIT generations.
+const (
+	// GenInitial is RABIT as first deployed: arm-only geometry, no
+	// cross-arm preconditions.
+	GenInitial Generation = iota + 1
+	// GenModified adds the held-object geometry extension and the
+	// time/space multiplexing preconditions.
+	GenModified
+)
+
+// String names the generation.
+func (g Generation) String() string {
+	switch g {
+	case GenInitial:
+		return "initial"
+	case GenModified:
+		return "modified"
+	default:
+		return "unknown"
+	}
+}
+
+// MultiplexPolicy selects how the modified generation prevents two-arm
+// collisions.
+type MultiplexPolicy int
+
+// Multiplexing policies (Section IV, category 2).
+const (
+	// MultiplexNone performs no cross-arm checks (the initial RABIT).
+	MultiplexNone MultiplexPolicy = iota + 1
+	// MultiplexTime requires all other arms to be asleep (modelled as
+	// cuboids) whenever an arm moves.
+	MultiplexTime
+	// MultiplexSpace gives each arm a software-walled zone it must stay
+	// inside, allowing concurrent motion.
+	MultiplexSpace
+)
+
+// String names the policy.
+func (m MultiplexPolicy) String() string {
+	switch m {
+	case MultiplexNone:
+		return "none"
+	case MultiplexTime:
+		return "time"
+	case MultiplexSpace:
+		return "space"
+	default:
+		return "unknown"
+	}
+}
+
+// Config selects the rulebase variant under evaluation.
+type Config struct {
+	Generation Generation
+	// Multiplex only applies to GenModified.
+	Multiplex MultiplexPolicy
+}
+
+// HeldObjectAware reports whether geometric checks extend the arm volume
+// by a held object's dimensions.
+func (c Config) HeldObjectAware() bool { return c.Generation >= GenModified }
+
+// EvalContext is what a rule's check inspects: the tracked model state,
+// the command about to execute, the configured lab model, and the engine
+// configuration.
+type EvalContext struct {
+	State state.Snapshot
+	Cmd   action.Command
+	Lab   LabModel
+	Cfg   Config
+}

@@ -1,0 +1,223 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/rules"
+)
+
+// rasterizer is a small software renderer standing in for the Extended
+// Simulator's GUI. The paper's deployment ran the GUI inside a virtual
+// machine and invoked it on every collision check, which dominated the
+// 112% overhead; renderScene reproduces that cost class with real work:
+// every check paints the deck cuboids and the arm capsules into an
+// offscreen RGBA framebuffer (orthographic projection, painter's
+// algorithm with a depth buffer).
+type rasterizer struct {
+	w, h   int
+	pix    []uint32
+	depth  []float32
+	frames int
+	// view maps deck coordinates to the framebuffer: a fixed oblique
+	// projection that keeps X→right, Y→depth, Z→up.
+	scale float64
+	offX  float64
+	offY  float64
+}
+
+func newRasterizer(w, h int) *rasterizer {
+	if w <= 0 {
+		w = 640
+	}
+	if h <= 0 {
+		h = 480
+	}
+	return &rasterizer{
+		w: w, h: h,
+		pix:   make([]uint32, w*h),
+		depth: make([]float32, w*h),
+		scale: float64(h) * 0.8,
+		offX:  float64(w) * 0.25,
+		offY:  float64(h) * 0.85,
+	}
+}
+
+// project maps a deck-frame point to screen coordinates plus a depth key.
+func (r *rasterizer) project(p geom.Vec3) (float64, float64, float64) {
+	x := r.offX + (p.X+0.35*p.Y)*r.scale
+	y := r.offY - (p.Z+0.20*p.Y)*r.scale
+	return x, y, p.Y
+}
+
+// clear wipes the framebuffer.
+func (r *rasterizer) clear() {
+	for i := range r.pix {
+		r.pix[i] = 0xFF202028 // dark background
+		r.depth[i] = float32(math.Inf(1))
+	}
+}
+
+// fillQuad rasterises a projected quadrilateral with a flat colour and a
+// single depth key (adequate for a deck-scale preview).
+func (r *rasterizer) fillQuad(pts [4][2]float64, depth float64, color uint32) {
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, p := range pts {
+		minX = math.Min(minX, p[0])
+		maxX = math.Max(maxX, p[0])
+		minY = math.Min(minY, p[1])
+		maxY = math.Max(maxY, p[1])
+	}
+	x0, x1 := int(math.Max(0, minX)), int(math.Min(float64(r.w-1), maxX))
+	y0, y1 := int(math.Max(0, minY)), int(math.Min(float64(r.h-1), maxY))
+	d := float32(depth)
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			if !pointInQuad(float64(x)+0.5, float64(y)+0.5, pts) {
+				continue
+			}
+			i := y*r.w + x
+			if d < r.depth[i] {
+				r.depth[i] = d
+				r.pix[i] = color
+			}
+		}
+	}
+}
+
+// pointInQuad tests containment via the crossing rule over the 4 edges.
+func pointInQuad(px, py float64, q [4][2]float64) bool {
+	inside := false
+	j := 3
+	for i := 0; i < 4; i++ {
+		xi, yi := q[i][0], q[i][1]
+		xj, yj := q[j][0], q[j][1]
+		if (yi > py) != (yj > py) &&
+			px < (xj-xi)*(py-yi)/(yj-yi)+xi {
+			inside = !inside
+		}
+		j = i
+	}
+	return inside
+}
+
+// drawBox paints the three visible faces of a deck cuboid.
+func (r *rasterizer) drawBox(b geom.AABB, color uint32) {
+	c := [8]geom.Vec3{
+		{X: b.Min.X, Y: b.Min.Y, Z: b.Min.Z}, {X: b.Max.X, Y: b.Min.Y, Z: b.Min.Z},
+		{X: b.Max.X, Y: b.Max.Y, Z: b.Min.Z}, {X: b.Min.X, Y: b.Max.Y, Z: b.Min.Z},
+		{X: b.Min.X, Y: b.Min.Y, Z: b.Max.Z}, {X: b.Max.X, Y: b.Min.Y, Z: b.Max.Z},
+		{X: b.Max.X, Y: b.Max.Y, Z: b.Max.Z}, {X: b.Min.X, Y: b.Max.Y, Z: b.Max.Z},
+	}
+	faces := [3][4]int{
+		{4, 5, 6, 7}, // top
+		{0, 1, 5, 4}, // front
+		{1, 2, 6, 5}, // side
+	}
+	shades := [3]uint32{color, dim(color, 0.8), dim(color, 0.6)}
+	for fi, f := range faces {
+		var pts [4][2]float64
+		depth := 0.0
+		for k, idx := range f {
+			x, y, d := r.project(c[idx])
+			pts[k] = [2]float64{x, y}
+			depth += d
+		}
+		r.fillQuad(pts, depth/4, shades[fi])
+	}
+}
+
+// drawCapsule paints a capsule as a thick projected bar.
+func (r *rasterizer) drawCapsule(c geom.Capsule, color uint32) {
+	ax, ay, ad := r.project(c.Seg.A)
+	bx, by, bd := r.project(c.Seg.B)
+	// Perpendicular offset for thickness.
+	dx, dy := bx-ax, by-ay
+	l := math.Hypot(dx, dy)
+	halfW := c.Radius * r.scale
+	if halfW < 1 {
+		halfW = 1
+	}
+	var nx, ny float64
+	if l < 1e-9 {
+		nx, ny = halfW, 0
+		dx, dy = 0, halfW
+	} else {
+		nx, ny = -dy/l*halfW, dx/l*halfW
+	}
+	pts := [4][2]float64{
+		{ax + nx, ay + ny}, {bx + nx, by + ny},
+		{bx - nx, by - ny}, {ax - nx, ay - ny},
+	}
+	r.fillQuad(pts, (ad+bd)/2-0.001, color)
+}
+
+func dim(c uint32, f float64) uint32 {
+	rr := uint32(float64((c>>16)&0xFF) * f)
+	gg := uint32(float64((c>>8)&0xFF) * f)
+	bb := uint32(float64(c&0xFF) * f)
+	return 0xFF000000 | rr<<16 | gg<<8 | bb
+}
+
+// renderScene paints one frame: deck cuboids then the arm capsules.
+func (r *rasterizer) renderScene(boxes []rules.NamedBox, caps []geom.Capsule) {
+	r.clear()
+	// Platform.
+	r.drawBox(geom.Box(geom.V(-0.2, -0.2, -0.02), geom.V(1.2, 0.8, 0)), 0xFF3A3A44)
+	for i, nb := range boxes {
+		palette := [4]uint32{0xFF4C78A8, 0xFF72B7B2, 0xFFEECA3B, 0xFFB279A2}
+		r.drawBox(nb.Box, palette[i%len(palette)])
+	}
+	for _, c := range caps {
+		r.drawCapsule(c, 0xFFE45756)
+	}
+	r.frames++
+}
+
+// Frames reports how many frames have been rendered.
+func (r *rasterizer) Frames() int { return r.frames }
+
+// ASCII renders the current framebuffer as a coarse ASCII view (for the
+// labsim CLI), sampling every cell and mapping occupancy to characters.
+func (r *rasterizer) ASCII(cols, rows int) string {
+	if cols <= 0 {
+		cols = 80
+	}
+	if rows <= 0 {
+		rows = 24
+	}
+	var b strings.Builder
+	for row := 0; row < rows; row++ {
+		for col := 0; col < cols; col++ {
+			x := col * r.w / cols
+			y := row * r.h / rows
+			p := r.pix[y*r.w+x]
+			switch {
+			case p == 0xFF202028:
+				b.WriteByte(' ')
+			case p == 0xFF3A3A44:
+				b.WriteByte('.')
+			case p == 0xFFE45756:
+				b.WriteByte('#')
+			default:
+				b.WriteByte('o')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Snapshot returns basic framebuffer statistics, for tests.
+func (r *rasterizer) Snapshot() string {
+	lit := 0
+	for _, p := range r.pix {
+		if p != 0xFF202028 {
+			lit++
+		}
+	}
+	return fmt.Sprintf("%dx%d, %d frames, %d lit pixels", r.w, r.h, r.frames, lit)
+}

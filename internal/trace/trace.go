@@ -1,0 +1,239 @@
+// Package trace is the reproduction of RATracer, the instrumentation
+// framework the paper reconfigures (Section II-C): every device command an
+// experiment script issues flows through an Interceptor, which first asks
+// a checker (RABIT) whether the command is safe, then forwards it for
+// execution, then lets the checker inspect the post-state. The interceptor
+// also records RAD-style command traces, which the radmine package mines
+// for rules (Section II-A).
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/action"
+)
+
+// Record is one traced command, in the style of the Robot Arm Dataset
+// (RAD): what was issued, when, and how it ended.
+type Record struct {
+	Seq     int            `json:"seq"`
+	Time    time.Duration  `json:"t"`
+	Cmd     action.Command `json:"cmd"`
+	Outcome string         `json:"outcome"` // "ok", "blocked", "error"
+	Detail  string         `json:"detail,omitempty"`
+}
+
+// Checker is the RABIT side of the interception: Before runs the Fig. 2
+// validation (lines 5–10) and returns an error to block the command;
+// After runs the post-state comparison (lines 13–15).
+type Checker interface {
+	Before(cmd action.Command) error
+	After(cmd action.Command) error
+}
+
+// Executor forwards a command to the lab for actual execution.
+type Executor interface {
+	Execute(cmd action.Command) error
+	// Now returns the lab's current (simulated) time for trace stamps.
+	Now() time.Duration
+}
+
+// Interceptor wires scripts, checker, and executor together. It is safe
+// for concurrent use, though experiment scripts are sequential.
+type Interceptor struct {
+	mu       sync.Mutex
+	checker  Checker
+	executor Executor
+	seq      int
+	records  []Record
+}
+
+// NewInterceptor builds an interceptor. checker may be nil (tracing
+// without RABIT — how RATracer originally ran, and how the no-RABIT
+// baselines of the evaluation run).
+func NewInterceptor(checker Checker, executor Executor) *Interceptor {
+	return &Interceptor{checker: checker, executor: executor}
+}
+
+// Do traces and executes one command: check → execute → post-check. A
+// blocked command returns the checker's error without reaching the
+// device, mirroring RATracer raising a Python exception to halt the
+// experiment.
+func (i *Interceptor) Do(cmd action.Command) error {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.seq++
+	cmd.Seq = i.seq
+	if err := cmd.Validate(); err != nil {
+		i.record(cmd, "error", err.Error())
+		return err
+	}
+	if i.checker != nil {
+		if err := i.checker.Before(cmd); err != nil {
+			i.record(cmd, "blocked", err.Error())
+			return err
+		}
+	}
+	if err := i.executor.Execute(cmd); err != nil {
+		i.record(cmd, "error", err.Error())
+		// The checker still observes the aftermath: a physical crash is
+		// an execution error *and* leaves state worth comparing.
+		if i.checker != nil {
+			if aerr := i.checker.After(cmd); aerr != nil {
+				return fmt.Errorf("%w (post-state: %v)", err, aerr)
+			}
+		}
+		return err
+	}
+	if i.checker != nil {
+		if err := i.checker.After(cmd); err != nil {
+			i.record(cmd, "error", err.Error())
+			return err
+		}
+	}
+	i.record(cmd, "ok", "")
+	return nil
+}
+
+// record appends a trace record (callers hold i.mu).
+func (i *Interceptor) record(cmd action.Command, outcome, detail string) {
+	var now time.Duration
+	if i.executor != nil {
+		now = i.executor.Now()
+	}
+	i.records = append(i.records, Record{
+		Seq: cmd.Seq, Time: now, Cmd: cmd, Outcome: outcome, Detail: detail,
+	})
+}
+
+// ConcurrentExecutor is implemented by environments that can run several
+// robot moves simultaneously (the space-multiplexing capability).
+type ConcurrentExecutor interface {
+	ExecuteConcurrent(cmds []action.Command) error
+}
+
+// DoConcurrent traces and executes several commands as one simultaneous
+// motion: every command is checked individually before any executes, the
+// environment runs them in lockstep, and post-state checks run once the
+// motion settles.
+func (i *Interceptor) DoConcurrent(cmds []action.Command) error {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	ce, ok := i.executor.(ConcurrentExecutor)
+	if !ok {
+		return fmt.Errorf("trace: executor cannot run concurrent commands")
+	}
+	stamped := make([]action.Command, len(cmds))
+	for k, cmd := range cmds {
+		i.seq++
+		cmd.Seq = i.seq
+		if err := cmd.Validate(); err != nil {
+			i.record(cmd, "error", err.Error())
+			return err
+		}
+		stamped[k] = cmd
+	}
+	if i.checker != nil {
+		for _, cmd := range stamped {
+			if err := i.checker.Before(cmd); err != nil {
+				i.record(cmd, "blocked", err.Error())
+				return err
+			}
+		}
+	}
+	last := stamped[len(stamped)-1]
+	if err := ce.ExecuteConcurrent(stamped); err != nil {
+		for _, cmd := range stamped {
+			i.record(cmd, "error", err.Error())
+		}
+		// The batch settles with a single post-state check: its commands
+		// executed as one simultaneous motion.
+		if i.checker != nil {
+			if aerr := i.checker.After(last); aerr != nil {
+				return fmt.Errorf("%w (post-state: %v)", err, aerr)
+			}
+		}
+		return err
+	}
+	if i.checker != nil {
+		if err := i.checker.After(last); err != nil {
+			i.record(last, "error", err.Error())
+			return err
+		}
+	}
+	for _, cmd := range stamped {
+		i.record(cmd, "ok", "")
+	}
+	return nil
+}
+
+// Records returns a copy of the trace so far.
+func (i *Interceptor) Records() []Record {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	out := make([]Record, len(i.records))
+	copy(out, i.records)
+	return out
+}
+
+// Reset clears the trace and sequence counter (between evaluation runs).
+func (i *Interceptor) Reset() {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.records = nil
+	i.seq = 0
+}
+
+// Replay feeds a recorded command stream back through an interceptor:
+// offline checking of a captured experiment against a fresh lab — the
+// "testing experiment scripts" use the paper's three-stage framework
+// exists for, applied to traces instead of live scripts. Replay stops at
+// the first error (alert or execution failure).
+func Replay(i *Interceptor, records []Record) error {
+	for _, r := range records {
+		if err := i.Do(r.Cmd); err != nil {
+			return fmt.Errorf("trace: replaying #%d %s: %w", r.Seq, r.Cmd, err)
+		}
+	}
+	return nil
+}
+
+// WriteJSONL streams records as JSON lines — the on-disk trace format.
+func WriteJSONL(w io.Writer, records []Record) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i, r := range records {
+		if err := enc.Encode(r); err != nil {
+			return fmt.Errorf("trace: encode record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL loads a JSONL trace.
+func ReadJSONL(r io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: scan: %w", err)
+	}
+	return out, nil
+}

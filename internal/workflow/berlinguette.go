@@ -1,0 +1,85 @@
+package workflow
+
+import "time"
+
+// SpraySteps is a Berlinguette-style thin-film workflow (Section V-B of
+// the paper): the central UR5e ferries a film substrate onto the spin
+// coater, the solvent pump wets it with precursor, the coater spins, and
+// the film cures on the spray-station hotplate under the ultrasonic
+// nozzles. Exercises the generalization targets: a decapper and spin
+// coater as action devices, a second dosing system, and a
+// declaratively-configured custom rule (film must be loaded before the
+// coater spins).
+func SpraySteps() []Step {
+	return []Step{
+		{Name: "n9-sleep", Run: func(s *Session) error {
+			return s.Arm("n9").GoSleep()
+		}},
+		{Name: "ur5e-home", Run: func(s *Session) error {
+			return s.Arm("ur5e").GoHome()
+		}},
+		{Name: "decap-precursor", Run: func(s *Session) error {
+			// The decapper uncaps the precursor vial before any liquid
+			// handling (its action-device action: capping/uncapping).
+			return s.Vial("precursor_vial").Decap()
+		}},
+		{Name: "pick-film", Run: func(s *Session) error {
+			return s.Arm("ur5e").PickUpObject("rack_B_safe", "rack_B", "film_substrate")
+		}},
+		{Name: "load-coater", Run: func(s *Session) error {
+			return s.Arm("ur5e").PlaceObject("coater_safe", "coater_chuck", "film_substrate")
+		}},
+		{Name: "ur5e-clear", Run: func(s *Session) error {
+			return s.Arm("ur5e").GoHome()
+		}},
+		{Name: "wet-film", Run: func(s *Session) error {
+			// The syringe pump draws solvent and deposits precursor onto
+			// the film.
+			return s.Device("solvent_pump").DoseLiquid("film_substrate", 0.2)
+		}},
+		{Name: "spin-coat", Run: func(s *Session) error {
+			coater := s.Device("spin_coater")
+			if err := coater.SetValue(3000); err != nil {
+				return err
+			}
+			if err := coater.Start(30 * time.Second); err != nil {
+				return err
+			}
+			return coater.Stop()
+		}},
+		{Name: "unload-coater", Run: func(s *Session) error {
+			return s.Arm("ur5e").PickUpObject("coater_safe", "coater_chuck", "film_substrate")
+		}},
+		{Name: "to-spray-station", Run: func(s *Session) error {
+			return s.Arm("ur5e").PlaceObject("spray_safe", "spray_place", "film_substrate")
+		}},
+		{Name: "ur5e-clear-2", Run: func(s *Session) error {
+			return s.Arm("ur5e").GoHome()
+		}},
+		{Name: "cure", Run: func(s *Session) error {
+			hp := s.Device("spray_hotplate")
+			if err := hp.SetValue(180); err != nil {
+				return err
+			}
+			if err := hp.Start(120 * time.Second); err != nil {
+				return err
+			}
+			return hp.Stop()
+		}},
+		{Name: "spray", Run: func(s *Session) error {
+			for _, id := range []string{"nozzle_a", "nozzle_b"} {
+				n := s.Device(id)
+				if err := n.Start(10 * time.Second); err != nil {
+					return err
+				}
+				if err := n.Stop(); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{Name: "ur5e-sleep", Run: func(s *Session) error {
+			return s.Arm("ur5e").GoSleep()
+		}},
+	}
+}

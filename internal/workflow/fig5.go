@@ -1,0 +1,151 @@
+package workflow
+
+import "fmt"
+
+// Step is one "line" of an experiment script: a named unit the bug study
+// can delete, reorder, or replace — the naive programmer of Section IV
+// "could easily change the arguments of commands, delete commands, or
+// change the order of commands".
+type Step struct {
+	Name string
+	Run  func(s *Session) error
+}
+
+// RunSteps executes a script. Execution stops at the first error (a RABIT
+// alert surfaces as an error from the interceptor, exactly like the
+// Python exception RATracer raises).
+func RunSteps(s *Session, steps []Step) error {
+	for _, st := range steps {
+		if err := st.Run(s); err != nil {
+			return fmt.Errorf("workflow: step %q: %w", st.Name, err)
+		}
+	}
+	return nil
+}
+
+// DeleteStep returns the script without the named step (the "delete
+// commands" mutation class).
+func DeleteStep(steps []Step, name string) []Step {
+	out := make([]Step, 0, len(steps))
+	for _, st := range steps {
+		if st.Name == name {
+			continue
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// InsertAfter returns the script with extra steps spliced in after the
+// named step (the "add commands" mutation class).
+func InsertAfter(steps []Step, name string, extra ...Step) []Step {
+	out := make([]Step, 0, len(steps)+len(extra))
+	for _, st := range steps {
+		out = append(out, st)
+		if st.Name == name {
+			out = append(out, extra...)
+		}
+	}
+	return out
+}
+
+// ReplaceStep swaps the named step for another (the "change arguments /
+// reorder" mutation classes).
+func ReplaceStep(steps []Step, name string, repl Step) []Step {
+	out := make([]Step, 0, len(steps))
+	for _, st := range steps {
+		if st.Name == name {
+			out = append(out, repl)
+			continue
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// StepNames lists the step names, for assertions and docs.
+func StepNames(steps []Step) []string {
+	out := make([]string, len(steps))
+	for i, st := range steps {
+		out[i] = st.Name
+	}
+	return out
+}
+
+// Fig5Workflow is the safe testbed workflow of Fig. 5, expressed as named
+// steps over the testbed deck: ViperX ferries vial_1 from the grid into
+// the dosing device, solid is dosed, the vial returns to the grid, ViperX
+// parks and sleeps, and Ned2 finally collects the vial.
+//
+// The step names mirror the figure's line numbers where they matter to
+// the bug study (e.g. "reopen-door" is Fig. 5 line 23, omitted by Bug A;
+// "viperx-pick-grid" is line 15, omitted by Bug C).
+func Fig5Workflow() []Step {
+	return []Step{
+		{Name: "ned2-sleep", Run: func(s *Session) error {
+			// Deck quiesce: only one arm out of its sleep pose at a time.
+			return s.Arm("ned2").GoSleep()
+		}},
+		{Name: "open-door", Run: func(s *Session) error {
+			return s.Device("dosing_device").SetDoor(true)
+		}},
+		{Name: "decap-vial", Run: func(s *Session) error {
+			return s.Vial("vial_1").Decap()
+		}},
+		{Name: "viperx-home", Run: func(s *Session) error {
+			return s.Arm("viperx").GoHome()
+		}},
+		{Name: "viperx-pick-grid", Run: func(s *Session) error {
+			return s.Arm("viperx").PickUpObject("grid_NW_safe", "grid_NW", "vial_1")
+		}},
+		{Name: "viperx-approach-dd", Run: func(s *Session) error {
+			return s.Arm("viperx").GoToLocation("dd_approach")
+		}},
+		{Name: "viperx-place-dd", Run: func(s *Session) error {
+			return s.Arm("viperx").PlaceObject("dd_safe_height", "dd_pickup", "vial_1")
+		}},
+		{Name: "viperx-exit-dd", Run: func(s *Session) error {
+			return s.Arm("viperx").GoToLocation("dd_approach")
+		}},
+		{Name: "viperx-home-2", Run: func(s *Session) error {
+			return s.Arm("viperx").GoHome()
+		}},
+		{Name: "close-door", Run: func(s *Session) error {
+			return s.Device("dosing_device").SetDoor(false)
+		}},
+		{Name: "run-dosing", Run: func(s *Session) error {
+			return s.Device("dosing_device").RunAction(3e9, 5)
+		}},
+		{Name: "stop-dosing", Run: func(s *Session) error {
+			return s.Device("dosing_device").Stop()
+		}},
+		{Name: "reopen-door", Run: func(s *Session) error {
+			// Fig. 5 line 23 — Bug A omits this.
+			return s.Device("dosing_device").SetDoor(true)
+		}},
+		{Name: "viperx-approach-dd-2", Run: func(s *Session) error {
+			return s.Arm("viperx").GoToLocation("dd_approach")
+		}},
+		{Name: "viperx-pick-dd", Run: func(s *Session) error {
+			return s.Arm("viperx").PickUpObject("dd_safe_height", "dd_pickup", "vial_1")
+		}},
+		{Name: "viperx-exit-dd-2", Run: func(s *Session) error {
+			return s.Arm("viperx").GoToLocation("dd_approach")
+		}},
+		{Name: "viperx-place-grid", Run: func(s *Session) error {
+			return s.Arm("viperx").PlaceObject("grid_NW_safe", "grid_NW", "vial_1")
+		}},
+		{Name: "close-door-2", Run: func(s *Session) error {
+			return s.Device("dosing_device").SetDoor(false)
+		}},
+		{Name: "viperx-home-3", Run: func(s *Session) error {
+			return s.Arm("viperx").GoHome()
+		}},
+		{Name: "viperx-sleep", Run: func(s *Session) error {
+			return s.Arm("viperx").GoSleep()
+		}},
+		{Name: "ned2-pick-grid", Run: func(s *Session) error {
+			return s.Arm("ned2").PickUpObject("grid_NW_safe", "grid_NW", "vial_1")
+		}},
+	}
+}

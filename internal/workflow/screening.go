@@ -1,0 +1,138 @@
+package workflow
+
+import "time"
+
+// ScreeningSteps is a crystallization-screening workflow for the Hein
+// production deck: dose solid into a vial, add anti-solvent, shake on the
+// thermoshaker, cap, align the centrifuge rotor, spin down, and return
+// the vial. It exercises the full device roster — including the safe
+// centrifugation discipline that Table IV's custom rules encode (solid +
+// liquid present, red dot North, stopper on).
+func ScreeningSteps() []Step {
+	return []Step{
+		{Name: "home", Run: func(s *Session) error {
+			return s.SemanticArm("ur3e").GoHome()
+		}},
+		{Name: "open-dd", Run: func(s *Session) error {
+			return s.Device("dosing_device").SetDoor(true)
+		}},
+		{Name: "load-dd", Run: func(s *Session) error {
+			a := s.SemanticArm("ur3e")
+			if err := a.PickUpVial("grid_NW_safe", "grid_NW", "vial_1"); err != nil {
+				return err
+			}
+			if err := a.MoveToLocation("dd_approach"); err != nil {
+				return err
+			}
+			return a.DropVial("dd_safe_height", "dd_pickup", "vial_1")
+		}},
+		{Name: "clear-dd", Run: func(s *Session) error {
+			a := s.SemanticArm("ur3e")
+			if err := a.MoveToLocation("dd_approach"); err != nil {
+				return err
+			}
+			return a.GoHome()
+		}},
+		{Name: "close-dd", Run: func(s *Session) error {
+			return s.Device("dosing_device").SetDoor(false)
+		}},
+		{Name: "dose", Run: func(s *Session) error {
+			dd := s.Device("dosing_device")
+			if err := dd.RunAction(3*time.Second, 6); err != nil {
+				return err
+			}
+			return dd.Stop()
+		}},
+		{Name: "retrieve", Run: func(s *Session) error {
+			dd := s.Device("dosing_device")
+			if err := dd.SetDoor(true); err != nil {
+				return err
+			}
+			a := s.SemanticArm("ur3e")
+			if err := a.MoveToLocation("dd_approach"); err != nil {
+				return err
+			}
+			if err := a.PickUpVial("dd_safe_height", "dd_pickup", "vial_1"); err != nil {
+				return err
+			}
+			if err := a.MoveToLocation("dd_approach"); err != nil {
+				return err
+			}
+			return dd.SetDoor(false)
+		}},
+		{Name: "to-shaker", Run: func(s *Session) error {
+			a := s.SemanticArm("ur3e")
+			// Route via the home pose: swinging directly from the dosing
+			// device's doorway to the shaker sweeps the elbow through
+			// the device's front.
+			if err := a.GoHome(); err != nil {
+				return err
+			}
+			return a.DropVial("ts_safe", "ts_place", "vial_1")
+		}},
+		{Name: "clear-shaker", Run: func(s *Session) error {
+			return s.SemanticArm("ur3e").GoHome()
+		}},
+		{Name: "antisolvent", Run: func(s *Session) error {
+			// Order of addition: solid first (custom rule 1 holds).
+			return s.Device("pump").DoseLiquid("vial_1", 3)
+		}},
+		{Name: "shake", Run: func(s *Session) error {
+			ts := s.Device("thermoshaker")
+			if err := ts.SetValue(800); err != nil {
+				return err
+			}
+			if err := ts.Start(90 * time.Second); err != nil {
+				return err
+			}
+			return ts.Stop()
+		}},
+		{Name: "cap", Run: func(s *Session) error {
+			// The stopper goes on before any centrifugation (custom rule 4).
+			return s.Vial("vial_1").Cap()
+		}},
+		{Name: "open-cf", Run: func(s *Session) error {
+			return s.Device("centrifuge").SetDoor(true)
+		}},
+		{Name: "load-cf", Run: func(s *Session) error {
+			a := s.SemanticArm("ur3e")
+			if err := a.PickUpVial("ts_safe", "ts_place", "vial_1"); err != nil {
+				return err
+			}
+			return a.DropVial("cf_safe", "cf_slot", "vial_1")
+		}},
+		{Name: "clear-cf", Run: func(s *Session) error {
+			return s.SemanticArm("ur3e").GoHome()
+		}},
+		{Name: "close-cf", Run: func(s *Session) error {
+			return s.Device("centrifuge").SetDoor(false)
+		}},
+		{Name: "spin", Run: func(s *Session) error {
+			cf := s.Device("centrifuge")
+			if err := cf.SetValue(3500); err != nil {
+				return err
+			}
+			if err := cf.Start(120 * time.Second); err != nil {
+				return err
+			}
+			return cf.Stop()
+		}},
+		{Name: "unload-cf", Run: func(s *Session) error {
+			cf := s.Device("centrifuge")
+			if err := cf.SetDoor(true); err != nil {
+				return err
+			}
+			a := s.SemanticArm("ur3e")
+			if err := a.PickUpVial("cf_safe", "cf_slot", "vial_1"); err != nil {
+				return err
+			}
+			if err := a.DropVial("grid_NW_safe", "grid_NW", "vial_1"); err != nil {
+				return err
+			}
+			return cf.SetDoor(false)
+		}},
+		{Name: "park", Run: func(s *Session) error {
+			return s.SemanticArm("ur3e").GoHome()
+		}},
+	}
+}

@@ -1,0 +1,380 @@
+// Package workflow reproduces the lab's programming environment: the
+// lightweight wrappers lab engineers write over device APIs (Fig. 1b of
+// the paper), at both abstraction levels the paper deploys —
+// production-style semantic actions (pick_object / place_object) and
+// testbed-style raw gripper commands (open_gripper / close_gripper) —
+// plus the canonical experiment scripts: the automated solubility
+// workflow (Fig. 1b), the testbed workflow the 16-bug study mutates
+// (Fig. 5), and a Berlinguette-style spray-coating workflow.
+//
+// Every wrapper call flows through the RATracer-style interceptor, which
+// is where RABIT checks it.
+package workflow
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/action"
+	"repro/internal/config"
+	"repro/internal/geom"
+	"repro/internal/trace"
+)
+
+// ScriptLocations is the experiment script's own hard-coded location
+// table — the workflow_utils dictionary of Fig. 6, mapping arm → location
+// name → coordinates in that arm's frame. It deliberately lives outside
+// RABIT's JSON configuration: the paper's Bug D edits this table, not the
+// config, and RABIT only sees the resulting raw coordinates.
+type ScriptLocations map[string]map[string]geom.Vec3
+
+// Coord looks up one entry.
+func (sl ScriptLocations) Coord(armID, loc string) (geom.Vec3, bool) {
+	m, ok := sl[armID]
+	if !ok {
+		return geom.Vec3{}, false
+	}
+	p, ok := m[loc]
+	return p, ok
+}
+
+// Set overrides one entry (the bug-injection edit of Fig. 6).
+func (sl ScriptLocations) Set(armID, loc string, p geom.Vec3) {
+	if sl[armID] == nil {
+		sl[armID] = map[string]geom.Vec3{}
+	}
+	sl[armID][loc] = p
+}
+
+// Clone deep-copies the table, so a bug mutation never leaks into other
+// runs.
+func (sl ScriptLocations) Clone() ScriptLocations {
+	out := make(ScriptLocations, len(sl))
+	for arm, m := range sl {
+		cm := make(map[string]geom.Vec3, len(m))
+		for k, v := range m {
+			cm[k] = v
+		}
+		out[arm] = cm
+	}
+	return out
+}
+
+// DefaultScriptLocations derives the script table from the lab
+// configuration — the state of the utilities file before anyone edits it.
+func DefaultScriptLocations(lab *config.Lab) ScriptLocations {
+	out := ScriptLocations{}
+	for _, armID := range lab.ArmIDs() {
+		for _, ls := range lab.Spec.Locations {
+			if p, ok := lab.LocationPos(armID, ls.Name); ok {
+				out.Set(armID, ls.Name, p)
+			}
+		}
+	}
+	return out
+}
+
+// Session binds the interceptor, the lab configuration, and the script's
+// own location table.
+type Session struct {
+	I    *trace.Interceptor
+	Lab  *config.Lab
+	Locs ScriptLocations
+	// Measure reads a container's solubility (vision pipeline); set by
+	// the environment harness.
+	Measure func(objectID string) (float64, error)
+}
+
+// NewSession builds a session with the pristine script location table.
+func NewSession(i *trace.Interceptor, lab *config.Lab) *Session {
+	return &Session{I: i, Lab: lab, Locs: DefaultScriptLocations(lab)}
+}
+
+// moveCommand builds the motion command for a named location, sending the
+// *script table's* raw coordinates — RABIT re-derives the location name
+// itself by matching against its configuration.
+func (s *Session) moveCommand(armID, loc string, pickObject string) (action.Command, error) {
+	p, ok := s.Locs.Coord(armID, loc)
+	if !ok {
+		return action.Command{}, fmt.Errorf("workflow: arm %s has no coordinates for location %q", armID, loc)
+	}
+	return action.Command{Device: armID, Action: action.MoveRobot, Target: p, Object: pickObject}, nil
+}
+
+// Arm returns the testbed-style wrapper for an arm.
+func (s *Session) Arm(id string) *Arm { return &Arm{s: s, id: id} }
+
+// Arm is the testbed-level arm API (raw gripper commands).
+type Arm struct {
+	s  *Session
+	id string
+}
+
+// ID returns the arm's device ID.
+func (a *Arm) ID() string { return a.id }
+
+// GoToLocation moves the tool centre point to a named location.
+func (a *Arm) GoToLocation(loc string) error {
+	cmd, err := a.s.moveCommand(a.id, loc, "")
+	if err != nil {
+		return err
+	}
+	return a.s.I.Do(cmd)
+}
+
+// GoToLocationForPick moves to a named location that is expected to be
+// occupied by the object about to be grasped.
+func (a *Arm) GoToLocationForPick(loc, objectID string) error {
+	cmd, err := a.s.moveCommand(a.id, loc, objectID)
+	if err != nil {
+		return err
+	}
+	return a.s.I.Do(cmd)
+}
+
+// MovePose moves to raw coordinates in the arm's own frame — the
+// ned2.move_pose(random_location) call of Fig. 5.
+func (a *Arm) MovePose(p geom.Vec3) error {
+	return a.s.I.Do(action.Command{Device: a.id, Action: action.MoveRobot, Target: p})
+}
+
+// MovePoseRolled moves to raw coordinates with an explicit wrist roll.
+func (a *Arm) MovePoseRolled(p geom.Vec3, roll float64) error {
+	return a.s.I.Do(action.Command{Device: a.id, Action: action.MoveRobot, Target: p, Roll: roll})
+}
+
+// GoHome parks the arm above the deck.
+func (a *Arm) GoHome() error {
+	return a.s.I.Do(action.Command{Device: a.id, Action: action.MoveHome})
+}
+
+// GoSleep folds the arm into its sleep pose.
+func (a *Arm) GoSleep() error {
+	return a.s.I.Do(action.Command{Device: a.id, Action: action.MoveSleep})
+}
+
+// OpenGripper / CloseGripper are the raw gripper commands.
+func (a *Arm) OpenGripper() error {
+	return a.s.I.Do(action.Command{Device: a.id, Action: action.OpenGripper})
+}
+
+// CloseGripper closes the gripper.
+func (a *Arm) CloseGripper() error {
+	return a.s.I.Do(action.Command{Device: a.id, Action: action.CloseGripper})
+}
+
+// PickUpObject is the testbed pick helper of Fig. 5
+// (viperx_pick_up_object): open the gripper, hover at the safe height,
+// descend onto the object, grasp, and lift back to the safe height.
+func (a *Arm) PickUpObject(safeLoc, loc, objectID string) error {
+	if err := a.OpenGripper(); err != nil {
+		return err
+	}
+	if err := a.GoToLocation(safeLoc); err != nil {
+		return err
+	}
+	if err := a.GoToLocationForPick(loc, objectID); err != nil {
+		return err
+	}
+	if err := a.CloseGripper(); err != nil {
+		return err
+	}
+	return a.GoToLocation(safeLoc)
+}
+
+// PlaceObject is the testbed place helper of Fig. 5
+// (viperx_place_object(viperx, location, vial)): hover at the safe
+// height, descend to the slot, release, and lift straight back up past
+// the vial just released.
+func (a *Arm) PlaceObject(safeLoc, loc, objectID string) error {
+	if err := a.GoToLocation(safeLoc); err != nil {
+		return err
+	}
+	// The descend declares the object being placed: the wrapper believes
+	// it is holding objectID, so finding it (or intending to leave it) at
+	// the slot is not an occupancy conflict.
+	if err := a.GoToLocationForPick(loc, objectID); err != nil {
+		return err
+	}
+	if err := a.OpenGripper(); err != nil {
+		return err
+	}
+	return a.GoToLocationForPick(safeLoc, objectID)
+}
+
+// SemanticArm is the production-level arm API (Fig. 1b / Table II): its
+// pick/place are single semantic commands RABIT can reason about.
+type SemanticArm struct {
+	s  *Session
+	id string
+}
+
+// SemanticArm returns the production-style wrapper for an arm.
+func (s *Session) SemanticArm(id string) *SemanticArm { return &SemanticArm{s: s, id: id} }
+
+// ID returns the arm's device ID.
+func (a *SemanticArm) ID() string { return a.id }
+
+// MoveToLocation moves to a named location.
+func (a *SemanticArm) MoveToLocation(loc string) error {
+	cmd, err := a.s.moveCommand(a.id, loc, "")
+	if err != nil {
+		return err
+	}
+	return a.s.I.Do(cmd)
+}
+
+// PickUpVial descends onto and grasps a vial with a single semantic
+// pick_object command (Table II row 2).
+func (a *SemanticArm) PickUpVial(safeLoc, loc, objectID string) error {
+	if err := a.MoveToLocation(safeLoc); err != nil {
+		return err
+	}
+	cmd, err := a.s.moveCommand(a.id, loc, objectID)
+	if err != nil {
+		return err
+	}
+	if err := a.s.I.Do(cmd); err != nil {
+		return err
+	}
+	if err := a.s.I.Do(action.Command{Device: a.id, Action: action.PickObject, Object: objectID}); err != nil {
+		return err
+	}
+	return a.MoveToLocation(safeLoc)
+}
+
+// DropVial places the held vial at a location with a single semantic
+// place_object command (Table II row 3).
+func (a *SemanticArm) DropVial(safeLoc, loc, objectID string) error {
+	if err := a.MoveToLocation(safeLoc); err != nil {
+		return err
+	}
+	cmdDown, err := a.s.moveCommand(a.id, loc, objectID)
+	if err != nil {
+		return err
+	}
+	if err := a.s.I.Do(cmdDown); err != nil {
+		return err
+	}
+	if err := a.s.I.Do(action.Command{Device: a.id, Action: action.PlaceObject, Object: objectID}); err != nil {
+		return err
+	}
+	cmd, err := a.s.moveCommand(a.id, safeLoc, objectID)
+	if err != nil {
+		return err
+	}
+	return a.s.I.Do(cmd)
+}
+
+// GoHome parks the arm.
+func (a *SemanticArm) GoHome() error {
+	return a.s.I.Do(action.Command{Device: a.id, Action: action.MoveHome})
+}
+
+// GoSleep folds the arm.
+func (a *SemanticArm) GoSleep() error {
+	return a.s.I.Do(action.Command{Device: a.id, Action: action.MoveSleep})
+}
+
+// MoveConcurrently issues simultaneous raw moves for several arms — the
+// concurrency that space multiplexing makes safe and that time
+// multiplexing forbids. Each entry maps an arm ID to a target in that
+// arm's own frame.
+func (s *Session) MoveConcurrently(targets map[string]geom.Vec3) error {
+	cmds := make([]action.Command, 0, len(targets))
+	// Deterministic order for stable traces.
+	ids := make([]string, 0, len(targets))
+	for id := range targets {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		cmds = append(cmds, action.Command{Device: id, Action: action.MoveRobot, Target: targets[id]})
+	}
+	return s.I.DoConcurrent(cmds)
+}
+
+// Device returns the wrapper for a stationary device.
+func (s *Session) Device(id string) *Device { return &Device{s: s, id: id} }
+
+// Device is the automation-device API (dosing device, hotplate,
+// thermoshaker, centrifuge, pump, decapper, …).
+type Device struct {
+	s  *Session
+	id string
+}
+
+// ID returns the device ID.
+func (d *Device) ID() string { return d.id }
+
+// SetDoor opens or closes the device's sole door.
+func (d *Device) SetDoor(open bool) error { return d.SetNamedDoor("", open) }
+
+// SetNamedDoor operates one panel of a multi-door device.
+func (d *Device) SetNamedDoor(door string, open bool) error {
+	a := action.CloseDoor
+	if open {
+		a = action.OpenDoor
+	}
+	return d.s.I.Do(action.Command{Device: d.id, Action: a, Door: door})
+}
+
+// SetValue sets the device's action value (temperature, speed, rpm).
+func (d *Device) SetValue(v float64) error {
+	return d.s.I.Do(action.Command{Device: d.id, Action: action.SetActionValue, Value: v})
+}
+
+// Start begins the device's action for an optional process duration.
+func (d *Device) Start(processTime time.Duration) error {
+	return d.s.I.Do(action.Command{Device: d.id, Action: action.StartAction, Duration: processTime})
+}
+
+// Stop ends the device's action.
+func (d *Device) Stop() error {
+	return d.s.I.Do(action.Command{Device: d.id, Action: action.StopAction})
+}
+
+// RunAction is the dosing device's run_action(delay, quantity) of Fig. 5:
+// start the mechanism, dispense, stop is issued separately by the script.
+func (d *Device) RunAction(delay time.Duration, quantityMg float64) error {
+	if err := d.Start(delay); err != nil {
+		return err
+	}
+	return d.s.I.Do(action.Command{Device: d.id, Action: action.DoseSolid, Value: quantityMg})
+}
+
+// DoseLiquid pumps a volume into a container (syringe pump).
+func (d *Device) DoseLiquid(objectID string, volumeML float64) error {
+	return d.s.I.Do(action.Command{Device: d.id, Action: action.DoseLiquid, Object: objectID, Value: volumeML})
+}
+
+// Transfer moves liquid between containers through the pump.
+func (d *Device) Transfer(from, to string, volumeML float64) error {
+	return d.s.I.Do(action.Command{
+		Device: d.id, Action: action.TransferSubstance,
+		FromContainer: from, ToContainer: to, Value: volumeML,
+	})
+}
+
+// Vial returns the wrapper for a container.
+func (s *Session) Vial(id string) *Vial { return &Vial{s: s, id: id} }
+
+// Vial is the container API.
+type Vial struct {
+	s  *Session
+	id string
+}
+
+// ID returns the container ID.
+func (v *Vial) ID() string { return v.id }
+
+// Decap removes the stopper.
+func (v *Vial) Decap() error {
+	return v.s.I.Do(action.Command{Device: v.id, Action: action.DecapContainer, Object: v.id})
+}
+
+// Cap puts the stopper on.
+func (v *Vial) Cap() error {
+	return v.s.I.Do(action.Command{Device: v.id, Action: action.CapContainer, Object: v.id})
+}

@@ -1,0 +1,172 @@
+package workflow
+
+import (
+	"fmt"
+	"time"
+)
+
+// SolubilityParams parameterise the automated solubility measurement of
+// Fig. 1(b).
+type SolubilityParams struct {
+	// Vial is the container under test.
+	Vial string
+	// AmountMg is the solid dose (the script's own guard rejects > the
+	// vial capacity — the explicit check on Fig. 1b lines 10–11).
+	AmountMg float64
+	// InitialSolventML is the first solvent addition.
+	InitialSolventML float64
+	// StepSolventML is added per iteration until dissolved.
+	StepSolventML float64
+	// Temperature is the stirring temperature (°C).
+	Temperature float64
+	// StirTime is the per-iteration stirring time.
+	StirTime time.Duration
+	// MaxIterations bounds the dissolution loop.
+	MaxIterations int
+}
+
+// DefaultSolubilityParams returns the canonical run.
+func DefaultSolubilityParams() SolubilityParams {
+	return SolubilityParams{
+		Vial:             "vial_1",
+		AmountMg:         8,
+		InitialSolventML: 1,
+		StepSolventML:    1,
+		Temperature:      60,
+		StirTime:         60 * time.Second,
+		MaxIterations:    8,
+	}
+}
+
+// SolubilityResult is the experiment's outcome.
+type SolubilityResult struct {
+	// Dissolved reports whether the solid fully dissolved.
+	Dissolved bool
+	// SolventML is the total solvent used.
+	SolventML float64
+	// Iterations is how many dissolution cycles ran.
+	Iterations int
+	// FinalFraction is the last measured dissolved fraction.
+	FinalFraction float64
+}
+
+// RunSolubility is the automated solubility experiment of Fig. 1(b),
+// written against the production deck (UR3e + dosing device + syringe
+// pump + hotplate): dose solid into the vial, add solvent, stir, image,
+// and repeat until the solid dissolves.
+func RunSolubility(s *Session, p SolubilityParams) (*SolubilityResult, error) {
+	if p.AmountMg > 10 {
+		// The programmers' own ad-hoc guard (Fig. 1b line 11); RABIT
+		// works in tandem with such checks, not instead of them.
+		return nil, fmt.Errorf("workflow: amount %.1f mg exceeds vial capacity", p.AmountMg)
+	}
+	arm := s.SemanticArm("ur3e")
+	dd := s.Device("dosing_device")
+	pump := s.Device("pump")
+	hotplate := s.Device("hotplate")
+
+	// dosing_device.doseSolid(amount) — Fig. 1b right side.
+	if err := dd.SetDoor(true); err != nil {
+		return nil, err
+	}
+	if err := arm.GoHome(); err != nil {
+		return nil, err
+	}
+	if err := arm.PickUpVial("grid_NW_safe", "grid_NW", p.Vial); err != nil {
+		return nil, err
+	}
+	if err := arm.MoveToLocation("dd_approach"); err != nil {
+		return nil, err
+	}
+	if err := arm.DropVial("dd_safe_height", "dd_pickup", p.Vial); err != nil {
+		return nil, err
+	}
+	if err := arm.MoveToLocation("dd_approach"); err != nil {
+		return nil, err
+	}
+	if err := arm.GoHome(); err != nil {
+		return nil, err
+	}
+	if err := dd.SetDoor(false); err != nil {
+		return nil, err
+	}
+	if err := dd.RunAction(3*time.Second, p.AmountMg); err != nil {
+		return nil, err
+	}
+	if err := dd.Stop(); err != nil {
+		return nil, err
+	}
+	if err := dd.SetDoor(true); err != nil {
+		return nil, err
+	}
+	if err := arm.MoveToLocation("dd_approach"); err != nil {
+		return nil, err
+	}
+	if err := arm.PickUpVial("dd_safe_height", "dd_pickup", p.Vial); err != nil {
+		return nil, err
+	}
+	if err := arm.MoveToLocation("dd_approach"); err != nil {
+		return nil, err
+	}
+	if err := dd.SetDoor(false); err != nil {
+		return nil, err
+	}
+	// Park the vial on the hotplate for the dissolution loop.
+	if err := arm.DropVial("hp_safe", "hp_place", p.Vial); err != nil {
+		return nil, err
+	}
+	if err := arm.GoHome(); err != nil {
+		return nil, err
+	}
+
+	res := &SolubilityResult{}
+	// syringe_pump.doseInitialSolvent(volume)
+	if err := pump.DoseLiquid(p.Vial, p.InitialSolventML); err != nil {
+		return nil, err
+	}
+	res.SolventML = p.InitialSolventML
+
+	stir := func() error {
+		if err := hotplate.SetValue(p.Temperature); err != nil {
+			return err
+		}
+		if err := hotplate.Start(p.StirTime); err != nil {
+			return err
+		}
+		return hotplate.Stop()
+	}
+	measure := func() (float64, error) {
+		if s.Measure == nil {
+			return 0, fmt.Errorf("workflow: no measurement pipeline attached")
+		}
+		return s.Measure(p.Vial)
+	}
+
+	if err := stir(); err != nil {
+		return nil, err
+	}
+	frac, err := measure()
+	if err != nil {
+		return nil, err
+	}
+	res.FinalFraction = frac
+
+	// while (not SolutionDissolved) — Fig. 1b lines 11–16.
+	for iter := 0; frac < 0.999 && iter < p.MaxIterations; iter++ {
+		if err := pump.DoseLiquid(p.Vial, p.StepSolventML); err != nil {
+			return res, err
+		}
+		res.SolventML += p.StepSolventML
+		if err := stir(); err != nil {
+			return res, err
+		}
+		frac, err = measure()
+		if err != nil {
+			return res, err
+		}
+		res.FinalFraction = frac
+		res.Iterations = iter + 1
+	}
+	res.Dissolved = frac >= 0.999
+	return res, nil
+}

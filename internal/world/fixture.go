@@ -1,0 +1,319 @@
+package world
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/geom"
+)
+
+// DoorSide identifies which face of a fixture's body cuboid carries its
+// door.
+type DoorSide int
+
+// Door sides (axis-aligned faces of the body box).
+const (
+	DoorNone DoorSide = iota
+	DoorXNeg
+	DoorXPos
+	DoorYNeg
+	DoorYPos
+	DoorZPos // top-loading devices such as the centrifuge
+)
+
+// FixtureKind selects physical behaviour for a fixture's action.
+type FixtureKind int
+
+// Fixture kinds on the decks we model.
+const (
+	KindGeneric FixtureKind = iota + 1
+	KindDosing              // solid dosing device (glass door)
+	KindPump                // automated syringe pump
+	KindHotplate
+	KindThermoshaker
+	KindCentrifuge
+	KindGrid // vial rack
+	KindDecapper
+	KindSpinCoater
+	KindNozzle
+	KindSensor // presence sensor watching a zone
+)
+
+// String names the fixture kind.
+func (k FixtureKind) String() string {
+	switch k {
+	case KindGeneric:
+		return "generic"
+	case KindDosing:
+		return "dosing"
+	case KindPump:
+		return "pump"
+	case KindHotplate:
+		return "hotplate"
+	case KindThermoshaker:
+		return "thermoshaker"
+	case KindCentrifuge:
+		return "centrifuge"
+	case KindGrid:
+		return "grid"
+	case KindDecapper:
+		return "decapper"
+	case KindSpinCoater:
+		return "spin-coater"
+	case KindNozzle:
+		return "nozzle"
+	case KindSensor:
+		return "sensor"
+	default:
+		return fmt.Sprintf("FixtureKind(%d)", int(k))
+	}
+}
+
+// Fixture is a stationary device body on the deck: a cuboid, optionally
+// hollow with an interior reachable through a door on one face. The
+// paper's Extended Simulator models every automation device exactly this
+// way (Fig. 3).
+type Fixture struct {
+	ID   string
+	Kind FixtureKind
+	// Body is the outer cuboid in the global frame.
+	Body geom.AABB
+	// Interior is the hollow region reachable through the door; the zero
+	// box means the fixture is solid (e.g. the vial grid, a mockup).
+	Interior geom.AABB
+	// Door is the face carrying the (glass) door; DoorNone for solid or
+	// always-open fixtures.
+	Door DoorSide
+	// DoorOpen is the physical door state.
+	DoorOpen bool
+	// Panels declares multiple named door panels (the multi-door
+	// extension); when non-empty, Door/DoorOpen are ignored.
+	Panels []DoorPanel
+	// Expensive marks equipment whose breakage is SeverityHigh
+	// (dosing device, centrifuge…); cheap mockups and grids are
+	// SeverityMediumHigh.
+	Expensive bool
+	// Broken is latched once the fixture is damaged.
+	Broken bool
+	// Hot tracks the actual temperature of heating devices (°C).
+	Temperature float64
+	// Running and ActionValue mirror the device's physical action state.
+	Running     bool
+	ActionValue float64
+	// MaxSafeValue is the physical limit beyond which running the action
+	// damages the device (general rule 11's threshold refers to the
+	// *configured* limit, which should be at or below this).
+	MaxSafeValue float64
+	// RedDotNorth models the Hein Lab centrifuge's rotor alignment mark
+	// (custom rule 3); meaningful only for centrifuges.
+	RedDotNorth bool
+	// Occupied is a presence sensor's reading: something (a person, an
+	// unexpected object) is inside its monitored zone. The zone itself
+	// is the fixture's Body cuboid, which is not solid for sensors.
+	Occupied bool
+	// Rounded marks the body as a rounded solid (cylinder/dome): the
+	// collision volume is the largest vertical capsule inscribed in
+	// Body rather than the cuboid itself.
+	Rounded bool
+}
+
+// roundedCapsule returns the body's rounded collision volume.
+func (f *Fixture) roundedCapsule() geom.Capsule {
+	return geom.InscribedVerticalCapsule(f.Body)
+}
+
+// DoorPanel is one named door of a multi-door fixture.
+type DoorPanel struct {
+	Name string
+	Side DoorSide
+	Open bool
+}
+
+// panelViews normalises the fixture's doors: named panels when declared,
+// else the legacy single unnamed panel.
+func (f *Fixture) panelViews() []DoorPanel {
+	if len(f.Panels) > 0 {
+		return f.Panels
+	}
+	if f.Door != DoorNone {
+		return []DoorPanel{{Name: "", Side: f.Door, Open: f.DoorOpen}}
+	}
+	return nil
+}
+
+// anyDoorOpen reports whether any panel is open.
+func (f *Fixture) anyDoorOpen() bool {
+	for _, p := range f.panelViews() {
+		if p.Open {
+			return true
+		}
+	}
+	return false
+}
+
+// hollow reports whether the fixture has a usable interior.
+func (f *Fixture) hollow() bool { return f.Interior.IsValid() && f.Interior.Volume() > 0 }
+
+// severity returns the damage severity for breaking this fixture.
+func (f *Fixture) severity() Severity {
+	if f.Expensive {
+		return SeverityHigh
+	}
+	return SeverityMediumHigh
+}
+
+// doorSlab returns the cuboid occupied by the legacy single door panel.
+func (f *Fixture) doorSlab() (geom.AABB, bool) {
+	if f.Door == DoorNone || !f.hollow() {
+		return geom.AABB{}, false
+	}
+	return f.slabForSide(f.Door)
+}
+
+// slabForSide returns the door-panel cuboid on the given body face: the
+// slab between the interior and that face.
+func (f *Fixture) slabForSide(side DoorSide) (geom.AABB, bool) {
+	if !f.hollow() {
+		return geom.AABB{}, false
+	}
+	b, in := f.Body, f.Interior
+	switch side {
+	case DoorXNeg:
+		return geom.AABB{Min: geom.V(b.Min.X, in.Min.Y, in.Min.Z), Max: geom.V(in.Min.X, in.Max.Y, in.Max.Z)}, true
+	case DoorXPos:
+		return geom.AABB{Min: geom.V(in.Max.X, in.Min.Y, in.Min.Z), Max: geom.V(b.Max.X, in.Max.Y, in.Max.Z)}, true
+	case DoorYNeg:
+		return geom.AABB{Min: geom.V(in.Min.X, b.Min.Y, in.Min.Z), Max: geom.V(in.Max.X, in.Min.Y, in.Max.Z)}, true
+	case DoorYPos:
+		return geom.AABB{Min: geom.V(in.Min.X, in.Max.Y, in.Min.Z), Max: geom.V(in.Max.X, b.Max.Y, in.Max.Z)}, true
+	case DoorZPos:
+		return geom.AABB{Min: geom.V(in.Min.X, in.Min.Y, in.Max.Z), Max: geom.V(in.Max.X, in.Max.Y, b.Max.Z)}, true
+	default:
+		return geom.AABB{}, false
+	}
+}
+
+// AddFixture registers a fixture body on the deck.
+func (w *World) AddFixture(f *Fixture) error {
+	if f == nil || f.ID == "" {
+		return fmt.Errorf("world: fixture must have an ID")
+	}
+	if !f.Body.IsValid() {
+		return fmt.Errorf("world: fixture %q has invalid body box", f.ID)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, dup := w.fixtures[f.ID]; dup {
+		return fmt.Errorf("world: duplicate fixture %q", f.ID)
+	}
+	w.fixtures[f.ID] = f
+	return nil
+}
+
+// Fixture returns the fixture by ID.
+func (w *World) Fixture(id string) (*Fixture, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	f, ok := w.fixtures[id]
+	return f, ok
+}
+
+// FixtureIDs returns all fixture IDs, sorted.
+func (w *World) FixtureIDs() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ids := make([]string, 0, len(w.fixtures))
+	for id := range w.fixtures {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// SetDoor physically opens or closes a fixture's sole door. Closing the
+// door while a robot arm (or its held object) occupies the doorway or
+// interior breaks the door — the incident in footnote 1 of the paper.
+func (w *World) SetDoor(fixtureID string, open bool) error {
+	return w.SetDoorNamed(fixtureID, "", open)
+}
+
+// SetDoorNamed operates one named panel of a multi-door fixture (the
+// empty name selects the legacy sole door).
+func (w *World) SetDoorNamed(fixtureID, door string, open bool) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	f, ok := w.fixtures[fixtureID]
+	if !ok {
+		return fmt.Errorf("world: no fixture %q", fixtureID)
+	}
+	var side DoorSide
+	var panel *DoorPanel
+	switch {
+	case len(f.Panels) > 0:
+		for i := range f.Panels {
+			if f.Panels[i].Name == door {
+				panel = &f.Panels[i]
+				side = f.Panels[i].Side
+			}
+		}
+		if panel == nil {
+			return fmt.Errorf("world: fixture %q has no door %q", fixtureID, door)
+		}
+	case f.Door != DoorNone && door == "":
+		side = f.Door
+	default:
+		return fmt.Errorf("world: fixture %q has no door %q", fixtureID, door)
+	}
+
+	wasOpen := f.DoorOpen
+	if panel != nil {
+		wasOpen = panel.Open
+	}
+	if !open && wasOpen {
+		// Closing: check every arm's capsules against the doorway+interior.
+		slab, _ := f.slabForSide(side)
+		zone := slab.Union(f.Interior)
+		for _, a := range w.arms {
+			caps, err := a.capsules()
+			if err != nil {
+				continue
+			}
+			for _, c := range caps {
+				if geom.CapsuleAABBIntersect(c, zone) {
+					f.Broken = true
+					w.recordEvent(EventDoorBreak, f.severity(),
+						fmt.Sprintf("door of %s closed onto arm %s", f.ID, a.ID), f.ID, a.ID)
+					setPanelOpen(f, panel, false)
+					return nil
+				}
+			}
+		}
+	}
+	if open && f.Running {
+		w.recordEvent(EventSpill, SeverityLow,
+			fmt.Sprintf("door of %s opened while the device was running; material escaped", f.ID), f.ID)
+	}
+	setPanelOpen(f, panel, open)
+	w.now += 1500 * time.Millisecond // door actuation time
+	return nil
+}
+
+func setPanelOpen(f *Fixture, panel *DoorPanel, open bool) {
+	if panel != nil {
+		panel.Open = open
+		return
+	}
+	f.DoorOpen = open
+}
+
+// DoorIsOpen reports the physical state of the sole door.
+func (w *World) DoorIsOpen(fixtureID string) (bool, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	f, ok := w.fixtures[fixtureID]
+	if !ok {
+		return false, fmt.Errorf("world: no fixture %q", fixtureID)
+	}
+	return f.DoorOpen, nil
+}

@@ -1,0 +1,126 @@
+package world
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// TestWorldInvariantsUnderRandomOperations drives the deck with hundreds
+// of random operations (moves, grips, doors, doses) and checks the
+// physical invariants after every step:
+//
+//  1. an intact object is never both resting and held;
+//  2. no two intact objects occupy the same location;
+//  3. the event log only grows and the clock never runs backwards;
+//  4. a held object's holder actually reports holding it.
+func TestWorldInvariantsUnderRandomOperations(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		seed := seed
+		w := testDeck(t)
+		rng := rand.New(rand.NewSource(seed))
+		lastEvents := 0
+		lastNow := w.Now()
+
+		targets := []geom.Vec3{
+			{X: 0.32, Y: 0.22, Z: 0.23}, {X: 0.38, Y: 0.22, Z: 0.23},
+			{X: 0.32, Y: 0.22, Z: 0.16}, {X: 0.38, Y: 0.22, Z: 0.16},
+			{X: 0.25, Y: 0.05, Z: 0.30}, {X: 0.45, Y: 0.10, Z: 0.25},
+			{X: 0.15, Y: 0.30, Z: 0.19}, {X: 0.15, Y: 0.45, Z: 0.19},
+			{X: 0.15, Y: 0.45, Z: 0.10}, {X: 0.30, Y: -0.05, Z: 0.28},
+		}
+		arms := []string{"viperx", "ned2"}
+
+		for step := 0; step < 200; step++ {
+			switch rng.Intn(7) {
+			case 0, 1, 2:
+				arm := arms[rng.Intn(len(arms))]
+				tgt := targets[rng.Intn(len(targets))]
+				// Errors (collisions, unreachable) are allowed — the
+				// invariants must hold regardless.
+				_ = w.MoveArmTo(arm, tgt, MoveOptions{IgnoreObjects: []string{"vial_1"}})
+			case 3:
+				_ = w.CloseGripper(arms[rng.Intn(len(arms))])
+			case 4:
+				_ = w.OpenGripper(arms[rng.Intn(len(arms))])
+			case 5:
+				_ = w.SetDoor("dosing_device", rng.Intn(2) == 0)
+			case 6:
+				_ = w.DoseSolidInto("dosing_device", float64(rng.Intn(5)))
+			}
+
+			// Invariant 1 & 4.
+			for _, id := range w.ObjectIDs() {
+				o, _ := w.Object(id)
+				if o.At != "" && o.HeldBy != "" {
+					t.Fatalf("seed %d step %d: object %s both at %q and held by %q",
+						seed, step, id, o.At, o.HeldBy)
+				}
+				if o.HeldBy != "" {
+					a, ok := w.Arm(o.HeldBy)
+					if !ok || a.Holding != id {
+						t.Fatalf("seed %d step %d: holder mismatch for %s", seed, step, id)
+					}
+				}
+			}
+			// Invariant 2.
+			occupied := map[string]string{}
+			for _, id := range w.ObjectIDs() {
+				o, _ := w.Object(id)
+				if o.Broken || o.At == "" {
+					continue
+				}
+				if prev, dup := occupied[o.At]; dup {
+					t.Fatalf("seed %d step %d: %s and %s share location %s", seed, step, prev, id, o.At)
+				}
+				occupied[o.At] = id
+			}
+			// Invariant 3.
+			if n := len(w.Events()); n < lastEvents {
+				t.Fatalf("seed %d step %d: event log shrank", seed, step)
+			} else {
+				lastEvents = n
+			}
+			if now := w.Now(); now < lastNow {
+				t.Fatalf("seed %d step %d: clock ran backwards", seed, step)
+			} else {
+				lastNow = now
+			}
+		}
+	}
+}
+
+// TestArmHoldingSymmetry: every arm that claims to hold an object is
+// corroborated by the object, across a scripted grip sequence.
+func TestArmHoldingSymmetry(t *testing.T) {
+	w := testDeck(t)
+	mustMove(t, w, "viperx", geom.V(0.32, 0.22, 0.23))
+	if err := w.MoveArmTo("viperx", geom.V(0.32, 0.22, 0.16),
+		MoveOptions{IgnoreObjects: []string{"vial_1"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.CloseGripper("viperx"); err != nil {
+		t.Fatal(err)
+	}
+	check := func() {
+		t.Helper()
+		for _, armID := range w.ArmIDs() {
+			a, _ := w.Arm(armID)
+			if a.Holding == "" {
+				continue
+			}
+			o, ok := w.Object(a.Holding)
+			if !ok || o.HeldBy != armID {
+				t.Fatalf("arm %s claims %q but the object disagrees", armID, a.Holding)
+			}
+		}
+	}
+	check()
+	mustMove(t, w, "viperx", geom.V(0.32, 0.22, 0.23))
+	check()
+	if err := w.OpenGripper("viperx"); err != nil {
+		t.Fatal(err)
+	}
+	check()
+}

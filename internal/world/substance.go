@@ -1,0 +1,239 @@
+package world
+
+import (
+	"fmt"
+	"time"
+)
+
+// DoseSolidInto dispenses amountMg of solid from a dosing fixture into
+// whatever container sits at the fixture's dosing position. With no
+// container present the solid spills (a Low-severity waste event — the
+// ground truth of the paper's "experiments without a vial" category);
+// exceeding the container's capacity overflows.
+func (w *World) DoseSolidInto(fixtureID string, amountMg float64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	f, ok := w.fixtures[fixtureID]
+	if !ok {
+		return fmt.Errorf("world: no fixture %q", fixtureID)
+	}
+	if amountMg < 0 {
+		return fmt.Errorf("world: negative dose %v mg", amountMg)
+	}
+	w.now += 3 * time.Second
+	if f.hollow() && f.DoorOpen {
+		w.recordEvent(EventSpill, SeverityLow,
+			fmt.Sprintf("%s dosed with its door open; dust escaped the enclosure", f.ID), f.ID)
+	}
+	o, present := w.objectInsideLocked(fixtureID)
+	if !present {
+		w.recordEvent(EventSpill, SeverityLow,
+			fmt.Sprintf("%s dosed %.1f mg of solid with no container present; material wasted", f.ID, amountMg),
+			f.ID)
+		return nil
+	}
+	if o.Capped {
+		w.recordEvent(EventSpill, SeverityLow,
+			fmt.Sprintf("%s dosed onto the stopper of capped container %s; material wasted", f.ID, o.ID),
+			f.ID, o.ID)
+		return nil
+	}
+	if o.SolidMg+amountMg > o.CapacityMg {
+		over := o.SolidMg + amountMg - o.CapacityMg
+		o.SolidMg = o.CapacityMg
+		w.recordEvent(EventSpill, SeverityLow,
+			fmt.Sprintf("container %s overflowed by %.1f mg while dosing", o.ID, over),
+			f.ID, o.ID)
+		return nil
+	}
+	o.SolidMg += amountMg
+	return nil
+}
+
+// DoseLiquidInto dispenses volumeML of liquid from a pump fixture into the
+// named container, wherever it rests. The syringe pump reaches containers
+// through tubing, so no arm motion is involved.
+func (w *World) DoseLiquidInto(fixtureID, objectID string, volumeML float64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	f, ok := w.fixtures[fixtureID]
+	if !ok {
+		return fmt.Errorf("world: no fixture %q", fixtureID)
+	}
+	o, ok := w.objects[objectID]
+	if !ok {
+		return fmt.Errorf("world: no object %q", objectID)
+	}
+	if volumeML < 0 {
+		return fmt.Errorf("world: negative volume %v mL", volumeML)
+	}
+	w.now += 2 * time.Second
+	if o.Broken {
+		w.recordEvent(EventSpill, SeverityLow,
+			fmt.Sprintf("%s pumped %.1f mL into broken container %s", f.ID, volumeML, o.ID),
+			f.ID, o.ID)
+		return nil
+	}
+	if o.Capped {
+		w.recordEvent(EventSpill, SeverityLow,
+			fmt.Sprintf("%s pumped against the stopper of %s; liquid wasted", f.ID, o.ID),
+			f.ID, o.ID)
+		return nil
+	}
+	if o.LiquidML+volumeML > o.CapacityML {
+		over := o.LiquidML + volumeML - o.CapacityML
+		o.LiquidML = o.CapacityML
+		w.recordEvent(EventSpill, SeverityLow,
+			fmt.Sprintf("container %s overflowed by %.1f mL", o.ID, over),
+			f.ID, o.ID)
+		return nil
+	}
+	o.LiquidML += volumeML
+	return nil
+}
+
+// TransferSubstance moves volumeML of liquid between containers. Pouring
+// from or into a capped container wastes the material (the stopper rules,
+// general rules 7–8).
+func (w *World) TransferSubstance(fromID, toID string, volumeML float64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	from, ok := w.objects[fromID]
+	if !ok {
+		return fmt.Errorf("world: no object %q", fromID)
+	}
+	to, ok := w.objects[toID]
+	if !ok {
+		return fmt.Errorf("world: no object %q", toID)
+	}
+	w.now += 2 * time.Second
+	if from.Capped || to.Capped {
+		w.recordEvent(EventSpill, SeverityLow,
+			fmt.Sprintf("transfer %s→%s attempted with a stopper on; liquid wasted", fromID, toID),
+			fromID, toID)
+		return nil
+	}
+	vol := volumeML
+	if vol > from.LiquidML {
+		vol = from.LiquidML
+	}
+	from.LiquidML -= vol
+	room := to.CapacityML - to.LiquidML
+	if vol > room {
+		w.recordEvent(EventSpill, SeverityLow,
+			fmt.Sprintf("container %s overflowed by %.1f mL during transfer", toID, vol-room),
+			fromID, toID)
+		vol = room
+	}
+	to.LiquidML += vol
+	return nil
+}
+
+// SetFixtureValue sets an action device's physical setpoint (temperature,
+// stirring speed, spin rate). The value takes effect immediately; damage
+// only occurs once the device runs.
+func (w *World) SetFixtureValue(fixtureID string, value float64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	f, ok := w.fixtures[fixtureID]
+	if !ok {
+		return fmt.Errorf("world: no fixture %q", fixtureID)
+	}
+	f.ActionValue = value
+	w.now += 100 * time.Millisecond
+	return nil
+}
+
+// StartFixtureAction starts an action device or a dosing run. Physical
+// consequences of unsafe starts:
+//   - running above the device's physical limit overheats/overdrives it
+//     (High severity — the hotplate threshold rule exists for this);
+//   - spinning a centrifuge with an uncapped container sprays its
+//     contents; with a mis-aligned rotor the centrifuge is damaged;
+//   - heating/shaking an empty or container-less device wears it without
+//     producing results (no damage event, but pointless).
+func (w *World) StartFixtureAction(fixtureID string) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	f, ok := w.fixtures[fixtureID]
+	if !ok {
+		return fmt.Errorf("world: no fixture %q", fixtureID)
+	}
+	f.Running = true
+	w.now += 500 * time.Millisecond
+	if f.MaxSafeValue > 0 && f.ActionValue > f.MaxSafeValue {
+		f.Broken = true
+		w.recordEvent(EventOverheat, SeverityHigh,
+			fmt.Sprintf("%s ran at %.0f, beyond its physical limit %.0f, and was destroyed",
+				f.ID, f.ActionValue, f.MaxSafeValue), f.ID)
+		return nil
+	}
+	if f.Kind == KindHotplate {
+		f.Temperature = f.ActionValue
+	}
+	if f.Kind == KindCentrifuge {
+		if o, present := w.objectInsideLocked(f.ID); present {
+			if !o.Capped {
+				if !o.IsEmpty() {
+					w.recordEvent(EventSpill, SeverityLow,
+						fmt.Sprintf("centrifuge %s spun uncapped container %s; contents sprayed", f.ID, o.ID),
+						f.ID, o.ID)
+					o.SolidMg, o.LiquidML = 0, 0
+				}
+				// An uncapped vial leaves the rotor unbalanced — the
+				// expensive-equipment damage Table IV's rule 4 prevents.
+				f.Broken = true
+				w.recordEvent(EventCollision, SeverityHigh,
+					fmt.Sprintf("centrifuge %s rotor destroyed spinning uncapped container %s", f.ID, o.ID),
+					f.ID, o.ID)
+			}
+			if !f.RedDotNorth && !f.Broken {
+				f.Broken = true
+				w.recordEvent(EventCollision, SeverityHigh,
+					fmt.Sprintf("centrifuge %s spun with rotor mis-aligned; rotor damaged", f.ID), f.ID)
+			}
+		}
+	}
+	return nil
+}
+
+// StopFixtureAction stops a running device.
+func (w *World) StopFixtureAction(fixtureID string) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	f, ok := w.fixtures[fixtureID]
+	if !ok {
+		return fmt.Errorf("world: no fixture %q", fixtureID)
+	}
+	f.Running = false
+	if f.Kind == KindHotplate {
+		f.Temperature = 20
+	}
+	w.now += 500 * time.Millisecond
+	return nil
+}
+
+// MeasureSolubility models the vision-based solubility measurement of the
+// Fig. 1(b) workflow: the fraction of the solid dissolved in the liquid,
+// read with stage-dependent noise added by the caller's environment.
+func (w *World) MeasureSolubility(objectID string) (float64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	o, ok := w.objects[objectID]
+	if !ok {
+		return 0, fmt.Errorf("world: no object %q", objectID)
+	}
+	if o.Broken {
+		return 0, fmt.Errorf("world: container %q is broken", objectID)
+	}
+	w.now += 1 * time.Second
+	if o.SolidMg <= 0 {
+		return 1, nil
+	}
+	// Dissolution model: each mL of solvent dissolves up to 2 mg.
+	dissolved := o.LiquidML * 2
+	if dissolved > o.SolidMg {
+		dissolved = o.SolidMg
+	}
+	return dissolved / o.SolidMg, nil
+}

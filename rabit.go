@@ -1,0 +1,205 @@
+package rabit
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/env"
+	"repro/internal/labs"
+	"repro/internal/rules"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workflow"
+)
+
+// Stage selects the deployment stage of the paper's Table I.
+type Stage = env.Stage
+
+// The three stages.
+const (
+	StageSimulator  = env.StageSimulator
+	StageTestbed    = env.StageTestbed
+	StageProduction = env.StageProduction
+)
+
+// Generation selects the RABIT iteration (Section IV's narrative).
+type Generation = rules.Generation
+
+// Generations.
+const (
+	GenInitial  = rules.GenInitial
+	GenModified = rules.GenModified
+)
+
+// MultiplexPolicy selects the two-arm safety policy.
+type MultiplexPolicy = rules.MultiplexPolicy
+
+// Multiplexing policies.
+const (
+	MultiplexNone  = rules.MultiplexNone
+	MultiplexTime  = rules.MultiplexTime
+	MultiplexSpace = rules.MultiplexSpace
+)
+
+// Alert is a raised safety alert (Fig. 2's three alert kinds).
+type Alert = core.Alert
+
+// AsAlert extracts an Alert from an error chain.
+func AsAlert(err error) (*Alert, bool) { return core.AsAlert(err) }
+
+// Step is one named line of an experiment script.
+type Step = workflow.Step
+
+// Session is the scripting handle: wrappers for arms, devices, and vials.
+type Session = workflow.Session
+
+// RunSteps executes a scripted workflow, stopping at the first error.
+func RunSteps(s *Session, steps []Step) error { return workflow.RunSteps(s, steps) }
+
+// Fig5Workflow returns the paper's safe testbed workflow (Fig. 5).
+func Fig5Workflow() []Step { return workflow.Fig5Workflow() }
+
+// Options configures a System.
+type Options struct {
+	// Stage selects the deployment stage (default: testbed).
+	Stage Stage
+	// Generation selects the RABIT iteration (default: modified).
+	Generation Generation
+	// Multiplex selects the two-arm policy for the modified generation
+	// (default: time multiplexing).
+	Multiplex MultiplexPolicy
+	// Unprotected disables RABIT entirely (commands execute unchecked),
+	// for baseline and ground-truth runs.
+	Unprotected bool
+	// ExtendedSimulator attaches trajectory validation (Fig. 3).
+	ExtendedSimulator bool
+	// SimulatorGUI renders every collision check to an offscreen
+	// framebuffer, reproducing the paper's GUI-dominated overhead.
+	SimulatorGUI bool
+	// FailSafe is invoked on every alert (Section II-B's alternative to
+	// preemptively freezing).
+	FailSafe func(Alert)
+	// Seed drives all stochastic fidelity noise (default 1).
+	Seed int64
+}
+
+func (o *Options) fill() {
+	if o.Stage == 0 {
+		o.Stage = StageTestbed
+	}
+	if o.Generation == 0 {
+		o.Generation = GenModified
+	}
+	if o.Multiplex == 0 {
+		o.Multiplex = MultiplexTime
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// System is one fully wired lab: the environment, the engine, the
+// interceptor, and the scripting session.
+type System struct {
+	Lab         *config.Lab
+	Env         *env.Env
+	Engine      *core.Engine // nil when Unprotected
+	Simulator   *sim.Simulator
+	Interceptor *trace.Interceptor
+	Session     *Session
+}
+
+// New builds a System from a parsed lab specification.
+func New(spec *config.LabSpec, o Options) (*System, error) {
+	o.fill()
+	lab, err := config.Compile(spec)
+	if err != nil {
+		return nil, fmt.Errorf("rabit: %w", err)
+	}
+	e, err := env.Build(lab, o.Stage, o.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("rabit: %w", err)
+	}
+	sys := &System{Lab: lab, Env: e}
+
+	var checker trace.Checker
+	if !o.Unprotected {
+		custom, err := lab.CustomRules()
+		if err != nil {
+			return nil, fmt.Errorf("rabit: %w", err)
+		}
+		rb := rules.NewRulebase(lab, rules.Config{
+			Generation: o.Generation,
+			Multiplex:  o.Multiplex,
+		}, custom...)
+		engOpts := []core.Option{core.WithInitialModel(lab.InitialModelState())}
+		if o.FailSafe != nil {
+			engOpts = append(engOpts, core.WithFailSafe(o.FailSafe))
+		}
+		if o.ExtendedSimulator {
+			simOpts := []sim.Option{
+				sim.WithHeldObjectAware(o.Generation >= GenModified),
+			}
+			if o.SimulatorGUI {
+				simOpts = append(simOpts, sim.WithGUI(640, 480))
+			}
+			sm, err := sim.New(lab, simOpts...)
+			if err != nil {
+				return nil, fmt.Errorf("rabit: %w", err)
+			}
+			sys.Simulator = sm
+			engOpts = append(engOpts, core.WithSimulator(sm))
+		}
+		sys.Engine = core.New(rb, e, engOpts...)
+		sys.Engine.Start()
+		checker = sys.Engine
+	}
+
+	sys.Interceptor = trace.NewInterceptor(checker, e)
+	sys.Session = workflow.NewSession(sys.Interceptor, lab)
+	sys.Session.Measure = e.MeasureSolubility
+	return sys, nil
+}
+
+// NewFromFile builds a System from a lab JSON configuration file
+// (Section II-C's configuration pathway).
+func NewFromFile(path string, o Options) (*System, error) {
+	lab, err := config.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return New(lab.Spec, o)
+}
+
+// NewTestbed builds the paper's low-fidelity testbed deck (Fig. 4).
+func NewTestbed(o Options) (*System, error) { return New(labs.TestbedSpec(), o) }
+
+// NewHeinProduction builds the Hein Lab production deck (Fig. 1a).
+func NewHeinProduction(o Options) (*System, error) { return New(labs.HeinProductionSpec(), o) }
+
+// NewBerlinguette builds the Berlinguette Lab deck (Section V-B).
+func NewBerlinguette(o Options) (*System, error) { return New(labs.BerlinguetteSpec(), o) }
+
+// Alerts returns the alerts raised so far (empty when unprotected).
+func (s *System) Alerts() []Alert {
+	if s.Engine == nil {
+		return nil
+	}
+	return s.Engine.Alerts()
+}
+
+// Stopped returns the alert that halted the experiment, if any.
+func (s *System) Stopped() *Alert {
+	if s.Engine == nil {
+		return nil
+	}
+	return s.Engine.Stopped()
+}
+
+// DamageCost returns the stage-scaled cost of all physical damage so far
+// — ground truth the engine itself never sees.
+func (s *System) DamageCost() float64 { return s.Env.DamageCost() }
+
+// Trace returns the RATracer-style command trace so far.
+func (s *System) Trace() []trace.Record { return s.Interceptor.Records() }
