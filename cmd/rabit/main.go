@@ -18,6 +18,10 @@
 //	-unprotected    run without RABIT (baseline)
 //	-bug n          inject bug #n (1–16) into the fig5 workflow
 //	-trace path     write the RATracer-style JSONL trace
+//	-metrics addr   serve live telemetry on addr: /debug/vars (expvar),
+//	                /metrics (text), /debug/pprof (profiling); off by default
+//	-events path    write the structured telemetry event JSONL (one event
+//	                per command outcome and alert); off by default
 //	-seed n         noise seed
 package main
 
@@ -30,6 +34,7 @@ import (
 	"repro/internal/bugs"
 	"repro/internal/config"
 	"repro/internal/labs"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/workflow"
 )
@@ -55,9 +60,20 @@ func run() error {
 		bugID       = flag.Int("bug", 0, "inject bug #n (1-16) into the fig5 workflow")
 		replayPath  = flag.String("replay", "", "replay a recorded JSONL trace instead of a workflow")
 		tracePath   = flag.String("trace", "", "write the JSONL command trace here")
+		metricsAddr = flag.String("metrics", "", "serve /debug/vars, /metrics, and pprof on this address (e.g. localhost:6060)")
+		eventsPath  = flag.String("events", "", "write the structured telemetry event JSONL here")
 		seed        = flag.Int64("seed", 1, "noise seed")
 	)
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		srv, err := obs.Serve(*metricsAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry: http://%s/metrics (also /debug/vars, /debug/pprof)\n", srv.Addr)
+	}
 
 	opt := rabit.Options{
 		Unprotected:       *unprotected,
@@ -115,6 +131,22 @@ func run() error {
 	sys, err := rabit.New(spec, opt)
 	if err != nil {
 		return err
+	}
+
+	if *eventsPath != "" {
+		f, err := os.Create(*eventsPath)
+		if err != nil {
+			return err
+		}
+		sink := obs.NewJSONLSink(f)
+		sys.Obs.SetSink(sink)
+		defer func() {
+			if err := sink.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "rabit:", err)
+			}
+			f.Close()
+			fmt.Println("telemetry events written to", *eventsPath)
+		}()
 	}
 
 	var wfErr error

@@ -8,6 +8,12 @@
 //	rabiteval -table 5   run one table (1, 2, 3, 4, 5)
 //	rabiteval -fig 5     run one figure experiment (5, 6)
 //	rabiteval -latency   run the latency experiment
+//
+// With -metrics addr the process serves live telemetry while the
+// experiments run: /debug/vars (expvar), /metrics (text exposition), and
+// /debug/pprof (profiling). Every lab system the harness builds registers
+// its registry there, so a long evaluation can be watched mid-flight.
+// Off by default; existing behaviour is unchanged without the flag.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 
 	"repro/internal/env"
 	"repro/internal/eval"
+	"repro/internal/obs"
 	"repro/internal/rules"
 )
 
@@ -32,8 +39,18 @@ func run() error {
 	fig := flag.Int("fig", 0, "regenerate one figure experiment (5 or 6)")
 	latency := flag.Bool("latency", false, "run the latency experiment")
 	pilot := flag.Bool("pilot", false, "run the pilot-study configuration-error experiment")
+	metricsAddr := flag.String("metrics", "", "serve /debug/vars, /metrics, and pprof on this address while experiments run")
 	seed := flag.Int64("seed", 1, "noise seed")
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		srv, err := obs.Serve(*metricsAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry: http://%s/metrics (also /debug/vars, /debug/pprof)\n", srv.Addr)
+	}
 
 	all := *table == 0 && *fig == 0 && !*latency && !*pilot
 

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/action"
+	"repro/internal/obs"
 	"repro/internal/rules"
 	"repro/internal/state"
 	"repro/internal/trace"
@@ -55,6 +56,20 @@ func (k AlertKind) String() string {
 	}
 }
 
+// Slug is the alert kind's metric-friendly name.
+func (k AlertKind) Slug() string {
+	switch k {
+	case AlertInvalidCommand:
+		return "invalid_command"
+	case AlertInvalidTrajectory:
+		return "invalid_trajectory"
+	case AlertMalfunction:
+		return "malfunction"
+	default:
+		return "unknown"
+	}
+}
+
 // Alert is one raised safety alert.
 type Alert struct {
 	Kind       AlertKind
@@ -66,19 +81,33 @@ type Alert struct {
 }
 
 // Error renders the alert as the error the script receives (RATracer
-// raises a Python exception in the paper's implementation).
+// raises a Python exception in the paper's implementation). The first
+// violation and mismatch are spelled out; any further ones are counted,
+// so an alert never silently under-reports what it saw.
 func (a *Alert) Error() string {
 	msg := fmt.Sprintf("RABIT alert: %s command %s", a.Kind, a.Cmd)
 	if len(a.Violations) > 0 {
-		msg += ": " + a.Violations[0].Error()
+		msg += ": " + a.Violations[0].Error() + andMore(len(a.Violations)-1, "violation", "violations")
 	}
 	if len(a.Mismatches) > 0 {
-		msg += ": " + a.Mismatches[0].String()
+		msg += ": " + a.Mismatches[0].String() + andMore(len(a.Mismatches)-1, "mismatch", "mismatches")
 	}
 	if a.Reason != "" {
 		msg += ": " + a.Reason
 	}
 	return msg
+}
+
+// andMore renders the "(and N more …)" suffix for truncated lists.
+func andMore(n int, singular, plural string) string {
+	switch {
+	case n <= 0:
+		return ""
+	case n == 1:
+		return " (and 1 more " + singular + ")"
+	default:
+		return fmt.Sprintf(" (and %d more %s)", n, plural)
+	}
 }
 
 // AsAlert extracts an Alert from an error chain.
@@ -128,6 +157,17 @@ func WithInitialModel(s state.Snapshot) Option {
 	return func(e *Engine) { e.seed = s.Clone() }
 }
 
+// WithObserver attaches a telemetry registry — typically the system-wide
+// one shared with the interceptor and simulator. Passing nil disables
+// instrumentation entirely (CheckOverhead then reports zero); without
+// this option the engine owns a private registry.
+func WithObserver(reg *obs.Registry) Option {
+	return func(e *Engine) {
+		e.obs = reg
+		e.obsSet = true
+	}
+}
+
 // Engine is RABIT's core checker.
 type Engine struct {
 	mu  sync.Mutex
@@ -146,11 +186,22 @@ type Engine struct {
 	alerts   []Alert
 	failSafe func(Alert)
 
-	// checkNS accumulates wall time spent inside Before/After — the
-	// latency overhead the paper measures in Section II-C.
-	checkNS int64
-	// commands counts commands fully processed.
-	commands int
+	// obs is the telemetry registry; the instruments below are resolved
+	// once at construction so the hot path never takes a map lookup.
+	// All of them tolerate being nil (instrumentation disabled).
+	obs    *obs.Registry
+	obsSet bool
+	// hValidate/hTrajectory/hFetch/hCompare are the per-stage latency
+	// histograms decomposing the Section II-C overhead.
+	hValidate   *obs.Histogram
+	hTrajectory *obs.Histogram
+	hFetch      *obs.Histogram
+	hCompare    *obs.Histogram
+	// cCheckNS accumulates wall time spent inside Before/After — the
+	// aggregate the paper measures — and cCommands counts commands fully
+	// processed. Both live in the registry so /metrics sees them.
+	cCheckNS  *obs.Counter
+	cCommands *obs.Counter
 }
 
 var _ trace.Checker = (*Engine)(nil)
@@ -161,8 +212,21 @@ func New(rb *rules.Rulebase, env Environment, opts ...Option) *Engine {
 	for _, o := range opts {
 		o(e)
 	}
+	if !e.obsSet {
+		e.obs = obs.NewRegistry("engine")
+	}
+	e.hValidate = e.obs.Histogram(obs.StageValidate)
+	e.hTrajectory = e.obs.Histogram(obs.StageTrajectory)
+	e.hFetch = e.obs.Histogram(obs.StageFetch)
+	e.hCompare = e.obs.Histogram(obs.StageCompare)
+	e.cCheckNS = e.obs.Counter(obs.CounterCheckNS)
+	e.cCommands = e.obs.Counter(obs.CounterCommands)
 	return e
 }
+
+// Obs returns the engine's telemetry registry (nil when instrumentation
+// was disabled via WithObserver(nil)).
+func (e *Engine) Obs() *obs.Registry { return e.obs }
 
 // Start acquires S_initial (Fig. 2 lines 1–3): the configured model facts
 // overlaid with the first observed snapshot.
@@ -175,8 +239,16 @@ func (e *Engine) Start() {
 	e.stopped = nil
 	e.alerts = nil
 	e.pending = nil
-	e.checkNS = 0
-	e.commands = 0
+	// A fresh run measures from zero: reset the engine-owned instruments
+	// (cached pointers stay valid; other components' instruments in a
+	// shared registry are untouched).
+	e.cCheckNS.Reset()
+	e.cCommands.Reset()
+	e.hValidate.Reset()
+	e.hTrajectory.Reset()
+	e.hFetch.Reset()
+	e.hCompare.Reset()
+	e.obs.Gauge(obs.GaugeRules).Set(int64(len(e.rb.Rules())))
 }
 
 // Model returns a copy of the engine's current model state.
@@ -203,11 +275,10 @@ func (e *Engine) Stopped() *Alert {
 }
 
 // CheckOverhead returns the cumulative wall time spent in RABIT checks
-// and the number of commands processed.
+// and the number of commands processed. It reads the telemetry registry
+// (atomics), so it is safe to call concurrently with checks.
 func (e *Engine) CheckOverhead() (time.Duration, int) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return time.Duration(e.checkNS), e.commands
+	return time.Duration(e.cCheckNS.Value()), int(e.cCommands.Value())
 }
 
 // raise records an alert, halts the experiment, and invokes the fail-safe
@@ -217,6 +288,18 @@ func (e *Engine) raise(a Alert) *Alert {
 	e.alerts = append(e.alerts, a)
 	stored := &e.alerts[len(e.alerts)-1]
 	e.stopped = stored
+	e.obs.Counter(obs.PrefixAlerts + a.Kind.Slug()).Inc()
+	for _, v := range a.Violations {
+		e.obs.Counter(obs.PrefixViolations + v.Rule.ID).Inc()
+	}
+	e.obs.Emit(obs.Event{
+		T:      a.Time,
+		Kind:   "alert",
+		Name:   a.Kind.Slug(),
+		Device: a.Cmd.Device,
+		Seq:    a.Cmd.Seq,
+		Detail: stored.Error(),
+	})
 	if e.failSafe != nil {
 		// Invoke outside the lock? The handler may command devices; the
 		// engine is already stopped, so re-entry would fail anyway. Call
@@ -235,7 +318,7 @@ func (e *Engine) Before(cmd action.Command) error {
 	start := time.Now()
 	e.mu.Lock()
 	defer func() {
-		e.checkNS += time.Since(start).Nanoseconds()
+		e.cCheckNS.Add(time.Since(start).Nanoseconds())
 		e.mu.Unlock()
 	}()
 	if !e.started {
@@ -245,11 +328,20 @@ func (e *Engine) Before(cmd action.Command) error {
 		return fmt.Errorf("%w: %s", ErrStopped, e.stopped.Error())
 	}
 	cmd = rules.NormalizeCommand(e.rb.Lab(), cmd)
-	if vs := e.rb.Validate(e.model, cmd); len(vs) > 0 {
+	// Stage boundaries share clock reads to keep instrumentation under
+	// 1% of a check: before.validate runs from Before's entry (it covers
+	// normalization + rule evaluation) and its end stamp doubles as
+	// before.trajectory's start.
+	vs := e.rb.Validate(e.model, cmd)
+	validateEnd := time.Now()
+	e.hValidate.Observe(validateEnd.Sub(start))
+	if len(vs) > 0 {
 		return e.raise(Alert{Kind: AlertInvalidCommand, Cmd: cmd, Violations: vs})
 	}
 	if cmd.Action.IsRobotMotion() && e.sim != nil {
-		if err := e.sim.ValidTrajectory(cmd, e.model); err != nil {
+		err := e.sim.ValidTrajectory(cmd, e.model)
+		e.hTrajectory.Observe(time.Since(validateEnd))
+		if err != nil {
 			return e.raise(Alert{Kind: AlertInvalidTrajectory, Cmd: cmd, Reason: err.Error()})
 		}
 	}
@@ -268,8 +360,8 @@ func (e *Engine) After(cmd action.Command) error {
 	start := time.Now()
 	e.mu.Lock()
 	defer func() {
-		e.checkNS += time.Since(start).Nanoseconds()
-		e.commands++
+		e.cCheckNS.Add(time.Since(start).Nanoseconds())
+		e.cCommands.Inc()
 		e.mu.Unlock()
 	}()
 	if e.stopped != nil {
@@ -280,8 +372,14 @@ func (e *Engine) After(cmd action.Command) error {
 		expected = e.model
 	}
 	e.pending = nil
+	// after.fetch runs from After's entry through state acquisition; its
+	// end stamp doubles as after.compare's start (see Before).
 	observed := e.env.FetchState()
-	if ms := state.CompareObserved(expected, observed); len(ms) > 0 {
+	fetchEnd := time.Now()
+	e.hFetch.Observe(fetchEnd.Sub(start))
+	ms := state.CompareObserved(expected, observed)
+	e.hCompare.Observe(time.Since(fetchEnd))
+	if len(ms) > 0 {
 		return e.raise(Alert{Kind: AlertMalfunction, Cmd: cmd, Mismatches: ms})
 	}
 	// S_current ← SetState(S_actual): observed facts win, dead-reckoned

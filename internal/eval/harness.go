@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/env"
 	"repro/internal/labs"
+	"repro/internal/obs"
 	"repro/internal/rules"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -56,6 +57,7 @@ type Setup struct {
 	Simulator   *sim.Simulator
 	Interceptor *trace.Interceptor
 	Session     *workflow.Session
+	Obs         *obs.Registry
 	Opt         Options
 }
 
@@ -80,6 +82,7 @@ func NewSetup(spec *config.LabSpec, o Options) (*Setup, error) {
 		Simulator:   sys.Simulator,
 		Interceptor: sys.Interceptor,
 		Session:     sys.Session,
+		Obs:         sys.Obs,
 		Opt:         o,
 	}, nil
 }

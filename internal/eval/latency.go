@@ -5,9 +5,20 @@ import (
 	"time"
 
 	"repro/internal/env"
+	"repro/internal/obs"
 	"repro/internal/rules"
 	"repro/internal/workflow"
 )
+
+// StageLatency summarises one pipeline stage's histogram for the
+// breakdown columns.
+type StageLatency struct {
+	// Count is how many spans the stage recorded.
+	Count int64
+	// P50 and P95 are the stage's median and tail latency estimates.
+	P50 time.Duration
+	P95 time.Duration
+}
 
 // LatencyResult is one row of the Section II-C latency experiment.
 type LatencyResult struct {
@@ -22,6 +33,18 @@ type LatencyResult struct {
 	// OverheadPct is check time relative to execution time — the
 	// paper's 1.5% (no simulator) and 112% (simulator with GUI).
 	OverheadPct float64
+	// Validate, Trajectory, and Compare decompose the check time per
+	// stage, sourced from the engine's telemetry histograms. Trajectory
+	// is zero-count without the Extended Simulator.
+	Validate   StageLatency
+	Trajectory StageLatency
+	Compare    StageLatency
+}
+
+// stageLatency reads one stage histogram out of a registry.
+func stageLatency(reg *obs.Registry, stage string) StageLatency {
+	h := reg.Histogram(stage)
+	return StageLatency{Count: h.Count(), P50: h.P50(), P95: h.P95()}
 }
 
 // Latency measures RABIT's interception overhead over the safe Fig. 5
@@ -72,6 +95,9 @@ func Latency(seed int64, speedup float64) ([]LatencyResult, error) {
 			Commands:        commands,
 			CheckPerCommand: check / time.Duration(commands),
 			ExecPerCommand:  exec / time.Duration(commands),
+			Validate:        stageLatency(s.Obs, obs.StageValidate),
+			Trajectory:      stageLatency(s.Obs, obs.StageTrajectory),
+			Compare:         stageLatency(s.Obs, obs.StageCompare),
 		}
 		if exec > 0 {
 			res.OverheadPct = 100 * float64(check) / float64(exec)
@@ -81,13 +107,22 @@ func Latency(seed int64, speedup float64) ([]LatencyResult, error) {
 	return out, nil
 }
 
-// RenderLatency prints the latency rows.
+// RenderLatency prints the latency rows with the per-stage breakdown
+// (median latency per stage; "—" marks a stage that never ran).
 func RenderLatency(rows []LatencyResult) string {
-	out := fmt.Sprintf("%-42s %10s %14s %14s %10s\n",
-		"Configuration", "commands", "check/cmd", "exec/cmd", "overhead")
+	out := fmt.Sprintf("%-42s %10s %14s %14s %10s %12s %12s %12s\n",
+		"Configuration", "commands", "check/cmd", "exec/cmd", "overhead",
+		"validate p50", "traj p50", "compare p50")
+	stage := func(sl StageLatency) string {
+		if sl.Count == 0 {
+			return "—"
+		}
+		return sl.P50.String()
+	}
 	for _, r := range rows {
-		out += fmt.Sprintf("%-42s %10d %14s %14s %9.1f%%\n",
-			r.Mode, r.Commands, r.CheckPerCommand, r.ExecPerCommand, r.OverheadPct)
+		out += fmt.Sprintf("%-42s %10d %14s %14s %9.1f%% %12s %12s %12s\n",
+			r.Mode, r.Commands, r.CheckPerCommand, r.ExecPerCommand, r.OverheadPct,
+			stage(r.Validate), stage(r.Trajectory), stage(r.Compare))
 	}
 	return out
 }

@@ -30,4 +30,21 @@ func TestLatencyShape(t *testing.T) {
 		t.Errorf("check-time ordering wrong: %v < %v < %v",
 			noSim.CheckPerCommand, headless.CheckPerCommand, gui.CheckPerCommand)
 	}
+
+	// Per-stage breakdown: validate and compare run on every checked
+	// command; trajectory checks only run once a simulator is attached —
+	// and they are what make the simulated modes slower.
+	if noSim.Validate.Count == 0 || noSim.Compare.Count == 0 {
+		t.Errorf("no-sim stage histograms empty: %+v", noSim)
+	}
+	if noSim.Trajectory.Count != 0 {
+		t.Errorf("no-sim mode ran %d trajectory checks", noSim.Trajectory.Count)
+	}
+	if headless.Trajectory.Count == 0 {
+		t.Errorf("headless simulator ran no trajectory checks")
+	}
+	if headless.Trajectory.P50 <= noSim.Validate.P50 {
+		t.Errorf("trajectory checks (%v) should dominate validation (%v)",
+			headless.Trajectory.P50, noSim.Validate.P50)
+	}
 }

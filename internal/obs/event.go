@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one structured telemetry event, written as a JSON line —
+// the same on-disk idiom as the trace package's RAD records, so
+// radmine-style tooling can mine event streams offline.
+type Event struct {
+	// Registry labels which registry emitted the event (filled by Emit).
+	Registry string `json:"reg,omitempty"`
+	// T is the lab-clock timestamp, when the emitter has one.
+	T time.Duration `json:"t,omitempty"`
+	// Kind classifies the event: "command", "alert", "span", …
+	Kind string `json:"kind"`
+	// Name is the event's subject: a stage name, an alert kind, a rule ID.
+	Name string `json:"name,omitempty"`
+	// Device is the device the event concerns, if any.
+	Device string `json:"device,omitempty"`
+	// Outcome is "ok" | "blocked" | "error" for command events.
+	Outcome string `json:"outcome,omitempty"`
+	// Detail carries free-form context (alert text, error message).
+	Detail string `json:"detail,omitempty"`
+	// Seq is the command sequence number, when the event maps to one.
+	Seq int `json:"seq,omitempty"`
+	// DurNS is the event's duration in nanoseconds (span and command
+	// events).
+	DurNS int64 `json:"dur_ns,omitempty"`
+}
+
+// EventSink receives structured events. Implementations must be safe for
+// concurrent use.
+type EventSink interface {
+	Emit(Event)
+}
+
+// JSONLSink streams events as JSON lines to a writer, buffered like the
+// trace package's WriteJSONL. Emit never fails; the first write error is
+// latched and reported by Close.
+type JSONLSink struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLSink wraps a writer (typically an *os.File) as an event sink.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriter(w)
+	return &JSONLSink{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Emit writes one event as a JSON line.
+func (s *JSONLSink) Emit(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	if err := s.enc.Encode(ev); err != nil {
+		s.err = fmt.Errorf("obs: encode event: %w", err)
+	}
+}
+
+// Flush drains the buffer, returning the first error seen so far.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	if err := s.bw.Flush(); err != nil {
+		s.err = fmt.Errorf("obs: flush events: %w", err)
+	}
+	return s.err
+}
+
+// Close flushes and reports the first error. It does not close the
+// underlying writer (the caller owns the file).
+func (s *JSONLSink) Close() error { return s.Flush() }
+
+// ReadEvents loads a JSONL event stream, mirroring trace.ReadJSONL —
+// including its tolerance for large lines.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", line, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: scan: %w", err)
+	}
+	return out, nil
+}
+
+// FanoutSink broadcasts events to several sinks.
+type FanoutSink []EventSink
+
+// Emit sends the event to every sink.
+func (f FanoutSink) Emit(ev Event) {
+	for _, s := range f {
+		if s != nil {
+			s.Emit(ev)
+		}
+	}
+}
+
+// MemorySink buffers events in memory — the introspection/test sink.
+type MemorySink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit appends the event.
+func (m *MemorySink) Emit(ev Event) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.events = append(m.events, ev)
+}
+
+// Events returns a copy of everything emitted so far.
+func (m *MemorySink) Events() []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Event, len(m.events))
+	copy(out, m.events)
+	return out
+}

@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// bucketBounds are the histogram's fixed upper bounds. Checks are
+// µs-scale without the simulator and ms-scale with it (seconds with the
+// GUI), so the buckets run 1µs–5s on a 1/2/5 ladder; the last bucket is
+// unbounded.
+var bucketBounds = [...]time.Duration{
+	1 * time.Microsecond,
+	2 * time.Microsecond,
+	5 * time.Microsecond,
+	10 * time.Microsecond,
+	20 * time.Microsecond,
+	50 * time.Microsecond,
+	100 * time.Microsecond,
+	200 * time.Microsecond,
+	500 * time.Microsecond,
+	1 * time.Millisecond,
+	2 * time.Millisecond,
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	20 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+	200 * time.Millisecond,
+	500 * time.Millisecond,
+	1 * time.Second,
+	2 * time.Second,
+	5 * time.Second,
+}
+
+// numBuckets includes the overflow bucket.
+const numBuckets = len(bucketBounds) + 1
+
+// Histogram is a fixed-bucket latency histogram. Observations are four
+// atomic operations (bucket, count, sum, max) — no locks, safe for
+// concurrent use, cheap enough for per-stage spans on every command.
+type Histogram struct {
+	buckets [numBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	max     atomic.Int64 // nanoseconds
+}
+
+// NewHistogram builds an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// bucketIndex maps a duration to its bucket. The ladder is short enough
+// that a linear scan beats binary search in practice (and branch-predicts
+// well: most observations land in the first few µs buckets).
+func bucketIndex(d time.Duration) int {
+	for i, b := range bucketBounds {
+		if d <= b {
+			return i
+		}
+	}
+	return numBuckets - 1
+}
+
+// Observe records one duration. Nil-safe.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	ns := d.Nanoseconds()
+	h.buckets[bucketIndex(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// Count returns how many observations were recorded. Nil-safe (0).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total of all observations. Nil-safe (0).
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum.Load())
+}
+
+// Mean returns the average observation. Nil-safe (0).
+func (h *Histogram) Mean() time.Duration {
+	if h == nil {
+		return 0
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Max returns the largest observation. Nil-safe (0).
+func (h *Histogram) Max() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.max.Load())
+}
+
+// Quantile estimates the q-th quantile (0 < q ≤ 1) by linear
+// interpolation within the containing bucket; the overflow bucket reports
+// the observed max. Nil-safe (0).
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := 0; i < numBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		if cum+n >= rank {
+			if i == numBuckets-1 {
+				return h.Max()
+			}
+			lo := time.Duration(0)
+			if i > 0 {
+				lo = bucketBounds[i-1]
+			}
+			hi := bucketBounds[i]
+			frac := float64(rank-cum) / float64(n)
+			est := lo + time.Duration(frac*float64(hi-lo))
+			if m := h.Max(); est > m {
+				est = m
+			}
+			return est
+		}
+		cum += n
+	}
+	return h.Max()
+}
+
+// P50 is the median estimate.
+func (h *Histogram) P50() time.Duration { return h.Quantile(0.50) }
+
+// P95 is the 95th-percentile estimate.
+func (h *Histogram) P95() time.Duration { return h.Quantile(0.95) }
+
+// P99 is the 99th-percentile estimate.
+func (h *Histogram) P99() time.Duration { return h.Quantile(0.99) }
+
+// Reset zeroes the histogram. Concurrent observers may land on either
+// side of the reset; that is acceptable between evaluation runs. Nil-safe.
+func (h *Histogram) Reset() {
+	if h == nil {
+		return
+	}
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+}
+
+// HistogramBucket is one bucket of a snapshot: observations ≤ UpperNS
+// (cumulative, Prometheus-style).
+type HistogramBucket struct {
+	UpperNS    int64 `json:"upper_ns"` // 0 marks the overflow (+Inf) bucket
+	Cumulative int64 `json:"cumulative"`
+}
+
+// HistogramSnapshot summarises a histogram for sinks and introspection.
+type HistogramSnapshot struct {
+	Name    string            `json:"name"`
+	Count   int64             `json:"count"`
+	SumNS   int64             `json:"sum_ns"`
+	MeanNS  int64             `json:"mean_ns"`
+	P50NS   int64             `json:"p50_ns"`
+	P95NS   int64             `json:"p95_ns"`
+	P99NS   int64             `json:"p99_ns"`
+	MaxNS   int64             `json:"max_ns"`
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// snapshot captures the histogram under a name.
+func (h *Histogram) snapshot(name string) HistogramSnapshot {
+	s := HistogramSnapshot{
+		Name:   name,
+		Count:  h.Count(),
+		SumNS:  h.Sum().Nanoseconds(),
+		MeanNS: h.Mean().Nanoseconds(),
+		P50NS:  h.P50().Nanoseconds(),
+		P95NS:  h.P95().Nanoseconds(),
+		P99NS:  h.P99().Nanoseconds(),
+		MaxNS:  h.Max().Nanoseconds(),
+	}
+	var cum int64
+	for i := 0; i < numBuckets; i++ {
+		n := h.buckets[i].Load()
+		cum += n
+		if n == 0 {
+			continue // only emit buckets that gained observations
+		}
+		upper := int64(0)
+		if i < len(bucketBounds) {
+			upper = bucketBounds[i].Nanoseconds()
+		}
+		s.Buckets = append(s.Buckets, HistogramBucket{UpperNS: upper, Cumulative: cum})
+	}
+	return s
+}

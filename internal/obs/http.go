@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// The package-level group: every registry a process wants scraped.
+// rabit.System registers its registry here so the CLIs' -metrics endpoint
+// sees it without extra plumbing.
+var (
+	groupMu sync.RWMutex
+	group   []groupEntry
+	regSeq  = map[string]int{}
+
+	publishOnce sync.Once
+)
+
+// groupEntry pairs a registry with its scrape alias. Two systems built
+// on the same lab share a registry name; exporting both under one name
+// would emit duplicate series that scrape tooling rejects, so the group
+// disambiguates every registration after the first with a "#N" suffix.
+type groupEntry struct {
+	reg   *Registry
+	alias string
+}
+
+// Register adds a registry to the process-wide scrape group. Nil-safe.
+func Register(r *Registry) {
+	if r == nil {
+		return
+	}
+	groupMu.Lock()
+	defer groupMu.Unlock()
+	regSeq[r.name]++
+	alias := r.name
+	if n := regSeq[r.name]; n > 1 {
+		alias = fmt.Sprintf("%s#%d", alias, n)
+	}
+	group = append(group, groupEntry{reg: r, alias: alias})
+}
+
+// Unregister removes a registry from the scrape group.
+func Unregister(r *Registry) {
+	groupMu.Lock()
+	defer groupMu.Unlock()
+	for i, g := range group {
+		if g.reg == r {
+			group = append(group[:i], group[i+1:]...)
+			return
+		}
+	}
+}
+
+// Snapshots captures every registered registry under its scrape alias.
+func Snapshots() []Snapshot {
+	groupMu.RLock()
+	entries := make([]groupEntry, len(group))
+	copy(entries, group)
+	groupMu.RUnlock()
+	out := make([]Snapshot, 0, len(entries))
+	for _, e := range entries {
+		s := e.reg.Snapshot()
+		s.Name = e.alias
+		out = append(out, s)
+	}
+	return out
+}
+
+// publishExpvar exposes the scrape group as the expvar "rabit" variable,
+// once per process (expvar panics on duplicate names).
+func publishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("rabit", expvar.Func(func() any { return Snapshots() }))
+	})
+}
+
+// Handler returns the introspection mux: /debug/vars (expvar, including
+// the "rabit" snapshot tree), /metrics (a flat text rendering), and
+// /debug/pprof (live profiling).
+func Handler() http.Handler {
+	publishExpvar()
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", metricsText)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// metricsText renders every registered registry in a flat
+// `name{reg="…"} value` text form, one line per counter/gauge and a
+// summary block per histogram — enough for curl and for scrape tooling
+// that speaks the common text exposition idiom.
+func metricsText(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	for _, s := range Snapshots() {
+		for _, c := range s.Counters {
+			fmt.Fprintf(w, "rabit_%s{reg=%q} %d\n", sanitize(c.Name), s.Name, c.Value)
+		}
+		for _, g := range s.Gauges {
+			fmt.Fprintf(w, "rabit_%s{reg=%q} %d\n", sanitize(g.Name), s.Name, g.Value)
+		}
+		for _, h := range s.Histograms {
+			n := sanitize(h.Name)
+			fmt.Fprintf(w, "rabit_%s_count{reg=%q} %d\n", n, s.Name, h.Count)
+			fmt.Fprintf(w, "rabit_%s_sum_ns{reg=%q} %d\n", n, s.Name, h.SumNS)
+			fmt.Fprintf(w, "rabit_%s_ns{reg=%q,q=\"0.5\"} %d\n", n, s.Name, h.P50NS)
+			fmt.Fprintf(w, "rabit_%s_ns{reg=%q,q=\"0.95\"} %d\n", n, s.Name, h.P95NS)
+			fmt.Fprintf(w, "rabit_%s_ns{reg=%q,q=\"0.99\"} %d\n", n, s.Name, h.P99NS)
+			fmt.Fprintf(w, "rabit_%s_ns{reg=%q,q=\"max\"} %d\n", n, s.Name, h.MaxNS)
+			for _, b := range h.Buckets {
+				le := "+Inf"
+				if b.UpperNS > 0 {
+					le = fmt.Sprintf("%d", b.UpperNS)
+				}
+				fmt.Fprintf(w, "rabit_%s_bucket{reg=%q,le=%q} %d\n", n, s.Name, le, b.Cumulative)
+			}
+		}
+	}
+}
+
+// sanitize maps instrument names onto the metric-name alphabet
+// ([a-zA-Z0-9_]): dots and dashes become underscores.
+func sanitize(name string) string {
+	b := []byte(name)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+		default:
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+// Serve starts the introspection endpoint on addr (e.g. "localhost:6060")
+// in a background goroutine and returns the bound server. Callers that
+// care shut it down with srv.Close; the CLIs just let it die with the
+// process.
+func Serve(addr string) (*http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: metrics listener: %w", err)
+	}
+	srv := &http.Server{Addr: ln.Addr().String(), Handler: Handler()}
+	go func() {
+		// ErrServerClosed after Close is the expected exit; anything else
+		// has nowhere useful to go from a background goroutine.
+		_ = srv.Serve(ln)
+	}()
+	return srv, nil
+}

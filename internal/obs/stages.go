@@ -1,0 +1,54 @@
+package obs
+
+// Names of the interception pipeline's stage histograms and shared
+// instruments — agreed between core (the checker), trace (the
+// interceptor), sim (the Extended Simulator), and eval (the Section II-C
+// latency breakdown). One command's life: intercept wraps everything,
+// before.validate and before.trajectory decompose the pre-check,
+// execute is the device action, after.fetch and after.compare decompose
+// the post-check.
+const (
+	// StageIntercept times the whole interception of one command.
+	StageIntercept = "intercept"
+	// StageValidate times precondition validation (Fig. 2 line 6).
+	StageValidate = "before.validate"
+	// StageTrajectory times the Extended-Simulator collision sweep
+	// (Fig. 2 lines 8–10).
+	StageTrajectory = "before.trajectory"
+	// StageExecute times device execution between the checks.
+	StageExecute = "execute"
+	// StageFetch times the post-state acquisition (Fig. 2 line 13).
+	StageFetch = "after.fetch"
+	// StageCompare times the expected-vs-observed comparison (Fig. 2
+	// line 14).
+	StageCompare = "after.compare"
+)
+
+// Shared counter and gauge names.
+const (
+	// CounterCommands counts commands fully processed by the engine.
+	CounterCommands = "commands"
+	// CounterCheckNS accumulates nanoseconds spent inside Before/After —
+	// the Section II-C aggregate, kept for Engine.CheckOverhead.
+	CounterCheckNS = "check.ns"
+	// CounterSimChecks counts Extended-Simulator collision sweeps.
+	CounterSimChecks = "sim.collision_checks"
+	// GaugeGUIFrames tracks frames the simulator GUI has rendered.
+	GaugeGUIFrames = "sim.gui_frames"
+	// GaugeRules reports how many rules the engine validates against.
+	GaugeRules = "engine.rules"
+)
+
+// Prefixes for instrument families keyed by a dynamic component.
+const (
+	// PrefixAlerts + an AlertKind slug counts alerts by kind, e.g.
+	// "alerts.invalid_command".
+	PrefixAlerts = "alerts."
+	// PrefixViolations + a rule ID counts violations by rule, e.g.
+	// "violations.general-1".
+	PrefixViolations = "violations."
+	// PrefixOutcome + "ok"|"blocked"|"error" counts command outcomes.
+	PrefixOutcome = "outcome."
+	// PrefixDevice + device ID + "." + outcome counts outcomes by device.
+	PrefixDevice = "device."
+)

@@ -25,6 +25,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/geom"
 	"repro/internal/kin"
+	"repro/internal/obs"
 	"repro/internal/rules"
 	"repro/internal/state"
 )
@@ -58,6 +59,15 @@ func WithHeldObjectAware(aware bool) Option {
 	return func(s *Simulator) { s.heldAware = aware }
 }
 
+// WithObserver publishes simulator telemetry (collision-check counter,
+// GUI frame gauge) into a registry — typically the system-wide one.
+func WithObserver(reg *obs.Registry) Option {
+	return func(s *Simulator) {
+		s.cChecks = reg.Counter(obs.CounterSimChecks)
+		s.gFrames = reg.Gauge(obs.GaugeGUIFrames)
+	}
+}
+
 // mirrorArm is the simulator's model of one arm.
 type mirrorArm struct {
 	profile *kin.Profile
@@ -76,6 +86,10 @@ type Simulator struct {
 	heldAware bool
 	// checks counts ValidTrajectory invocations (for tests/benches).
 	checks int
+	// cChecks/gFrames mirror the counters into the telemetry registry
+	// when WithObserver is set (nil-safe otherwise).
+	cChecks *obs.Counter
+	gFrames *obs.Gauge
 }
 
 // New builds a simulator mirroring the given lab configuration.
@@ -221,6 +235,10 @@ func (s *Simulator) ValidTrajectory(cmd action.Command, model state.Snapshot) er
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.checks++
+	s.cChecks.Inc()
+	if s.gui != nil {
+		defer func() { s.gFrames.Set(int64(s.gui.Frames())) }()
+	}
 	m, ok := s.arms[cmd.Device]
 	if !ok {
 		return nil // the simulator only models configured arms

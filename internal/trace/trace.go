@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/action"
+	"repro/internal/obs"
 )
 
 // Record is one traced command, in the style of the Robot Arm Dataset
@@ -51,6 +52,13 @@ type Interceptor struct {
 	executor Executor
 	seq      int
 	records  []Record
+
+	// obs publishes per-command telemetry: the intercept and execute
+	// stage spans, outcome counters (total and per device), and one
+	// structured event per record. All nil-safe when no observer is set.
+	obs        *obs.Registry
+	hIntercept *obs.Histogram
+	hExecute   *obs.Histogram
 }
 
 // NewInterceptor builds an interceptor. checker may be nil (tracing
@@ -60,6 +68,40 @@ func NewInterceptor(checker Checker, executor Executor) *Interceptor {
 	return &Interceptor{checker: checker, executor: executor}
 }
 
+// SetObserver attaches a telemetry registry (nil detaches it).
+func (i *Interceptor) SetObserver(reg *obs.Registry) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.obs = reg
+	i.hIntercept = reg.Histogram(obs.StageIntercept)
+	i.hExecute = reg.Histogram(obs.StageExecute)
+}
+
+// finish closes the intercept span and publishes outcome counters and
+// events for every record appended during the call (callers hold i.mu).
+func (i *Interceptor) finish(span obs.Span, mark int) {
+	d := span.End()
+	if i.obs == nil {
+		return
+	}
+	for _, r := range i.records[mark:] {
+		i.obs.Counter(obs.PrefixOutcome + r.Outcome).Inc()
+		if r.Cmd.Device != "" {
+			i.obs.Counter(obs.PrefixDevice + r.Cmd.Device + "." + r.Outcome).Inc()
+		}
+		i.obs.Emit(obs.Event{
+			T:       r.Time,
+			Kind:    "command",
+			Name:    string(r.Cmd.Action),
+			Device:  r.Cmd.Device,
+			Outcome: r.Outcome,
+			Detail:  r.Detail,
+			Seq:     r.Seq,
+			DurNS:   d.Nanoseconds(),
+		})
+	}
+}
+
 // Do traces and executes one command: check → execute → post-check. A
 // blocked command returns the checker's error without reaching the
 // device, mirroring RATracer raising a Python exception to halt the
@@ -67,6 +109,8 @@ func NewInterceptor(checker Checker, executor Executor) *Interceptor {
 func (i *Interceptor) Do(cmd action.Command) error {
 	i.mu.Lock()
 	defer i.mu.Unlock()
+	span := i.hIntercept.Start()
+	defer i.finish(span, len(i.records))
 	i.seq++
 	cmd.Seq = i.seq
 	if err := cmd.Validate(); err != nil {
@@ -79,7 +123,10 @@ func (i *Interceptor) Do(cmd action.Command) error {
 			return err
 		}
 	}
-	if err := i.executor.Execute(cmd); err != nil {
+	spanExec := i.hExecute.Start()
+	execErr := i.executor.Execute(cmd)
+	spanExec.End()
+	if err := execErr; err != nil {
 		i.record(cmd, "error", err.Error())
 		// The checker still observes the aftermath: a physical crash is
 		// an execution error *and* leaves state worth comparing.
@@ -124,6 +171,8 @@ type ConcurrentExecutor interface {
 func (i *Interceptor) DoConcurrent(cmds []action.Command) error {
 	i.mu.Lock()
 	defer i.mu.Unlock()
+	span := i.hIntercept.Start()
+	defer i.finish(span, len(i.records))
 	ce, ok := i.executor.(ConcurrentExecutor)
 	if !ok {
 		return fmt.Errorf("trace: executor cannot run concurrent commands")
@@ -147,7 +196,10 @@ func (i *Interceptor) DoConcurrent(cmds []action.Command) error {
 		}
 	}
 	last := stamped[len(stamped)-1]
-	if err := ce.ExecuteConcurrent(stamped); err != nil {
+	spanExec := i.hExecute.Start()
+	execErr := ce.ExecuteConcurrent(stamped)
+	spanExec.End()
+	if err := execErr; err != nil {
 		for _, cmd := range stamped {
 			i.record(cmd, "error", err.Error())
 		}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/env"
 	"repro/internal/labs"
+	"repro/internal/obs"
 	"repro/internal/rules"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -108,6 +109,10 @@ type System struct {
 	Simulator   *sim.Simulator
 	Interceptor *trace.Interceptor
 	Session     *Session
+	// Obs is the system-wide telemetry registry, shared by the engine,
+	// the interceptor, and the simulator, and registered with the
+	// process-wide scrape group served by obs.Serve (-metrics).
+	Obs *obs.Registry
 }
 
 // New builds a System from a parsed lab specification.
@@ -121,7 +126,9 @@ func New(spec *config.LabSpec, o Options) (*System, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rabit: %w", err)
 	}
-	sys := &System{Lab: lab, Env: e}
+	reg := obs.NewRegistry("rabit/" + spec.Lab)
+	obs.Register(reg)
+	sys := &System{Lab: lab, Env: e, Obs: reg}
 
 	var checker trace.Checker
 	if !o.Unprotected {
@@ -133,13 +140,17 @@ func New(spec *config.LabSpec, o Options) (*System, error) {
 			Generation: o.Generation,
 			Multiplex:  o.Multiplex,
 		}, custom...)
-		engOpts := []core.Option{core.WithInitialModel(lab.InitialModelState())}
+		engOpts := []core.Option{
+			core.WithInitialModel(lab.InitialModelState()),
+			core.WithObserver(reg),
+		}
 		if o.FailSafe != nil {
 			engOpts = append(engOpts, core.WithFailSafe(o.FailSafe))
 		}
 		if o.ExtendedSimulator {
 			simOpts := []sim.Option{
 				sim.WithHeldObjectAware(o.Generation >= GenModified),
+				sim.WithObserver(reg),
 			}
 			if o.SimulatorGUI {
 				simOpts = append(simOpts, sim.WithGUI(640, 480))
@@ -157,6 +168,7 @@ func New(spec *config.LabSpec, o Options) (*System, error) {
 	}
 
 	sys.Interceptor = trace.NewInterceptor(checker, e)
+	sys.Interceptor.SetObserver(reg)
 	sys.Session = workflow.NewSession(sys.Interceptor, lab)
 	sys.Session.Measure = e.MeasureSolubility
 	return sys, nil
@@ -203,3 +215,12 @@ func (s *System) DamageCost() float64 { return s.Env.DamageCost() }
 
 // Trace returns the RATracer-style command trace so far.
 func (s *System) Trace() []trace.Record { return s.Interceptor.Records() }
+
+// ObsSnapshot captures the system's telemetry registry: stage latency
+// histograms, outcome/alert/violation counters, gauges.
+func (s *System) ObsSnapshot() obs.Snapshot { return s.Obs.Snapshot() }
+
+// ReleaseObserver removes the system's registry from the process-wide
+// scrape group — for programs that build many short-lived systems (the
+// evaluation harness) and do not want dead registries on /metrics.
+func (s *System) ReleaseObserver() { obs.Unregister(s.Obs) }
