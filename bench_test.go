@@ -193,6 +193,79 @@ func BenchmarkFig3_ExtendedSimulatorGUI(b *testing.B) {
 	}
 }
 
+// BenchmarkSimBroadphase measures the trajectory check with the swept-
+// volume broadphase pruning on (the default) and off — the win comes from
+// skipping narrow-phase capsule sweeps against solids the trajectory's
+// AABB can never reach.
+func BenchmarkSimBroadphase(b *testing.B) {
+	for _, bp := range []struct {
+		name    string
+		enabled bool
+	}{{"on", true}, {"off", false}} {
+		b.Run(bp.name, func(b *testing.B) {
+			sys, err := rabit.NewTestbed(rabit.Options{ExtendedSimulator: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sys.Simulator.SetBroadphase(bp.enabled)
+			model := sys.Engine.Model()
+			cmd := action.Command{Device: "viperx", Action: action.MoveRobot, Target: geom.V(0.32, 0.22, 0.25)}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := sys.Simulator.ValidTrajectory(cmd, model); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimParallel measures trajectory checks for the testbed's two
+// arms issued from one goroutine (serial) versus one goroutine per arm
+// (parallel) — the per-arm lock sharding lets the checks overlap, so the
+// parallel leg's ns/op should approach half the serial leg's.
+func BenchmarkSimParallel(b *testing.B) {
+	cmds := []action.Command{
+		{Device: "viperx", Action: action.MoveRobot, Target: geom.V(0.32, 0.22, 0.25)},
+		{Device: "ned2", Action: action.MoveRobot, Target: geom.V(0.2, 0.1, 0.15)},
+	}
+	newSim := func(b *testing.B) (*rabit.System, state.Snapshot) {
+		b.Helper()
+		sys, err := rabit.NewTestbed(rabit.Options{ExtendedSimulator: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sys, sys.Engine.Model()
+	}
+	b.Run("serial", func(b *testing.B) {
+		sys, model := newSim(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := sys.Simulator.ValidTrajectory(cmds[i%2], model); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("twoArms", func(b *testing.B) {
+		sys, model := newSim(b)
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		for _, cmd := range cmds {
+			wg.Add(1)
+			go func(cmd action.Command) {
+				defer wg.Done()
+				for i := 0; i < b.N/2; i++ {
+					if err := sys.Simulator.ValidTrajectory(cmd, model); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(cmd)
+		}
+		wg.Wait()
+	})
+}
+
 // BenchmarkFig5_SafeWorkflow runs the complete Fig. 5 testbed workflow
 // under the modified RABIT — the paper's baseline safe execution.
 func BenchmarkFig5_SafeWorkflow(b *testing.B) {

@@ -2,6 +2,7 @@ package config
 
 import (
 	"encoding/json"
+	"math"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -511,6 +512,38 @@ func TestWallsInArmFrames(t *testing.T) {
 	spec2.Walls = []WallPlaneSpec{{Name: "bad"}}
 	if ds := Lint(spec2); !HasErrors(ds) {
 		t.Error("zero-normal wall accepted")
+	}
+}
+
+// TestWallsNonUnitNormal is the regression test for the wall-plane
+// normalisation bug: a spec supplying a scaled normal and offset describes
+// the same plane, so Walls and Zone must produce planes with identical
+// signed distances. (Previously the normal was normalised without
+// rescaling the offset, shifting the plane by the normal's length.)
+func TestWallsNonUnitNormal(t *testing.T) {
+	unit := validSpec()
+	unit.Walls = []WallPlaneSpec{{Name: "north", Normal: Vec{Y: -1}, Offset: -0.7}}
+	scaled := validSpec()
+	scaled.Walls = []WallPlaneSpec{{Name: "north", Normal: Vec{Y: -4}, Offset: -2.8}}
+	labU, err := Compile(unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labS, err := Compile(scaled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, arm := range []string{"viperx", "ned2"} {
+		wu, ws := labU.Walls(arm), labS.Walls(arm)
+		if len(wu) != 1 || len(ws) != 1 {
+			t.Fatalf("%s: wall counts %d/%d, want 1/1", arm, len(wu), len(ws))
+		}
+		for _, p := range []geom.Vec3{geom.V(0, 0.7, 0), geom.V(0.3, 0.1, 0.2), geom.V(-0.8, 0.9, 0)} {
+			du, ds := wu[0].SignedDist(p), ws[0].SignedDist(p)
+			if math.Abs(du-ds) > 1e-9 {
+				t.Errorf("%s: signed dist at %v differs: unit %.6f, scaled %.6f", arm, p, du, ds)
+			}
+		}
 	}
 }
 

@@ -320,8 +320,11 @@ func (l *Lab) Walls(armID string) []geom.Plane {
 	}
 	out := make([]geom.Plane, 0, len(l.Spec.Walls))
 	for _, w := range l.Spec.Walls {
-		n := w.Normal.V3().Unit()
-		out = append(out, geom.Plane{N: n, D: w.Offset - n.Dot(arm.Base.V3())})
+		// Normalise the configured normal and offset together (a non-unit
+		// normal would otherwise shift the plane), then translate the
+		// offset into the arm's frame.
+		p := geom.PlaneFromNormalOffset(w.Normal.V3(), w.Offset)
+		out = append(out, geom.Plane{N: p.N, D: p.D - p.N.Dot(arm.Base.V3())})
 	}
 	return out
 }
@@ -332,8 +335,7 @@ func (l *Lab) Zone(armID string) (geom.Plane, bool) {
 	if !ok || arm.ZoneWall == nil {
 		return geom.Plane{}, false
 	}
-	n := arm.ZoneWall.Normal.V3().Unit()
-	return geom.Plane{N: n, D: arm.ZoneWall.Offset}, true
+	return geom.PlaneFromNormalOffset(arm.ZoneWall.Normal.V3(), arm.ZoneWall.Offset), true
 }
 
 // CustomRules builds the configured custom rules.

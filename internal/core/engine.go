@@ -241,13 +241,17 @@ func (e *Engine) Start() {
 	e.pending = nil
 	// A fresh run measures from zero: reset the engine-owned instruments
 	// (cached pointers stay valid; other components' instruments in a
-	// shared registry are untouched).
+	// shared registry are untouched), including the dynamically named
+	// alert and violation families — otherwise /metrics keeps reporting
+	// the previous run's alert totals across restarts.
 	e.cCheckNS.Reset()
 	e.cCommands.Reset()
 	e.hValidate.Reset()
 	e.hTrajectory.Reset()
 	e.hFetch.Reset()
 	e.hCompare.Reset()
+	e.obs.ResetPrefix(obs.PrefixAlerts)
+	e.obs.ResetPrefix(obs.PrefixViolations)
 	e.obs.Gauge(obs.GaugeRules).Set(int64(len(e.rb.Rules())))
 }
 
@@ -361,12 +365,15 @@ func (e *Engine) After(cmd action.Command) error {
 	e.mu.Lock()
 	defer func() {
 		e.cCheckNS.Add(time.Since(start).Nanoseconds())
-		e.cCommands.Inc()
 		e.mu.Unlock()
 	}()
 	if e.stopped != nil {
 		return fmt.Errorf("%w: %s", ErrStopped, e.stopped.Error())
 	}
+	// Only commands that run the compare/commit path below count as fully
+	// processed; the stopped early-return above must not inflate the
+	// "commands" total after an alert has halted the run.
+	e.cCommands.Inc()
 	expected := e.pending
 	if expected == nil {
 		expected = e.model

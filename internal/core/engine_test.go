@@ -309,3 +309,31 @@ func TestAlertKindStrings(t *testing.T) {
 		t.Error("alert strings do not match Fig. 2")
 	}
 }
+
+func TestEngineAfterStoppedNotCounted(t *testing.T) {
+	env := &fakeEnv{observed: state.Snapshot{
+		state.DoorStatus("dd"): state.Bool(true),
+		state.Running("dd"):    state.Bool(true),
+	}}
+	e := newEngine(env)
+	ok := action.Command{Device: "arm", Action: action.MoveRobot, Target: geom.V(0.2, 0, 0.2)}
+	if err := e.Before(ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.After(ok); err != nil {
+		t.Fatal(err)
+	}
+	// Raise an alert: opening the door while the device runs.
+	bad := action.Command{Device: "dd", Action: action.OpenDoor}
+	if err := e.Before(bad); err == nil {
+		t.Fatal("invalid command accepted")
+	}
+	// The executor's deferred After still fires after the alert; its
+	// ErrStopped early-return must not count as a processed command.
+	if err := e.After(bad); !errors.Is(err, ErrStopped) {
+		t.Fatalf("want ErrStopped, got %v", err)
+	}
+	if _, n := e.CheckOverhead(); n != 1 {
+		t.Errorf("commands = %d after stopped After, want 1", n)
+	}
+}

@@ -222,3 +222,31 @@ func BenchmarkObsOverhead(b *testing.B) {
 		b.ReportMetric(100*md/mb, "overhead-%")
 	})
 }
+
+func TestEngineStartResetsAlertCounters(t *testing.T) {
+	env := &fakeEnv{observed: state.Snapshot{
+		state.DoorStatus("dd"): state.Bool(true),
+		state.Running("dd"):    state.Bool(true),
+	}}
+	reg := obs.NewRegistry("t")
+	e := newEngine(env, WithObserver(reg))
+	if err := e.Before(action.Command{Device: "dd", Action: action.OpenDoor}); err == nil {
+		t.Fatal("invalid command accepted")
+	}
+	alertC := reg.Counter(obs.PrefixAlerts + "invalid_command")
+	violC := reg.Counter(obs.PrefixViolations + "general-10")
+	if alertC.Value() != 1 || violC.Value() != 1 {
+		t.Fatalf("alert/violation counters = %d/%d, want 1/1", alertC.Value(), violC.Value())
+	}
+	// A restarted run must not inherit the previous run's alert totals —
+	// including the dynamically named families Registry.Reset can't see.
+	env.observed.Set(state.Running("dd"), state.Bool(false))
+	e.Start()
+	if alertC.Value() != 0 || violC.Value() != 0 {
+		t.Errorf("counters after restart = %d/%d, want 0/0",
+			alertC.Value(), violC.Value())
+	}
+	if len(e.Alerts()) != 0 {
+		t.Errorf("alerts after restart: %v", e.Alerts())
+	}
+}

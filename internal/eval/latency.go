@@ -39,6 +39,12 @@ type LatencyResult struct {
 	Validate   StageLatency
 	Trajectory StageLatency
 	Compare    StageLatency
+	// SimKept and SimPruned count solids/planes the Extended Simulator's
+	// broadphase kept for (resp. pruned from) the narrow phase, summed
+	// over the workload's trajectory checks. Both zero without the
+	// simulator (or with its GUI, which disables pruning).
+	SimKept   int64
+	SimPruned int64
 }
 
 // stageLatency reads one stage histogram out of a registry.
@@ -98,6 +104,8 @@ func Latency(seed int64, speedup float64) ([]LatencyResult, error) {
 			Validate:        stageLatency(s.Obs, obs.StageValidate),
 			Trajectory:      stageLatency(s.Obs, obs.StageTrajectory),
 			Compare:         stageLatency(s.Obs, obs.StageCompare),
+			SimKept:         s.Obs.Counter(obs.CounterSimBroadphaseKept).Value(),
+			SimPruned:       s.Obs.Counter(obs.CounterSimBroadphasePruned).Value(),
 		}
 		if exec > 0 {
 			res.OverheadPct = 100 * float64(check) / float64(exec)
@@ -108,11 +116,12 @@ func Latency(seed int64, speedup float64) ([]LatencyResult, error) {
 }
 
 // RenderLatency prints the latency rows with the per-stage breakdown
-// (median latency per stage; "—" marks a stage that never ran).
+// (median latency per stage; "—" marks a stage that never ran) and the
+// simulator's broadphase pruning ratio.
 func RenderLatency(rows []LatencyResult) string {
-	out := fmt.Sprintf("%-42s %10s %14s %14s %10s %12s %12s %12s\n",
+	out := fmt.Sprintf("%-42s %10s %14s %14s %10s %12s %12s %12s %14s\n",
 		"Configuration", "commands", "check/cmd", "exec/cmd", "overhead",
-		"validate p50", "traj p50", "compare p50")
+		"validate p50", "traj p50", "compare p50", "pruned/kept")
 	stage := func(sl StageLatency) string {
 		if sl.Count == 0 {
 			return "—"
@@ -120,9 +129,13 @@ func RenderLatency(rows []LatencyResult) string {
 		return sl.P50.String()
 	}
 	for _, r := range rows {
-		out += fmt.Sprintf("%-42s %10d %14s %14s %9.1f%% %12s %12s %12s\n",
+		pruneCol := "—"
+		if r.SimKept+r.SimPruned > 0 {
+			pruneCol = fmt.Sprintf("%d/%d", r.SimPruned, r.SimKept)
+		}
+		out += fmt.Sprintf("%-42s %10d %14s %14s %9.1f%% %12s %12s %12s %14s\n",
 			r.Mode, r.Commands, r.CheckPerCommand, r.ExecPerCommand, r.OverheadPct,
-			stage(r.Validate), stage(r.Trajectory), stage(r.Compare))
+			stage(r.Validate), stage(r.Trajectory), stage(r.Compare), pruneCol)
 	}
 	return out
 }

@@ -176,6 +176,35 @@ func PlaneFromPointNormal(p, n Vec3) Plane {
 	return Plane{N: u, D: u.Dot(p)}
 }
 
+// PlaneFromNormalOffset builds the plane {p : n·p = d} for a possibly
+// non-unit n. Normalising the normal rescales the offset by the same
+// factor — {p : n·p = d} and {p : n̂·p = d/|n|} are the same plane — so
+// configurations may supply normals of any length.
+func PlaneFromNormalOffset(n Vec3, d float64) Plane {
+	l := n.Norm()
+	if l == 0 {
+		return Plane{N: n, D: d}
+	}
+	return Plane{N: n.Scale(1 / l), D: d / l}
+}
+
+// MinSignedDistAABB returns the minimum signed distance from any point of
+// the box to the plane: the signed distance of the corner deepest on the
+// negative side. When it is ≥ 0 the whole box lies on or above the plane.
+func (pl Plane) MinSignedDistAABB(b AABB) float64 {
+	p := b.Max
+	if pl.N.X >= 0 {
+		p.X = b.Min.X
+	}
+	if pl.N.Y >= 0 {
+		p.Y = b.Min.Y
+	}
+	if pl.N.Z >= 0 {
+		p.Z = b.Min.Z
+	}
+	return pl.SignedDist(p)
+}
+
 // SignedDist returns the signed distance from p to the plane (positive on
 // the normal side).
 func (pl Plane) SignedDist(p Vec3) float64 { return pl.N.Dot(p) - pl.D }

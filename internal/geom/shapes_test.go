@@ -220,3 +220,64 @@ func TestInscribedVerticalCapsule(t *testing.T) {
 		t.Error("corner should be inside the box")
 	}
 }
+
+func TestPlaneFromNormalOffset(t *testing.T) {
+	// {p : n·p = d} must survive normalisation: scaling n and d together
+	// describes the same plane, so signed distances must agree.
+	unit := PlaneFromNormalOffset(V(0, -1, 0), -0.62)
+	scaled := PlaneFromNormalOffset(V(0, -4, 0), -2.48)
+	for _, p := range []Vec3{V(0, 0, 0), V(0.3, 0.62, 0.1), V(0, 0.7, 0), V(0, -1, 2)} {
+		du, ds := unit.SignedDist(p), scaled.SignedDist(p)
+		if math.Abs(du-ds) > 1e-12 {
+			t.Errorf("SignedDist(%v): unit %v, scaled %v", p, du, ds)
+		}
+	}
+	if math.Abs(scaled.N.Norm()-1) > 1e-12 {
+		t.Errorf("normal not normalised: %v", scaled.N)
+	}
+	// Interior point (y < 0.62) is positive, exterior negative.
+	if scaled.SignedDist(V(0, 0, 0)) <= 0 {
+		t.Error("lab interior should be on the positive side")
+	}
+	if scaled.SignedDist(V(0, 0.7, 0)) >= 0 {
+		t.Error("beyond the wall should be negative")
+	}
+	// Degenerate zero normal passes through untouched rather than NaN.
+	z := PlaneFromNormalOffset(V(0, 0, 0), 1)
+	if z.N != (Vec3{}) || z.D != 1 {
+		t.Errorf("zero normal mangled: %+v", z)
+	}
+}
+
+func TestPlaneMinSignedDistAABB(t *testing.T) {
+	floor := PlaneFromPointNormal(V(0, 0, 0), V(0, 0, 1))
+	above := Box(V(-1, -1, 0.5), V(1, 1, 2))
+	if got := floor.MinSignedDistAABB(above); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("box above: min dist = %v, want 0.5", got)
+	}
+	crossing := Box(V(-1, -1, -0.25), V(1, 1, 2))
+	if got := floor.MinSignedDistAABB(crossing); math.Abs(got+0.25) > 1e-12 {
+		t.Errorf("crossing box: min dist = %v, want -0.25", got)
+	}
+	// Negative-component normal picks the opposite corner.
+	back := PlaneFromNormalOffset(V(0, -1, 0), -0.62)
+	inside := Box(V(0, 0, 0), V(0.5, 0.5, 0.5))
+	if got := back.MinSignedDistAABB(inside); math.Abs(got-0.12) > 1e-9 {
+		t.Errorf("interior box: min dist = %v, want 0.12", got)
+	}
+	// Property: the reported minimum is attained by one of the corners
+	// and no corner is deeper.
+	b := Box(V(-0.3, 0.1, -0.7), V(0.4, 0.9, 0.2))
+	pl := PlaneFromPointNormal(V(0.1, 0.2, 0.3), V(1, -2, 0.5))
+	min := math.Inf(1)
+	for _, x := range []float64{b.Min.X, b.Max.X} {
+		for _, y := range []float64{b.Min.Y, b.Max.Y} {
+			for _, z := range []float64{b.Min.Z, b.Max.Z} {
+				min = math.Min(min, pl.SignedDist(V(x, y, z)))
+			}
+		}
+	}
+	if got := pl.MinSignedDistAABB(b); math.Abs(got-min) > 1e-12 {
+		t.Errorf("MinSignedDistAABB = %v, corner scan = %v", got, min)
+	}
+}

@@ -83,6 +83,16 @@ func (c *Chain) ClampJoints(q []float64) []float64 {
 	return out
 }
 
+// clampJointsInPlace clamps q into joint limits without allocating — the
+// IK iteration's form of ClampJoints.
+func (c *Chain) clampJointsInPlace(q []float64) {
+	for i := range q {
+		if i < len(c.Links) {
+			q[i] = math.Max(c.Links[i].MinAngle, math.Min(c.Links[i].MaxAngle, q[i]))
+		}
+	}
+}
+
 // linkTransform returns the DH transform for link l at joint value theta.
 func linkTransform(l DHLink, theta float64) geom.Pose {
 	th := theta + l.Offset
@@ -101,10 +111,19 @@ func linkTransform(l DHLink, theta float64) geom.Pose {
 // end-effector last: DOF+1 points in the chain's base frame's parent
 // coordinates (i.e. after applying Base).
 func (c *Chain) JointOrigins(q []float64) ([]geom.Vec3, error) {
+	return c.JointOriginsInto(q, nil)
+}
+
+// JointOriginsInto is JointOrigins writing into pts (grown as needed) —
+// the allocation-free form for sampling loops.
+func (c *Chain) JointOriginsInto(q []float64, pts []geom.Vec3) ([]geom.Vec3, error) {
 	if len(q) != len(c.Links) {
 		return nil, fmt.Errorf("%w: got %d, want %d", ErrDOFMismatch, len(q), len(c.Links))
 	}
-	pts := make([]geom.Vec3, 0, len(c.Links)+1)
+	if cap(pts) < len(c.Links)+1 {
+		pts = make([]geom.Vec3, 0, len(c.Links)+1)
+	}
+	pts = pts[:0]
 	cur := c.Base
 	pts = append(pts, cur.T)
 	for i, l := range c.Links {
@@ -144,7 +163,13 @@ func (c *Chain) LinkCapsules(q []float64) ([]geom.Capsule, error) {
 	if err != nil {
 		return nil, err
 	}
-	caps := make([]geom.Capsule, 0, len(pts))
+	return c.linkCapsulesFrom(pts, make([]geom.Capsule, 0, len(pts))), nil
+}
+
+// linkCapsulesFrom builds the link capsules for precomputed joint origins
+// into caps (assumed empty with sufficient capacity reserved by callers
+// that care about allocations).
+func (c *Chain) linkCapsulesFrom(pts []geom.Vec3, caps []geom.Capsule) []geom.Capsule {
 	for i := 0; i+1 < len(pts); i++ {
 		r := c.Links[i].Radius
 		if r <= 0 {
@@ -162,7 +187,7 @@ func (c *Chain) LinkCapsules(q []float64) ([]geom.Capsule, error) {
 		rr = 0.03
 	}
 	caps = append(caps, geom.NewCapsule(last, last, rr))
-	return caps, nil
+	return caps
 }
 
 // Reach returns the maximum reach of the chain from its base: the sum of

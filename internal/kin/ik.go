@@ -68,24 +68,27 @@ func (c *Chain) Solve(target geom.Vec3, q0 []float64, opt IKOptions) ([]float64,
 	}
 
 	n := len(c.Links)
-	seeds := make([][]float64, 0, opt.Restarts+1)
-	seeds = append(seeds, append([]float64(nil), q0...))
-	// Deterministic spread of seeds across the joint space.
-	for r := 1; r <= opt.Restarts; r++ {
-		s := make([]float64, n)
-		for i, l := range c.Links {
-			span := l.MaxAngle - l.MinAngle
-			frac := math.Mod(0.318*float64(r)+0.618*float64(i+1), 1.0)
-			s[i] = l.MinAngle + span*frac
-		}
-		seeds = append(seeds, s)
-	}
+	// Seeds are generated lazily — the q0 seed usually converges and the
+	// restart seeds never materialise. scratch is shared by every restart;
+	// only a new best solution is copied out.
+	sc := newIKScratch(n, opt)
+	seed := make([]float64, n)
 
 	var best []float64
 	bestScore := math.Inf(1)
 	bestPosErr := math.Inf(1)
-	for _, seed := range seeds {
-		q, posErr, axErr := c.solveFrom(target, seed, opt)
+	for r := 0; r <= opt.Restarts; r++ {
+		if r == 0 {
+			copy(seed, q0)
+		} else {
+			// Deterministic spread of seeds across the joint space.
+			for i, l := range c.Links {
+				span := l.MaxAngle - l.MinAngle
+				frac := math.Mod(0.318*float64(r)+0.618*float64(i+1), 1.0)
+				seed[i] = l.MinAngle + span*frac
+			}
+		}
+		q, posErr, axErr := c.solveFrom(target, seed, opt, sc)
 		if posErr > opt.Tol {
 			// Track in case nothing converges (error reporting).
 			if posErr < bestPosErr {
@@ -97,7 +100,7 @@ func (c *Chain) Solve(target geom.Vec3, q0 []float64, opt IKOptions) ([]float64,
 		score := axErr
 		if score < bestScore {
 			bestScore = score
-			best = q
+			best = append(best[:0], q...)
 			bestPosErr = posErr
 		}
 		if opt.OrientWeight == 0 || score < 0.1 {
@@ -119,11 +122,50 @@ func (c *Chain) Solve(target geom.Vec3, q0 []float64, opt IKOptions) ([]float64,
 	return best, nil
 }
 
+// ikScratch holds every buffer one DLS solve needs, so the iteration loop
+// (Jacobian, normal matrix, linear solve, residual, clamp) allocates
+// nothing. One scratch serves all of a Solve call's restarts.
+type ikScratch struct {
+	q    []float64   // current configuration
+	e    []float64   // task residual
+	j    [][]float64 // rows×n Jacobian
+	jjt  [][]float64 // rows×rows normal matrix
+	aug  [][]float64 // rows×(rows+1) augmented matrix for elimination
+	w    []float64   // linear-solve result
+	orig []geom.Vec3 // joint frame origins
+	axes []geom.Vec3 // joint axes
+}
+
+func newIKScratch(n int, opt IKOptions) *ikScratch {
+	rows := 3
+	if opt.OrientWeight > 0 && opt.ToolAxis.Norm() > 0 {
+		rows = 6
+	}
+	sc := &ikScratch{
+		q:    make([]float64, n),
+		e:    make([]float64, rows),
+		j:    make([][]float64, rows),
+		jjt:  make([][]float64, rows),
+		aug:  make([][]float64, rows),
+		w:    make([]float64, rows),
+		orig: make([]geom.Vec3, n),
+		axes: make([]geom.Vec3, n),
+	}
+	for r := 0; r < rows; r++ {
+		sc.j[r] = make([]float64, n)
+		sc.jjt[r] = make([]float64, rows)
+		sc.aug[r] = make([]float64, rows+1)
+	}
+	return sc
+}
+
 // solveFrom iterates DLS from one seed; it returns the best configuration
-// found, its position residual, and its tool-axis misalignment (rad).
-func (c *Chain) solveFrom(target geom.Vec3, seed []float64, opt IKOptions) ([]float64, float64, float64) {
+// found (aliasing sc.q — callers must copy to retain it), its position
+// residual, and its tool-axis misalignment (rad).
+func (c *Chain) solveFrom(target geom.Vec3, seed []float64, opt IKOptions, sc *ikScratch) ([]float64, float64, float64) {
 	n := len(c.Links)
-	q := append([]float64(nil), seed...)
+	q := sc.q
+	copy(q, seed)
 	lambda2 := opt.Lambda * opt.Lambda
 	useOrient := opt.OrientWeight > 0 && opt.ToolAxis.Norm() > 0
 	rows := 3
@@ -137,7 +179,7 @@ func (c *Chain) solveFrom(target geom.Vec3, seed []float64, opt IKOptions) ([]fl
 		if err != nil {
 			return nil, math.Inf(1), math.Inf(1), false
 		}
-		e := make([]float64, rows)
+		e := sc.e
 		pe := target.Sub(pose.T)
 		e[0], e[1], e[2] = pe.X, pe.Y, pe.Z
 		axErr := 0.0
@@ -161,11 +203,10 @@ func (c *Chain) solveFrom(target geom.Vec3, seed []float64, opt IKOptions) ([]fl
 	}
 
 	for iter := 0; iter < opt.MaxIters && (posErr > opt.Tol || (useOrient && axErr > 0.05 && iter < opt.MaxIters/2)); iter++ {
-		j := c.taskJacobian(q, rows, opt.OrientWeight)
+		j := c.taskJacobianInto(q, rows, opt.OrientWeight, sc)
 		// dq = Jᵀ (J Jᵀ + λ² I)⁻¹ e
-		jjt := make([][]float64, rows)
+		jjt := sc.jjt
 		for r := 0; r < rows; r++ {
-			jjt[r] = make([]float64, rows)
 			for s := 0; s < rows; s++ {
 				var sum float64
 				for k := 0; k < n; k++ {
@@ -175,7 +216,7 @@ func (c *Chain) solveFrom(target geom.Vec3, seed []float64, opt IKOptions) ([]fl
 			}
 			jjt[r][r] += lambda2
 		}
-		w, ok := solveLinear(jjt, e)
+		w, ok := solveLinearInto(jjt, e, sc.aug, sc.w)
 		if !ok {
 			break
 		}
@@ -186,7 +227,7 @@ func (c *Chain) solveFrom(target geom.Vec3, seed []float64, opt IKOptions) ([]fl
 			}
 			q[k] += dq
 		}
-		q = c.ClampJoints(q)
+		c.clampJointsInPlace(q)
 		e, posErr, axErr, ok = residual(q)
 		if !ok {
 			return q, math.Inf(1), math.Inf(1)
@@ -195,17 +236,13 @@ func (c *Chain) solveFrom(target geom.Vec3, seed []float64, opt IKOptions) ([]fl
 	return q, posErr, axErr
 }
 
-// taskJacobian returns the rows×n Jacobian: position rows always, plus
-// tool-axis rows (scaled by orientWeight) when rows == 6.
-func (c *Chain) taskJacobian(q []float64, rows int, orientWeight float64) [][]float64 {
+// taskJacobianInto fills sc.j with the rows×n Jacobian: position rows
+// always, plus tool-axis rows (scaled by orientWeight) when rows == 6.
+func (c *Chain) taskJacobianInto(q []float64, rows int, orientWeight float64, sc *ikScratch) [][]float64 {
 	n := len(c.Links)
-	j := make([][]float64, rows)
-	for r := range j {
-		j[r] = make([]float64, n)
-	}
+	j := sc.j
 	cur := c.Base
-	origins := make([]geom.Vec3, n)
-	axes := make([]geom.Vec3, n)
+	origins, axes := sc.orig, sc.axes
 	for i, l := range c.Links {
 		origins[i] = cur.T
 		axes[i] = cur.R.Col(2) // joint axis is local Z
@@ -233,8 +270,21 @@ func (c *Chain) taskJacobian(q []float64, rows int, orientWeight float64) [][]fl
 func solveLinear(a [][]float64, b []float64) ([]float64, bool) {
 	n := len(a)
 	m := make([][]float64, n)
+	x := make([]float64, n)
 	for i := range m {
-		m[i] = append(append([]float64(nil), a[i]...), b[i])
+		m[i] = make([]float64, n+1)
+	}
+	return solveLinearInto(a, b, m, x)
+}
+
+// solveLinearInto is solveLinear writing the augmented matrix into m
+// (n rows of n+1) and the solution into x — the allocation-free form for
+// the IK iteration. A is untouched.
+func solveLinearInto(a [][]float64, b []float64, m [][]float64, x []float64) ([]float64, bool) {
+	n := len(a)
+	for i := range a {
+		copy(m[i], a[i])
+		m[i][n] = b[i]
 	}
 	for col := 0; col < n; col++ {
 		// Pivot.
@@ -255,7 +305,6 @@ func solveLinear(a [][]float64, b []float64) ([]float64, bool) {
 			}
 		}
 	}
-	x := make([]float64, n)
 	for r := n - 1; r >= 0; r-- {
 		sum := m[r][n]
 		for k := r + 1; k < n; k++ {

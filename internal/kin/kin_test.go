@@ -396,3 +396,104 @@ func TestIKPrefersToolDown(t *testing.T) {
 		}
 	}
 }
+
+func TestScratchAPIsMatchAllocatingForms(t *testing.T) {
+	p := mustProfile(t, ModelViperX300, geom.IdentityPose())
+	tr, err := p.Chain.PlanJointMove(p.Home, geom.V(0.3, 0.15, 0.2), DefaultIKOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sweep Sweep
+	var q []float64
+	for _, tt := range []float64{0, 0.17, 0.5, 0.83, 1} {
+		q = tr.AtInto(tt, q)
+		if !equalSlice(q, tr.At(tt)) {
+			t.Fatalf("AtInto(%v) = %v, At = %v", tt, q, tr.At(tt))
+		}
+		want, err := p.Chain.LinkCapsules(tr.At(tt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sweep.CapsulesAt(tr, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("CapsulesAt(%v): %d capsules, want %d", tt, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("CapsulesAt(%v)[%d] = %+v, want %+v", tt, i, got[i], want[i])
+			}
+		}
+		pts, err := p.Chain.JointOriginsInto(q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantPts, err := p.Chain.JointOrigins(tr.At(tt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pts) != len(wantPts) {
+			t.Fatalf("JointOriginsInto: %d points, want %d", len(pts), len(wantPts))
+		}
+		// The last capsule is the end-effector stub anchored at the TCP.
+		ee, err := p.Chain.EndEffector(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[len(got)-1].Seg.B.Dist(ee) > 1e-12 {
+			t.Errorf("stub capsule endpoint %v, want TCP %v", got[len(got)-1].Seg.B, ee)
+		}
+	}
+	// DOF mismatch still surfaces through the scratch forms.
+	if _, err := p.Chain.JointOriginsInto([]float64{0}, nil); !errors.Is(err, ErrDOFMismatch) {
+		t.Errorf("want ErrDOFMismatch, got %v", err)
+	}
+}
+
+func TestSweptBoundsEnclosesEverySample(t *testing.T) {
+	p := mustProfile(t, ModelNed2, geom.IdentityPose())
+	tr, err := p.Chain.PlanJointMove(p.Home, geom.V(0.2, 0.1, 0.15), DefaultIKOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sweep Sweep
+	bounds, err := tr.SweptBounds(0.02, &sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bounds.IsValid() {
+		t.Fatalf("invalid swept bounds %v", bounds)
+	}
+	if err := tr.SweepCapsules(0.02, func(tt float64, caps []geom.Capsule) bool {
+		for _, c := range caps {
+			cb := c.Bounds()
+			if !bounds.ContainsPoint(cb.Min) || !bounds.ContainsPoint(cb.Max) {
+				t.Errorf("capsule bounds %v at t=%v escape swept bounds %v", cb, tt, bounds)
+				return false
+			}
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSweepCapsulesAllocs(b *testing.B) {
+	p, err := NewProfile(ModelViperX300, geom.IdentityPose())
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := p.Chain.PlanJointMove(p.Home, geom.V(0.3, 0.15, 0.2), DefaultIKOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.SweepCapsules(0.02, func(float64, []geom.Capsule) bool { return true }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

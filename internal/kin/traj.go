@@ -34,8 +34,18 @@ func (c *Chain) PlanJointMove(from []float64, target geom.Vec3, opt IKOptions) (
 
 // At returns the joint configuration at parameter t ∈ [0,1].
 func (tr *Trajectory) At(t float64) []float64 {
+	return tr.AtInto(t, make([]float64, len(tr.From)))
+}
+
+// AtInto writes the joint configuration at parameter t ∈ [0,1] into q,
+// growing it if needed, and returns it — the allocation-free form of At
+// for sampling loops.
+func (tr *Trajectory) AtInto(t float64, q []float64) []float64 {
 	t = math.Max(0, math.Min(1, t))
-	q := make([]float64, len(tr.From))
+	if cap(q) < len(tr.From) {
+		q = make([]float64, len(tr.From))
+	}
+	q = q[:len(tr.From)]
 	for i := range q {
 		q[i] = tr.From[i] + (tr.To[i]-tr.From[i])*t
 	}
@@ -92,14 +102,43 @@ func (tr *Trajectory) SampleCount(maxStep float64) int {
 	return n
 }
 
+// Sweep is a reusable scratch workspace for sampling a trajectory's
+// collision capsules without per-sample allocations. The zero value is
+// ready to use; a Sweep must not be shared between goroutines.
+type Sweep struct {
+	q    []float64
+	pts  []geom.Vec3
+	caps []geom.Capsule
+}
+
+// CapsulesAt returns the chain's collision capsules at trajectory
+// parameter t, reusing the workspace's buffers. The returned slice is
+// only valid until the next CapsulesAt call; its last capsule is the
+// end-effector stub, whose segment endpoints are the TCP position.
+func (s *Sweep) CapsulesAt(tr *Trajectory, t float64) ([]geom.Capsule, error) {
+	s.q = tr.AtInto(t, s.q)
+	pts, err := tr.Chain.JointOriginsInto(s.q, s.pts)
+	if err != nil {
+		return nil, err
+	}
+	s.pts = pts
+	if cap(s.caps) < len(pts) {
+		s.caps = make([]geom.Capsule, 0, len(pts))
+	}
+	s.caps = tr.Chain.linkCapsulesFrom(pts, s.caps[:0])
+	return s.caps, nil
+}
+
 // SweepCapsules invokes fn once per sample with the arm's collision
 // capsules along the trajectory; fn returning false stops the sweep early.
 // The parameter passed to fn is the trajectory parameter of that sample.
+// The capsule slice is reused between samples: fn must not retain it.
 func (tr *Trajectory) SweepCapsules(maxStep float64, fn func(t float64, caps []geom.Capsule) bool) error {
+	var s Sweep
 	n := tr.SampleCount(maxStep)
 	for i := 0; i <= n; i++ {
 		t := float64(i) / float64(n)
-		caps, err := tr.Chain.LinkCapsules(tr.At(t))
+		caps, err := s.CapsulesAt(tr, t)
 		if err != nil {
 			return fmt.Errorf("sweep capsules at t=%.3f: %w", t, err)
 		}
@@ -108,6 +147,32 @@ func (tr *Trajectory) SweepCapsules(maxStep float64, fn func(t float64, caps []g
 		}
 	}
 	return nil
+}
+
+// SweptBounds returns the AABB enclosing every collision capsule at every
+// sample the maxStep sweep visits — the broadphase bound: a solid whose
+// box does not touch it cannot intersect any sampled capsule, and a plane
+// whose negative half-space does not touch it cannot be penetrated.
+func (tr *Trajectory) SweptBounds(maxStep float64, s *Sweep) (geom.AABB, error) {
+	n := tr.SampleCount(maxStep)
+	var bounds geom.AABB
+	first := true
+	for i := 0; i <= n; i++ {
+		t := float64(i) / float64(n)
+		caps, err := s.CapsulesAt(tr, t)
+		if err != nil {
+			return geom.AABB{}, fmt.Errorf("swept bounds at t=%.3f: %w", t, err)
+		}
+		for _, c := range caps {
+			if first {
+				bounds = c.Bounds()
+				first = false
+				continue
+			}
+			bounds = bounds.Union(c.Bounds())
+		}
+	}
+	return bounds, nil
 }
 
 // EndEffectorPath returns the sampled end-effector positions along the

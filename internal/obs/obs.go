@@ -22,6 +22,7 @@ package obs
 
 import (
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -270,6 +271,23 @@ func (r *Registry) Reset() {
 	}
 	for _, h := range r.hists {
 		h.Reset()
+	}
+}
+
+// ResetPrefix zeroes every counter whose name starts with prefix —
+// instrument families keyed by a dynamic component (alerts.*,
+// violations.*) that a fresh run must not inherit from the previous one.
+// Nil-safe.
+func (r *Registry) ResetPrefix(prefix string) {
+	if r == nil {
+		return
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, c := range r.counts {
+		if strings.HasPrefix(name, prefix) {
+			c.Reset()
+		}
 	}
 }
 

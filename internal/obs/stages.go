@@ -33,6 +33,16 @@ const (
 	CounterCheckNS = "check.ns"
 	// CounterSimChecks counts Extended-Simulator collision sweeps.
 	CounterSimChecks = "sim.collision_checks"
+	// CounterSimBroadphasePruned counts solids and planes the simulator's
+	// broadphase proved unreachable by a trajectory's swept volume and
+	// excluded from the narrow phase.
+	CounterSimBroadphasePruned = "sim.broadphase_pruned"
+	// CounterSimBroadphaseKept counts solids and planes that survived the
+	// broadphase and were tested per sample.
+	CounterSimBroadphaseKept = "sim.broadphase_kept"
+	// GaugeSimChecksInFlight tracks how many trajectory validations are
+	// executing right now — >1 demonstrates the per-arm sharded locking.
+	GaugeSimChecksInFlight = "sim.checks_in_flight"
 	// GaugeGUIFrames tracks frames the simulator GUI has rendered.
 	GaugeGUIFrames = "sim.gui_frames"
 	// GaugeRules reports how many rules the engine validates against.

@@ -10,16 +10,28 @@
 // collisions that the target-only check misses (the paper's footnote-2
 // scenario), and what rejects targets the arm cannot plan to at all.
 //
+// The hot path is organised for throughput. Locking is sharded per arm:
+// each mirror arm owns its joint state and scratch buffers under its own
+// mutex, so trajectory checks for different arms run concurrently (the
+// lab configuration is immutable and the model snapshot is caller-owned,
+// so the check itself takes no global lock). A broadphase prepass computes
+// the swept-volume AABB of the planned trajectory and prunes the deck
+// solids, walls, and platform that cannot possibly intersect it before
+// the per-sample narrow phase runs; the narrow phase itself samples into
+// reusable scratch buffers, so a check performs no per-sample allocation.
+//
 // The paper reports the Extended Simulator's ~2 s (112%) overhead comes
 // almost entirely from its GUI running in a virtual machine. WithGUI
 // reproduces that cost class honestly: every collision check renders the
 // scene to an offscreen framebuffer with a software rasteriser instead of
-// sleeping.
+// sleeping. GUI rendering is serialised across arms (one framebuffer) and
+// disables broadphase pruning so every frame shows the full deck.
 package sim
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/action"
 	"repro/internal/config"
@@ -29,6 +41,11 @@ import (
 	"repro/internal/rules"
 	"repro/internal/state"
 )
+
+// sweepStep is the maximum end-effector travel between consecutive sweep
+// samples (m); shared by the broadphase prepass and the narrow phase so
+// both visit exactly the same sample set.
+const sweepStep = 0.02
 
 // Violation reports why a trajectory is invalid.
 type Violation struct {
@@ -59,45 +76,80 @@ func WithHeldObjectAware(aware bool) Option {
 	return func(s *Simulator) { s.heldAware = aware }
 }
 
+// WithBroadphase enables or disables the swept-volume broadphase (on by
+// default). Disabling it forces the narrow phase to test every solid at
+// every sample — the pre-optimisation behaviour, kept for benchmarks and
+// for the verdict-equivalence property tests.
+func WithBroadphase(enabled bool) Option {
+	return func(s *Simulator) { s.broadphase = enabled }
+}
+
 // WithObserver publishes simulator telemetry (collision-check counter,
-// GUI frame gauge) into a registry — typically the system-wide one.
+// broadphase prune/keep counters, in-flight check gauge, GUI frame gauge)
+// into a registry — typically the system-wide one.
 func WithObserver(reg *obs.Registry) Option {
 	return func(s *Simulator) {
 		s.cChecks = reg.Counter(obs.CounterSimChecks)
+		s.cPruned = reg.Counter(obs.CounterSimBroadphasePruned)
+		s.cKept = reg.Counter(obs.CounterSimBroadphaseKept)
+		s.gInFlight = reg.Gauge(obs.GaugeSimChecksInFlight)
 		s.gFrames = reg.Gauge(obs.GaugeGUIFrames)
 	}
 }
 
-// mirrorArm is the simulator's model of one arm.
+// mirrorArm is the simulator's model of one arm. Each arm carries its own
+// lock and scratch buffers, so checks on different arms never contend.
 type mirrorArm struct {
+	mu      sync.Mutex
 	profile *kin.Profile
 	base    geom.Vec3
 	joints  []float64
 	drop    float64
 	radius  float64
+	// Scratch buffers reused across checks (guarded by mu): the sampling
+	// workspace, the combined link+tip capsule slice, and the broadphase
+	// survivor lists.
+	sweep kin.Sweep
+	caps  []geom.Capsule
+	kept  []rules.NamedBox
+	walls []geom.Plane
+	// Sample cache filled by the broadphase prepass so the narrow phase
+	// never repeats the forward-kinematics sweep: all samples' capsules
+	// concatenated, with per-sample offsets and tip-start indices.
+	sampleCaps []geom.Capsule
+	sampleOff  []int
+	sampleTip  []int
 }
 
-// Simulator is the Extended Simulator.
+// Simulator is the Extended Simulator. All fields other than the per-arm
+// mirrors and the GUI framebuffer are immutable after New, so methods on
+// different arms proceed concurrently.
 type Simulator struct {
-	mu        sync.Mutex
-	lab       *config.Lab
-	arms      map[string]*mirrorArm
-	gui       *rasterizer
-	heldAware bool
+	lab        *config.Lab
+	arms       map[string]*mirrorArm // immutable map; values self-locked
+	heldAware  bool
+	broadphase bool
 	// checks counts ValidTrajectory invocations (for tests/benches).
-	checks int
-	// cChecks/gFrames mirror the counters into the telemetry registry
-	// when WithObserver is set (nil-safe otherwise).
-	cChecks *obs.Counter
-	gFrames *obs.Gauge
+	checks atomic.Int64
+	// guiMu serialises rendering into the single shared framebuffer.
+	guiMu sync.Mutex
+	gui   *rasterizer
+	// Telemetry instruments, resolved once by WithObserver (nil-safe
+	// otherwise).
+	cChecks   *obs.Counter
+	cPruned   *obs.Counter
+	cKept     *obs.Counter
+	gInFlight *obs.Gauge
+	gFrames   *obs.Gauge
 }
 
 // New builds a simulator mirroring the given lab configuration.
 func New(lab *config.Lab, opts ...Option) (*Simulator, error) {
 	s := &Simulator{
-		lab:       lab,
-		arms:      make(map[string]*mirrorArm),
-		heldAware: true,
+		lab:        lab,
+		arms:       make(map[string]*mirrorArm),
+		heldAware:  true,
+		broadphase: true,
 	}
 	for _, as := range lab.Spec.Arms {
 		model, err := kin.ParseModel(as.Model)
@@ -122,11 +174,14 @@ func New(lab *config.Lab, opts ...Option) (*Simulator, error) {
 	return s, nil
 }
 
+// SetBroadphase toggles the broadphase at runtime — for property tests
+// comparing pruned and unpruned verdicts over an already-wired stack. Not
+// safe to call concurrently with checks.
+func (s *Simulator) SetBroadphase(enabled bool) { s.broadphase = enabled }
+
 // Checks returns how many trajectory validations have run.
 func (s *Simulator) Checks() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.checks
+	return int(s.checks.Load())
 }
 
 // deckTarget resolves a command target into the deck frame.
@@ -142,7 +197,7 @@ func (s *Simulator) deckTarget(m *mirrorArm, cmd action.Command) (geom.Vec3, err
 }
 
 // planned computes the trajectory a motion command would execute in the
-// mirror, or an error when no trajectory exists.
+// mirror, or an error when no trajectory exists. The caller holds m.mu.
 func (s *Simulator) planned(m *mirrorArm, cmd action.Command) (*kin.Trajectory, error) {
 	switch cmd.Action {
 	case action.MoveHome:
@@ -224,25 +279,91 @@ func (s *Simulator) heldCapsuleFor(cmd action.Command, model state.Snapshot, tcp
 	return geom.NewCapsule(tcp, tcp.Add(geom.V(0, 0, -hang)), og.Radius), true
 }
 
+// armCapsulesAt fills m.caps with the arm's full collision volume at
+// trajectory parameter t — link capsules followed by the gripper tip
+// capsule and, when held-object aware, the held object capsule — and
+// returns it plus the index where the tip capsules start. The caller
+// holds m.mu; the slice is valid until the next call.
+func (s *Simulator) armCapsulesAt(m *mirrorArm, tr *kin.Trajectory, t float64,
+	cmd action.Command, model state.Snapshot) ([]geom.Capsule, int, error) {
+	linkCaps, err := m.sweep.CapsulesAt(tr, t)
+	if err != nil {
+		return nil, 0, err
+	}
+	// The last link capsule is the end-effector stub: its endpoint is the
+	// TCP, sparing the extra forward-kinematics pass per sample.
+	tcp := linkCaps[len(linkCaps)-1].Seg.B
+	m.caps = append(m.caps[:0], linkCaps...)
+	tipStart := len(m.caps)
+	m.caps = append(m.caps, geom.NewCapsule(tcp, tcp.Add(geom.V(0, 0, -m.drop)), m.radius))
+	if held, ok := s.heldCapsuleFor(cmd, model, tcp); ok {
+		m.caps = append(m.caps, held)
+	}
+	return m.caps, tipStart, nil
+}
+
+// sweptBounds runs the broadphase prepass: the AABB enclosing the arm's
+// full collision volume (links, tip, held object) at every sample the
+// narrow phase will visit. The per-sample capsules are cached in
+// m.sampleCaps/sampleOff/sampleTip as a side effect, so the narrow phase
+// reuses them instead of repeating the forward-kinematics sweep. The
+// caller holds m.mu.
+func (s *Simulator) sweptBounds(m *mirrorArm, tr *kin.Trajectory,
+	cmd action.Command, model state.Snapshot) (geom.AABB, error) {
+	n := tr.SampleCount(sweepStep)
+	var bounds geom.AABB
+	first := true
+	m.sampleCaps = m.sampleCaps[:0]
+	m.sampleOff = append(m.sampleOff[:0], 0)
+	m.sampleTip = m.sampleTip[:0]
+	for i := 0; i <= n; i++ {
+		t := float64(i) / float64(n)
+		caps, tipStart, err := s.armCapsulesAt(m, tr, t, cmd, model)
+		if err != nil {
+			return geom.AABB{}, err
+		}
+		m.sampleCaps = append(m.sampleCaps, caps...)
+		m.sampleOff = append(m.sampleOff, len(m.sampleCaps))
+		m.sampleTip = append(m.sampleTip, tipStart)
+		for _, c := range caps {
+			if first {
+				bounds = c.Bounds()
+				first = false
+				continue
+			}
+			bounds = bounds.Union(c.Bounds())
+		}
+	}
+	return bounds, nil
+}
+
 // ValidTrajectory validates one robot motion command against the mirror:
 // plan the move, sweep the full arm volume, and reject on any collision
 // with the deck cuboids or the platform. The model snapshot supplies
-// RABIT's current beliefs (held object, door states).
+// RABIT's current beliefs (held object, door states); the caller must not
+// mutate it during the call. Checks for different arms run concurrently;
+// checks for the same arm serialise on that arm's mirror.
 func (s *Simulator) ValidTrajectory(cmd action.Command, model state.Snapshot) error {
 	if !cmd.Action.IsRobotMotion() {
 		return nil
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.checks++
+	s.checks.Add(1)
 	s.cChecks.Inc()
+	s.gInFlight.Add(1)
+	defer s.gInFlight.Add(-1)
 	if s.gui != nil {
-		defer func() { s.gFrames.Set(int64(s.gui.Frames())) }()
+		defer func() {
+			s.guiMu.Lock()
+			s.gFrames.Set(int64(s.gui.Frames()))
+			s.guiMu.Unlock()
+		}()
 	}
 	m, ok := s.arms[cmd.Device]
 	if !ok {
 		return nil // the simulator only models configured arms
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	tr, err := s.planned(m, cmd)
 	if err != nil {
 		// The arm cannot plan this move at all. Whatever the real
@@ -252,58 +373,97 @@ func (s *Simulator) ValidTrajectory(cmd action.Command, model state.Snapshot) er
 	}
 	obstacles := s.obstacles(cmd, model)
 	floor := geom.PlaneFromPointNormal(geom.V(0, 0, s.lab.Spec.FloorZ), geom.V(0, 0, 1))
-	walls := make([]geom.Plane, 0, len(s.lab.Spec.Walls))
+	m.walls = m.walls[:0]
 	for _, ws := range s.lab.Spec.Walls {
-		walls = append(walls, geom.Plane{N: ws.Normal.V3().Unit(), D: ws.Offset})
+		// Normalising a configured wall normal must rescale the offset by
+		// the same factor, or the plane silently shifts (the same plane
+		// algebra PlaneFromPointNormal applies).
+		m.walls = append(m.walls, geom.PlaneFromNormalOffset(ws.Normal.V3(), ws.Offset))
+	}
+	walls := m.walls
+	checkFloor := true
+	cached := false
+
+	// Broadphase: prune every solid and plane the swept volume cannot
+	// touch, so the narrow phase only tests real candidates. Skipped under
+	// the GUI, which wants the full deck in every rendered frame.
+	if s.broadphase && s.gui == nil {
+		cached = true
+		bounds, err := s.sweptBounds(m, tr, cmd, model)
+		if err != nil {
+			return &Violation{Cmd: cmd, Reason: err.Error()}
+		}
+		pruned := 0
+		m.kept = m.kept[:0]
+		for _, nb := range obstacles {
+			if nb.Box.Intersects(bounds) {
+				m.kept = append(m.kept, nb)
+			} else {
+				pruned++
+			}
+		}
+		obstacles = m.kept
+		keptWalls := walls[:0]
+		for _, w := range walls {
+			if w.MinSignedDistAABB(bounds) < 0 {
+				keptWalls = append(keptWalls, w)
+			} else {
+				pruned++
+			}
+		}
+		walls = keptWalls
+		if floor.MinSignedDistAABB(bounds) >= 0 {
+			checkFloor = false
+			pruned++
+		}
+		s.cPruned.Add(int64(pruned))
+		s.cKept.Add(int64(len(obstacles) + len(walls)))
 	}
 
-	var hit *Violation
-	sweepErr := tr.SweepCapsules(0.02, func(t float64, linkCaps []geom.Capsule) bool {
-		tcp, err := m.profile.Chain.EndEffector(tr.At(t))
-		if err != nil {
-			return true
-		}
-		// Tip capsules (fingers + held object) are additionally checked
-		// against the platform; link capsules are not — the base column
-		// legitimately meets it.
-		tipCaps := []geom.Capsule{
-			geom.NewCapsule(tcp, tcp.Add(geom.V(0, 0, -m.drop)), m.radius),
-		}
-		if held, ok := s.heldCapsuleFor(cmd, model, tcp); ok {
-			tipCaps = append(tipCaps, held)
+	n := tr.SampleCount(sweepStep)
+	for i := 0; i <= n; i++ {
+		t := float64(i) / float64(n)
+		var caps []geom.Capsule
+		var tipStart int
+		if cached {
+			caps = m.sampleCaps[m.sampleOff[i]:m.sampleOff[i+1]]
+			tipStart = m.sampleTip[i]
+		} else {
+			var err error
+			caps, tipStart, err = s.armCapsulesAt(m, tr, t, cmd, model)
+			if err != nil {
+				return &Violation{Cmd: cmd, Reason: fmt.Sprintf("sweep capsules at t=%.3f: %v", t, err)}
+			}
 		}
 		if s.gui != nil {
-			s.gui.renderScene(obstacles, append(linkCaps, tipCaps...))
+			s.guiMu.Lock()
+			s.gui.renderScene(obstacles, caps)
+			s.guiMu.Unlock()
 		}
-		for _, c := range tipCaps {
-			if geom.CapsulePlanePenetrates(c, floor) {
-				hit = &Violation{Cmd: cmd, Reason: fmt.Sprintf("trajectory dips below the platform at t=%.2f", t)}
-				return false
+		if checkFloor {
+			// Tip capsules (fingers + held object) are additionally
+			// checked against the platform; link capsules are not — the
+			// base column legitimately meets it.
+			for _, c := range caps[tipStart:] {
+				if geom.CapsulePlanePenetrates(c, floor) {
+					return &Violation{Cmd: cmd, Reason: fmt.Sprintf("trajectory dips below the platform at t=%.2f", t)}
+				}
 			}
 		}
-		for _, c := range append(linkCaps, tipCaps...) {
+		for _, c := range caps {
 			for _, wall := range walls {
 				if geom.CapsulePlanePenetrates(c, wall) {
-					hit = &Violation{Cmd: cmd, Reason: fmt.Sprintf("trajectory punches into a lab wall at t=%.2f", t)}
-					return false
+					return &Violation{Cmd: cmd, Reason: fmt.Sprintf("trajectory punches into a lab wall at t=%.2f", t)}
 				}
 			}
 		}
-		for _, c := range append(linkCaps, tipCaps...) {
+		for _, c := range caps {
 			for _, nb := range obstacles {
 				if nb.IntersectsCapsule(c) {
-					hit = &Violation{Cmd: cmd, Reason: fmt.Sprintf("trajectory collides with %s at t=%.2f", nb.Name, t)}
-					return false
+					return &Violation{Cmd: cmd, Reason: fmt.Sprintf("trajectory collides with %s at t=%.2f", nb.Name, t)}
 				}
 			}
 		}
-		return true
-	})
-	if sweepErr != nil {
-		return &Violation{Cmd: cmd, Reason: sweepErr.Error()}
-	}
-	if hit != nil {
-		return hit
 	}
 	return nil
 }
@@ -314,49 +474,49 @@ func (s *Simulator) Observe(cmd action.Command, model state.Snapshot) {
 	if !cmd.Action.IsRobotMotion() {
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	m, ok := s.arms[cmd.Device]
 	if !ok {
 		return
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	tr, err := s.planned(m, cmd)
 	if err != nil {
 		return // mirror stays put, like a controller that skipped
 	}
-	m.joints = append([]float64(nil), tr.To...)
+	m.joints = append(m.joints[:0], tr.To...)
 }
 
 // ArmTCP reports the mirror's current TCP for an arm (deck frame), for
 // display tools.
 func (s *Simulator) ArmTCP(armID string) (geom.Vec3, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	m, ok := s.arms[armID]
 	if !ok {
 		return geom.Vec3{}, fmt.Errorf("sim: no arm %q", armID)
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	return m.profile.Chain.EndEffector(m.joints)
 }
 
 // GUIFrames reports how many GUI frames have been rendered (0 without
 // WithGUI).
 func (s *Simulator) GUIFrames() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.gui == nil {
 		return 0
 	}
+	s.guiMu.Lock()
+	defer s.guiMu.Unlock()
 	return s.gui.Frames()
 }
 
 // RenderASCII returns a coarse ASCII view of the last rendered frame, or
 // "" when the GUI is disabled.
 func (s *Simulator) RenderASCII(cols, rows int) string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.gui == nil {
 		return ""
 	}
+	s.guiMu.Lock()
+	defer s.guiMu.Unlock()
 	return s.gui.ASCII(cols, rows)
 }
