@@ -34,7 +34,7 @@ func BenchmarkAblation_TargetCheckVsSweep(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	rb := rules.NewRulebase(sys.Lab, rules.Config{
+	rb := rules.MustNewRulebase(sys.Lab, rules.Config{
 		Generation: rules.GenModified, Multiplex: rules.MultiplexNone,
 	}, custom...)
 	model := sys.Engine.Model()
@@ -70,7 +70,7 @@ func BenchmarkAblation_HeldObjectExtension(b *testing.B) {
 	cmd := action.Command{Device: "viperx", Action: action.MoveRobot, Target: geom.V(0.32, 0.22, 0.30)}
 
 	for _, gen := range []rules.Generation{rules.GenInitial, rules.GenModified} {
-		rb := rules.NewRulebase(sys.Lab, rules.Config{Generation: gen, Multiplex: rules.MultiplexNone})
+		rb := rules.MustNewRulebase(sys.Lab, rules.Config{Generation: gen, Multiplex: rules.MultiplexNone})
 		b.Run(gen.String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if v := rb.Validate(model, cmd); len(v) != 0 {

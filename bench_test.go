@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	rabit "repro"
 	"repro/internal/action"
@@ -371,7 +372,7 @@ func BenchmarkRuleValidation(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	rb := rules.NewRulebase(sys.Lab, rules.Config{
+	rb := rules.MustNewRulebase(sys.Lab, rules.Config{
 		Generation: rules.GenModified, Multiplex: rules.MultiplexTime,
 	}, custom...)
 	cmd := action.Command{Device: "viperx", Action: action.MoveRobot, Target: geom.V(0.32, 0.22, 0.25)}
@@ -382,6 +383,52 @@ func BenchmarkRuleValidation(b *testing.B) {
 			b.Fatalf("unexpected violation: %v", v)
 		}
 	}
+}
+
+// BenchmarkEngineThroughput is the replay-throughput benchmark: G
+// concurrent experiment scripts replay paced command streams against one
+// engine, comparing the seed's single-lock deployment (all scripts
+// behind one shared interceptor — the only safe concurrent use of the
+// serial pipeline) against the sharded per-device pipeline. The headline
+// metric is commands fully processed per second of wall clock.
+func BenchmarkEngineThroughput(b *testing.B) {
+	var mu sync.Mutex
+	var rows []eval.ThroughputResult
+	for _, mode := range []struct {
+		name   string
+		serial bool
+	}{{"serial", true}, {"sharded", false}} {
+		for _, scripts := range []int{1, 4, 16} {
+			mode, scripts := mode, scripts
+			b.Run(fmt.Sprintf("%s/scripts=%d", mode.name, scripts), func(b *testing.B) {
+				var commands int
+				var wall time.Duration
+				var last eval.ThroughputResult
+				for i := 0; i < b.N; i++ {
+					res, err := eval.Throughput(eval.ThroughputOptions{
+						Scripts:           scripts,
+						CommandsPerScript: 40,
+						Speedup:           200,
+						Serial:            mode.serial,
+						Seed:              int64(i + 1),
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					commands += res.Commands
+					wall += res.Wall
+					last = *res
+				}
+				if wall > 0 {
+					b.ReportMetric(float64(commands)/wall.Seconds(), "cmds/s")
+				}
+				mu.Lock()
+				rows = append(rows, last)
+				mu.Unlock()
+			})
+		}
+	}
+	logOncePerBench(b, eval.RenderThroughput(rows))
 }
 
 // BenchmarkSolubilityWorkflow runs the Fig. 1(b) production experiment

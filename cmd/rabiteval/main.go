@@ -4,10 +4,12 @@
 //
 // Usage:
 //
-//	rabiteval            run everything
-//	rabiteval -table 5   run one table (1, 2, 3, 4, 5)
-//	rabiteval -fig 5     run one figure experiment (5, 6)
-//	rabiteval -latency   run the latency experiment
+//	rabiteval               run everything
+//	rabiteval -table 5      run one table (1, 2, 3, 4, 5)
+//	rabiteval -fig 5        run one figure experiment (5, 6)
+//	rabiteval -latency      run the latency experiment
+//	rabiteval -throughput   run the replay-throughput benchmark
+//	                        (-json FILE additionally writes the rows as JSON)
 //
 // With -metrics addr the process serves live telemetry while the
 // experiments run: /debug/vars (expvar), /metrics (text exposition), and
@@ -17,6 +19,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -38,6 +41,8 @@ func run() error {
 	table := flag.Int("table", 0, "regenerate one table (1-5)")
 	fig := flag.Int("fig", 0, "regenerate one figure experiment (5 or 6)")
 	latency := flag.Bool("latency", false, "run the latency experiment")
+	throughput := flag.Bool("throughput", false, "run the replay-throughput benchmark (serial vs sharded)")
+	jsonPath := flag.String("json", "", "with -throughput, also write the measured rows to this JSON file")
 	pilot := flag.Bool("pilot", false, "run the pilot-study configuration-error experiment")
 	metricsAddr := flag.String("metrics", "", "serve /debug/vars, /metrics, and pprof on this address while experiments run")
 	seed := flag.Int64("seed", 1, "noise seed")
@@ -52,7 +57,7 @@ func run() error {
 		fmt.Printf("telemetry: http://%s/metrics (also /debug/vars, /debug/pprof)\n", srv.Addr)
 	}
 
-	all := *table == 0 && *fig == 0 && !*latency && !*pilot
+	all := *table == 0 && *fig == 0 && !*latency && !*throughput && !*pilot
 
 	if all || *table == 1 {
 		if err := tableI(*seed); err != nil {
@@ -90,12 +95,112 @@ func run() error {
 			return err
 		}
 	}
+	if all || *throughput {
+		if err := throughputRun(*seed, *jsonPath); err != nil {
+			return err
+		}
+	}
 	if all || *pilot {
 		if err := pilotRun(); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// throughputRun measures replay throughput for the serial single-lock
+// pipeline (all scripts behind one shared interceptor — the seed
+// architecture's only safe concurrent deployment) and the sharded
+// per-device pipeline, at 1, 4, and 16 concurrent scripts.
+func throughputRun(seed int64, jsonPath string) error {
+	fmt.Println("=== Replay throughput: serial single-lock vs sharded pipeline ===")
+	var rows []eval.ThroughputResult
+	for _, serial := range []bool{true, false} {
+		for _, scripts := range []int{1, 4, 16} {
+			res, err := eval.Throughput(eval.ThroughputOptions{
+				Scripts:           scripts,
+				CommandsPerScript: 40,
+				Speedup:           200,
+				Serial:            serial,
+				Seed:              seed,
+			})
+			if err != nil {
+				return err
+			}
+			rows = append(rows, *res)
+		}
+	}
+	fmt.Print(eval.RenderThroughput(rows))
+	if s := throughputSpeedup(rows, 16); s > 0 {
+		fmt.Printf("→ sharded/serial speedup at 16 scripts: %.1f×\n", s)
+	}
+	fmt.Println()
+	if jsonPath != "" {
+		if err := writeThroughputJSON(jsonPath, rows); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n\n", jsonPath)
+	}
+	return nil
+}
+
+// throughputSpeedup returns sharded-over-serial commands/sec at the
+// given script count, or 0 if either row is missing.
+func throughputSpeedup(rows []eval.ThroughputResult, scripts int) float64 {
+	var serial, sharded float64
+	for _, r := range rows {
+		if r.Scripts != scripts {
+			continue
+		}
+		if r.Mode == "serial" {
+			serial = r.CommandsPerSec
+		} else {
+			sharded = r.CommandsPerSec
+		}
+	}
+	if serial <= 0 {
+		return 0
+	}
+	return sharded / serial
+}
+
+// writeThroughputJSON persists the measured rows in the flat shape the
+// CI bench artifact expects.
+func writeThroughputJSON(path string, rows []eval.ThroughputResult) error {
+	type row struct {
+		Mode           string  `json:"mode"`
+		Scripts        int     `json:"scripts"`
+		Commands       int     `json:"commands"`
+		WallNS         int64   `json:"wall_ns"`
+		CommandsPerSec float64 `json:"commands_per_sec"`
+		CheckPerCmdNS  int64   `json:"check_per_command_ns"`
+		ValidateP50NS  int64   `json:"validate_p50_ns"`
+		FetchP50NS     int64   `json:"fetch_p50_ns"`
+		CompareP50NS   int64   `json:"compare_p50_ns"`
+	}
+	doc := struct {
+		Benchmark string  `json:"benchmark"`
+		Speedup16 float64 `json:"sharded_speedup_16_scripts"`
+		Rows      []row   `json:"rows"`
+	}{Benchmark: "engine_throughput", Speedup16: throughputSpeedup(rows, 16)}
+	for _, r := range rows {
+		doc.Rows = append(doc.Rows, row{
+			Mode:           r.Mode,
+			Scripts:        r.Scripts,
+			Commands:       r.Commands,
+			WallNS:         r.Wall.Nanoseconds(),
+			CommandsPerSec: r.CommandsPerSec,
+			CheckPerCmdNS:  r.CheckPerCommand.Nanoseconds(),
+			ValidateP50NS:  r.Validate.P50.Nanoseconds(),
+			FetchP50NS:     r.Fetch.P50.Nanoseconds(),
+			CompareP50NS:   r.Compare.P50.Nanoseconds(),
+		})
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func pilotRun() error {

@@ -137,6 +137,17 @@ type Environment interface {
 	Now() time.Duration
 }
 
+// ScopedEnvironment is an Environment that can additionally report the
+// state of just a subset of devices. The sharded pipeline uses it to
+// fetch only the commanded devices (plus every sensor — exogenous inputs
+// are global by nature) instead of polling the whole deck per command.
+// Environments without it fall back to FetchState, which the engine then
+// filters down to the command's scope.
+type ScopedEnvironment interface {
+	Environment
+	FetchStateScoped(ids []string) state.Snapshot
+}
+
 // Option configures the engine.
 type Option func(*Engine)
 
@@ -157,6 +168,13 @@ func WithInitialModel(s state.Snapshot) Option {
 	return func(e *Engine) { e.seed = s.Clone() }
 }
 
+// WithSerialPipeline forces every command through the global single-lock
+// pipeline, disabling per-device sharding. Parity tests and the
+// throughput baseline use it; the sharded pipeline is the default.
+func WithSerialPipeline() Option {
+	return func(e *Engine) { e.serial = true }
+}
+
 // WithObserver attaches a telemetry registry — typically the system-wide
 // one shared with the interceptor and simulator. Passing nil disables
 // instrumentation entirely (CheckOverhead then reports zero); without
@@ -169,22 +187,56 @@ func WithObserver(reg *obs.Registry) Option {
 }
 
 // Engine is RABIT's core checker.
+//
+// Locking. The engine runs two pipelines:
+//
+//   - The global pipeline serializes under mu — the seed design. Robot
+//     motion and manipulation (whose rules and transitions reach across
+//     devices), commands whose rule bucket reads other devices' state
+//     (rb.LabelReadsGlobal), and everything under WithSerialPipeline take
+//     this path.
+//   - The sharded pipeline never takes mu. A command whose rules read
+//     only its own devices locks just those devices' shard mutexes for
+//     the whole Before→execute→After cycle, so disjoint-device commands
+//     validate, execute, fetch, and compare concurrently.
+//
+// Shared structures get their own short-section locks: stateMu guards the
+// model (readers validate/compare under RLock, commits take Lock),
+// adminMu guards started/stopped/alerts, shardMu guards the shard table.
+// Lock order is mu → shard mutexes → stateMu → adminMu; shardMu is a
+// leaf taken only for table lookups, never while acquiring shard mutexes.
+// The fail-safe handler runs outside every lock, after the check span has
+// been stamped into cCheckNS (the handler may command devices and take
+// arbitrarily long; its time is the lab's, not the checker's).
 type Engine struct {
-	mu  sync.Mutex
-	rb  *rules.Rulebase
-	env Environment
-	sim TrajectoryValidator
+	mu        sync.Mutex // global pipeline: motion, manipulation, global-read rules
+	rb        *rules.Rulebase
+	env       Environment
+	scopedEnv ScopedEnvironment // env, when it supports scoped fetch
+	sim       TrajectoryValidator
+	serial    bool
 
-	seed  state.Snapshot
-	model state.Snapshot // S_current: observed facts + dead-reckoned model
-	// pending is S_expected for the in-flight command(s). Concurrent
-	// batches chain several Befores onto one cumulative expectation that
-	// a single After settles.
-	pending  state.Snapshot
+	stateMu sync.RWMutex
+	seed    state.Snapshot
+	model   state.Snapshot // S_current: observed facts + dead-reckoned model
+
+	// pending is S_expected for the in-flight global-path command(s),
+	// layered over the model copy-on-write. Concurrent batches chain
+	// several Befores onto one cumulative expectation that a single
+	// After settles. Guarded by mu.
+	pending *state.Overlay
+
+	adminMu  sync.Mutex
 	started  bool
 	stopped  *Alert
 	alerts   []Alert
 	failSafe func(Alert)
+
+	// shardMu guards the per-device shard table (see shard.go).
+	shardMu  sync.Mutex
+	shards   map[string]*sync.Mutex
+	inFlight map[string]int
+	tickets  map[string]*shardTicket
 
 	// obs is the telemetry registry; the instruments below are resolved
 	// once at construction so the hot path never takes a map lookup.
@@ -209,6 +261,7 @@ var _ trace.Checker = (*Engine)(nil)
 // New builds an engine over a rulebase and an environment.
 func New(rb *rules.Rulebase, env Environment, opts ...Option) *Engine {
 	e := &Engine{rb: rb, env: env, seed: state.Snapshot{}}
+	e.scopedEnv, _ = env.(ScopedEnvironment)
 	for _, o := range opts {
 		o(e)
 	}
@@ -229,16 +282,25 @@ func New(rb *rules.Rulebase, env Environment, opts ...Option) *Engine {
 func (e *Engine) Obs() *obs.Registry { return e.obs }
 
 // Start acquires S_initial (Fig. 2 lines 1–3): the configured model facts
-// overlaid with the first observed snapshot.
+// overlaid with the first observed snapshot. No commands may be in flight.
 func (e *Engine) Start() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	observed := e.env.FetchState()
+	e.stateMu.Lock()
 	e.model = e.seed.Merge(observed)
+	e.stateMu.Unlock()
+	e.adminMu.Lock()
 	e.started = true
 	e.stopped = nil
 	e.alerts = nil
+	e.adminMu.Unlock()
 	e.pending = nil
+	e.shardMu.Lock()
+	e.shards = map[string]*sync.Mutex{}
+	e.inFlight = map[string]int{}
+	e.tickets = map[string]*shardTicket{}
+	e.shardMu.Unlock()
 	// A fresh run measures from zero: reset the engine-owned instruments
 	// (cached pointers stay valid; other components' instruments in a
 	// shared registry are untouched), including the dynamically named
@@ -257,15 +319,15 @@ func (e *Engine) Start() {
 
 // Model returns a copy of the engine's current model state.
 func (e *Engine) Model() state.Snapshot {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.stateMu.RLock()
+	defer e.stateMu.RUnlock()
 	return e.model.Clone()
 }
 
 // Alerts returns all alerts raised so far.
 func (e *Engine) Alerts() []Alert {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.adminMu.Lock()
+	defer e.adminMu.Unlock()
 	out := make([]Alert, len(e.alerts))
 	copy(out, e.alerts)
 	return out
@@ -273,8 +335,8 @@ func (e *Engine) Alerts() []Alert {
 
 // Stopped returns the alert that halted the experiment, if any.
 func (e *Engine) Stopped() *Alert {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.adminMu.Lock()
+	defer e.adminMu.Unlock()
 	return e.stopped
 }
 
@@ -285,13 +347,26 @@ func (e *Engine) CheckOverhead() (time.Duration, int) {
 	return time.Duration(e.cCheckNS.Value()), int(e.cCommands.Value())
 }
 
-// raise records an alert, halts the experiment, and invokes the fail-safe
-// handler.
-func (e *Engine) raise(a Alert) *Alert {
+// adminState reads the started flag and stop alert.
+func (e *Engine) adminState() (bool, *Alert) {
+	e.adminMu.Lock()
+	defer e.adminMu.Unlock()
+	return e.started, e.stopped
+}
+
+// raise records an alert and halts the experiment. It takes only adminMu,
+// so both pipelines may raise concurrently. The stored alert is handed
+// back through fs for the caller's wrapper to pass to the fail-safe
+// handler — outside all locks and outside the measured check window
+// (the seed charged the handler's runtime to check overhead; see
+// Engine.finish).
+func (e *Engine) raise(a Alert, fs **Alert) *Alert {
 	a.Time = e.env.Now()
+	e.adminMu.Lock()
 	e.alerts = append(e.alerts, a)
 	stored := &e.alerts[len(e.alerts)-1]
 	e.stopped = stored
+	e.adminMu.Unlock()
 	e.obs.Counter(obs.PrefixAlerts + a.Kind.Slug()).Inc()
 	for _, v := range a.Violations {
 		e.obs.Counter(obs.PrefixViolations + v.Rule.ID).Inc()
@@ -304,96 +379,143 @@ func (e *Engine) raise(a Alert) *Alert {
 		Seq:    a.Cmd.Seq,
 		Detail: stored.Error(),
 	})
-	if e.failSafe != nil {
-		// Invoke outside the lock? The handler may command devices; the
-		// engine is already stopped, so re-entry would fail anyway. Call
-		// inline with the lock released.
-		fn := e.failSafe
-		e.mu.Unlock()
-		fn(a)
-		e.mu.Lock()
+	if fs != nil {
+		*fs = stored
 	}
 	return stored
 }
 
+// finish closes a check: the span is stamped into cCheckNS first, then —
+// and only then — the fail-safe handler runs, outside every engine lock.
+// The handler may command devices or park an arm; that time belongs to
+// the lab's response, not to RABIT's check overhead.
+func (e *Engine) finish(start time.Time, fsAlert *Alert) {
+	e.cCheckNS.Add(time.Since(start).Nanoseconds())
+	if fsAlert != nil && e.failSafe != nil {
+		e.failSafe(*fsAlert)
+	}
+}
+
 // Before implements Fig. 2 lines 5–11: validity, trajectory, and the
-// expected-state computation.
+// expected-state computation. Commands whose rules read only their own
+// devices run on the sharded pipeline; the rest serialize globally.
 func (e *Engine) Before(cmd action.Command) error {
 	start := time.Now()
-	e.mu.Lock()
-	defer func() {
-		e.cCheckNS.Add(time.Since(start).Nanoseconds())
-		e.mu.Unlock()
-	}()
-	if !e.started {
-		return fmt.Errorf("core: engine not started")
-	}
-	if e.stopped != nil {
-		return fmt.Errorf("%w: %s", ErrStopped, e.stopped.Error())
-	}
 	cmd = rules.NormalizeCommand(e.rb.Lab(), cmd)
-	// Stage boundaries share clock reads to keep instrumentation under
-	// 1% of a check: before.validate runs from Before's entry (it covers
-	// normalization + rule evaluation) and its end stamp doubles as
-	// before.trajectory's start.
-	vs := e.rb.Validate(e.model, cmd)
-	validateEnd := time.Now()
-	e.hValidate.Observe(validateEnd.Sub(start))
-	if len(vs) > 0 {
-		return e.raise(Alert{Kind: AlertInvalidCommand, Cmd: cmd, Violations: vs})
+	var fsAlert *Alert
+	var err error
+	if e.routeSharded(cmd) {
+		err = e.beforeSharded(cmd, start, &fsAlert)
+	} else {
+		err = e.beforeGlobal(cmd, start, &fsAlert)
 	}
-	if cmd.Action.IsRobotMotion() && e.sim != nil {
-		err := e.sim.ValidTrajectory(cmd, e.model)
-		e.hTrajectory.Observe(time.Since(validateEnd))
-		if err != nil {
-			return e.raise(Alert{Kind: AlertInvalidTrajectory, Cmd: cmd, Reason: err.Error()})
-		}
-	}
-	base := e.pending
-	if base == nil {
-		base = e.model
-	}
-	e.pending = e.rb.Expected(base, cmd)
-	return nil
+	e.finish(start, fsAlert)
+	return err
 }
 
 // After implements Fig. 2 lines 13–16: fetch the actual state, compare
 // with the expectation, and commit S_current.
 func (e *Engine) After(cmd action.Command) error {
-	cmd = rules.NormalizeCommand(e.rb.Lab(), cmd)
 	start := time.Now()
+	cmd = rules.NormalizeCommand(e.rb.Lab(), cmd)
+	var fsAlert *Alert
+	var err error
+	if e.routeSharded(cmd) {
+		err = e.afterSharded(cmd, start, &fsAlert)
+	} else {
+		err = e.afterGlobal(cmd, start, &fsAlert)
+	}
+	e.finish(start, fsAlert)
+	return err
+}
+
+// beforeGlobal is the seed pipeline: one lock across the whole check.
+func (e *Engine) beforeGlobal(cmd action.Command, start time.Time, fs **Alert) error {
 	e.mu.Lock()
-	defer func() {
-		e.cCheckNS.Add(time.Since(start).Nanoseconds())
-		e.mu.Unlock()
-	}()
-	if e.stopped != nil {
-		return fmt.Errorf("%w: %s", ErrStopped, e.stopped.Error())
+	defer e.mu.Unlock()
+	started, stopped := e.adminState()
+	if !started {
+		return fmt.Errorf("core: engine not started")
+	}
+	if stopped != nil {
+		return fmt.Errorf("%w: %s", ErrStopped, stopped.Error())
+	}
+	// Stage boundaries share clock reads to keep instrumentation under
+	// 1% of a check: before.validate runs from Before's entry (it covers
+	// normalization + rule evaluation) and its end stamp doubles as
+	// before.trajectory's start.
+	e.stateMu.RLock()
+	vs := e.rb.Validate(e.model, cmd)
+	e.stateMu.RUnlock()
+	validateEnd := time.Now()
+	e.hValidate.Observe(validateEnd.Sub(start))
+	if len(vs) > 0 {
+		return e.raise(Alert{Kind: AlertInvalidCommand, Cmd: cmd, Violations: vs}, fs)
+	}
+	if cmd.Action.IsRobotMotion() && e.sim != nil {
+		e.stateMu.RLock()
+		err := e.sim.ValidTrajectory(cmd, e.model)
+		e.stateMu.RUnlock()
+		e.hTrajectory.Observe(time.Since(validateEnd))
+		if err != nil {
+			return e.raise(Alert{Kind: AlertInvalidTrajectory, Cmd: cmd, Reason: err.Error()}, fs)
+		}
+	}
+	e.stateMu.RLock()
+	if e.pending == nil {
+		e.pending = e.rb.ExpectedOverlay(e.model, cmd)
+	} else {
+		e.pending = e.rb.ExpectedOverlay(e.pending, cmd)
+	}
+	e.stateMu.RUnlock()
+	return nil
+}
+
+// afterGlobal settles a global-path command. While sharded commands are
+// in flight, their devices' keys are excluded from both the comparison
+// and the commit — their effects belong to those commands' own Afters.
+func (e *Engine) afterGlobal(cmd action.Command, start time.Time, fs **Alert) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, stopped := e.adminState(); stopped != nil {
+		return fmt.Errorf("%w: %s", ErrStopped, stopped.Error())
 	}
 	// Only commands that run the compare/commit path below count as fully
 	// processed; the stopped early-return above must not inflate the
 	// "commands" total after an alert has halted the run.
 	e.cCommands.Inc()
-	expected := e.pending
-	if expected == nil {
-		expected = e.model
-	}
+	pending := e.pending
 	e.pending = nil
 	// after.fetch runs from After's entry through state acquisition; its
 	// end stamp doubles as after.compare's start (see Before).
 	observed := e.env.FetchState()
+	e.dropInFlight(observed)
 	fetchEnd := time.Now()
 	e.hFetch.Observe(fetchEnd.Sub(start))
-	ms := state.CompareObserved(expected, observed)
+	e.stateMu.RLock()
+	var expected state.View = e.model
+	if pending != nil {
+		expected = pending
+	}
+	ms := state.CompareObservedView(expected, observed)
+	e.stateMu.RUnlock()
 	e.hCompare.Observe(time.Since(fetchEnd))
 	if len(ms) > 0 {
-		return e.raise(Alert{Kind: AlertMalfunction, Cmd: cmd, Mismatches: ms})
+		return e.raise(Alert{Kind: AlertMalfunction, Cmd: cmd, Mismatches: ms}, fs)
 	}
 	// S_current ← SetState(S_actual): observed facts win, dead-reckoned
-	// model facts persist.
-	e.model = expected.Merge(observed)
+	// model facts persist. The pending overlay commits its edits into the
+	// live model in place — no full-map clone on the hot path.
+	e.stateMu.Lock()
+	if pending != nil {
+		pending.ApplyTo(e.model)
+	}
+	for k, v := range observed {
+		e.model[k] = v
+	}
 	if e.sim != nil && cmd.Action.IsRobotMotion() {
 		e.sim.Observe(cmd, e.model)
 	}
+	e.stateMu.Unlock()
 	return nil
 }

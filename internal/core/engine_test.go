@@ -85,7 +85,7 @@ func (f *fakeSim) Observe(cmd action.Command, model state.Snapshot) {
 }
 
 func newEngine(env Environment, opts ...Option) *Engine {
-	rb := rules.NewRulebase(fakeLab{}, rules.Config{Generation: rules.GenInitial})
+	rb := rules.MustNewRulebase(fakeLab{}, rules.Config{Generation: rules.GenInitial})
 	e := New(rb, env, opts...)
 	e.Start()
 	return e
@@ -274,7 +274,7 @@ func TestEngineConcurrentBatchExpectations(t *testing.T) {
 
 func TestEngineRequiresStart(t *testing.T) {
 	env := &fakeEnv{observed: state.Snapshot{}}
-	rb := rules.NewRulebase(fakeLab{}, rules.Config{Generation: rules.GenInitial})
+	rb := rules.MustNewRulebase(fakeLab{}, rules.Config{Generation: rules.GenInitial})
 	e := New(rb, env)
 	if err := e.Before(action.Command{Device: "dd", Action: action.OpenDoor}); err == nil {
 		t.Fatal("unstarted engine accepted a command")

@@ -148,11 +148,11 @@ func (d *ArmDriver) Execute(w *world.World, cmd action.Command) error {
 // NOT report whether the gripper holds anything — there is no pressure
 // sensor, the gap the paper's Bug C exploits.
 func (d *ArmDriver) ReadState(w *world.World, into state.Snapshot) {
-	a, ok := w.Arm(d.id)
+	asleep, ok := w.ArmAsleep(d.id)
 	if !ok {
 		return
 	}
-	into.Set(state.ArmAsleep(d.id), state.Bool(a.Asleep))
+	into.Set(state.ArmAsleep(d.id), state.Bool(asleep))
 	if loc, err := w.NamedLocationOfArm(d.id); err == nil {
 		into.Set(state.ArmAt(d.id), state.Str(loc))
 	}

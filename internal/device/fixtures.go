@@ -91,7 +91,7 @@ func (d *FixtureDriver) Execute(w *world.World, cmd action.Command) error {
 // ReadState implements Driver: doors, run state, setpoints, and the
 // centrifuge rotor mark are all observable via status commands.
 func (d *FixtureDriver) ReadState(w *world.World, into state.Snapshot) {
-	f, ok := w.Fixture(d.id)
+	f, ok := w.FixtureStatus(d.id)
 	if !ok {
 		return
 	}
@@ -143,7 +143,7 @@ func (d *SensorDriver) Execute(w *world.World, cmd action.Command) error {
 
 // ReadState implements Driver: the zone-occupancy reading.
 func (d *SensorDriver) ReadState(w *world.World, into state.Snapshot) {
-	f, ok := w.Fixture(d.id)
+	f, ok := w.FixtureStatus(d.id)
 	if !ok {
 		return
 	}

@@ -88,7 +88,10 @@ type Env struct {
 	lab     *config.Lab
 	w       *world.World
 	drivers map[string]device.Driver
-	rng     *rand.Rand
+	// sensorIDs lists the presence sensors; scoped fetches always include
+	// them because their readings are exogenous inputs to rule checks.
+	sensorIDs []string
+	rng       *rand.Rand
 	// paceSpeedup > 0 makes Execute consume real wall-clock time:
 	// simulated device time divided by the speedup factor. Used by the
 	// latency experiment, where overhead percentages only mean something
@@ -161,6 +164,7 @@ func Build(lab *config.Lab, stage Stage, seed int64) (*Env, error) {
 		}
 		if ds.Type == "sensor" {
 			e.drivers[ds.ID] = device.NewSensorDriver(ds.ID)
+			e.sensorIDs = append(e.sensorIDs, ds.ID)
 			continue
 		}
 		firmware := ds.MaxSafeValue * 1.2 // firmware limits sit above the physical rating
@@ -347,6 +351,34 @@ func (e *Env) FetchState() state.Snapshot {
 	s := state.Snapshot{}
 	for _, d := range e.drivers {
 		d.ReadState(e.w, s)
+	}
+	return s
+}
+
+// FetchStateScoped gathers the observable state of just the listed
+// devices — the per-command status poll of the engine's sharded pipeline
+// — plus every presence sensor (exogenous readings feed rule checks on
+// all paths). Unknown IDs (containers without drivers never registered,
+// locations) are skipped silently, mirroring FetchState's behaviour of
+// only reporting what a driver answers for.
+func (e *Env) FetchStateScoped(ids []string) state.Snapshot {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := state.Snapshot{}
+	seen := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		if d, ok := e.drivers[id]; ok {
+			d.ReadState(e.w, s)
+		}
+	}
+	for _, id := range e.sensorIDs {
+		if !seen[id] {
+			e.drivers[id].ReadState(e.w, s)
+		}
 	}
 	return s
 }

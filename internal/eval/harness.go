@@ -34,6 +34,11 @@ type Options struct {
 	// SimGUI enables the simulator's offscreen GUI rendering (the
 	// overhead experiment).
 	SimGUI bool
+	// SerialPipeline forces the engine's global single-lock pipeline —
+	// the seed design — instead of per-device sharding. The
+	// sequential-vs-sharded parity tests and the throughput baseline
+	// run with it.
+	SerialPipeline bool
 	// Seed drives all stochastic fidelity noise.
 	Seed int64
 }
@@ -70,6 +75,7 @@ func NewSetup(spec *config.LabSpec, o Options) (*Setup, error) {
 		Unprotected:       !o.WithRABIT,
 		ExtendedSimulator: o.WithSim,
 		SimulatorGUI:      o.SimGUI,
+		SerialPipeline:    o.SerialPipeline,
 		Seed:              o.Seed,
 	})
 	if err != nil {

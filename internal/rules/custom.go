@@ -24,7 +24,8 @@ func heinCustomRule1() *Rule {
 	return &Rule{
 		ID: "hein-1", Scope: ScopeCustom, Number: 1,
 		Description: "Add liquid to a container only if the container already has solid",
-		AppliesTo:   appliesToLabels(action.DoseLiquid, action.TransferSubstance),
+		Labels:      []action.Label{action.DoseLiquid, action.TransferSubstance},
+		Reads:       ReadsCommand,
 		Check: func(ctx *EvalContext) string {
 			c := ctx.Cmd.Object
 			if ctx.Cmd.Action == action.TransferSubstance {
@@ -67,7 +68,7 @@ func heinCustomRule2(centrifugeID string) *Rule {
 	return &Rule{
 		ID: "hein-2", Scope: ScopeCustom, Number: 2,
 		Description: "Place the container in the centrifuge only if it contains both a solid and a liquid",
-		AppliesTo:   appliesToLabels(action.PlaceObject, action.OpenGripper),
+		Labels:      []action.Label{action.PlaceObject, action.OpenGripper},
 		Check: func(ctx *EvalContext) string {
 			if !match(ctx) {
 				return ""
@@ -91,7 +92,7 @@ func heinCustomRule3(centrifugeID string) *Rule {
 	return &Rule{
 		ID: "hein-3", Scope: ScopeCustom, Number: 3,
 		Description: "Place the container in the centrifuge only if the red dot on the centrifuge faces North",
-		AppliesTo:   appliesToLabels(action.PlaceObject, action.OpenGripper),
+		Labels:      []action.Label{action.PlaceObject, action.OpenGripper},
 		Check: func(ctx *EvalContext) string {
 			if !match(ctx) {
 				return ""
@@ -111,7 +112,7 @@ func heinCustomRule4(centrifugeID string) *Rule {
 	return &Rule{
 		ID: "hein-4", Scope: ScopeCustom, Number: 4,
 		Description: "Place the container in the centrifuge only if the container has a stopper on it",
-		AppliesTo:   appliesToLabels(action.PlaceObject, action.OpenGripper),
+		Labels:      []action.Label{action.PlaceObject, action.OpenGripper},
 		Check: func(ctx *EvalContext) string {
 			if !match(ctx) {
 				return ""
@@ -136,19 +137,15 @@ func MultiplexRules(policy MultiplexPolicy) []*Rule {
 		return []*Rule{{
 			ID: "mux-time", Scope: ScopeEngine, Number: 1,
 			Description: "Time multiplexing: only one arm may be out of its sleep pose",
-			AppliesTo: func(cmd action.Command) bool {
-				return cmd.Action.IsRobotMotion() && cmd.Action != action.MoveSleep
-			},
-			Check: checkOthersAsleep,
+			Labels:      []action.Label{action.MoveRobot, action.MoveRobotInside, action.MoveHome},
+			Check:       checkOthersAsleep,
 		}}
 	case MultiplexSpace:
 		return []*Rule{{
 			ID: "mux-space", Scope: ScopeEngine, Number: 2,
 			Description: "Space multiplexing: each arm must stay inside its software-walled zone",
-			AppliesTo: func(cmd action.Command) bool {
-				return cmd.Action == action.MoveRobot || cmd.Action == action.MoveRobotInside
-			},
-			Check: checkWithinZone,
+			Labels:      []action.Label{action.MoveRobot, action.MoveRobotInside},
+			Check:       checkWithinZone,
 		}}
 	default:
 		return nil
@@ -187,19 +184,35 @@ func resolveArg(arg string, cmd action.Command) string {
 // devices restricts the rule to commands addressed to those devices
 // (empty = any device).
 func NewDeclarativeRule(id, description string, number int, labels []action.Label, devices []string, reqs []VarRequirement) *Rule {
-	labelMatch := appliesToLabels(labels...)
-	deviceSet := make(map[string]bool, len(devices))
-	for _, d := range devices {
-		deviceSet[d] = true
+	// The rule's reads are command-scoped only when every requirement
+	// addresses the commanded device or object; a literal qualifier (or a
+	// location/inside-device one) may name some other device, so such
+	// rules conservatively read globally and their commands take the
+	// engine's global path.
+	argLocal := func(a string) bool { return a == "$device" || a == "$object" }
+	reads := ReadsCommand
+	for _, req := range reqs {
+		if !argLocal(req.Arg) || (req.Arg2 != "" && !argLocal(req.Arg2)) {
+			reads = ReadsGlobal
+		}
 	}
 	return &Rule{
 		ID: id, Scope: ScopeCustom, Number: number,
 		Description: description,
+		Labels:      labels,
+		Devices:     devices,
+		Reads:       reads,
 		AppliesTo: func(cmd action.Command) bool {
-			if !labelMatch(cmd) {
-				return false
+			// Label and device filtering live in Labels/Devices (the
+			// rulebase index); a directly-evaluated rule still honours
+			// Labels via Evaluate. Devices are re-checked here so the
+			// rule is self-contained outside a rulebase too.
+			for _, d := range devices {
+				if cmd.Device == d {
+					return true
+				}
 			}
-			return len(deviceSet) == 0 || deviceSet[cmd.Device]
+			return len(devices) == 0
 		},
 		Check: func(ctx *EvalContext) string {
 			for _, req := range reqs {

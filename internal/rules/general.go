@@ -46,7 +46,7 @@ func generalRule1() *Rule {
 	return &Rule{
 		ID: "general-1", Scope: ScopeGeneral, Number: 1,
 		Description: "Robot arm cannot move into a device whose door is closed",
-		AppliesTo:   appliesToLabels(action.MoveRobotInside, action.MoveRobot),
+		Labels:      []action.Label{action.MoveRobotInside, action.MoveRobot},
 		Check: func(ctx *EvalContext) string {
 			dev := targetDoorDevice(ctx)
 			if dev == "" || !ctx.Lab.DeviceHasDoor(dev) {
@@ -69,7 +69,7 @@ func generalRule2() *Rule {
 	return &Rule{
 		ID: "general-2", Scope: ScopeGeneral, Number: 2,
 		Description: "Device door cannot be closed when the robot is inside the device",
-		AppliesTo:   appliesToLabels(action.CloseDoor),
+		Labels:      []action.Label{action.CloseDoor},
 		Check: func(ctx *EvalContext) string {
 			for _, arm := range ctx.Lab.ArmIDs() {
 				if ctx.State.GetBool(state.ArmInside(arm, ctx.Cmd.Device)) {
@@ -86,7 +86,7 @@ func generalRule3() *Rule {
 	return &Rule{
 		ID: "general-3", Scope: ScopeGeneral, Number: 3,
 		Description: "Robot arm can move to any location not occupied by any object",
-		AppliesTo:   appliesToLabels(action.MoveRobot, action.MoveRobotInside),
+		Labels:      []action.Label{action.MoveRobot, action.MoveRobotInside},
 		Check: func(ctx *EvalContext) string {
 			if ctx.Cmd.TargetName != "" {
 				occupant := ctx.State.GetString(state.ObjectAt(ctx.Cmd.TargetName))
@@ -104,7 +104,8 @@ func generalRule4() *Rule {
 	return &Rule{
 		ID: "general-4", Scope: ScopeGeneral, Number: 4,
 		Description: "Robot arm can pick up an object when it isn't holding something",
-		AppliesTo:   appliesToLabels(action.PickObject, action.CloseGripper),
+		Labels:      []action.Label{action.PickObject, action.CloseGripper},
+		Reads:       ReadsCommand,
 		Check: func(ctx *EvalContext) string {
 			if ctx.State.GetBool(state.Holding(ctx.Cmd.Device)) {
 				return fmt.Sprintf("arm %s is already holding %s",
@@ -120,7 +121,8 @@ func generalRule5() *Rule {
 	return &Rule{
 		ID: "general-5", Scope: ScopeGeneral, Number: 5,
 		Description: "Action device can perform actions when a container is inside it",
-		AppliesTo:   appliesToLabels(action.StartAction),
+		Labels:      []action.Label{action.StartAction},
+		Reads:       ReadsCommand,
 		Check: func(ctx *EvalContext) string {
 			if t, ok := ctx.Lab.DeviceType(ctx.Cmd.Device); !ok || t != TypeActionDevice {
 				return ""
@@ -141,7 +143,8 @@ func generalRule6() *Rule {
 	return &Rule{
 		ID: "general-6", Scope: ScopeGeneral, Number: 6,
 		Description: "Action device can perform actions when a container is not empty",
-		AppliesTo:   appliesToLabels(action.StartAction),
+		Labels:      []action.Label{action.StartAction},
+		Reads:       ReadsCommand,
 		Check: func(ctx *EvalContext) string {
 			if t, ok := ctx.Lab.DeviceType(ctx.Cmd.Device); !ok || t != TypeActionDevice {
 				return ""
@@ -167,7 +170,8 @@ func generalRule7() *Rule {
 	return &Rule{
 		ID: "general-7", Scope: ScopeGeneral, Number: 7,
 		Description: "A substance can be transferred only when neither container has a stopper on it",
-		AppliesTo:   appliesToLabels(action.TransferSubstance),
+		Labels:      []action.Label{action.TransferSubstance},
+		Reads:       ReadsCommand,
 		Check: func(ctx *EvalContext) string {
 			if ctx.State.GetBool(state.Stopper(ctx.Cmd.FromContainer)) {
 				return fmt.Sprintf("delivering container %s has its stopper on", ctx.Cmd.FromContainer)
@@ -188,7 +192,8 @@ func generalRule8() *Rule {
 	return &Rule{
 		ID: "general-8", Scope: ScopeGeneral, Number: 8,
 		Description: "Substance transfer requires a filled delivering container and room in the receiving container",
-		AppliesTo:   appliesToLabels(action.TransferSubstance, action.DoseSolid, action.DoseLiquid),
+		Labels:      []action.Label{action.TransferSubstance, action.DoseSolid, action.DoseLiquid},
+		Reads:       ReadsCommand,
 		Check: func(ctx *EvalContext) string {
 			switch ctx.Cmd.Action {
 			case action.TransferSubstance:
@@ -251,7 +256,8 @@ func generalRule9() *Rule {
 	return &Rule{
 		ID: "general-9", Scope: ScopeGeneral, Number: 9,
 		Description: "Devices with doors must start dosing/actions only when their doors are closed",
-		AppliesTo:   appliesToLabels(action.StartAction, action.DoseSolid),
+		Labels:      []action.Label{action.StartAction, action.DoseSolid},
+		Reads:       ReadsCommand,
 		Check: func(ctx *EvalContext) string {
 			for _, door := range ctx.Lab.DeviceDoors(ctx.Cmd.Device) {
 				if ctx.State.GetBool(state.DoorStatusOf(ctx.Cmd.Device, door)) {
@@ -272,7 +278,8 @@ func generalRule10() *Rule {
 	return &Rule{
 		ID: "general-10", Scope: ScopeGeneral, Number: 10,
 		Description: "Device doors must stay closed while the device is running",
-		AppliesTo:   appliesToLabels(action.OpenDoor),
+		Labels:      []action.Label{action.OpenDoor},
+		Reads:       ReadsCommand,
 		Check: func(ctx *EvalContext) string {
 			if ctx.State.GetBool(state.Running(ctx.Cmd.Device)) {
 				return fmt.Sprintf("%s is running", ctx.Cmd.Device)
@@ -288,7 +295,8 @@ func generalRule11() *Rule {
 	return &Rule{
 		ID: "general-11", Scope: ScopeGeneral, Number: 11,
 		Description: "Action values must not exceed the device's predefined threshold",
-		AppliesTo:   appliesToLabels(action.SetActionValue, action.StartAction),
+		Labels:      []action.Label{action.SetActionValue, action.StartAction},
+		Reads:       ReadsCommand,
 		Check: func(ctx *EvalContext) string {
 			limit, ok := ctx.Lab.ActionThreshold(ctx.Cmd.Device)
 			if !ok {
@@ -319,7 +327,8 @@ func tableIIPlaceNeedsHolding() *Rule {
 	return &Rule{
 		ID: "table2-place", Scope: ScopeGeneral, Number: 0,
 		Description: "place_object requires the arm to be holding an object (Table II precondition)",
-		AppliesTo:   appliesToLabels(action.PlaceObject),
+		Labels:      []action.Label{action.PlaceObject},
+		Reads:       ReadsCommand,
 		Check: func(ctx *EvalContext) string {
 			if !ctx.State.GetBool(state.Holding(ctx.Cmd.Device)) {
 				return fmt.Sprintf("arm %s is not holding anything", ctx.Cmd.Device)

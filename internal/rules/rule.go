@@ -31,6 +31,27 @@ func (s Scope) String() string {
 	}
 }
 
+// ReadScope classifies which slice of the model a rule's condition may
+// read. The engine uses it to decide whether a command can be checked
+// under its per-device shard locks or must take the global path.
+type ReadScope int
+
+// Read scopes. The zero value is deliberately the conservative one: a
+// rule that does not declare its reads is assumed to range over the
+// whole model, and every command it guards falls back to the global
+// pipeline.
+const (
+	// ReadsGlobal marks a condition that may read state belonging to
+	// devices the command does not name (e.g. rule 2 scans every arm's
+	// robotArmInside flag before a door may close).
+	ReadsGlobal ReadScope = iota
+	// ReadsCommand marks a condition that only reads state of the
+	// devices and containers the command itself addresses (its device,
+	// object, transfer endpoints, and the container resolved inside its
+	// device) — the property that makes shard-local validation sound.
+	ReadsCommand
+)
+
 // Rule is one safety rule: an applicability filter plus a precondition
 // check that either passes or yields a violation reason.
 type Rule struct {
@@ -42,11 +63,32 @@ type Rule struct {
 	Number int
 	// Description is the rule text from the paper.
 	Description string
+	// Labels declares, for the rulebase index, the exhaustive set of
+	// action labels the rule can fire for. It must cover AppliesTo: a
+	// command whose label is not listed is never shown to the rule. A
+	// nil Labels puts the rule in the catch-all bucket, evaluated for
+	// every command.
+	Labels []action.Label
+	// Devices optionally restricts the rule to commands addressed to
+	// these devices (the declarative-rule mechanism); empty means any
+	// device. The rulebase compiles it into a set for O(1) filtering.
+	Devices []string
+	// Reads declares the rule's read scope (see ReadScope).
+	Reads ReadScope
 	// AppliesTo reports whether the rule guards this command at all.
 	AppliesTo func(cmd action.Command) bool
 	// Check returns a non-empty reason when the command would violate
 	// the rule in the given context.
 	Check func(ctx *EvalContext) string
+
+	// deviceSet is Devices compiled by NewRulebase.
+	deviceSet map[string]bool
+}
+
+// matchesDevice reports whether the rule's device restriction admits the
+// command (always true for unrestricted rules).
+func (r *Rule) matchesDevice(cmd action.Command) bool {
+	return len(r.deviceSet) == 0 || r.deviceSet[cmd.Device]
 }
 
 // Violation reports one rule violated by one command.
@@ -63,8 +105,13 @@ func (v Violation) Error() string {
 }
 
 // Evaluate checks the command against the rule, returning a violation or
-// nil.
+// nil. Labels and AppliesTo are both honoured, so evaluating a rule
+// directly yields the same verdict as reaching it through the rulebase
+// index.
 func (r *Rule) Evaluate(ctx *EvalContext) *Violation {
+	if r.Labels != nil && !r.declares(ctx.Cmd.Action) {
+		return nil
+	}
 	if r.AppliesTo != nil && !r.AppliesTo(ctx.Cmd) {
 		return nil
 	}
@@ -72,13 +119,4 @@ func (r *Rule) Evaluate(ctx *EvalContext) *Violation {
 		return &Violation{Rule: r, Cmd: ctx.Cmd, Reason: reason}
 	}
 	return nil
-}
-
-// appliesToLabels builds an applicability filter from a label set.
-func appliesToLabels(labels ...action.Label) func(action.Command) bool {
-	set := make(map[action.Label]bool, len(labels))
-	for _, l := range labels {
-		set[l] = true
-	}
-	return func(cmd action.Command) bool { return set[cmd.Action] }
 }

@@ -1,0 +1,112 @@
+package rules
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/action"
+)
+
+// TestIndexedValidateMatchesFullScan is the index-correctness property
+// test: for random states and commands, the per-label bucket evaluation
+// must yield exactly the violations (same rules, same order, same
+// reasons) as evaluating every rule in table order.
+func TestIndexedValidateMatchesFullScan(t *testing.T) {
+	rb := newRB(Config{Generation: GenModified, Multiplex: MultiplexTime})
+	rng := rand.New(rand.NewSource(15))
+	for i := 0; i < 600; i++ {
+		s := randomState(rng)
+		cmd := NormalizeCommand(rb.Lab(), randomCommand(rng))
+		got := rb.Validate(s, cmd)
+		ctx := &EvalContext{State: s, Cmd: cmd, Lab: rb.Lab(), Cfg: rb.Config()}
+		var want []Violation
+		for _, r := range rb.Rules() {
+			if v := r.Evaluate(ctx); v != nil {
+				want = append(want, *v)
+			}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("indexed verdict diverges for %v:\nindexed: %v\nfull:    %v", cmd, got, want)
+		}
+	}
+}
+
+// TestRulesForCoversEveryRule: a rule is reachable through the index for
+// every label it declares, and catch-alls for every label at all.
+func TestRulesForCoversEveryRule(t *testing.T) {
+	rb := newRB(Config{Generation: GenModified, Multiplex: MultiplexTime})
+	for _, r := range rb.Rules() {
+		labels := r.Labels
+		if labels == nil {
+			labels = []action.Label{action.ReadStatus, action.MoveRobot}
+		}
+		for _, l := range labels {
+			found := false
+			for _, br := range rb.RulesFor(l) {
+				if br == r {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("rule %s not reachable via label %s", r.ID, l)
+			}
+		}
+	}
+}
+
+// TestDuplicateRuleIDRejected: NewRulebase must refuse colliding IDs
+// instead of silently shadowing one rule with another.
+func TestDuplicateRuleIDRejected(t *testing.T) {
+	dup := &Rule{
+		ID: "general-1", Scope: ScopeCustom, Number: 99,
+		Description: "collides with general rule 1",
+		Check:       func(*EvalContext) string { return "" },
+	}
+	if _, err := NewRulebase(newFakeLab(), Config{Generation: GenInitial}, dup); err == nil {
+		t.Fatal("duplicate rule ID accepted")
+	}
+	missing := &Rule{
+		Scope: ScopeCustom, Number: 100,
+		Description: "no ID at all",
+		Check:       func(*EvalContext) string { return "" },
+	}
+	if _, err := NewRulebase(newFakeLab(), Config{Generation: GenInitial}, missing); err == nil {
+		t.Fatal("rule without ID accepted")
+	}
+}
+
+// TestRuleByID resolves every constructed rule and misses unknown IDs.
+func TestRuleByID(t *testing.T) {
+	rb := newRB(Config{Generation: GenModified, Multiplex: MultiplexSpace})
+	for _, r := range rb.Rules() {
+		got, ok := rb.RuleByID(r.ID)
+		if !ok || got != r {
+			t.Errorf("RuleByID(%q) = %v, %v", r.ID, got, ok)
+		}
+	}
+	if _, ok := rb.RuleByID("no-such-rule"); ok {
+		t.Error("RuleByID invented a rule")
+	}
+}
+
+// TestLabelReadsGlobalRouting pins the routing table the engine relies
+// on: door-closing and motion labels read globally (rule 2 scans every
+// arm), while the pure device-action labels are command-scoped.
+func TestLabelReadsGlobalRouting(t *testing.T) {
+	rb := newRB(Config{Generation: GenModified, Multiplex: MultiplexTime})
+	wantGlobal := map[action.Label]bool{
+		action.CloseDoor:      true, // rule 2 reads all arms' robotArmInside
+		action.MoveRobot:      true, // rule 1/3 geometry
+		action.SetActionValue: false,
+		action.StartAction:    false,
+		action.StopAction:     false, // no rules at all
+		action.ReadStatus:     false,
+		action.OpenDoor:       false, // rule 10 reads only the device
+	}
+	for l, want := range wantGlobal {
+		if got := rb.LabelReadsGlobal(l); got != want {
+			t.Errorf("LabelReadsGlobal(%s) = %v, want %v", l, got, want)
+		}
+	}
+}

@@ -140,7 +140,7 @@ func initialModel() state.Snapshot {
 }
 
 func newRB(cfg Config) *Rulebase {
-	return NewRulebase(newFakeLab(), cfg, HeinCustomRules("centrifuge")...)
+	return MustNewRulebase(newFakeLab(), cfg, HeinCustomRules("centrifuge")...)
 }
 
 func violates(t *testing.T, rb *Rulebase, s state.Snapshot, cmd action.Command, wantRule string) {

@@ -16,6 +16,22 @@ import (
 // precondition checks.
 func Apply(model state.Snapshot, cmd action.Command, lab LabModel) state.Snapshot {
 	s := model.Clone()
+	applyCommand(s, cmd, lab)
+	return s
+}
+
+// ApplyOverlay computes the same expectation as Apply but as a
+// copy-on-write layer over base: the command's postconditions land in the
+// overlay, the base is never copied. This is the engine's hot-path form —
+// S_expected no longer allocates proportionally to deck size.
+func ApplyOverlay(base state.View, cmd action.Command, lab LabModel) *state.Overlay {
+	o := state.NewOverlay(base)
+	applyCommand(o, cmd, lab)
+	return o
+}
+
+// applyCommand writes one command's postconditions into any store.
+func applyCommand(s state.Store, cmd action.Command, lab LabModel) {
 	arm := cmd.Device
 	switch cmd.Action {
 	case action.OpenDoor:
@@ -120,28 +136,32 @@ func Apply(model state.Snapshot, cmd action.Command, lab LabModel) state.Snapsho
 	case action.ReadStatus, action.RecordImage:
 		// Observation only; no state change.
 	}
-	return s
 }
 
 // clearInside resets every robotArmInside flag of the arm (moving away
 // from wherever it was).
-func clearInside(s state.Snapshot, lab LabModel, arm string) {
+func clearInside(s state.Store, lab LabModel, arm string) {
 	if lab == nil {
 		return
 	}
-	for k := range s {
+	var hits []state.Key
+	s.Range(func(k state.Key, _ state.Value) bool {
 		if k.Variable() == "robotArmInside" {
 			args := k.Args()
 			if len(args) == 2 && args[0] == arm {
-				s.Set(k, state.Bool(false))
+				hits = append(hits, k)
 			}
 		}
+		return true
+	})
+	for _, k := range hits {
+		s.Set(k, state.Bool(false))
 	}
 }
 
 // applyPick models a grasp attempt: if the model believes an object rests
 // where the arm stands (or the command names one), the arm now holds it.
-func applyPick(s state.Snapshot, cmd action.Command, lab LabModel) {
+func applyPick(s state.Store, cmd action.Command, lab LabModel) {
 	arm := cmd.Device
 	if s.GetBool(state.Holding(arm)) {
 		return // already holding; a second close is a no-op
@@ -171,7 +191,7 @@ func applyPick(s state.Snapshot, cmd action.Command, lab LabModel) {
 // applyPlace models a release: a held object lands at the arm's current
 // named location (if any); with no known location beneath, the model can
 // only record that the arm no longer holds it.
-func applyPlace(s state.Snapshot, cmd action.Command, lab LabModel) {
+func applyPlace(s state.Store, cmd action.Command, lab LabModel) {
 	arm := cmd.Device
 	if !s.GetBool(state.Holding(arm)) {
 		return // opening an empty gripper
@@ -195,7 +215,7 @@ func applyPlace(s state.Snapshot, cmd action.Command, lab LabModel) {
 }
 
 // addAmount accumulates a float state variable.
-func addAmount(s state.Snapshot, k state.Key, delta float64) {
+func addAmount(s state.Store, k state.Key, delta float64) {
 	cur := 0.0
 	if v, ok := s.Get(k); ok {
 		cur = v.AsFloat()

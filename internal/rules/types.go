@@ -228,9 +228,10 @@ func (c Config) HeldObjectAware() bool { return c.Generation >= GenModified }
 
 // EvalContext is what a rule's check inspects: the tracked model state,
 // the command about to execute, the configured lab model, and the engine
-// configuration.
+// configuration. State is a read-only view so the engine can validate
+// against either the flat model or a copy-on-write expectation.
 type EvalContext struct {
-	State state.Snapshot
+	State state.View
 	Cmd   action.Command
 	Lab   LabModel
 	Cfg   Config

@@ -1,0 +1,111 @@
+package state
+
+import (
+	"reflect"
+	"testing"
+)
+
+func baseSnap() Snapshot {
+	return Snapshot{
+		DoorStatus("dd"):   Bool(false),
+		Running("hp"):      Bool(true),
+		ActionValue("hp"):  Float(60),
+		HeldObject("arm"):  Str("vial_1"),
+		ZoneOccupied("ps"): Bool(false),
+	}
+}
+
+func TestOverlayReadsFallThrough(t *testing.T) {
+	base := baseSnap()
+	o := NewOverlay(base)
+	if !o.GetBool(Running("hp")) {
+		t.Error("unshadowed read did not fall through")
+	}
+	o.Set(Running("hp"), Bool(false))
+	if o.GetBool(Running("hp")) {
+		t.Error("shadowed read returned base value")
+	}
+	if !base.GetBool(Running("hp")) {
+		t.Error("overlay write leaked into the base")
+	}
+	o.Delete(HeldObject("arm"))
+	if _, ok := o.Get(HeldObject("arm")); ok {
+		t.Error("deleted key still visible")
+	}
+	if base.GetString(HeldObject("arm")) != "vial_1" {
+		t.Error("overlay delete leaked into the base")
+	}
+	// A set after a delete resurrects the key.
+	o.Set(HeldObject("arm"), Str("beaker"))
+	if o.GetString(HeldObject("arm")) != "beaker" {
+		t.Error("set-after-delete lost the value")
+	}
+}
+
+func TestOverlayRangeVisitsOnce(t *testing.T) {
+	base := baseSnap()
+	o := NewOverlay(base)
+	o.Set(Running("hp"), Bool(false))   // shadowed
+	o.Set(DoorStatus("cf"), Bool(true)) // new
+	o.Delete(HeldObject("arm"))         // hidden
+	seen := map[Key]Value{}
+	o.Range(func(k Key, v Value) bool {
+		if _, dup := seen[k]; dup {
+			t.Fatalf("key %s visited twice", k)
+		}
+		seen[k] = v
+		return true
+	})
+	want := Materialize(o)
+	if !reflect.DeepEqual(Snapshot(seen), want) {
+		t.Errorf("Range saw %v, Materialize says %v", seen, want)
+	}
+	if _, ok := seen[HeldObject("arm")]; ok {
+		t.Error("deleted key visited")
+	}
+	if v, ok := seen[Running("hp")]; !ok || v.AsBool() {
+		t.Error("shadowed key did not report the overlay value")
+	}
+}
+
+func TestOverlayApplyToChain(t *testing.T) {
+	model := baseSnap()
+	// Chain two overlays the way the engine chains pending expectations.
+	o1 := NewOverlay(model)
+	o1.Set(Running("hp"), Bool(false))
+	o1.Delete(HeldObject("arm"))
+	o2 := NewOverlay(o1)
+	o2.Set(DoorStatus("dd"), Bool(true))
+	want := Materialize(o2)
+	o2.ApplyTo(model)
+	if !reflect.DeepEqual(model, want) {
+		t.Errorf("ApplyTo produced %v, want %v", model, want)
+	}
+}
+
+func TestCompareObservedViewMatchesSnapshotCompare(t *testing.T) {
+	base := baseSnap()
+	o := NewOverlay(base)
+	o.Set(Running("hp"), Bool(false))
+	o.Set(ActionValue("hp"), Float(80))
+	observed := Snapshot{
+		Running("hp"):      Bool(true), // mismatch vs overlay
+		ActionValue("hp"):  Float(80),  // match
+		DoorStatus("dd"):   Bool(true), // mismatch vs base fall-through
+		ZoneOccupied("ps"): Bool(true), // exogenous: skipped
+		Stopper("vial_9"):  Bool(true), // no expectation: skipped
+	}
+	got := CompareObservedView(o, observed)
+	want := CompareObserved(Materialize(o), observed)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("view compare %v != snapshot compare %v", got, want)
+	}
+	if len(got) != 2 {
+		t.Errorf("want 2 mismatches, got %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Key >= got[i].Key {
+			t.Error("mismatches not sorted")
+		}
+	}
+}

@@ -282,6 +282,16 @@ func (s Snapshot) GetString(k Key) string {
 	return ""
 }
 
+// Range calls fn for every variable until fn returns false. Iteration
+// order is unspecified, like the underlying map's.
+func (s Snapshot) Range(fn func(Key, Value) bool) {
+	for k, v := range s {
+		if !fn(k, v) {
+			return
+		}
+	}
+}
+
 // Set assigns a value.
 func (s Snapshot) Set(k Key, v Value) { s[k] = v }
 
@@ -308,12 +318,19 @@ func (m Mismatch) String() string {
 // variables never participate). Mismatches are returned sorted by key for
 // deterministic alerts.
 func CompareObserved(expected, observed Snapshot) []Mismatch {
+	return CompareObservedView(expected, observed)
+}
+
+// CompareObservedView is CompareObserved over any expected-state view —
+// the hot-path form, letting the engine compare a copy-on-write Overlay
+// without first materializing it into a flat snapshot.
+func CompareObservedView(expected View, observed Snapshot) []Mismatch {
 	var out []Mismatch
 	for k, actual := range observed {
 		if k.IsExogenous() {
 			continue
 		}
-		exp, ok := expected[k]
+		exp, ok := expected.Get(k)
 		if !ok {
 			// The model has no opinion on this variable; skip.
 			continue

@@ -89,6 +89,19 @@ func (w *World) Arm(id string) (*Arm, bool) {
 	return a, ok
 }
 
+// ArmAsleep reports whether the arm is folded in its sleep pose, read
+// under the world lock (drivers must not retain *Arm across the lock —
+// state fetches run concurrently with command execution).
+func (w *World) ArmAsleep(id string) (bool, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	a, ok := w.arms[id]
+	if !ok {
+		return false, false
+	}
+	return a.Asleep, true
+}
+
 // ArmIDs returns all arm IDs, sorted.
 func (w *World) ArmIDs() []string {
 	w.mu.Lock()

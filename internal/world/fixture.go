@@ -307,6 +307,44 @@ func setPanelOpen(f *Fixture, panel *DoorPanel, open bool) {
 	f.DoorOpen = open
 }
 
+// FixtureStatus is a point-in-time value copy of a fixture's observable
+// state. Drivers read it instead of holding a *Fixture across the lock
+// boundary: state fetches now run concurrently with command execution
+// (the engine's sharded pipeline), so any retained pointer would race
+// with the mutating world methods.
+type FixtureStatus struct {
+	Kind        FixtureKind
+	DoorOpen    bool
+	Panels      []DoorPanel
+	Running     bool
+	ActionValue float64
+	RedDotNorth bool
+	Occupied    bool
+}
+
+// FixtureStatus returns the fixture's observable state under the world
+// lock. The Panels slice is a copy.
+func (w *World) FixtureStatus(id string) (FixtureStatus, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	f, ok := w.fixtures[id]
+	if !ok {
+		return FixtureStatus{}, false
+	}
+	st := FixtureStatus{
+		Kind:        f.Kind,
+		DoorOpen:    f.DoorOpen,
+		Running:     f.Running,
+		ActionValue: f.ActionValue,
+		RedDotNorth: f.RedDotNorth,
+		Occupied:    f.Occupied,
+	}
+	if len(f.Panels) > 0 {
+		st.Panels = append([]DoorPanel(nil), f.Panels...)
+	}
+	return st, true
+}
+
 // DoorIsOpen reports the physical state of the sole door.
 func (w *World) DoorIsOpen(fixtureID string) (bool, error) {
 	w.mu.Lock()

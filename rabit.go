@@ -81,6 +81,10 @@ type Options struct {
 	// FailSafe is invoked on every alert (Section II-B's alternative to
 	// preemptively freezing).
 	FailSafe func(Alert)
+	// SerialPipeline forces every command through the engine's global
+	// single-lock pipeline (the seed design), disabling per-device
+	// sharding. Parity tests and throughput baselines use it.
+	SerialPipeline bool
 	// Seed drives all stochastic fidelity noise (default 1).
 	Seed int64
 }
@@ -136,13 +140,19 @@ func New(spec *config.LabSpec, o Options) (*System, error) {
 		if err != nil {
 			return nil, fmt.Errorf("rabit: %w", err)
 		}
-		rb := rules.NewRulebase(lab, rules.Config{
+		rb, err := rules.NewRulebase(lab, rules.Config{
 			Generation: o.Generation,
 			Multiplex:  o.Multiplex,
 		}, custom...)
+		if err != nil {
+			return nil, fmt.Errorf("rabit: %w", err)
+		}
 		engOpts := []core.Option{
 			core.WithInitialModel(lab.InitialModelState()),
 			core.WithObserver(reg),
+		}
+		if o.SerialPipeline {
+			engOpts = append(engOpts, core.WithSerialPipeline())
 		}
 		if o.FailSafe != nil {
 			engOpts = append(engOpts, core.WithFailSafe(o.FailSafe))
