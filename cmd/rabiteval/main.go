@@ -9,6 +9,7 @@
 //	rabiteval -fig 5        run one figure experiment (5, 6)
 //	rabiteval -latency      run the latency experiment
 //	rabiteval -throughput   run the replay-throughput benchmark
+//	rabiteval -motion       run the motion-planning fast-path benchmark
 //	                        (-json FILE additionally writes the rows as JSON)
 //
 // With -metrics addr the process serves live telemetry while the
@@ -42,7 +43,8 @@ func run() error {
 	fig := flag.Int("fig", 0, "regenerate one figure experiment (5 or 6)")
 	latency := flag.Bool("latency", false, "run the latency experiment")
 	throughput := flag.Bool("throughput", false, "run the replay-throughput benchmark (serial vs sharded)")
-	jsonPath := flag.String("json", "", "with -throughput, also write the measured rows to this JSON file")
+	motion := flag.Bool("motion", false, "run the motion-planning fast-path benchmark (caches + speculation)")
+	jsonPath := flag.String("json", "", "with -throughput or -motion, also write the measured rows to this JSON file")
 	pilot := flag.Bool("pilot", false, "run the pilot-study configuration-error experiment")
 	metricsAddr := flag.String("metrics", "", "serve /debug/vars, /metrics, and pprof on this address while experiments run")
 	seed := flag.Int64("seed", 1, "noise seed")
@@ -57,7 +59,7 @@ func run() error {
 		fmt.Printf("telemetry: http://%s/metrics (also /debug/vars, /debug/pprof)\n", srv.Addr)
 	}
 
-	all := *table == 0 && *fig == 0 && !*latency && !*throughput && !*pilot
+	all := *table == 0 && *fig == 0 && !*latency && !*throughput && !*motion && !*pilot
 
 	if all || *table == 1 {
 		if err := tableI(*seed); err != nil {
@@ -97,6 +99,15 @@ func run() error {
 	}
 	if all || *throughput {
 		if err := throughputRun(*seed, *jsonPath); err != nil {
+			return err
+		}
+	}
+	if all || *motion {
+		var motionJSON string
+		if *motion {
+			motionJSON = *jsonPath
+		}
+		if err := motionRun(*seed, motionJSON); err != nil {
 			return err
 		}
 	}
@@ -194,6 +205,84 @@ func writeThroughputJSON(path string, rows []eval.ThroughputResult) error {
 			ValidateP50NS:  r.Validate.P50.Nanoseconds(),
 			FetchP50NS:     r.Fetch.P50.Nanoseconds(),
 			CompareP50NS:   r.Compare.P50.Nanoseconds(),
+		})
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// motionRun measures the motion-planning fast path: the identical
+// motion-heavy station-visit replay under three configurations — caches
+// off, caches on, caches plus speculative lookahead.
+func motionRun(seed int64, jsonPath string) error {
+	fmt.Println("=== Motion-planning fast path: plan/verdict caches + speculative lookahead ===")
+	rows, err := eval.Motion(eval.MotionOptions{Visits: 12, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Print(eval.RenderMotion(rows))
+	if s := eval.MotionSpeedup(rows); s > 0 {
+		fmt.Printf("→ validate+trajectory p50 speedup, no-cache vs cache+spec: %.1f×\n", s)
+	}
+	fmt.Println()
+	if jsonPath != "" {
+		if err := writeMotionJSON(jsonPath, rows); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n\n", jsonPath)
+	}
+	return nil
+}
+
+// writeMotionJSON persists the motion rows in the flat shape the CI
+// bench artifact expects.
+func writeMotionJSON(path string, rows []eval.MotionResult) error {
+	type row struct {
+		Mode                string `json:"mode"`
+		Commands            int    `json:"commands"`
+		MotionCommands      int    `json:"motion_commands"`
+		WallNS              int64  `json:"wall_ns"`
+		ValidateP50NS       int64  `json:"validate_p50_ns"`
+		ValidateP95NS       int64  `json:"validate_p95_ns"`
+		TrajectoryP50NS     int64  `json:"trajectory_p50_ns"`
+		TrajectoryP95NS     int64  `json:"trajectory_p95_ns"`
+		PlanHits            int64  `json:"plan_cache_hits"`
+		PlanMisses          int64  `json:"plan_cache_misses"`
+		PlanWarmStarts      int64  `json:"plan_cache_warm_starts"`
+		VerdictHits         int64  `json:"verdict_cache_hits"`
+		VerdictMisses       int64  `json:"verdict_cache_misses"`
+		EpochBumps          int64  `json:"deck_epoch_bumps"`
+		Speculations        int64  `json:"speculations"`
+		SpeculationHits     int64  `json:"speculation_hits"`
+		SpeculationsDropped int64  `json:"speculations_dropped"`
+	}
+	doc := struct {
+		Benchmark  string  `json:"benchmark"`
+		P50Speedup float64 `json:"p50_speedup_no_cache_vs_spec"`
+		Rows       []row   `json:"rows"`
+	}{Benchmark: "motion_fast_path", P50Speedup: eval.MotionSpeedup(rows)}
+	for _, r := range rows {
+		doc.Rows = append(doc.Rows, row{
+			Mode:                r.Mode,
+			Commands:            r.Commands,
+			MotionCommands:      r.MotionCommands,
+			WallNS:              r.Wall.Nanoseconds(),
+			ValidateP50NS:       r.Validate.P50.Nanoseconds(),
+			ValidateP95NS:       r.Validate.P95.Nanoseconds(),
+			TrajectoryP50NS:     r.Trajectory.P50.Nanoseconds(),
+			TrajectoryP95NS:     r.Trajectory.P95.Nanoseconds(),
+			PlanHits:            r.PlanHits,
+			PlanMisses:          r.PlanMisses,
+			PlanWarmStarts:      r.PlanWarmStarts,
+			VerdictHits:         r.VerdictHits,
+			VerdictMisses:       r.VerdictMisses,
+			EpochBumps:          r.EpochBumps,
+			Speculations:        r.Speculations,
+			SpeculationHits:     r.SpeculationHits,
+			SpeculationsDropped: r.SpeculationsDropped,
 		})
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/action"
@@ -220,6 +221,15 @@ type Engine struct {
 	seed    state.Snapshot
 	model   state.Snapshot // S_current: observed facts + dead-reckoned model
 
+	// Motion fast path (see speculate.go): the simulator's deck-epoch and
+	// speculation surfaces when it offers them, the single-flight gate and
+	// drain group for the lookahead worker.
+	epocher  deckEpocher
+	spec     speculator
+	specOff  bool
+	specBusy atomic.Bool
+	specWG   sync.WaitGroup
+
 	// pending is S_expected for the in-flight global-path command(s),
 	// layered over the model copy-on-write. Concurrent batches chain
 	// several Befores onto one cumulative expectation that a single
@@ -254,6 +264,10 @@ type Engine struct {
 	// processed. Both live in the registry so /metrics sees them.
 	cCheckNS  *obs.Counter
 	cCommands *obs.Counter
+	// cSpeculations/cSpecDropped count lookahead hints taken and dropped
+	// by the single-flight gate.
+	cSpeculations *obs.Counter
+	cSpecDropped  *obs.Counter
 }
 
 var _ trace.Checker = (*Engine)(nil)
@@ -274,6 +288,14 @@ func New(rb *rules.Rulebase, env Environment, opts ...Option) *Engine {
 	e.hCompare = e.obs.Histogram(obs.StageCompare)
 	e.cCheckNS = e.obs.Counter(obs.CounterCheckNS)
 	e.cCommands = e.obs.Counter(obs.CounterCommands)
+	e.cSpeculations = e.obs.Counter(obs.CounterSpeculations)
+	e.cSpecDropped = e.obs.Counter(obs.CounterSpeculationsDropped)
+	// The motion fast path engages only when the simulator carries a deck
+	// epoch — without it there is no sound pairing to speculate against.
+	e.epocher, _ = e.sim.(deckEpocher)
+	if e.epocher != nil {
+		e.spec, _ = e.sim.(speculator)
+	}
 	return e
 }
 
@@ -289,6 +311,10 @@ func (e *Engine) Start() {
 	observed := e.env.FetchState()
 	e.stateMu.Lock()
 	e.model = e.seed.Merge(observed)
+	if e.epocher != nil {
+		// The whole model was rebuilt; every cached verdict is suspect.
+		e.epocher.BumpDeckEpoch()
+	}
 	e.stateMu.Unlock()
 	e.adminMu.Lock()
 	e.started = true
@@ -505,17 +531,9 @@ func (e *Engine) afterGlobal(cmd action.Command, start time.Time, fs **Alert) er
 	}
 	// S_current ← SetState(S_actual): observed facts win, dead-reckoned
 	// model facts persist. The pending overlay commits its edits into the
-	// live model in place — no full-map clone on the hot path.
-	e.stateMu.Lock()
-	if pending != nil {
-		pending.ApplyTo(e.model)
-	}
-	for k, v := range observed {
-		e.model[k] = v
-	}
-	if e.sim != nil && cmd.Action.IsRobotMotion() {
-		e.sim.Observe(cmd, e.model)
-	}
-	e.stateMu.Unlock()
+	// live model in place — no full-map clone on the hot path — and any
+	// deck-relevant change bumps the simulator's epoch in the same
+	// critical section (see commitModel).
+	e.commitModel(pending, observed, cmd)
 	return nil
 }

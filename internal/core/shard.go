@@ -251,11 +251,9 @@ func (e *Engine) afterSharded(cmd action.Command, start time.Time, fs **Alert) e
 	if len(ms) > 0 {
 		return e.raise(Alert{Kind: AlertMalfunction, Cmd: cmd, Mismatches: ms}, fs)
 	}
-	e.stateMu.Lock()
-	t.expected.ApplyTo(e.model)
-	for k, v := range observed {
-		e.model[k] = v
-	}
-	e.stateMu.Unlock()
+	// Sharded commands are never robot motion, but they do flip doors and
+	// held objects — exactly the deck-relevant changes the commit section
+	// must pair with an epoch bump (see commitModel).
+	e.commitModel(t.expected, observed, cmd)
 	return nil
 }

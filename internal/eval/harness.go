@@ -39,6 +39,13 @@ type Options struct {
 	// sequential-vs-sharded parity tests and the throughput baseline
 	// run with it.
 	SerialPipeline bool
+	// NoMotionCache disables the motion-planning fast path (plan cache,
+	// verdict cache, speculative lookahead) — the motion benchmark's
+	// before/after switch.
+	NoMotionCache bool
+	// NoSpeculation keeps the caches but turns off the engine's
+	// speculative lookahead worker.
+	NoSpeculation bool
 	// Seed drives all stochastic fidelity noise.
 	Seed int64
 }
@@ -76,6 +83,8 @@ func NewSetup(spec *config.LabSpec, o Options) (*Setup, error) {
 		ExtendedSimulator: o.WithSim,
 		SimulatorGUI:      o.SimGUI,
 		SerialPipeline:    o.SerialPipeline,
+		NoMotionCache:     o.NoMotionCache,
+		NoSpeculation:     o.NoSpeculation,
 		Seed:              o.Seed,
 	})
 	if err != nil {

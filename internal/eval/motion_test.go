@@ -1,0 +1,68 @@
+package eval
+
+import "testing"
+
+// TestMotionBenchmarkFastPathSpeedup runs the full three-mode motion
+// benchmark at a reduced visit count and checks the PR's acceptance
+// criterion: on repeat station visits, the cache+speculation fast path
+// cuts the median before-check latency by at least 2x over the cold
+// configuration, with the caches and the lookahead demonstrably doing
+// the work (non-zero hit counters).
+func TestMotionBenchmarkFastPathSpeedup(t *testing.T) {
+	rows, err := Motion(MotionOptions{Visits: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	byMode := make(map[string]MotionResult, len(rows))
+	for _, r := range rows {
+		byMode[r.Mode] = r
+	}
+
+	cold := byMode[MotionModeCold]
+	if cold.PlanHits != 0 || cold.VerdictHits != 0 || cold.Speculations != 0 {
+		t.Errorf("no-cache mode used the fast path: plan hits %d, verdict hits %d, speculations %d",
+			cold.PlanHits, cold.VerdictHits, cold.Speculations)
+	}
+	if cold.Trajectory.Count == 0 {
+		t.Error("no-cache mode recorded no trajectory checks")
+	}
+
+	cached := byMode[MotionModeCached]
+	if cached.VerdictHits == 0 {
+		t.Error("cache mode: repeat visits produced no verdict-cache hits")
+	}
+	if cached.PlanHits == 0 {
+		t.Error("cache mode: repeat visits produced no plan-cache hits")
+	}
+	if cached.EpochBumps == 0 {
+		t.Error("cache mode: door toggles bumped no deck epochs")
+	}
+	if cached.Speculations != 0 {
+		t.Errorf("cache mode speculated (%d) with speculation disabled", cached.Speculations)
+	}
+
+	spec := byMode[MotionModeSpec]
+	if spec.Speculations == 0 {
+		t.Error("cache+spec mode dispatched no speculative lookaheads")
+	}
+	if spec.SpeculationHits == 0 {
+		t.Error("cache+spec mode: no on-path check was answered by a speculated verdict")
+	}
+	// Speculation converts first-visit misses into hits, so the spec mode
+	// must see no more on-path misses than the cache-only mode.
+	if spec.VerdictMisses > cached.VerdictMisses {
+		t.Errorf("cache+spec on-path misses (%d) exceed cache-only misses (%d)",
+			spec.VerdictMisses, cached.VerdictMisses)
+	}
+
+	// The acceptance bar: ≥2x median before-check latency improvement.
+	// In practice the gap is orders of magnitude (cached verdicts skip IK
+	// and the sweep entirely), so 2x has headroom against CI noise.
+	if s := MotionSpeedup(rows); s < 2 {
+		t.Errorf("validate+trajectory p50 speedup = %.2fx, want >= 2x (cold %v, spec %v)",
+			s, cold.CheckP50(), spec.CheckP50())
+	}
+}

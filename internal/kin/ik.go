@@ -4,9 +4,15 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/geom"
 )
+
+// ikFallbackWarmHits counts orientation fallbacks resolved by the single
+// warm-started position-only descent rather than a second restart
+// schedule. Test observability for the fallback fast path.
+var ikFallbackWarmHits atomic.Int64
 
 // ErrUnreachable is returned when inverse kinematics cannot find a joint
 // configuration that reaches the target within tolerance. How an arm's
@@ -75,6 +81,7 @@ func (c *Chain) Solve(target geom.Vec3, q0 []float64, opt IKOptions) ([]float64,
 	seed := make([]float64, n)
 
 	var best []float64
+	var bestFail []float64
 	bestScore := math.Inf(1)
 	bestPosErr := math.Inf(1)
 	for r := 0; r <= opt.Restarts; r++ {
@@ -90,9 +97,14 @@ func (c *Chain) Solve(target geom.Vec3, q0 []float64, opt IKOptions) ([]float64,
 		}
 		q, posErr, axErr := c.solveFrom(target, seed, opt, sc)
 		if posErr > opt.Tol {
-			// Track in case nothing converges (error reporting).
+			// Track in case nothing converges: the residual for error
+			// reporting, the configuration to warm-start the
+			// orientation fallback.
 			if posErr < bestPosErr {
 				bestPosErr = posErr
+				if opt.OrientWeight > 0 {
+					bestFail = append(bestFail[:0], q...)
+				}
 			}
 			continue
 		}
@@ -111,9 +123,27 @@ func (c *Chain) Solve(target geom.Vec3, q0 []float64, opt IKOptions) ([]float64,
 		if opt.OrientWeight > 0 {
 			// The tool-down preference is soft: if no seed converged with
 			// it, solve for position alone rather than reporting an
-			// unreachable target.
+			// unreachable target. A position-only schedule almost always
+			// succeeds on its very first descent (from q0), so run that
+			// descent alone; if it misses, the weighted schedule already
+			// got close in position somewhere — one descent from its best
+			// configuration usually lands inside Tol. Only when both
+			// single descents miss does a second full restart schedule
+			// run.
 			bare := opt
 			bare.OrientWeight = 0
+			scBare := newIKScratch(n, bare)
+			q, posErr, _ := c.solveFrom(target, q0, bare, scBare)
+			if posErr <= bare.Tol {
+				return append([]float64(nil), q...), nil
+			}
+			if bestFail != nil {
+				q, posErr, _ = c.solveFrom(target, bestFail, bare, scBare)
+				if posErr <= bare.Tol {
+					ikFallbackWarmHits.Add(1)
+					return append([]float64(nil), q...), nil
+				}
+			}
 			return c.Solve(target, q0, bare)
 		}
 		return nil, fmt.Errorf("%w: best residual %.4f m > tol %.4f m for target %v",
@@ -265,21 +295,10 @@ func (c *Chain) taskJacobianInto(q []float64, rows int, orientWeight float64, sc
 	return j
 }
 
-// solveLinear solves A·x = b by Gaussian elimination with partial
-// pivoting; ok is false when A is singular.
-func solveLinear(a [][]float64, b []float64) ([]float64, bool) {
-	n := len(a)
-	m := make([][]float64, n)
-	x := make([]float64, n)
-	for i := range m {
-		m[i] = make([]float64, n+1)
-	}
-	return solveLinearInto(a, b, m, x)
-}
-
-// solveLinearInto is solveLinear writing the augmented matrix into m
-// (n rows of n+1) and the solution into x — the allocation-free form for
-// the IK iteration. A is untouched.
+// solveLinearInto solves A·x = b by Gaussian elimination with partial
+// pivoting, writing the augmented matrix into m (n rows of n+1) and the
+// solution into x — allocation-free for the IK iteration. A is
+// untouched; ok is false when A is singular.
 func solveLinearInto(a [][]float64, b []float64, m [][]float64, x []float64) ([]float64, bool) {
 	n := len(a)
 	for i := range a {

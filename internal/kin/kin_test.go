@@ -397,6 +397,55 @@ func TestIKPrefersToolDown(t *testing.T) {
 	}
 }
 
+// TestIKOrientationFallbackWarmStart: targets no tool-down posture can
+// reach (behind the base, below the deck plane) drop into Solve's
+// position-only fallback where even the bare descent from q0 misses.
+// These must resolve through the single descent warm-started from the
+// weighted schedule's best near-miss instead of a second full restart
+// schedule — and still meet the position contract.
+func TestIKOrientationFallbackWarmStart(t *testing.T) {
+	p := mustProfile(t, ModelViperX300, geom.IdentityPose())
+	reach := p.Chain.Reach()
+	opt := DefaultIKOptions()
+	targets := []geom.Vec3{
+		geom.V(-reach*0.7, -reach*0.3, -reach*0.15), // behind base, below deck
+		geom.V(-reach*0.7, 0, -reach*0.15),          // straight back, below deck
+	}
+	for _, tgt := range targets {
+		before := ikFallbackWarmHits.Load()
+		q, err := p.Chain.Solve(tgt, p.Home, opt)
+		if err != nil {
+			t.Fatalf("Solve(%v): fallback regression: %v", tgt, err)
+		}
+		if ikFallbackWarmHits.Load() != before+1 {
+			t.Errorf("Solve(%v) did not take the warm-started fallback", tgt)
+		}
+		ee, err := p.Chain.EndEffector(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := ee.Dist(tgt); d > opt.Tol*1.01 {
+			t.Errorf("Solve(%v) residual %.5f > tol", tgt, d)
+		}
+		if err := p.Chain.CheckJoints(q); err != nil {
+			t.Errorf("fallback solution violates limits: %v", err)
+		}
+		// Determinism: the fallback path must return the same branch
+		// every time (the plan cache depends on it).
+		q2, err := p.Chain.Solve(tgt, p.Home, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalSlice(q, q2) {
+			t.Errorf("Solve(%v) not deterministic: %v vs %v", tgt, q, q2)
+		}
+	}
+	// A target the fallback also cannot reach still reports unreachable.
+	if _, err := p.Chain.Solve(geom.V(0.1, 0.1, 3.0), p.Home, opt); err == nil {
+		t.Error("infeasible target solved via fallback")
+	}
+}
+
 func TestScratchAPIsMatchAllocatingForms(t *testing.T) {
 	p := mustProfile(t, ModelViperX300, geom.IdentityPose())
 	tr, err := p.Chain.PlanJointMove(p.Home, geom.V(0.3, 0.15, 0.2), DefaultIKOptions())

@@ -182,9 +182,10 @@ func (tr *Trajectory) EndEffectorPath(samples int) ([]geom.Vec3, error) {
 		samples = 2
 	}
 	path := make([]geom.Vec3, 0, samples)
+	q := make([]float64, len(tr.From))
 	for i := 0; i < samples; i++ {
 		t := float64(i) / float64(samples-1)
-		p, err := tr.Chain.EndEffector(tr.At(t))
+		p, err := tr.Chain.EndEffector(tr.AtInto(t, q))
 		if err != nil {
 			return nil, fmt.Errorf("end-effector path: %w", err)
 		}

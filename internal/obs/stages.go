@@ -49,6 +49,41 @@ const (
 	GaugeRules = "engine.rules"
 )
 
+// Motion-planning fast-path instruments (plan cache, verdict cache,
+// deck epoch, speculative lookahead).
+const (
+	// CounterPlanCacheHits counts IK plans served from the plan cache.
+	CounterPlanCacheHits = "kin.plan_cache_hits"
+	// CounterPlanCacheMisses counts IK plans that had to solve.
+	CounterPlanCacheMisses = "kin.plan_cache_misses"
+	// CounterPlanCacheEvictions counts plan-cache LRU evictions.
+	CounterPlanCacheEvictions = "kin.plan_cache_evictions"
+	// CounterPlanCacheWarmStarts counts misses resolved by a single DLS
+	// descent seeded from a cache-adjacent solution.
+	CounterPlanCacheWarmStarts = "kin.plan_cache_warm_starts"
+	// CounterVerdictCacheHits counts trajectory verdicts served from the
+	// simulator's epoch-keyed verdict cache.
+	CounterVerdictCacheHits = "sim.verdict_cache_hits"
+	// CounterVerdictCacheMisses counts verdicts that ran the full sweep.
+	CounterVerdictCacheMisses = "sim.verdict_cache_misses"
+	// CounterVerdictCacheEvictions counts verdict-cache LRU evictions.
+	CounterVerdictCacheEvictions = "sim.verdict_cache_evictions"
+	// CounterDeckEpochBumps counts deck-epoch invalidations: every
+	// deck-relevant model mutation bumps the epoch, orphaning all
+	// verdicts cached under earlier epochs.
+	CounterDeckEpochBumps = "sim.deck_epoch_bumps"
+	// CounterSpeculations counts lookahead validations dispatched by the
+	// engine while the preceding command executed.
+	CounterSpeculations = "core.speculations"
+	// CounterSpeculationsDropped counts lookahead hints dropped because
+	// the single speculation worker was still busy.
+	CounterSpeculationsDropped = "core.speculations_dropped"
+	// GaugeSpeculationHits tracks how many on-path validations were
+	// answered by a verdict a speculative lookahead had already computed
+	// — the count of pre-checks whose latency left the critical path.
+	GaugeSpeculationHits = "sim.speculation_hits"
+)
+
 // Prefixes for instrument families keyed by a dynamic component.
 const (
 	// PrefixAlerts + an AlertKind slug counts alerts by kind, e.g.

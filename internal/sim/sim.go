@@ -85,16 +85,43 @@ func WithBroadphase(enabled bool) Option {
 }
 
 // WithObserver publishes simulator telemetry (collision-check counter,
-// broadphase prune/keep counters, in-flight check gauge, GUI frame gauge)
-// into a registry — typically the system-wide one.
+// broadphase prune/keep counters, in-flight check gauge, GUI frame gauge,
+// and the motion fast path's cache/epoch/speculation instruments) into a
+// registry — typically the system-wide one.
 func WithObserver(reg *obs.Registry) Option {
 	return func(s *Simulator) {
+		s.reg = reg
 		s.cChecks = reg.Counter(obs.CounterSimChecks)
 		s.cPruned = reg.Counter(obs.CounterSimBroadphasePruned)
 		s.cKept = reg.Counter(obs.CounterSimBroadphaseKept)
 		s.gInFlight = reg.Gauge(obs.GaugeSimChecksInFlight)
 		s.gFrames = reg.Gauge(obs.GaugeGUIFrames)
+		s.cVerdictHits = reg.Counter(obs.CounterVerdictCacheHits)
+		s.cVerdictMisses = reg.Counter(obs.CounterVerdictCacheMisses)
+		s.cVerdictEvictions = reg.Counter(obs.CounterVerdictCacheEvictions)
+		s.cEpochBumps = reg.Counter(obs.CounterDeckEpochBumps)
+		s.gSpecHits = reg.Gauge(obs.GaugeSpeculationHits)
 	}
+}
+
+// WithMotionCache enables the motion-planning fast path: IK plans served
+// from a plan cache and sweep verdicts from an epoch-keyed verdict
+// cache. Off by default, because cached verdicts are only sound under
+// the epoch contract: whoever owns the model snapshots MUST call
+// BumpDeckEpoch whenever a deck-relevant variable (state.Key.
+// DeckRelevant) changes, atomically with publishing the changed model.
+// The engine honors that contract; bare simulators driven with ad-hoc
+// snapshots generally do not. The GUI path always bypasses the caches —
+// it exists to render every check, not to skip them.
+func WithMotionCache(enabled bool) Option {
+	return func(s *Simulator) { s.cacheOn = enabled }
+}
+
+// WithSharedPlanCache makes the simulator memoize IK plans in pc instead
+// of a private cache, so several simulators (or other planners) pool
+// solutions. Keys embed the chain identity, so arms never cross-read.
+func WithSharedPlanCache(pc *kin.PlanCache) Option {
+	return func(s *Simulator) { s.planCache = pc }
 }
 
 // mirrorArm is the simulator's model of one arm. Each arm carries its own
@@ -134,13 +161,28 @@ type Simulator struct {
 	// guiMu serialises rendering into the single shared framebuffer.
 	guiMu sync.Mutex
 	gui   *rasterizer
+	// Motion-planning fast path (WithMotionCache): memoized IK plans,
+	// epoch-keyed sweep verdicts, and the deck epoch itself. epoch is
+	// bumped by the model owner on every deck-relevant change; verdict
+	// keys embed it, so a bump orphans every earlier verdict.
+	cacheOn   bool
+	planCache *kin.PlanCache
+	verdicts  *verdictCache
+	epoch     atomic.Uint64
+	specHits  atomic.Int64
 	// Telemetry instruments, resolved once by WithObserver (nil-safe
 	// otherwise).
-	cChecks   *obs.Counter
-	cPruned   *obs.Counter
-	cKept     *obs.Counter
-	gInFlight *obs.Gauge
-	gFrames   *obs.Gauge
+	reg               *obs.Registry
+	cChecks           *obs.Counter
+	cPruned           *obs.Counter
+	cKept             *obs.Counter
+	gInFlight         *obs.Gauge
+	gFrames           *obs.Gauge
+	cVerdictHits      *obs.Counter
+	cVerdictMisses    *obs.Counter
+	cVerdictEvictions *obs.Counter
+	cEpochBumps       *obs.Counter
+	gSpecHits         *obs.Gauge
 }
 
 // New builds a simulator mirroring the given lab configuration.
@@ -171,8 +213,42 @@ func New(lab *config.Lab, opts ...Option) (*Simulator, error) {
 	for _, o := range opts {
 		o(s)
 	}
+	if s.cacheOn {
+		if s.planCache == nil {
+			s.planCache = kin.NewPlanCache(0)
+		}
+		s.verdicts = newVerdictCache(0)
+	}
+	if s.reg != nil && s.planCache != nil {
+		s.planCache.SetCounters(
+			s.reg.Counter(obs.CounterPlanCacheHits),
+			s.reg.Counter(obs.CounterPlanCacheMisses),
+			s.reg.Counter(obs.CounterPlanCacheEvictions),
+			s.reg.Counter(obs.CounterPlanCacheWarmStarts))
+	}
 	return s, nil
 }
+
+// PlanCache returns the simulator's plan cache (nil when the motion
+// cache is disabled and none was shared in).
+func (s *Simulator) PlanCache() *kin.PlanCache { return s.planCache }
+
+// DeckEpoch returns the current deck epoch. Callers that pair it with a
+// model snapshot must read both under the same lock that serialises
+// BumpDeckEpoch, or the pairing races.
+func (s *Simulator) DeckEpoch() uint64 { return s.epoch.Load() }
+
+// BumpDeckEpoch invalidates every cached verdict by advancing the deck
+// epoch. The model owner calls it — atomically with publishing the
+// changed model — whenever a deck-relevant variable changes.
+func (s *Simulator) BumpDeckEpoch() {
+	s.epoch.Add(1)
+	s.cEpochBumps.Inc()
+}
+
+// SpeculationHits reports how many on-path checks were answered by a
+// verdict a speculative lookahead had already computed.
+func (s *Simulator) SpeculationHits() int64 { return s.specHits.Load() }
 
 // SetBroadphase toggles the broadphase at runtime — for property tests
 // comparing pruned and unpruned verdicts over an already-wired stack. Not
@@ -199,17 +275,29 @@ func (s *Simulator) deckTarget(m *mirrorArm, cmd action.Command) (geom.Vec3, err
 // planned computes the trajectory a motion command would execute in the
 // mirror, or an error when no trajectory exists. The caller holds m.mu.
 func (s *Simulator) planned(m *mirrorArm, cmd action.Command) (*kin.Trajectory, error) {
+	return s.plannedFrom(m, m.joints, cmd)
+}
+
+// plannedFrom is planned starting from an explicit configuration — the
+// speculative lookahead plans the next command from the predicted
+// post-move configuration before the mirror has advanced. IK solves go
+// through the plan cache when the fast path is on. The caller holds
+// m.mu.
+func (s *Simulator) plannedFrom(m *mirrorArm, from []float64, cmd action.Command) (*kin.Trajectory, error) {
 	switch cmd.Action {
 	case action.MoveHome:
-		return &kin.Trajectory{Chain: m.profile.Chain, From: m.joints, To: m.profile.Home}, nil
+		return &kin.Trajectory{Chain: m.profile.Chain, From: from, To: m.profile.Home}, nil
 	case action.MoveSleep:
-		return &kin.Trajectory{Chain: m.profile.Chain, From: m.joints, To: m.profile.Sleep}, nil
+		return &kin.Trajectory{Chain: m.profile.Chain, From: from, To: m.profile.Sleep}, nil
 	default:
 		target, err := s.deckTarget(m, cmd)
 		if err != nil {
 			return nil, err
 		}
-		return m.profile.Chain.PlanJointMove(m.joints, target, kin.DefaultIKOptions())
+		if s.cacheOn && s.gui == nil {
+			return s.planCache.Plan(m.profile.Chain, from, target, kin.DefaultIKOptions())
+		}
+		return m.profile.Chain.PlanJointMove(from, target, kin.DefaultIKOptions())
 	}
 }
 
@@ -364,7 +452,50 @@ func (s *Simulator) ValidTrajectory(cmd action.Command, model state.Snapshot) er
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	tr, err := s.planned(m, cmd)
+	if s.cacheOn && s.gui == nil {
+		return s.cachedVerdict(m, m.joints, cmd, model, s.epoch.Load(), false)
+	}
+	return s.sweepValidate(m, m.joints, cmd, model)
+}
+
+// cachedVerdict answers a check from the verdict cache when possible and
+// runs (then memoizes) the sweep otherwise. epoch must have been read
+// under the same lock that made model current — the entry is stored for
+// exactly that (model, epoch) pairing, and a concurrent bump merely
+// strands it under a key no future lookup can form. The caller holds
+// m.mu.
+func (s *Simulator) cachedVerdict(m *mirrorArm, from []float64, cmd action.Command,
+	model state.Snapshot, epoch uint64, speculative bool) error {
+	key := s.verdictKey(from, cmd, epoch)
+	v, ok, wasSpec := s.verdicts.get(key, !speculative)
+	if ok {
+		if !speculative {
+			s.cVerdictHits.Inc()
+			if wasSpec {
+				s.gSpecHits.Set(s.specHits.Add(1))
+			}
+		}
+		if v.reason == "" {
+			return nil
+		}
+		return &Violation{Cmd: cmd, Reason: v.reason}
+	}
+	if !speculative {
+		s.cVerdictMisses.Inc()
+	}
+	err := s.sweepValidate(m, from, cmd, model)
+	reason := ""
+	if v, ok := err.(*Violation); ok {
+		reason = v.Reason
+	}
+	s.verdicts.put(key, outcome{reason: reason, spec: speculative}, s.cVerdictEvictions)
+	return err
+}
+
+// sweepValidate plans cmd from the given configuration and runs the full
+// swept-volume check against the model's deck. The caller holds m.mu.
+func (s *Simulator) sweepValidate(m *mirrorArm, from []float64, cmd action.Command, model state.Snapshot) error {
+	tr, err := s.plannedFrom(m, from, cmd)
 	if err != nil {
 		// The arm cannot plan this move at all. Whatever the real
 		// controller does (raise, halt, or silently skip), the
@@ -485,6 +616,37 @@ func (s *Simulator) Observe(cmd action.Command, model state.Snapshot) {
 		return // mirror stays put, like a controller that skipped
 	}
 	m.joints = append(m.joints[:0], tr.To...)
+}
+
+// SpeculateAfter pre-solves and pre-validates next as it will run once
+// prior completes, warming the plan and verdict caches off the critical
+// path. The predicted start configuration is prior's planned end point
+// when prior moves the same arm, the mirror's current configuration
+// otherwise. model and epoch must have been captured together under the
+// model owner's lock: the verdict is stored for exactly that pairing, so
+// a deck change during or after the speculation simply strands the entry
+// under a dead epoch — mis-speculation can waste work, never poison a
+// future check. Reports whether a speculation ran.
+func (s *Simulator) SpeculateAfter(prior, next action.Command, model state.Snapshot, epoch uint64) bool {
+	if !s.cacheOn || s.gui != nil || !next.Action.IsRobotMotion() {
+		return false
+	}
+	m, ok := s.arms[next.Device]
+	if !ok {
+		return false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	from := m.joints
+	if prior.Device == next.Device && prior.Action.IsRobotMotion() {
+		tr, err := s.plannedFrom(m, m.joints, prior)
+		if err != nil {
+			return false // prior cannot execute; nothing sound to predict
+		}
+		from = tr.To
+	}
+	s.cachedVerdict(m, from, next, model, epoch, true)
+	return true
 }
 
 // ArmTCP reports the mirror's current TCP for an arm (deck frame), for

@@ -139,6 +139,39 @@ func (o *Overlay) ApplyTo(dst Snapshot) {
 	}
 }
 
+// RangeEdits visits the overlay's accumulated edits — and those of any
+// overlay layers beneath it, bottom-up, the order ApplyTo commits them —
+// without touching the base snapshot at the bottom. Sets are reported
+// with present=true and the value; deletes with present=false. fn
+// returning false stops the walk. Commit paths use this to inspect what
+// an expectation is about to change (deck-epoch invalidation) while
+// applying it.
+func (o *Overlay) RangeEdits(fn func(k Key, v Value, present bool) bool) {
+	if base, ok := o.base.(*Overlay); ok {
+		stopped := false
+		base.RangeEdits(func(k Key, v Value, present bool) bool {
+			if !fn(k, v, present) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if stopped {
+			return
+		}
+	}
+	for k := range o.dels {
+		if !fn(k, Value{}, false) {
+			return
+		}
+	}
+	for k, v := range o.mods {
+		if !fn(k, v, true) {
+			return
+		}
+	}
+}
+
 // Materialize flattens any view into a standalone Snapshot.
 func Materialize(v View) Snapshot {
 	if s, ok := v.(Snapshot); ok {

@@ -83,6 +83,71 @@ func TestOverlayApplyToChain(t *testing.T) {
 	}
 }
 
+func TestOverlayRangeEditsMatchesApplyTo(t *testing.T) {
+	model := baseSnap()
+	o1 := NewOverlay(model)
+	o1.Set(Running("hp"), Bool(false))
+	o1.Delete(HeldObject("arm"))
+	o2 := NewOverlay(o1)
+	o2.Set(DoorStatus("dd"), Bool(true))
+	o2.Set(HeldObject("arm"), Str("beaker")) // resurrects o1's delete
+
+	// Applying the reported edits in order reproduces ApplyTo exactly.
+	replayed := baseSnap()
+	o2.RangeEdits(func(k Key, v Value, present bool) bool {
+		if present {
+			replayed[k] = v
+		} else {
+			delete(replayed, k)
+		}
+		return true
+	})
+	want := baseSnap()
+	o2.ApplyTo(want)
+	if !reflect.DeepEqual(replayed, want) {
+		t.Errorf("RangeEdits replay %v != ApplyTo %v", replayed, want)
+	}
+	// Early stop is honored.
+	n := 0
+	o2.RangeEdits(func(Key, Value, bool) bool {
+		n++
+		return false
+	})
+	if n != 1 {
+		t.Errorf("early stop visited %d edits, want 1", n)
+	}
+}
+
+func TestDeckRelevant(t *testing.T) {
+	relevant := []Key{
+		DoorStatus("dd"),
+		DoorStatusOf("cf", "lid"),
+		ArmInside("arm", "dd"),
+		Holding("arm"),
+		HeldObject("arm"),
+	}
+	for _, k := range relevant {
+		if !k.DeckRelevant() {
+			t.Errorf("%s should be deck-relevant", k)
+		}
+	}
+	irrelevant := []Key{
+		Running("hp"),
+		ActionValue("hp"),
+		ArmAt("arm"),
+		ArmAsleep("arm"),
+		ObjectAt("grid_NW"),
+		ContainerInside("cf"),
+		SolidAmount("vial_1"),
+		ZoneOccupied("ps"),
+	}
+	for _, k := range irrelevant {
+		if k.DeckRelevant() {
+			t.Errorf("%s should not be deck-relevant", k)
+		}
+	}
+}
+
 func TestCompareObservedViewMatchesSnapshotCompare(t *testing.T) {
 	base := baseSnap()
 	o := NewOverlay(base)

@@ -140,6 +140,22 @@ func (k Key) IsExogenous() bool {
 	return k.Variable() == "zoneOccupied"
 }
 
+// DeckRelevant reports whether the variable feeds the Extended
+// Simulator's collision verdicts: door panels swing obstacle geometry in
+// and out of a trajectory's way, an arm reaching inside a device
+// suppresses that device's box, and the held object extends the arm's
+// swept volume. The simulator's deck epoch must be bumped whenever one
+// of these changes — and only then, so cached verdicts survive the
+// dead-reckoning writes (amounts, locations, run states) that cannot
+// move deck geometry.
+func (k Key) DeckRelevant() bool {
+	switch k.Variable() {
+	case "deviceDoorStatus", "robotArmInside", "robotArmHolding", "robotArmHeldObject":
+		return true
+	}
+	return false
+}
+
 // SolidAmount is the model-tracked solid content of a container (mg),
 // dead-reckoned from dosing commands.
 func SolidAmount(container string) Key { return MakeKey("containerSolidMg", container) }

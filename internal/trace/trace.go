@@ -37,6 +37,15 @@ type Checker interface {
 	After(cmd action.Command) error
 }
 
+// Hinter is an optional Checker extension: Hint(cur, next) tells the
+// checker that next is queued behind the currently executing cur, so it
+// may pre-solve and pre-validate next's trajectory off the critical path
+// (the engine's speculative lookahead). Hint must not block and must be
+// safe to call with commands the checker will never actually see.
+type Hinter interface {
+	Hint(cur, next action.Command)
+}
+
 // Executor forwards a command to the lab for actual execution.
 type Executor interface {
 	Execute(cmd action.Command) error
@@ -107,6 +116,19 @@ func (i *Interceptor) finish(span obs.Span, mark int) {
 // device, mirroring RATracer raising a Python exception to halt the
 // experiment.
 func (i *Interceptor) Do(cmd action.Command) error {
+	return i.do(cmd, action.Command{}, false)
+}
+
+// DoLookahead is Do with knowledge of the next queued command: once cmd
+// passes its Before check, the checker (if it is a Hinter) is hinted with
+// the pair before execution starts, so a speculative lookahead can
+// overlap cmd's execution time. Verdicts are identical to Do — the hint
+// only warms caches.
+func (i *Interceptor) DoLookahead(cmd, next action.Command) error {
+	return i.do(cmd, next, true)
+}
+
+func (i *Interceptor) do(cmd, next action.Command, lookahead bool) error {
 	i.mu.Lock()
 	defer i.mu.Unlock()
 	span := i.hIntercept.Start()
@@ -121,6 +143,11 @@ func (i *Interceptor) Do(cmd action.Command) error {
 		if err := i.checker.Before(cmd); err != nil {
 			i.record(cmd, "blocked", err.Error())
 			return err
+		}
+		if lookahead {
+			if h, ok := i.checker.(Hinter); ok {
+				h.Hint(cmd, next)
+			}
 		}
 	}
 	spanExec := i.hExecute.Start()
@@ -245,10 +272,18 @@ func (i *Interceptor) Reset() {
 // offline checking of a captured experiment against a fresh lab — the
 // "testing experiment scripts" use the paper's three-stage framework
 // exists for, applied to traces instead of live scripts. Replay stops at
-// the first error (alert or execution failure).
+// the first error (alert or execution failure). The recorded stream is
+// the lookahead's ideal input — the next command is always known — so
+// each command is replayed with a hint for its successor.
 func Replay(i *Interceptor, records []Record) error {
-	for _, r := range records {
-		if err := i.Do(r.Cmd); err != nil {
+	for idx, r := range records {
+		var err error
+		if idx+1 < len(records) {
+			err = i.DoLookahead(r.Cmd, records[idx+1].Cmd)
+		} else {
+			err = i.Do(r.Cmd)
+		}
+		if err != nil {
 			return fmt.Errorf("trace: replaying #%d %s: %w", r.Seq, r.Cmd, err)
 		}
 	}

@@ -260,3 +260,71 @@ func TestReplay(t *testing.T) {
 		t.Errorf("error should cite the record: %v", err)
 	}
 }
+
+// hintChecker is a fakeChecker that also records lookahead hints.
+type hintChecker struct {
+	fakeChecker
+	hints [][2]action.Command
+}
+
+func (h *hintChecker) Hint(cur, next action.Command) {
+	h.hints = append(h.hints, [2]action.Command{cur, next})
+}
+
+func TestDoLookaheadHintsChecker(t *testing.T) {
+	ch := &hintChecker{}
+	ex := &fakeExecutor{}
+	i := NewInterceptor(ch, ex)
+	cur := cmdOpen()
+	next := action.Command{Device: "arm", Action: action.MoveRobot, Target: geom.V(0.2, 0.1, 0.2)}
+	if err := i.DoLookahead(cur, next); err != nil {
+		t.Fatal(err)
+	}
+	if len(ch.hints) != 1 {
+		t.Fatalf("hints = %d, want 1", len(ch.hints))
+	}
+	if ch.hints[0][1].Target != next.Target {
+		t.Errorf("hint carried wrong successor: %v", ch.hints[0][1])
+	}
+	// Plain Do never hints, and a blocked command is not followed by a
+	// hint (there is nothing to overlap with).
+	if err := i.Do(cur); err != nil {
+		t.Fatal(err)
+	}
+	blocked := &hintChecker{fakeChecker: fakeChecker{beforeErr: errors.New("unsafe")}}
+	ib := NewInterceptor(blocked, &fakeExecutor{})
+	if err := ib.DoLookahead(cur, next); err == nil {
+		t.Fatal("blocked command accepted")
+	}
+	if len(blocked.hints) != 0 {
+		t.Error("blocked command still hinted the checker")
+	}
+	if len(ch.hints) != 1 {
+		t.Errorf("plain Do hinted the checker (%d)", len(ch.hints))
+	}
+}
+
+func TestReplayHintsSuccessors(t *testing.T) {
+	rec := NewInterceptor(nil, &fakeExecutor{})
+	targets := []geom.Vec3{geom.V(0.1, 0, 0.2), geom.V(0.2, 0, 0.2), geom.V(0.3, 0, 0.2)}
+	for _, tgt := range targets {
+		cmd := action.Command{Device: "arm", Action: action.MoveRobot, Target: tgt}
+		if err := rec.Do(cmd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ch := &hintChecker{}
+	if err := Replay(NewInterceptor(ch, &fakeExecutor{}), rec.Records()); err != nil {
+		t.Fatal(err)
+	}
+	// N records produce N-1 hints, each pairing a command with its successor.
+	if len(ch.hints) != len(targets)-1 {
+		t.Fatalf("hints = %d, want %d", len(ch.hints), len(targets)-1)
+	}
+	for k, h := range ch.hints {
+		if h[0].Target != targets[k] || h[1].Target != targets[k+1] {
+			t.Errorf("hint %d pairs %v -> %v, want %v -> %v",
+				k, h[0].Target, h[1].Target, targets[k], targets[k+1])
+		}
+	}
+}

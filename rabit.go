@@ -78,6 +78,17 @@ type Options struct {
 	// SimulatorGUI renders every collision check to an offscreen
 	// framebuffer, reproducing the paper's GUI-dominated overhead.
 	SimulatorGUI bool
+	// NoMotionCache disables the motion-planning fast path — the
+	// simulator's IK plan cache and epoch-keyed verdict cache, and with
+	// them the engine's speculative lookahead — which is otherwise
+	// enabled whenever the extended simulator is attached. Benchmarks use
+	// it as the before/after switch; the caches are verdict-preserving
+	// (see internal/sim's equivalence property tests), so correctness
+	// never requires it.
+	NoMotionCache bool
+	// NoSpeculation keeps the caches but disables the engine's
+	// speculative lookahead worker.
+	NoSpeculation bool
 	// FailSafe is invoked on every alert (Section II-B's alternative to
 	// preemptively freezing).
 	FailSafe func(Alert)
@@ -162,8 +173,16 @@ func New(spec *config.LabSpec, o Options) (*System, error) {
 				sim.WithHeldObjectAware(o.Generation >= GenModified),
 				sim.WithObserver(reg),
 			}
+			if !o.NoMotionCache {
+				// Sound here because the engine owns the model and bumps
+				// the simulator's deck epoch on every deck-relevant commit.
+				simOpts = append(simOpts, sim.WithMotionCache(true))
+			}
 			if o.SimulatorGUI {
 				simOpts = append(simOpts, sim.WithGUI(640, 480))
+			}
+			if o.NoMotionCache || o.NoSpeculation {
+				engOpts = append(engOpts, core.WithSpeculation(false))
 			}
 			sm, err := sim.New(lab, simOpts...)
 			if err != nil {
