@@ -20,6 +20,9 @@
 //	-trace path     write the RATracer-style JSONL trace
 //	-metrics addr   serve live telemetry on addr: /debug/vars (expvar),
 //	                /metrics (text), /debug/pprof (profiling); off by default
+//	-incident-dir d write a self-contained flight-recorder incident bundle
+//	                (manifest.json + records.jsonl) under d for every alert;
+//	                inspect with rabiteval -incidents d
 //	-events path    write the structured telemetry event JSONL (one event
 //	                per command outcome and alert); off by default
 //	-seed n         noise seed
@@ -62,6 +65,7 @@ func run() error {
 		tracePath   = flag.String("trace", "", "write the JSONL command trace here")
 		metricsAddr = flag.String("metrics", "", "serve /debug/vars, /metrics, and pprof on this address (e.g. localhost:6060)")
 		eventsPath  = flag.String("events", "", "write the structured telemetry event JSONL here")
+		incidentDir = flag.String("incident-dir", "", "write a flight-recorder incident bundle here for every alert")
 		seed        = flag.Int64("seed", 1, "noise seed")
 	)
 	flag.Parse()
@@ -79,6 +83,7 @@ func run() error {
 		Unprotected:       *unprotected,
 		ExtendedSimulator: *withSim || *withGUI,
 		SimulatorGUI:      *withGUI,
+		IncidentDir:       *incidentDir,
 		Seed:              *seed,
 	}
 	switch *stageName {
@@ -197,6 +202,15 @@ func run() error {
 		fmt.Printf("stage-scaled damage cost: $%.2f\n", sys.DamageCost())
 	} else {
 		fmt.Println("\nno physical damage")
+	}
+
+	if *incidentDir != "" && sys.Recorder != nil {
+		if err := sys.Recorder.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "rabit: incident bundle:", err)
+		} else if len(sys.Alerts()) > 0 {
+			fmt.Printf("incident bundles written to %s (inspect with rabiteval -incidents %s)\n",
+				*incidentDir, *incidentDir)
+		}
 	}
 
 	if *tracePath != "" {

@@ -11,6 +11,16 @@
 //	rabiteval -throughput   run the replay-throughput benchmark
 //	rabiteval -motion       run the motion-planning fast-path benchmark
 //	                        (-json FILE additionally writes the rows as JSON)
+//	rabiteval -incident-dir DIR
+//	                        with the bug study (all, -table 5, -fig 5/6):
+//	                        run the fully equipped configuration with the
+//	                        flight recorder, writing one incident bundle
+//	                        per detected bug under DIR
+//	rabiteval -incidents DIR
+//	                        forensics mode: reconstruct a human-readable
+//	                        causal timeline for every incident bundle
+//	                        under DIR and aggregate detection-latency
+//	                        stats (no experiments run)
 //
 // With -metrics addr the process serves live telemetry while the
 // experiments run: /debug/vars (expvar), /metrics (text exposition), and
@@ -28,6 +38,7 @@ import (
 	"repro/internal/env"
 	"repro/internal/eval"
 	"repro/internal/obs"
+	"repro/internal/obs/recorder"
 	"repro/internal/rules"
 )
 
@@ -47,8 +58,14 @@ func run() error {
 	jsonPath := flag.String("json", "", "with -throughput or -motion, also write the measured rows to this JSON file")
 	pilot := flag.Bool("pilot", false, "run the pilot-study configuration-error experiment")
 	metricsAddr := flag.String("metrics", "", "serve /debug/vars, /metrics, and pprof on this address while experiments run")
+	incidentDir := flag.String("incident-dir", "", "write flight-recorder incident bundles from the bug study here")
+	incidents := flag.String("incidents", "", "analyze the incident bundles under this directory and exit")
 	seed := flag.Int64("seed", 1, "noise seed")
 	flag.Parse()
+
+	if *incidents != "" {
+		return incidentsRun(*incidents)
+	}
 
 	if *metricsAddr != "" {
 		srv, err := obs.Serve(*metricsAddr)
@@ -78,9 +95,12 @@ func run() error {
 	needStudy := all || *table == 5 || *fig == 5 || *fig == 6
 	if needStudy {
 		var err error
-		study, err = eval.RunBugStudy(*seed)
+		study, err = eval.RunBugStudyWithIncidents(*seed, *incidentDir)
 		if err != nil {
 			return err
+		}
+		if *incidentDir != "" {
+			fmt.Printf("incident bundles written to %s\n\n", *incidentDir)
 		}
 	}
 	if all || *table == 5 {
@@ -116,6 +136,22 @@ func run() error {
 			return err
 		}
 	}
+	return nil
+}
+
+// incidentsRun is the forensics mode: it loads every incident bundle
+// under dir, prints one causal timeline per incident, and closes with
+// the aggregate detection-latency report.
+func incidentsRun(dir string) error {
+	incs, err := recorder.LoadIncidents(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("=== Incident forensics: %d bundles under %s ===\n\n", len(incs), dir)
+	for _, in := range incs {
+		fmt.Println(eval.RenderIncidentTimeline(in))
+	}
+	fmt.Print(eval.RenderIncidentReport(eval.BuildIncidentReport(incs)))
 	return nil
 }
 

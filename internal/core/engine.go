@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/action"
 	"repro/internal/obs"
+	"repro/internal/obs/recorder"
 	"repro/internal/rules"
 	"repro/internal/state"
 	"repro/internal/trace"
@@ -224,17 +225,26 @@ type Engine struct {
 	// Motion fast path (see speculate.go): the simulator's deck-epoch and
 	// speculation surfaces when it offers them, the single-flight gate and
 	// drain group for the lookahead worker.
-	epocher  deckEpocher
-	spec     speculator
-	specOff  bool
-	specBusy atomic.Bool
-	specWG   sync.WaitGroup
+	epocher    deckEpocher
+	spec       speculator
+	specTagged speculatorTagged
+	specOff    bool
+	specBusy   atomic.Bool
+	specWG     sync.WaitGroup
 
 	// pending is S_expected for the in-flight global-path command(s),
 	// layered over the model copy-on-write. Concurrent batches chain
 	// several Befores onto one cumulative expectation that a single
 	// After settles. Guarded by mu.
 	pending *state.Overlay
+
+	// Flight recorder (see record.go): rec is the black box, pendingRecs
+	// the open records of the in-flight global batch (guarded by mu, like
+	// pending), provSim the simulator's provenance surface when it offers
+	// one.
+	rec         *recorder.Recorder
+	pendingRecs []*recorder.Active
+	provSim     provValidator
 
 	adminMu  sync.Mutex
 	started  bool
@@ -295,9 +305,15 @@ func New(rb *rules.Rulebase, env Environment, opts ...Option) *Engine {
 	e.epocher, _ = e.sim.(deckEpocher)
 	if e.epocher != nil {
 		e.spec, _ = e.sim.(speculator)
+		e.specTagged, _ = e.sim.(speculatorTagged)
 	}
+	e.provSim, _ = e.sim.(provValidator)
 	return e
 }
+
+// Recorder returns the attached flight recorder (nil when recording is
+// disabled).
+func (e *Engine) Recorder() *recorder.Recorder { return e.rec }
 
 // Obs returns the engine's telemetry registry (nil when instrumentation
 // was disabled via WithObserver(nil)).
@@ -322,6 +338,7 @@ func (e *Engine) Start() {
 	e.alerts = nil
 	e.adminMu.Unlock()
 	e.pending = nil
+	e.pendingRecs = nil
 	e.shardMu.Lock()
 	e.shards = map[string]*sync.Mutex{}
 	e.inFlight = map[string]int{}
@@ -466,25 +483,47 @@ func (e *Engine) beforeGlobal(cmd action.Command, start time.Time, fs **Alert) e
 	if stopped != nil {
 		return fmt.Errorf("%w: %s", ErrStopped, stopped.Error())
 	}
+	act := e.beginRecord(cmd, recorder.PathGlobal)
 	// Stage boundaries share clock reads to keep instrumentation under
 	// 1% of a check: before.validate runs from Before's entry (it covers
 	// normalization + rule evaluation) and its end stamp doubles as
 	// before.trajectory's start.
 	e.stateMu.RLock()
 	vs := e.rb.Validate(e.model, cmd)
+	if act != nil {
+		scope := recordScope(cmd, e.model.GetString(state.ContainerInside(cmd.Device)))
+		act.R.Pre = recorder.CaptureView(e.model, scope)
+	}
 	e.stateMu.RUnlock()
 	validateEnd := time.Now()
-	e.hValidate.Observe(validateEnd.Sub(start))
+	vd := validateEnd.Sub(start)
+	e.hValidate.Observe(vd)
+	if act != nil {
+		act.R.Spans.ValidateNS = vd.Nanoseconds()
+	}
 	if len(vs) > 0 {
-		return e.raise(Alert{Kind: AlertInvalidCommand, Cmd: cmd, Violations: vs}, fs)
+		al := e.raise(Alert{Kind: AlertInvalidCommand, Cmd: cmd, Violations: vs}, fs)
+		e.recordAlert(act, al)
+		return al
 	}
 	if cmd.Action.IsRobotMotion() && e.sim != nil {
+		var err error
 		e.stateMu.RLock()
-		err := e.sim.ValidTrajectory(cmd, e.model)
+		if act != nil && e.provSim != nil {
+			act.R.Verdict, err = e.provSim.ValidTrajectoryProv(cmd, e.model)
+		} else {
+			err = e.sim.ValidTrajectory(cmd, e.model)
+		}
 		e.stateMu.RUnlock()
-		e.hTrajectory.Observe(time.Since(validateEnd))
+		td := time.Since(validateEnd)
+		e.hTrajectory.Observe(td)
+		if act != nil {
+			act.R.Spans.TrajectoryNS = td.Nanoseconds()
+		}
 		if err != nil {
-			return e.raise(Alert{Kind: AlertInvalidTrajectory, Cmd: cmd, Reason: err.Error()}, fs)
+			al := e.raise(Alert{Kind: AlertInvalidTrajectory, Cmd: cmd, Reason: err.Error()}, fs)
+			e.recordAlert(act, al)
+			return al
 		}
 	}
 	e.stateMu.RLock()
@@ -494,6 +533,10 @@ func (e *Engine) beforeGlobal(cmd action.Command, start time.Time, fs **Alert) e
 		e.pending = e.rb.ExpectedOverlay(e.pending, cmd)
 	}
 	e.stateMu.RUnlock()
+	if act != nil {
+		act.R.Expected = recorder.CaptureEdits(e.pending)
+		e.pendingRecs = append(e.pendingRecs, act)
+	}
 	return nil
 }
 
@@ -512,28 +555,62 @@ func (e *Engine) afterGlobal(cmd action.Command, start time.Time, fs **Alert) er
 	e.cCommands.Inc()
 	pending := e.pending
 	e.pending = nil
+	recs := e.pendingRecs
+	e.pendingRecs = nil
+	// The After belongs to one command of the batch; its batch-mates'
+	// records settle alongside it (see settleBatch).
+	var act *recorder.Active
+	for _, a := range recs {
+		if a != nil && a.R.Seq == cmd.Seq && a.R.Device == cmd.Device {
+			act = a
+		}
+	}
 	// after.fetch runs from After's entry through state acquisition; its
 	// end stamp doubles as after.compare's start (see Before).
 	observed := e.env.FetchState()
 	e.dropInFlight(observed)
 	fetchEnd := time.Now()
-	e.hFetch.Observe(fetchEnd.Sub(start))
+	fd := fetchEnd.Sub(start)
+	e.hFetch.Observe(fd)
 	e.stateMu.RLock()
 	var expected state.View = e.model
 	if pending != nil {
 		expected = pending
 	}
 	ms := state.CompareObservedView(expected, observed)
+	if act != nil {
+		scope := recordScope(cmd, e.model.GetString(state.ContainerInside(cmd.Device)))
+		act.R.Observed = recorder.CaptureView(observed, scope)
+	}
 	e.stateMu.RUnlock()
-	e.hCompare.Observe(time.Since(fetchEnd))
+	cd := time.Since(fetchEnd)
+	e.hCompare.Observe(cd)
+	if act != nil {
+		act.R.Spans.FetchNS = fd.Nanoseconds()
+		act.R.Spans.CompareNS = cd.Nanoseconds()
+	}
 	if len(ms) > 0 {
-		return e.raise(Alert{Kind: AlertMalfunction, Cmd: cmd, Mismatches: ms}, fs)
+		al := e.raise(Alert{Kind: AlertMalfunction, Cmd: cmd, Mismatches: ms}, fs)
+		e.recordAlert(act, al)
+		by := ""
+		if act != nil {
+			by = act.R.Corr
+		}
+		e.settleBatch(recs, act, by)
+		return al
 	}
 	// S_current ← SetState(S_actual): observed facts win, dead-reckoned
 	// model facts persist. The pending overlay commits its edits into the
 	// live model in place — no full-map clone on the hot path — and any
 	// deck-relevant change bumps the simulator's epoch in the same
 	// critical section (see commitModel).
-	e.commitModel(pending, observed, cmd)
+	epoch := e.commitModel(pending, observed, cmd)
+	if act != nil {
+		act.R.Verdict.EpochAtCommit = epoch
+		act.Commit()
+		e.settleBatch(recs, act, act.R.Corr)
+	} else {
+		e.settleBatch(recs, nil, "")
+	}
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/action"
+	"repro/internal/obs/recorder"
 	"repro/internal/state"
 )
 
@@ -39,6 +40,7 @@ type shardTicket struct {
 	scopeSet map[string]bool
 	locks    []*sync.Mutex // acquired in scope order
 	expected *state.Overlay
+	rec      *recorder.Active // flight-recorder record, nil when off
 }
 
 // routeSharded decides the pipeline for a command.
@@ -213,16 +215,30 @@ func (e *Engine) beforeSharded(cmd action.Command, start time.Time, fs **Alert) 
 		e.releaseTicket(cmd.Device, t)
 		return fmt.Errorf("%w: %s", ErrStopped, stopped.Error())
 	}
+	t.rec = e.beginRecord(cmd, recorder.PathSharded)
 	e.stateMu.RLock()
 	vs := e.rb.Validate(e.model, cmd)
 	if len(vs) == 0 {
 		t.expected = e.rb.ExpectedOverlay(e.model, cmd)
 	}
+	if t.rec != nil {
+		// The ticket's scope IS the read scope the rules validated over.
+		t.rec.R.Pre = recorder.CaptureView(e.model, t.scope)
+	}
 	e.stateMu.RUnlock()
-	e.hValidate.Observe(time.Since(start))
+	vd := time.Since(start)
+	e.hValidate.Observe(vd)
+	if t.rec != nil {
+		t.rec.R.Spans.ValidateNS = vd.Nanoseconds()
+	}
 	if len(vs) > 0 {
 		e.releaseTicket(cmd.Device, t)
-		return e.raise(Alert{Kind: AlertInvalidCommand, Cmd: cmd, Violations: vs}, fs)
+		al := e.raise(Alert{Kind: AlertInvalidCommand, Cmd: cmd, Violations: vs}, fs)
+		e.recordAlert(t.rec, al)
+		return al
+	}
+	if t.rec != nil {
+		t.rec.R.Expected = recorder.CaptureEdits(t.expected)
 	}
 	return nil
 }
@@ -243,17 +259,30 @@ func (e *Engine) afterSharded(cmd action.Command, start time.Time, fs **Alert) e
 	e.cCommands.Inc()
 	observed := e.fetchScoped(t)
 	fetchEnd := time.Now()
-	e.hFetch.Observe(fetchEnd.Sub(start))
+	fd := fetchEnd.Sub(start)
+	e.hFetch.Observe(fd)
 	e.stateMu.RLock()
 	ms := state.CompareObservedView(t.expected, observed)
 	e.stateMu.RUnlock()
-	e.hCompare.Observe(time.Since(fetchEnd))
+	cd := time.Since(fetchEnd)
+	e.hCompare.Observe(cd)
+	if t.rec != nil {
+		t.rec.R.Spans.FetchNS = fd.Nanoseconds()
+		t.rec.R.Spans.CompareNS = cd.Nanoseconds()
+		t.rec.R.Observed = recorder.CaptureView(observed, t.scope)
+	}
 	if len(ms) > 0 {
-		return e.raise(Alert{Kind: AlertMalfunction, Cmd: cmd, Mismatches: ms}, fs)
+		al := e.raise(Alert{Kind: AlertMalfunction, Cmd: cmd, Mismatches: ms}, fs)
+		e.recordAlert(t.rec, al)
+		return al
 	}
 	// Sharded commands are never robot motion, but they do flip doors and
 	// held objects — exactly the deck-relevant changes the commit section
 	// must pair with an epoch bump (see commitModel).
-	e.commitModel(t.expected, observed, cmd)
+	epoch := e.commitModel(t.expected, observed, cmd)
+	if t.rec != nil {
+		t.rec.R.Verdict.EpochAtCommit = epoch
+		t.rec.Commit()
+	}
 	return nil
 }

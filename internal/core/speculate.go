@@ -1,7 +1,10 @@
 package core
 
 import (
+	"time"
+
 	"repro/internal/action"
+	"repro/internal/obs/recorder"
 	"repro/internal/rules"
 	"repro/internal/state"
 	"repro/internal/trace"
@@ -28,6 +31,13 @@ type speculator interface {
 	SpeculateAfter(prior, next action.Command, model state.Snapshot, epoch uint64) bool
 }
 
+// speculatorTagged is the flight-recorder extension of speculator: the
+// cached verdict carries the speculation's correlation ID so the check
+// that later consumes it can name the speculative span.
+type speculatorTagged interface {
+	SpeculateAfterTagged(prior, next action.Command, model state.Snapshot, epoch uint64, corr string) bool
+}
+
 var _ trace.Hinter = (*Engine)(nil)
 
 // WithSpeculation toggles the speculative lookahead (on by default when
@@ -41,8 +51,11 @@ func WithSpeculation(on bool) Option {
 // S_current ← pending edits, then observed facts, under one stateMu
 // acquisition. When the attached simulator keeps a deck epoch, any
 // deck-relevant change bumps it inside the same critical section, so no
-// trajectory check can ever pair the new model with the old epoch.
-func (e *Engine) commitModel(pending *state.Overlay, observed state.Snapshot, cmd action.Command) {
+// trajectory check can ever pair the new model with the old epoch. The
+// returned value is the deck epoch as of the commit (post-bump; 0
+// without an epoch-keeping simulator) — the flight recorder stamps it
+// next to the epoch the command validated under.
+func (e *Engine) commitModel(pending *state.Overlay, observed state.Snapshot, cmd action.Command) uint64 {
 	e.stateMu.Lock()
 	deckChanged := false
 	detect := e.epocher != nil
@@ -63,10 +76,15 @@ func (e *Engine) commitModel(pending *state.Overlay, observed state.Snapshot, cm
 	if deckChanged {
 		e.epocher.BumpDeckEpoch()
 	}
+	var epoch uint64
+	if detect {
+		epoch = e.epocher.DeckEpoch()
+	}
 	if e.sim != nil && cmd.Action.IsRobotMotion() {
 		e.sim.Observe(cmd, e.model)
 	}
 	e.stateMu.Unlock()
+	return epoch
 }
 
 // overlayChangesDeck reports whether committing o into model would change
@@ -110,6 +128,11 @@ func (e *Engine) Hint(cur, next action.Command) {
 	}
 	cur = rules.NormalizeCommand(e.rb.Lab(), cur)
 	next = rules.NormalizeCommand(e.rb.Lab(), next)
+	// Resolve the hinting command's correlation ID before the gate: the
+	// speculation's record must link back to the command whose execution
+	// window it overlaps, even though that command will likely have
+	// settled by the time anything consumes the cached verdict.
+	parent := e.corrOf(cur)
 	if !e.specBusy.CompareAndSwap(false, true) {
 		e.cSpecDropped.Inc()
 		return
@@ -122,8 +145,25 @@ func (e *Engine) Hint(cur, next action.Command) {
 		model := e.model.Clone()
 		epoch := e.epocher.DeckEpoch()
 		e.stateMu.RUnlock()
-		if e.spec.SpeculateAfter(cur, next, model, epoch) {
+		spec := e.rec.BeginSpec(parent, next)
+		specStart := time.Now()
+		var ran bool
+		if spec != nil && e.specTagged != nil {
+			spec.R.TNS = e.env.Now().Nanoseconds()
+			spec.R.Verdict = recorder.Verdict{Source: recorder.SourceSpeculative, EpochAtValidation: epoch}
+			ran = e.specTagged.SpeculateAfterTagged(cur, next, model, epoch, spec.R.Corr)
+		} else {
+			ran = e.spec.SpeculateAfter(cur, next, model, epoch)
+		}
+		if ran {
 			e.cSpeculations.Inc()
+		}
+		if spec != nil {
+			spec.R.Spans.TrajectoryNS = time.Since(specStart).Nanoseconds()
+			if !ran {
+				spec.R.Outcome = "skipped"
+			}
+			spec.Commit()
 		}
 	}()
 }

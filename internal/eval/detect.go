@@ -76,6 +76,16 @@ type BugStudy struct {
 // RunBugStudy replays all sixteen bugs under the three configurations and
 // once unprotected.
 func RunBugStudy(seed int64) (*BugStudy, error) {
+	return RunBugStudyWithIncidents(seed, "")
+}
+
+// RunBugStudyWithIncidents is RunBugStudy with forensics: when
+// incidentDir is non-empty, the fully equipped configuration
+// (modified+sim) runs with the flight recorder writing incident bundles
+// there, one per detected bug, tagged with the bug's slug. The other
+// configurations run untagged so each detection maps to exactly one
+// bundle.
+func RunBugStudyWithIncidents(seed int64, incidentDir string) (*BugStudy, error) {
 	study := &BugStudy{}
 	for _, b := range bugs.Suite() {
 		out := BugOutcome{
@@ -84,7 +94,12 @@ func RunBugStudy(seed int64) (*BugStudy, error) {
 			AlertKinds: make(map[ConfigName]string, 3),
 		}
 		for _, cfg := range StudyConfigs() {
-			detected, kind, err := runBugOnce(b, cfg.options(seed))
+			o := cfg.options(seed)
+			if incidentDir != "" && cfg == ConfigModifiedSim {
+				o.IncidentDir = incidentDir
+				o.IncidentTag = b.Slug
+			}
+			detected, kind, err := runBugOnce(b, o)
 			if err != nil {
 				return nil, fmt.Errorf("eval: bug %d (%s) under %s: %w", b.ID, b.Slug, cfg, err)
 			}

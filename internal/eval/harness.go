@@ -14,6 +14,7 @@ import (
 	"repro/internal/env"
 	"repro/internal/labs"
 	"repro/internal/obs"
+	"repro/internal/obs/recorder"
 	"repro/internal/rules"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -46,6 +47,16 @@ type Options struct {
 	// NoSpeculation keeps the caches but turns off the engine's
 	// speculative lookahead worker.
 	NoSpeculation bool
+	// IncidentDir is where the flight recorder writes incident bundles
+	// (empty: ring only).
+	IncidentDir string
+	// IncidentTag labels this run's bundles (the bug study tags each
+	// injection's bundles with the bug slug).
+	IncidentTag string
+	// NoRecorder disables the flight recorder — the recorder-overhead
+	// benchmark's before/after switch and the observer-effect property
+	// test's control arm.
+	NoRecorder bool
 	// Seed drives all stochastic fidelity noise.
 	Seed int64
 }
@@ -70,6 +81,7 @@ type Setup struct {
 	Interceptor *trace.Interceptor
 	Session     *workflow.Session
 	Obs         *obs.Registry
+	Recorder    *recorder.Recorder
 	Opt         Options
 }
 
@@ -85,6 +97,9 @@ func NewSetup(spec *config.LabSpec, o Options) (*Setup, error) {
 		SerialPipeline:    o.SerialPipeline,
 		NoMotionCache:     o.NoMotionCache,
 		NoSpeculation:     o.NoSpeculation,
+		IncidentDir:       o.IncidentDir,
+		IncidentTag:       o.IncidentTag,
+		NoRecorder:        o.NoRecorder,
 		Seed:              o.Seed,
 	})
 	if err != nil {
@@ -98,6 +113,7 @@ func NewSetup(spec *config.LabSpec, o Options) (*Setup, error) {
 		Interceptor: sys.Interceptor,
 		Session:     sys.Session,
 		Obs:         sys.Obs,
+		Recorder:    sys.Recorder,
 		Opt:         o,
 	}, nil
 }

@@ -36,6 +36,9 @@ type ThroughputOptions struct {
 	// sharded engine lifts exactly that restriction, which is what this
 	// harness measures.
 	Serial bool
+	// NoRecorder disables the flight recorder — the recorder-overhead
+	// benchmark's before/after switch.
+	NoRecorder bool
 	// Seed drives stochastic fidelity noise.
 	Seed int64
 }
@@ -114,6 +117,7 @@ func Throughput(o ThroughputOptions) (*ThroughputResult, error) {
 		Rules:          rules.Config{Generation: rules.GenModified, Multiplex: rules.MultiplexTime},
 		WithRABIT:      true,
 		SerialPipeline: o.Serial,
+		NoRecorder:     o.NoRecorder,
 		Seed:           o.Seed,
 	})
 	if err != nil {
@@ -131,6 +135,7 @@ func Throughput(o ThroughputOptions) (*ThroughputResult, error) {
 			interceptors[g] = s.Interceptor
 		} else {
 			interceptors[g] = trace.NewInterceptor(s.Engine, s.Env)
+			interceptors[g].SetRecorder(s.Recorder)
 		}
 	}
 

@@ -188,6 +188,36 @@ func (h *Histogram) Reset() {
 	h.max.Store(0)
 }
 
+// BucketBoundsNS returns the fixed bucket ladder's upper bounds in
+// nanoseconds, excluding the overflow (+Inf) bucket. The slice is a
+// fresh copy; exposition layers align it with CumulativeCounts.
+func BucketBoundsNS() []int64 {
+	out := make([]int64, len(bucketBounds))
+	for i, b := range bucketBounds {
+		out[i] = b.Nanoseconds()
+	}
+	return out
+}
+
+// CumulativeCounts returns the cumulative observation count at every
+// fixed bucket bound, plus a final entry for the overflow (+Inf) bucket
+// — len(BucketBoundsNS())+1 entries, the last equal to Count(). Unlike
+// the snapshot's sparse Buckets, every bucket is present (zeros
+// included), which is what a Prometheus _bucket series requires.
+// Nil-safe (nil).
+func (h *Histogram) CumulativeCounts() []int64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]int64, numBuckets)
+	var cum int64
+	for i := 0; i < numBuckets; i++ {
+		cum += h.buckets[i].Load()
+		out[i] = cum
+	}
+	return out
+}
+
 // HistogramBucket is one bucket of a snapshot: observations ≤ UpperNS
 // (cumulative, Prometheus-style).
 type HistogramBucket struct {
@@ -206,6 +236,11 @@ type HistogramSnapshot struct {
 	P99NS   int64             `json:"p99_ns"`
 	MaxNS   int64             `json:"max_ns"`
 	Buckets []HistogramBucket `json:"buckets,omitempty"`
+	// CumCounts is the dense cumulative series over the full fixed
+	// ladder (see Histogram.CumulativeCounts); index i pairs with
+	// BucketBoundsNS()[i], and the final entry is the +Inf bucket.
+	// Present only when the histogram has observations.
+	CumCounts []int64 `json:"cum_counts,omitempty"`
 }
 
 // snapshot captures the histogram under a name.
@@ -232,6 +267,9 @@ func (h *Histogram) snapshot(name string) HistogramSnapshot {
 			upper = bucketBounds[i].Nanoseconds()
 		}
 		s.Buckets = append(s.Buckets, HistogramBucket{UpperNS: upper, Cumulative: cum})
+	}
+	if s.Count > 0 {
+		s.CumCounts = h.CumulativeCounts()
 	}
 	return s
 }

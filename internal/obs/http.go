@@ -1,12 +1,14 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"sync"
+	"time"
 )
 
 // The package-level group: every registry a process wants scraped.
@@ -87,6 +89,7 @@ func Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/metrics", metricsText)
+	mux.HandleFunc("/metrics/prom", promMetricsText)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -141,20 +144,56 @@ func sanitize(name string) string {
 	return string(b)
 }
 
+// Server is a running introspection endpoint with a graceful shutdown
+// path: Close/Shutdown stop the listener, drain in-flight requests, and
+// wait for the serve goroutine to exit, so tests and the CLIs never
+// leak the listener or race its teardown.
+type Server struct {
+	// Addr is the bound address (useful with ":0" listeners).
+	Addr string
+
+	srv  *http.Server
+	done chan struct{}
+}
+
+// Shutdown gracefully stops the server: no new connections, in-flight
+// requests drain until ctx expires, and the serve goroutine has exited
+// by the time it returns. Nil-safe; idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s == nil {
+		return nil
+	}
+	err := s.srv.Shutdown(ctx)
+	<-s.done
+	return err
+}
+
+// Close is Shutdown with a bounded drain (5s), for defer-friendly
+// teardown. Nil-safe; idempotent.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return s.Shutdown(ctx)
+}
+
 // Serve starts the introspection endpoint on addr (e.g. "localhost:6060")
-// in a background goroutine and returns the bound server. Callers that
-// care shut it down with srv.Close; the CLIs just let it die with the
-// process.
-func Serve(addr string) (*http.Server, error) {
+// in a background goroutine and returns the bound server. Callers shut
+// it down with Close (bounded) or Shutdown (caller's context).
+func Serve(addr string) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: metrics listener: %w", err)
 	}
 	srv := &http.Server{Addr: ln.Addr().String(), Handler: Handler()}
+	s := &Server{Addr: srv.Addr, srv: srv, done: make(chan struct{})}
 	go func() {
-		// ErrServerClosed after Close is the expected exit; anything else
-		// has nowhere useful to go from a background goroutine.
+		defer close(s.done)
+		// ErrServerClosed after Shutdown is the expected exit; anything
+		// else has nowhere useful to go from a background goroutine.
 		_ = srv.Serve(ln)
 	}()
-	return srv, nil
+	return s, nil
 }

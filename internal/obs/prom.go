@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The Prometheus text-format exposition (/metrics/prom). The flat
+// /metrics rendering predates it and keeps its ad-hoc shape for existing
+// consumers; this endpoint speaks the standard text format 0.0.4 —
+// # TYPE lines, counters suffixed _total, histograms as real _bucket /
+// _sum / _count series with le labels in seconds — so an off-the-shelf
+// Prometheus scrape ingests RABIT's registries unmodified.
+
+// promMetricsText renders every registered registry in the Prometheus
+// text exposition format.
+func promMetricsText(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	WritePromText(w, Snapshots())
+}
+
+// promFamily accumulates one metric family's samples so each family
+// renders under a single # TYPE header even when several registries
+// carry the instrument.
+type promFamily struct {
+	typ   string // "counter" | "gauge" | "histogram"
+	lines []string
+}
+
+// WritePromText renders snapshots in the Prometheus text format. Metric
+// names are stable: "rabit_" + the sanitized instrument name, counters
+// suffixed _total, histograms suffixed _seconds (durations convert from
+// nanoseconds). Every series carries a reg label naming its registry's
+// scrape alias.
+func WritePromText(w io.Writer, snaps []Snapshot) {
+	fams := map[string]*promFamily{}
+	family := func(name, typ string) *promFamily {
+		f, ok := fams[name]
+		if !ok {
+			f = &promFamily{typ: typ}
+			fams[name] = f
+		}
+		return f
+	}
+	for _, s := range snaps {
+		reg := s.Name
+		for _, c := range s.Counters {
+			name := "rabit_" + sanitize(c.Name) + "_total"
+			f := family(name, "counter")
+			f.lines = append(f.lines, fmt.Sprintf("%s{reg=%q} %d", name, reg, c.Value))
+		}
+		for _, g := range s.Gauges {
+			name := "rabit_" + sanitize(g.Name)
+			f := family(name, "gauge")
+			f.lines = append(f.lines, fmt.Sprintf("%s{reg=%q} %d", name, reg, g.Value))
+		}
+		bounds := BucketBoundsNS()
+		for _, h := range s.Histograms {
+			name := "rabit_" + sanitize(h.Name) + "_seconds"
+			f := family(name, "histogram")
+			cum := h.CumCounts
+			if cum == nil {
+				// An empty histogram still exposes a complete series.
+				cum = make([]int64, len(bounds)+1)
+			}
+			for i, b := range bounds {
+				f.lines = append(f.lines, fmt.Sprintf("%s_bucket{reg=%q,le=%q} %d",
+					name, reg, promSeconds(b), cum[i]))
+			}
+			f.lines = append(f.lines, fmt.Sprintf("%s_bucket{reg=%q,le=\"+Inf\"} %d",
+				name, reg, cum[len(cum)-1]))
+			f.lines = append(f.lines, fmt.Sprintf("%s_sum{reg=%q} %s",
+				name, reg, promSeconds(h.SumNS)))
+			f.lines = append(f.lines, fmt.Sprintf("%s_count{reg=%q} %d", name, reg, h.Count))
+		}
+	}
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, name := range names {
+		f := fams[name]
+		fmt.Fprintf(&sb, "# TYPE %s %s\n", name, f.typ)
+		for _, line := range f.lines {
+			sb.WriteString(line)
+			sb.WriteByte('\n')
+		}
+	}
+	io.WriteString(w, sb.String())
+}
+
+// promSeconds renders a nanosecond quantity as seconds, the unit
+// Prometheus conventions require for durations.
+func promSeconds(ns int64) string {
+	return strconv.FormatFloat(float64(ns)/1e9, 'g', -1, 64)
+}

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWritePromText(t *testing.T) {
+	reg := NewRegistry("prom-test")
+	reg.Counter("outcome.ok").Add(7)
+	reg.Gauge("pending").Set(3)
+	h := reg.Histogram(StageValidate)
+	h.Observe(5 * time.Microsecond)
+	h.Observe(40 * time.Microsecond)
+	h.Observe(3 * time.Millisecond)
+
+	var b strings.Builder
+	snap := reg.Snapshot()
+	snap.Name = "prom-test"
+	WritePromText(&b, []Snapshot{snap})
+	text := b.String()
+
+	for _, want := range []string{
+		"# TYPE rabit_outcome_ok_total counter",
+		`rabit_outcome_ok_total{reg="prom-test"} 7`,
+		"# TYPE rabit_pending gauge",
+		`rabit_pending{reg="prom-test"} 3`,
+		"# TYPE rabit_before_validate_seconds histogram",
+		`rabit_before_validate_seconds_bucket{reg="prom-test",le="+Inf"} 3`,
+		`rabit_before_validate_seconds_count{reg="prom-test"} 3`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q\n%s", want, text)
+		}
+	}
+
+	// The bucket series must be dense (every fixed bound plus +Inf) and
+	// monotonically non-decreasing.
+	bounds := BucketBoundsNS()
+	prefix := `rabit_before_validate_seconds_bucket{reg="prom-test",le=`
+	var counts []int64
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, prefix) {
+			var v int64
+			if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &v); err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+			counts = append(counts, v)
+		}
+	}
+	if len(counts) != len(bounds)+1 {
+		t.Fatalf("bucket series has %d entries, want %d (+Inf included)", len(counts), len(bounds)+1)
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] < counts[i-1] {
+			t.Fatalf("cumulative bucket counts decrease at %d: %v", i, counts)
+		}
+	}
+	if counts[len(counts)-1] != 3 {
+		t.Fatalf("+Inf bucket = %d, want total count 3", counts[len(counts)-1])
+	}
+
+	// One # TYPE header per family.
+	if n := strings.Count(text, "# TYPE rabit_before_validate_seconds "); n != 1 {
+		t.Fatalf("histogram family declared %d times", n)
+	}
+}
+
+func TestWritePromTextEmptyHistogram(t *testing.T) {
+	reg := NewRegistry("prom-empty")
+	reg.Histogram(StageCompare) // instantiated, never observed
+	var b strings.Builder
+	snap := reg.Snapshot()
+	snap.Name = "prom-empty"
+	WritePromText(&b, []Snapshot{snap})
+	if !strings.Contains(b.String(), `rabit_after_compare_seconds_bucket{reg="prom-empty",le="+Inf"} 0`) {
+		t.Fatalf("empty histogram must still expose a complete series:\n%s", b.String())
+	}
+}
+
+// TestServeGracefulShutdown drives the real listener: serve, scrape both
+// exposition endpoints, shut down, and verify the address is released.
+func TestServeGracefulShutdown(t *testing.T) {
+	reg := NewRegistry("shutdown-test")
+	Register(reg)
+	defer Unregister(reg)
+	reg.Counter("outcome.ok").Inc()
+
+	srv, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{"/metrics", "/metrics/prom"} {
+		resp, err := http.Get("http://" + srv.Addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if !strings.Contains(string(body), "outcome") {
+			t.Fatalf("GET %s: registry missing from exposition", path)
+		}
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := http.Get("http://" + srv.Addr + "/metrics"); err == nil {
+		t.Fatal("server still serving after Close")
+	}
+	// A second Serve on the same address proves the listener was freed.
+	srv2, err := Serve(srv.Addr)
+	if err != nil {
+		t.Fatalf("rebind after shutdown: %v", err)
+	}
+	if err := srv2.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	var nilSrv *Server
+	if err := nilSrv.Close(); err != nil {
+		t.Fatalf("nil server close: %v", err)
+	}
+}

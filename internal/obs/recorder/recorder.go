@@ -1,0 +1,275 @@
+// Package recorder is RABIT's flight recorder: a lock-sharded,
+// allocation-bounded ring buffer that keeps a black-box window of
+// structured per-command records — command and arguments, correlation
+// ID, rule IDs evaluated with their read-scoped state views, sim verdict
+// provenance, the pipeline path taken, and per-stage span timings. On
+// any alert the surrounding window is frozen and written out as a
+// self-contained incident bundle (JSONL records plus a manifest), so the
+// evidence an operator needs to reconstruct why the safety system fired
+// is already on disk when it does.
+//
+// The recorder is an observer, never an actor: every entry point is
+// nil-safe, records are captured into preallocated ring slots guarded by
+// per-shard mutexes keyed on device, and nothing in it can change a
+// verdict — the eval harness's recorder-on/off property test holds it to
+// that.
+package recorder
+
+import (
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/action"
+	"repro/internal/obs"
+)
+
+// DefaultDepth is the ring's total capacity when Options.Depth is unset:
+// enough to hold the full recent history of a testbed workflow and a
+// couple of seconds of sharded-fleet traffic, at a bounded few hundred
+// KB of records.
+const DefaultDepth = 1024
+
+// numShards spreads ring inserts across independently locked segments so
+// concurrent sharded-pipeline commands do not serialize on the recorder.
+const numShards = 8
+
+// Options configures a Recorder.
+type Options struct {
+	// Depth is the total ring capacity (records), divided across the
+	// shards. Zero or negative selects DefaultDepth.
+	Depth int
+	// Dir is the incident-bundle directory; "" records to the ring only
+	// (the window is still inspectable via Window) but writes nothing.
+	Dir string
+	// Tag is a human label folded into bundle directory names and
+	// manifests — the eval harness tags each bug injection's bundles.
+	Tag string
+	// Obs receives the recorder's own counters (records, incidents,
+	// write errors). Nil disables them.
+	Obs *obs.Registry
+}
+
+// recShard is one independently locked ring segment.
+type recShard struct {
+	mu   sync.Mutex
+	buf  []Record
+	next int // slot the next push lands in
+	n    int // filled slots, ≤ len(buf)
+}
+
+// Recorder is the flight recorder. All methods are safe for concurrent
+// use and nil-safe, so callers wire it unconditionally and pass nil to
+// disable recording.
+type Recorder struct {
+	shards [numShards]recShard
+	ord    atomic.Uint64 // global insertion order, for window sorting
+	corr   atomic.Uint64 // correlation-ID source
+
+	dir string
+	tag string
+
+	// bundleMu serializes bundle directory allocation and writing.
+	bundleMu  sync.Mutex
+	bundleSeq int
+
+	errMu   sync.Mutex
+	lastErr error
+
+	cRecords   *obs.Counter
+	cIncidents *obs.Counter
+	cErrors    *obs.Counter
+}
+
+// New builds a recorder with preallocated ring storage.
+func New(o Options) *Recorder {
+	depth := o.Depth
+	if depth <= 0 {
+		depth = DefaultDepth
+	}
+	per := depth / numShards
+	if per < 1 {
+		per = 1
+	}
+	r := &Recorder{dir: o.Dir, tag: o.Tag}
+	for i := range r.shards {
+		r.shards[i].buf = make([]Record, per)
+	}
+	r.cRecords = o.Obs.Counter(obs.CounterRecorderRecords)
+	r.cIncidents = o.Obs.Counter(obs.CounterRecorderIncidents)
+	r.cErrors = o.Obs.Counter(obs.CounterRecorderErrors)
+	return r
+}
+
+// On reports whether recording is enabled. Nil-safe (false).
+func (r *Recorder) On() bool { return r != nil }
+
+// Depth returns the total ring capacity. Nil-safe (0).
+func (r *Recorder) Depth() int {
+	if r == nil {
+		return 0
+	}
+	n := 0
+	for i := range r.shards {
+		n += len(r.shards[i].buf)
+	}
+	return n
+}
+
+// Dir returns the incident-bundle directory ("" when bundles are
+// disabled). Nil-safe.
+func (r *Recorder) Dir() string {
+	if r == nil {
+		return ""
+	}
+	return r.dir
+}
+
+// Err returns the last bundle-write error, if any. Nil-safe.
+func (r *Recorder) Err() error {
+	if r == nil {
+		return nil
+	}
+	r.errMu.Lock()
+	defer r.errMu.Unlock()
+	return r.lastErr
+}
+
+func (r *Recorder) fail(err error) {
+	r.errMu.Lock()
+	r.lastErr = err
+	r.errMu.Unlock()
+	r.cErrors.Inc()
+}
+
+// Active is one record under construction. The owning pipeline goroutine
+// fills R freely until Commit/CommitIncident copies it into the ring;
+// after that the handle must not be touched again.
+type Active struct {
+	rec *Recorder
+	R   Record
+}
+
+// Begin opens a command record with a fresh correlation ID. Nil-safe
+// (returns nil, and a nil *Active tolerates Commit/CommitIncident).
+func (r *Recorder) Begin(cmd action.Command, path string) *Active {
+	if r == nil {
+		return nil
+	}
+	return &Active{rec: r, R: Record{
+		Corr:   corrID("c", r.corr.Add(1)),
+		Kind:   KindCommand,
+		Path:   path,
+		Seq:    cmd.Seq,
+		Device: cmd.Device,
+		Action: string(cmd.Action),
+		cmd:    cmd,
+		hasCmd: true,
+	}}
+}
+
+// BeginSpec opens a speculation record linked to the command whose
+// execution window the lookahead overlaps (parent may be "" when the
+// hinting command could not be resolved). Nil-safe.
+func (r *Recorder) BeginSpec(parent string, next action.Command) *Active {
+	if r == nil {
+		return nil
+	}
+	return &Active{rec: r, R: Record{
+		Corr:   corrID("s", r.corr.Add(1)),
+		Parent: parent,
+		Kind:   KindSpeculation,
+		Path:   PathSpeculative,
+		Device: next.Device,
+		Action: string(next.Action),
+		cmd:    next,
+		hasCmd: true,
+	}}
+}
+
+// Commit pushes the finished record into the ring. Nil-safe.
+func (a *Active) Commit() {
+	if a == nil {
+		return
+	}
+	a.rec.push(a.R)
+}
+
+// CommitIncident pushes the finished record — an alert trigger — and
+// freezes the window into an incident bundle (when a bundle directory is
+// configured). Nil-safe.
+func (a *Active) CommitIncident() {
+	if a == nil {
+		return
+	}
+	a.rec.push(a.R)
+	a.rec.writeBundle(a.R)
+}
+
+// push copies a record into its device's shard, stamping the global
+// insertion order.
+func (r *Recorder) push(rec Record) {
+	rec.Ord = r.ord.Add(1)
+	sh := &r.shards[r.shardOf(rec.Device)]
+	sh.mu.Lock()
+	sh.buf[sh.next] = rec
+	sh.next = (sh.next + 1) % len(sh.buf)
+	if sh.n < len(sh.buf) {
+		sh.n++
+	}
+	sh.mu.Unlock()
+	r.cRecords.Inc()
+}
+
+func (r *Recorder) shardOf(device string) int {
+	h := fnv.New32a()
+	h.Write([]byte(device))
+	return int(h.Sum32() % numShards)
+}
+
+// Annotate back-fills the most recent ring record for (device, seq) with
+// the interceptor's view of the command: its final outcome and the
+// execution span. A record that already fell off the ring is silently
+// skipped — annotation is best-effort by design. Nil-safe.
+func (r *Recorder) Annotate(device string, seq int, outcome string, execNS int64) {
+	if r == nil {
+		return
+	}
+	sh := &r.shards[r.shardOf(device)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	n := len(sh.buf)
+	for k := 0; k < sh.n; k++ {
+		rec := &sh.buf[((sh.next-1-k)%n+n)%n]
+		if rec.Kind == KindCommand && rec.Seq == seq && rec.Device == device {
+			rec.Outcome = outcome
+			rec.Spans.ExecNS = execNS
+			return
+		}
+	}
+}
+
+// Window snapshots the full ring, oldest first (global insertion order),
+// materializing the lazily rendered command strings on the copies. The
+// returned records share their maps/slices with the ring, which is safe:
+// committed records are only ever scalar-annotated. Nil-safe.
+func (r *Recorder) Window() []Record {
+	if r == nil {
+		return nil
+	}
+	var out []Record
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		n := len(sh.buf)
+		for k := 0; k < sh.n; k++ {
+			out = append(out, sh.buf[((sh.next-sh.n+k)%n+n)%n])
+		}
+		sh.mu.Unlock()
+	}
+	for i := range out {
+		out[i].render()
+	}
+	sortRecords(out)
+	return out
+}

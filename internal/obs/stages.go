@@ -84,6 +84,18 @@ const (
 	GaugeSpeculationHits = "sim.speculation_hits"
 )
 
+// Flight-recorder instruments (internal/obs/recorder).
+const (
+	// CounterRecorderRecords counts records committed to the black-box
+	// ring.
+	CounterRecorderRecords = "recorder.records"
+	// CounterRecorderIncidents counts incident bundles written.
+	CounterRecorderIncidents = "recorder.incidents"
+	// CounterRecorderErrors counts incident-bundle write failures (the
+	// pipeline never fails on them; see Recorder.Err).
+	CounterRecorderErrors = "recorder.errors"
+)
+
 // Prefixes for instrument families keyed by a dynamic component.
 const (
 	// PrefixAlerts + an AlertKind slug counts alerts by kind, e.g.

@@ -196,6 +196,21 @@ func (rb *Rulebase) Validate(s state.View, cmd action.Command) []Violation {
 	return out
 }
 
+// AppliedRuleIDs lists the IDs of the rules Validate evaluates for a
+// command — its label's indexed bucket filtered to matching devices.
+// The flight recorder stamps them into each command's record as the
+// provenance of its validation.
+func (rb *Rulebase) AppliedRuleIDs(cmd action.Command) []string {
+	rs := rb.RulesFor(cmd.Action)
+	out := make([]string, 0, len(rs))
+	for _, r := range rs {
+		if r.matchesDevice(cmd) {
+			out = append(out, r.ID)
+		}
+	}
+	return out
+}
+
 // Expected implements UpdateState(S_current, a_next) from Fig. 2,
 // line 11.
 func (rb *Rulebase) Expected(s state.Snapshot, cmd action.Command) state.Snapshot {

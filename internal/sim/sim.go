@@ -38,6 +38,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/kin"
 	"repro/internal/obs"
+	"repro/internal/obs/recorder"
 	"repro/internal/rules"
 	"repro/internal/state"
 )
@@ -432,8 +433,19 @@ func (s *Simulator) sweptBounds(m *mirrorArm, tr *kin.Trajectory,
 // mutate it during the call. Checks for different arms run concurrently;
 // checks for the same arm serialise on that arm's mirror.
 func (s *Simulator) ValidTrajectory(cmd action.Command, model state.Snapshot) error {
+	_, err := s.ValidTrajectoryProv(cmd, model)
+	return err
+}
+
+// ValidTrajectoryProv is ValidTrajectory plus the verdict's provenance
+// for the flight recorder: whether the answer was solved cold, served
+// from the epoch-keyed verdict cache, or pre-computed by a speculative
+// lookahead (in which case the provenance names the speculation's
+// correlation ID). The verdict itself is byte-identical to
+// ValidTrajectory's — provenance is observation, never behaviour.
+func (s *Simulator) ValidTrajectoryProv(cmd action.Command, model state.Snapshot) (recorder.Verdict, error) {
 	if !cmd.Action.IsRobotMotion() {
-		return nil
+		return recorder.Verdict{}, nil
 	}
 	s.checks.Add(1)
 	s.cChecks.Inc()
@@ -448,37 +460,42 @@ func (s *Simulator) ValidTrajectory(cmd action.Command, model state.Snapshot) er
 	}
 	m, ok := s.arms[cmd.Device]
 	if !ok {
-		return nil // the simulator only models configured arms
+		return recorder.Verdict{}, nil // the simulator only models configured arms
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if s.cacheOn && s.gui == nil {
-		return s.cachedVerdict(m, m.joints, cmd, model, s.epoch.Load(), false)
+		return s.cachedVerdict(m, m.joints, cmd, model, s.epoch.Load(), false, "")
 	}
-	return s.sweepValidate(m, m.joints, cmd, model)
+	err := s.sweepValidate(m, m.joints, cmd, model)
+	return recorder.Verdict{Source: recorder.SourceColdSolve, EpochAtValidation: s.epoch.Load()}, err
 }
 
 // cachedVerdict answers a check from the verdict cache when possible and
 // runs (then memoizes) the sweep otherwise. epoch must have been read
 // under the same lock that made model current — the entry is stored for
 // exactly that (model, epoch) pairing, and a concurrent bump merely
-// strands it under a key no future lookup can form. The caller holds
-// m.mu.
+// strands it under a key no future lookup can form. specCorr tags a
+// speculative caller's stored verdict with its correlation ID. The
+// caller holds m.mu.
 func (s *Simulator) cachedVerdict(m *mirrorArm, from []float64, cmd action.Command,
-	model state.Snapshot, epoch uint64, speculative bool) error {
+	model state.Snapshot, epoch uint64, speculative bool, specCorr string) (recorder.Verdict, error) {
 	key := s.verdictKey(from, cmd, epoch)
 	v, ok, wasSpec := s.verdicts.get(key, !speculative)
 	if ok {
+		prov := recorder.Verdict{Source: recorder.SourceCacheHit, EpochAtValidation: epoch}
 		if !speculative {
 			s.cVerdictHits.Inc()
 			if wasSpec {
 				s.gSpecHits.Set(s.specHits.Add(1))
+				prov.Source = recorder.SourceSpeculative
+				prov.SpecCorr = v.corr
 			}
 		}
 		if v.reason == "" {
-			return nil
+			return prov, nil
 		}
-		return &Violation{Cmd: cmd, Reason: v.reason}
+		return prov, &Violation{Cmd: cmd, Reason: v.reason}
 	}
 	if !speculative {
 		s.cVerdictMisses.Inc()
@@ -488,8 +505,8 @@ func (s *Simulator) cachedVerdict(m *mirrorArm, from []float64, cmd action.Comma
 	if v, ok := err.(*Violation); ok {
 		reason = v.Reason
 	}
-	s.verdicts.put(key, outcome{reason: reason, spec: speculative}, s.cVerdictEvictions)
-	return err
+	s.verdicts.put(key, outcome{reason: reason, spec: speculative, corr: specCorr}, s.cVerdictEvictions)
+	return recorder.Verdict{Source: recorder.SourceColdSolve, EpochAtValidation: epoch}, err
 }
 
 // sweepValidate plans cmd from the given configuration and runs the full
@@ -628,6 +645,14 @@ func (s *Simulator) Observe(cmd action.Command, model state.Snapshot) {
 // under a dead epoch — mis-speculation can waste work, never poison a
 // future check. Reports whether a speculation ran.
 func (s *Simulator) SpeculateAfter(prior, next action.Command, model state.Snapshot, epoch uint64) bool {
+	return s.SpeculateAfterTagged(prior, next, model, epoch, "")
+}
+
+// SpeculateAfterTagged is SpeculateAfter with a flight-recorder
+// correlation ID: the verdict it caches carries corr, so the on-path
+// check that later consumes it can name the speculative span in its
+// provenance. An empty corr degrades to the untagged behaviour.
+func (s *Simulator) SpeculateAfterTagged(prior, next action.Command, model state.Snapshot, epoch uint64, corr string) bool {
 	if !s.cacheOn || s.gui != nil || !next.Action.IsRobotMotion() {
 		return false
 	}
@@ -645,7 +670,7 @@ func (s *Simulator) SpeculateAfter(prior, next action.Command, model state.Snaps
 		}
 		from = tr.To
 	}
-	s.cachedVerdict(m, from, next, model, epoch, true)
+	s.cachedVerdict(m, from, next, model, epoch, true, corr)
 	return true
 }
 

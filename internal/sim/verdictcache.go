@@ -13,10 +13,14 @@ import (
 
 // verdict is one memoized trajectory check outcome: an empty reason is a
 // pass, anything else the Violation reason. spec marks verdicts computed
-// by a speculative lookahead that no on-path check has consumed yet.
+// by a speculative lookahead that no on-path check has consumed yet;
+// corr is that speculation's flight-recorder correlation ID, kept so the
+// consuming check's record can name the speculative span that produced
+// its verdict.
 type outcome struct {
 	reason string
 	spec   bool
+	corr   string
 }
 
 // verdictEntry is one LRU slot.

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/action"
 	"repro/internal/obs"
+	"repro/internal/obs/recorder"
 )
 
 // Record is one traced command, in the style of the Robot Arm Dataset
@@ -68,6 +69,13 @@ type Interceptor struct {
 	obs        *obs.Registry
 	hIntercept *obs.Histogram
 	hExecute   *obs.Histogram
+
+	// rec is the flight recorder (nil-safe): the interceptor back-fills
+	// each command's black-box record with its final outcome and the
+	// execution span, which the engine never sees. lastExecNS carries the
+	// current call's execute span to the record() annotation.
+	rec        *recorder.Recorder
+	lastExecNS int64
 }
 
 // NewInterceptor builds an interceptor. checker may be nil (tracing
@@ -84,6 +92,15 @@ func (i *Interceptor) SetObserver(reg *obs.Registry) {
 	i.obs = reg
 	i.hIntercept = reg.Histogram(obs.StageIntercept)
 	i.hExecute = reg.Histogram(obs.StageExecute)
+}
+
+// SetRecorder attaches a flight recorder (nil detaches it); the
+// interceptor annotates each command's record with its outcome and
+// execution span.
+func (i *Interceptor) SetRecorder(r *recorder.Recorder) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.rec = r
 }
 
 // finish closes the intercept span and publishes outcome counters and
@@ -135,6 +152,7 @@ func (i *Interceptor) do(cmd, next action.Command, lookahead bool) error {
 	defer i.finish(span, len(i.records))
 	i.seq++
 	cmd.Seq = i.seq
+	i.lastExecNS = 0
 	if err := cmd.Validate(); err != nil {
 		i.record(cmd, "error", err.Error())
 		return err
@@ -152,7 +170,7 @@ func (i *Interceptor) do(cmd, next action.Command, lookahead bool) error {
 	}
 	spanExec := i.hExecute.Start()
 	execErr := i.executor.Execute(cmd)
-	spanExec.End()
+	i.lastExecNS = spanExec.End().Nanoseconds()
 	if err := execErr; err != nil {
 		i.record(cmd, "error", err.Error())
 		// The checker still observes the aftermath: a physical crash is
@@ -174,7 +192,8 @@ func (i *Interceptor) do(cmd, next action.Command, lookahead bool) error {
 	return nil
 }
 
-// record appends a trace record (callers hold i.mu).
+// record appends a trace record and back-fills the command's black-box
+// record, if a flight recorder is attached (callers hold i.mu).
 func (i *Interceptor) record(cmd action.Command, outcome, detail string) {
 	var now time.Duration
 	if i.executor != nil {
@@ -183,6 +202,7 @@ func (i *Interceptor) record(cmd action.Command, outcome, detail string) {
 	i.records = append(i.records, Record{
 		Seq: cmd.Seq, Time: now, Cmd: cmd, Outcome: outcome, Detail: detail,
 	})
+	i.rec.Annotate(cmd.Device, cmd.Seq, outcome, i.lastExecNS)
 }
 
 // ConcurrentExecutor is implemented by environments that can run several
@@ -200,6 +220,7 @@ func (i *Interceptor) DoConcurrent(cmds []action.Command) error {
 	defer i.mu.Unlock()
 	span := i.hIntercept.Start()
 	defer i.finish(span, len(i.records))
+	i.lastExecNS = 0
 	ce, ok := i.executor.(ConcurrentExecutor)
 	if !ok {
 		return fmt.Errorf("trace: executor cannot run concurrent commands")
@@ -225,7 +246,7 @@ func (i *Interceptor) DoConcurrent(cmds []action.Command) error {
 	last := stamped[len(stamped)-1]
 	spanExec := i.hExecute.Start()
 	execErr := ce.ExecuteConcurrent(stamped)
-	spanExec.End()
+	i.lastExecNS = spanExec.End().Nanoseconds()
 	if err := execErr; err != nil {
 		for _, cmd := range stamped {
 			i.record(cmd, "error", err.Error())

@@ -8,6 +8,7 @@ import (
 	"repro/internal/env"
 	"repro/internal/labs"
 	"repro/internal/obs"
+	"repro/internal/obs/recorder"
 	"repro/internal/rules"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -89,6 +90,20 @@ type Options struct {
 	// NoSpeculation keeps the caches but disables the engine's
 	// speculative lookahead worker.
 	NoSpeculation bool
+	// IncidentDir is where the flight recorder writes incident bundles
+	// (one self-contained directory of JSONL records + manifest per
+	// alert). Empty keeps the black-box ring in memory only.
+	IncidentDir string
+	// IncidentTag is folded into bundle names and manifests — the eval
+	// harness tags each bug injection's bundles with the bug slug.
+	IncidentTag string
+	// RecorderDepth overrides the flight recorder's ring capacity
+	// (records; default recorder.DefaultDepth).
+	RecorderDepth int
+	// NoRecorder disables the flight recorder entirely. The recorder is
+	// otherwise always on: its steady-state cost is bounded ring writes
+	// (see BenchmarkRecorderOverhead).
+	NoRecorder bool
 	// FailSafe is invoked on every alert (Section II-B's alternative to
 	// preemptively freezing).
 	FailSafe func(Alert)
@@ -124,6 +139,10 @@ type System struct {
 	Simulator   *sim.Simulator
 	Interceptor *trace.Interceptor
 	Session     *Session
+	// Recorder is the flight recorder (nil when Unprotected or
+	// NoRecorder): the black-box ring the engine and interceptor feed,
+	// and the incident-bundle writer behind IncidentDir.
+	Recorder *recorder.Recorder
 	// Obs is the system-wide telemetry registry, shared by the engine,
 	// the interceptor, and the simulator, and registered with the
 	// process-wide scrape group served by obs.Serve (-metrics).
@@ -162,6 +181,15 @@ func New(spec *config.LabSpec, o Options) (*System, error) {
 			core.WithInitialModel(lab.InitialModelState()),
 			core.WithObserver(reg),
 		}
+		if !o.NoRecorder {
+			sys.Recorder = recorder.New(recorder.Options{
+				Depth: o.RecorderDepth,
+				Dir:   o.IncidentDir,
+				Tag:   o.IncidentTag,
+				Obs:   reg,
+			})
+			engOpts = append(engOpts, core.WithRecorder(sys.Recorder))
+		}
 		if o.SerialPipeline {
 			engOpts = append(engOpts, core.WithSerialPipeline())
 		}
@@ -198,6 +226,7 @@ func New(spec *config.LabSpec, o Options) (*System, error) {
 
 	sys.Interceptor = trace.NewInterceptor(checker, e)
 	sys.Interceptor.SetObserver(reg)
+	sys.Interceptor.SetRecorder(sys.Recorder)
 	sys.Session = workflow.NewSession(sys.Interceptor, lab)
 	sys.Session.Measure = e.MeasureSolubility
 	return sys, nil
