@@ -18,8 +18,14 @@
 //	-unprotected    run without RABIT (baseline)
 //	-bug n          inject bug #n (1–16) into the fig5 workflow
 //	-trace path     write the RATracer-style JSONL trace
+//	-trace-otlp p   write retained causal traces as OTLP-JSON lines to p
+//	                (render with rabiteval -trace p); alert traces are
+//	                always retained, -trace-sample tunes the rest
+//	-trace-sample r tail-sampling probability for non-alert traces
+//	                (0 uses the built-in default; negative = alerts only)
 //	-metrics addr   serve live telemetry on addr: /debug/vars (expvar),
-//	                /metrics (text), /debug/pprof (profiling); off by default
+//	                /metrics (text), /metrics/prom (Prometheus), /healthz,
+//	                /readyz, /traces, /debug/pprof; off by default
 //	-incident-dir d write a self-contained flight-recorder incident bundle
 //	                (manifest.json + records.jsonl) under d for every alert;
 //	                inspect with rabiteval -incidents d
@@ -63,6 +69,8 @@ func run() error {
 		bugID       = flag.Int("bug", 0, "inject bug #n (1-16) into the fig5 workflow")
 		replayPath  = flag.String("replay", "", "replay a recorded JSONL trace instead of a workflow")
 		tracePath   = flag.String("trace", "", "write the JSONL command trace here")
+		traceOTLP   = flag.String("trace-otlp", "", "write retained causal traces (OTLP-JSON lines) here")
+		traceSample = flag.Float64("trace-sample", 0, "tail-sampling probability for non-alert traces (negative = alerts only)")
 		metricsAddr = flag.String("metrics", "", "serve /debug/vars, /metrics, and pprof on this address (e.g. localhost:6060)")
 		eventsPath  = flag.String("events", "", "write the structured telemetry event JSONL here")
 		incidentDir = flag.String("incident-dir", "", "write a flight-recorder incident bundle here for every alert")
@@ -84,6 +92,8 @@ func run() error {
 		ExtendedSimulator: *withSim || *withGUI,
 		SimulatorGUI:      *withGUI,
 		IncidentDir:       *incidentDir,
+		TraceFile:         *traceOTLP,
+		TraceSampleRate:   *traceSample,
 		Seed:              *seed,
 	}
 	switch *stageName {
@@ -137,6 +147,10 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// Close drains the pipeline, makes the run trace's tail-sampling
+	// decision, and flushes the OTLP file; the deferred call covers early
+	// error returns (Close is idempotent).
+	defer sys.Close()
 
 	if *eventsPath != "" {
 		f, err := os.Create(*eventsPath)
@@ -223,6 +237,13 @@ func run() error {
 			return err
 		}
 		fmt.Println("trace written to", *tracePath)
+	}
+	if err := sys.Close(); err != nil {
+		return fmt.Errorf("otlp trace: %w", err)
+	}
+	if *traceOTLP != "" {
+		fmt.Printf("OTLP traces written to %s (render with rabiteval -trace %s)\n",
+			*traceOTLP, *traceOTLP)
 	}
 	return nil
 }

@@ -21,6 +21,14 @@
 //	                        causal timeline for every incident bundle
 //	                        under DIR and aggregate detection-latency
 //	                        stats (no experiments run)
+//	rabiteval -trace-out FILE
+//	                        with the bug study: export every retained
+//	                        causal trace (alert traces always retained)
+//	                        as OTLP-JSON lines to FILE
+//	rabiteval -trace FILE
+//	                        render mode: print every trace in an
+//	                        OTLP-JSON file as a cause-first span tree,
+//	                        alert traces first (no experiments run)
 //
 // With -metrics addr the process serves live telemetry while the
 // experiments run: /debug/vars (expvar), /metrics (text exposition), and
@@ -60,11 +68,21 @@ func run() error {
 	metricsAddr := flag.String("metrics", "", "serve /debug/vars, /metrics, and pprof on this address while experiments run")
 	incidentDir := flag.String("incident-dir", "", "write flight-recorder incident bundles from the bug study here")
 	incidents := flag.String("incidents", "", "analyze the incident bundles under this directory and exit")
+	traceOut := flag.String("trace-out", "", "with the bug study, export retained causal traces (OTLP-JSON lines) here")
+	traceIn := flag.String("trace", "", "render the span trees in this OTLP-JSON trace file and exit")
 	seed := flag.Int64("seed", 1, "noise seed")
 	flag.Parse()
 
 	if *incidents != "" {
 		return incidentsRun(*incidents)
+	}
+	if *traceIn != "" {
+		out, err := eval.RenderTraceFile(*traceIn)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
 	}
 
 	if *metricsAddr != "" {
@@ -95,12 +113,16 @@ func run() error {
 	needStudy := all || *table == 5 || *fig == 5 || *fig == 6
 	if needStudy {
 		var err error
-		study, err = eval.RunBugStudyWithIncidents(*seed, *incidentDir)
+		study, err = eval.RunBugStudyForensics(*seed, *incidentDir, *traceOut)
 		if err != nil {
 			return err
 		}
 		if *incidentDir != "" {
 			fmt.Printf("incident bundles written to %s\n\n", *incidentDir)
+		}
+		if *traceOut != "" {
+			fmt.Printf("causal traces written to %s (render with rabiteval -trace %s)\n\n",
+				*traceOut, *traceOut)
 		}
 	}
 	if all || *table == 5 {

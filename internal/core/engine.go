@@ -24,6 +24,7 @@ import (
 	"repro/internal/action"
 	"repro/internal/obs"
 	"repro/internal/obs/recorder"
+	otrace "repro/internal/obs/trace"
 	"repro/internal/rules"
 	"repro/internal/state"
 	"repro/internal/trace"
@@ -246,6 +247,16 @@ type Engine struct {
 	pendingRecs []*recorder.Active
 	provSim     provValidator
 
+	// Causal tracing & safety SLOs (see tracing.go): tracer resolves the
+	// (device, seq) → span bindings the interceptor published; tracedSim
+	// and tracedSpec are the simulator's traced surfaces when it offers
+	// them; slos feeds the check-overhead and detection-latency
+	// objectives. All nil-safe.
+	tracer     *otrace.Tracer
+	tracedSim  tracedValidator
+	tracedSpec tracedSpeculator
+	slos       *obs.SafetySLOs
+
 	adminMu  sync.Mutex
 	started  bool
 	stopped  *Alert
@@ -308,6 +319,10 @@ func New(rb *rules.Rulebase, env Environment, opts ...Option) *Engine {
 		e.specTagged, _ = e.sim.(speculatorTagged)
 	}
 	e.provSim, _ = e.sim.(provValidator)
+	e.tracedSim, _ = e.sim.(tracedValidator)
+	if e.epocher != nil {
+		e.tracedSpec, _ = e.sim.(tracedSpeculator)
+	}
 	return e
 }
 
@@ -433,7 +448,9 @@ func (e *Engine) raise(a Alert, fs **Alert) *Alert {
 // The handler may command devices or park an arm; that time belongs to
 // the lab's response, not to RABIT's check overhead.
 func (e *Engine) finish(start time.Time, fsAlert *Alert) {
-	e.cCheckNS.Add(time.Since(start).Nanoseconds())
+	d := time.Since(start)
+	e.cCheckNS.Add(d.Nanoseconds())
+	e.slos.ObserveCheck(d)
 	if fsAlert != nil && e.failSafe != nil {
 		e.failSafe(*fsAlert)
 	}
@@ -484,10 +501,11 @@ func (e *Engine) beforeGlobal(cmd action.Command, start time.Time, fs **Alert) e
 		return fmt.Errorf("%w: %s", ErrStopped, stopped.Error())
 	}
 	act := e.beginRecord(cmd, recorder.PathGlobal)
+	tctx := e.traceOf(cmd, act)
 	// Stage boundaries share clock reads to keep instrumentation under
 	// 1% of a check: before.validate runs from Before's entry (it covers
 	// normalization + rule evaluation) and its end stamp doubles as
-	// before.trajectory's start.
+	// before.trajectory's start. Trace spans reuse the same stamps.
 	e.stateMu.RLock()
 	vs := e.rb.Validate(e.model, cmd)
 	if act != nil {
@@ -503,28 +521,47 @@ func (e *Engine) beforeGlobal(cmd action.Command, start time.Time, fs **Alert) e
 	}
 	if len(vs) > 0 {
 		al := e.raise(Alert{Kind: AlertInvalidCommand, Cmd: cmd, Violations: vs}, fs)
+		e.stageSpan(tctx, obs.StageValidate, start, validateEnd, al)
 		e.recordAlert(act, al)
 		return al
 	}
+	e.stageSpan(tctx, obs.StageValidate, start, validateEnd, nil)
 	if cmd.Action.IsRobotMotion() && e.sim != nil {
 		var err error
+		// The trajectory span is the one pre-created (not retroactive)
+		// span: the simulator's kin/sim child spans need its context
+		// before the call runs.
+		tspan := e.tracer.StartSpanAt(tctx, obs.StageTrajectory, validateEnd)
 		e.stateMu.RLock()
-		if act != nil && e.provSim != nil {
+		switch {
+		case tspan != nil && e.tracedSim != nil:
+			var v recorder.Verdict
+			v, err = e.tracedSim.ValidTrajectoryTraced(cmd, e.model, tspan.Context())
+			if act != nil {
+				act.R.Verdict = v
+			}
+		case act != nil && e.provSim != nil:
 			act.R.Verdict, err = e.provSim.ValidTrajectoryProv(cmd, e.model)
-		} else {
+		default:
 			err = e.sim.ValidTrajectory(cmd, e.model)
 		}
 		e.stateMu.RUnlock()
-		td := time.Since(validateEnd)
+		trajEnd := time.Now()
+		td := trajEnd.Sub(validateEnd)
 		e.hTrajectory.Observe(td)
 		if act != nil {
 			act.R.Spans.TrajectoryNS = td.Nanoseconds()
 		}
 		if err != nil {
 			al := e.raise(Alert{Kind: AlertInvalidTrajectory, Cmd: cmd, Reason: err.Error()}, fs)
+			if tspan != nil {
+				tspan.MarkAlert(al.Kind.Slug(), al.Error())
+			}
+			tspan.EndAt(trajEnd)
 			e.recordAlert(act, al)
 			return al
 		}
+		tspan.EndAt(trajEnd)
 	}
 	e.stateMu.RLock()
 	if e.pending == nil {
@@ -565,6 +602,7 @@ func (e *Engine) afterGlobal(cmd action.Command, start time.Time, fs **Alert) er
 			act = a
 		}
 	}
+	tctx := e.traceOf(cmd, act)
 	// after.fetch runs from After's entry through state acquisition; its
 	// end stamp doubles as after.compare's start (see Before).
 	observed := e.env.FetchState()
@@ -583,14 +621,17 @@ func (e *Engine) afterGlobal(cmd action.Command, start time.Time, fs **Alert) er
 		act.R.Observed = recorder.CaptureView(observed, scope)
 	}
 	e.stateMu.RUnlock()
-	cd := time.Since(fetchEnd)
+	compareEnd := time.Now()
+	cd := compareEnd.Sub(fetchEnd)
 	e.hCompare.Observe(cd)
 	if act != nil {
 		act.R.Spans.FetchNS = fd.Nanoseconds()
 		act.R.Spans.CompareNS = cd.Nanoseconds()
 	}
+	e.stageSpan(tctx, obs.StageFetch, start, fetchEnd, nil)
 	if len(ms) > 0 {
 		al := e.raise(Alert{Kind: AlertMalfunction, Cmd: cmd, Mismatches: ms}, fs)
+		e.stageSpan(tctx, obs.StageCompare, fetchEnd, compareEnd, al)
 		e.recordAlert(act, al)
 		by := ""
 		if act != nil {
@@ -599,6 +640,7 @@ func (e *Engine) afterGlobal(cmd action.Command, start time.Time, fs **Alert) er
 		e.settleBatch(recs, act, by)
 		return al
 	}
+	e.stageSpan(tctx, obs.StageCompare, fetchEnd, compareEnd, nil)
 	// S_current ← SetState(S_actual): observed facts win, dead-reckoned
 	// model facts persist. The pending overlay commits its edits into the
 	// live model in place — no full-map clone on the hot path — and any

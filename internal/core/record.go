@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"repro/internal/action"
 	"repro/internal/obs/recorder"
 	"repro/internal/state"
@@ -48,7 +50,9 @@ func recordScope(cmd action.Command, extra ...string) []string {
 }
 
 // recordAlert stamps an alert into its record and freezes the window
-// into an incident bundle. Nil-safe on the record.
+// into an incident bundle, feeding the detection-latency SLO from the
+// same lab-clock pair forensics aggregates (alert time − issue time).
+// Nil-safe on the record.
 func (e *Engine) recordAlert(a *recorder.Active, al *Alert) {
 	if a == nil {
 		return
@@ -56,6 +60,9 @@ func (e *Engine) recordAlert(a *recorder.Active, al *Alert) {
 	a.R.AlertKind = al.Kind.Slug()
 	a.R.Alert = al.Error()
 	a.R.AlertTNS = al.Time.Nanoseconds()
+	if d := al.Time - time.Duration(a.R.TNS); d >= 0 {
+		e.slos.ObserveDetection(d)
+	}
 	for _, v := range al.Violations {
 		a.R.Violations = append(a.R.Violations, v.Rule.ID)
 	}

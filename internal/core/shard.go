@@ -7,7 +7,9 @@ import (
 	"time"
 
 	"repro/internal/action"
+	"repro/internal/obs"
 	"repro/internal/obs/recorder"
+	otrace "repro/internal/obs/trace"
 	"repro/internal/state"
 )
 
@@ -41,6 +43,9 @@ type shardTicket struct {
 	locks    []*sync.Mutex // acquired in scope order
 	expected *state.Overlay
 	rec      *recorder.Active // flight-recorder record, nil when off
+	// tctx is the command's root span context (zero when tracing is off),
+	// resolved once in Before and reused by After's stage spans.
+	tctx otrace.SpanContext
 }
 
 // routeSharded decides the pipeline for a command.
@@ -216,6 +221,7 @@ func (e *Engine) beforeSharded(cmd action.Command, start time.Time, fs **Alert) 
 		return fmt.Errorf("%w: %s", ErrStopped, stopped.Error())
 	}
 	t.rec = e.beginRecord(cmd, recorder.PathSharded)
+	t.tctx = e.traceOf(cmd, t.rec)
 	e.stateMu.RLock()
 	vs := e.rb.Validate(e.model, cmd)
 	if len(vs) == 0 {
@@ -226,7 +232,8 @@ func (e *Engine) beforeSharded(cmd action.Command, start time.Time, fs **Alert) 
 		t.rec.R.Pre = recorder.CaptureView(e.model, t.scope)
 	}
 	e.stateMu.RUnlock()
-	vd := time.Since(start)
+	validateEnd := time.Now()
+	vd := validateEnd.Sub(start)
 	e.hValidate.Observe(vd)
 	if t.rec != nil {
 		t.rec.R.Spans.ValidateNS = vd.Nanoseconds()
@@ -234,9 +241,11 @@ func (e *Engine) beforeSharded(cmd action.Command, start time.Time, fs **Alert) 
 	if len(vs) > 0 {
 		e.releaseTicket(cmd.Device, t)
 		al := e.raise(Alert{Kind: AlertInvalidCommand, Cmd: cmd, Violations: vs}, fs)
+		e.stageSpan(t.tctx, obs.StageValidate, start, validateEnd, al)
 		e.recordAlert(t.rec, al)
 		return al
 	}
+	e.stageSpan(t.tctx, obs.StageValidate, start, validateEnd, nil)
 	if t.rec != nil {
 		t.rec.R.Expected = recorder.CaptureEdits(t.expected)
 	}
@@ -264,18 +273,22 @@ func (e *Engine) afterSharded(cmd action.Command, start time.Time, fs **Alert) e
 	e.stateMu.RLock()
 	ms := state.CompareObservedView(t.expected, observed)
 	e.stateMu.RUnlock()
-	cd := time.Since(fetchEnd)
+	compareEnd := time.Now()
+	cd := compareEnd.Sub(fetchEnd)
 	e.hCompare.Observe(cd)
 	if t.rec != nil {
 		t.rec.R.Spans.FetchNS = fd.Nanoseconds()
 		t.rec.R.Spans.CompareNS = cd.Nanoseconds()
 		t.rec.R.Observed = recorder.CaptureView(observed, t.scope)
 	}
+	e.stageSpan(t.tctx, obs.StageFetch, start, fetchEnd, nil)
 	if len(ms) > 0 {
 		al := e.raise(Alert{Kind: AlertMalfunction, Cmd: cmd, Mismatches: ms}, fs)
+		e.stageSpan(t.tctx, obs.StageCompare, fetchEnd, compareEnd, al)
 		e.recordAlert(t.rec, al)
 		return al
 	}
+	e.stageSpan(t.tctx, obs.StageCompare, fetchEnd, compareEnd, nil)
 	// Sharded commands are never robot motion, but they do flip doors and
 	// held objects — exactly the deck-relevant changes the commit section
 	// must pair with an epoch bump (see commitModel).

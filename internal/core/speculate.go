@@ -128,11 +128,13 @@ func (e *Engine) Hint(cur, next action.Command) {
 	}
 	cur = rules.NormalizeCommand(e.rb.Lab(), cur)
 	next = rules.NormalizeCommand(e.rb.Lab(), next)
-	// Resolve the hinting command's correlation ID before the gate: the
-	// speculation's record must link back to the command whose execution
-	// window it overlaps, even though that command will likely have
-	// settled by the time anything consumes the cached verdict.
+	// Resolve the hinting command's correlation ID and trace binding
+	// before the gate: the speculation's record and spans must link back
+	// to the command whose execution window it overlaps, even though that
+	// command will likely have settled (and unbound its trace) by the
+	// time anything consumes the cached verdict.
 	parent := e.corrOf(cur)
+	tctx := e.tracer.Bound(cur.Device, cur.Seq)
 	if !e.specBusy.CompareAndSwap(false, true) {
 		e.cSpecDropped.Inc()
 		return
@@ -147,17 +149,40 @@ func (e *Engine) Hint(cur, next action.Command) {
 		e.stateMu.RUnlock()
 		spec := e.rec.BeginSpec(parent, next)
 		specStart := time.Now()
-		var ran bool
-		if spec != nil && e.specTagged != nil {
+		// The speculation span joins the hinting command's trace: the
+		// lookahead is causally an effect of cur's execution window, and a
+		// verdict it caches may explain a later command's fast pass.
+		sspan := e.tracer.StartSpanAt(tctx, "speculate", specStart)
+		sspan.SetAttr("device", next.Device)
+		sspan.SetIntAttr("seq", next.Seq)
+		corr := ""
+		if spec != nil {
+			corr = spec.R.Corr
+			if tctx.Valid() {
+				spec.R.Trace = tctx.Trace.String()
+			}
+		}
+		useTraced := sspan != nil && e.tracedSpec != nil
+		if spec != nil && (useTraced || e.specTagged != nil) {
 			spec.R.TNS = e.env.Now().Nanoseconds()
 			spec.R.Verdict = recorder.Verdict{Source: recorder.SourceSpeculative, EpochAtValidation: epoch}
-			ran = e.specTagged.SpeculateAfterTagged(cur, next, model, epoch, spec.R.Corr)
-		} else {
+		}
+		var ran bool
+		switch {
+		case useTraced:
+			ran = e.tracedSpec.SpeculateAfterTraced(cur, next, model, epoch, corr, sspan.Context())
+		case spec != nil && e.specTagged != nil:
+			ran = e.specTagged.SpeculateAfterTagged(cur, next, model, epoch, corr)
+		default:
 			ran = e.spec.SpeculateAfter(cur, next, model, epoch)
 		}
 		if ran {
 			e.cSpeculations.Inc()
 		}
+		if !ran {
+			sspan.SetAttr("skipped", "true")
+		}
+		sspan.End()
 		if spec != nil {
 			spec.R.Spans.TrajectoryNS = time.Since(specStart).Nanoseconds()
 			if !ran {

@@ -2,10 +2,12 @@ package eval
 
 import (
 	"fmt"
+	"os"
 	"sort"
 
 	"repro/internal/bugs"
 	"repro/internal/env"
+	otrace "repro/internal/obs/trace"
 	"repro/internal/rules"
 	"repro/internal/workflow"
 	"repro/internal/world"
@@ -86,6 +88,25 @@ func RunBugStudy(seed int64) (*BugStudy, error) {
 // configurations run untagged so each detection maps to exactly one
 // bundle.
 func RunBugStudyWithIncidents(seed int64, incidentDir string) (*BugStudy, error) {
+	return RunBugStudyForensics(seed, incidentDir, "")
+}
+
+// RunBugStudyForensics is the fully instrumented study: incident bundles
+// as in RunBugStudyWithIncidents, plus — when traceFile is non-empty —
+// every causal trace the fully equipped configuration's tail sampler
+// retains appended to traceFile as OTLP-JSON lines. Detected bugs always
+// retain their trace (the alert pins it), so each incident bundle's
+// manifest trace ID resolves in the file; `rabiteval -trace` renders it.
+func RunBugStudyForensics(seed int64, incidentDir, traceFile string) (*BugStudy, error) {
+	var exporter *otrace.FileExporter
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return nil, fmt.Errorf("eval: trace file: %w", err)
+		}
+		exporter = otrace.NewFileExporter(f)
+		defer exporter.Close()
+	}
 	study := &BugStudy{}
 	for _, b := range bugs.Suite() {
 		out := BugOutcome{
@@ -95,9 +116,14 @@ func RunBugStudyWithIncidents(seed int64, incidentDir string) (*BugStudy, error)
 		}
 		for _, cfg := range StudyConfigs() {
 			o := cfg.options(seed)
-			if incidentDir != "" && cfg == ConfigModifiedSim {
-				o.IncidentDir = incidentDir
-				o.IncidentTag = b.Slug
+			if cfg == ConfigModifiedSim {
+				if incidentDir != "" {
+					o.IncidentDir = incidentDir
+					o.IncidentTag = b.Slug
+				}
+				if exporter != nil {
+					o.TraceExporter = exporter
+				}
 			}
 			detected, kind, err := runBugOnce(b, o)
 			if err != nil {
@@ -115,7 +141,13 @@ func RunBugStudyWithIncidents(seed int64, incidentDir string) (*BugStudy, error)
 		_ = workflow.RunSteps(s.Session, steps) // failures ARE the ground truth
 		out.GroundTruthDamage = s.Env.World().Events()
 		out.GroundTruthCost = s.Env.World().DamageCost()
+		s.Close()
 		study.Outcomes = append(study.Outcomes, out)
+	}
+	if exporter != nil {
+		if err := exporter.Close(); err != nil {
+			return nil, fmt.Errorf("eval: trace file: %w", err)
+		}
 	}
 	return study, nil
 }
@@ -127,6 +159,9 @@ func runBugOnce(b bugs.Bug, o Options) (bool, string, error) {
 	if err != nil {
 		return false, "", err
 	}
+	// Close drains the run, which settles the trace's tail-sampling
+	// decision and exports it to any injected exporter.
+	defer s.Close()
 	steps := b.Mutate(s.Session)
 	_ = workflow.RunSteps(s.Session, steps) // the error is the alert/crash itself
 	alerts := s.Engine.Alerts()

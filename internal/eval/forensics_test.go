@@ -11,7 +11,6 @@ import (
 	"repro/internal/action"
 	"repro/internal/env"
 	"repro/internal/geom"
-	"repro/internal/obs"
 	"repro/internal/obs/recorder"
 	"repro/internal/rules"
 	"repro/internal/trace"
@@ -42,7 +41,7 @@ func TestSpeculativeChainForensics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer obs.Unregister(s.Obs)
+	defer s.Close()
 
 	// Time multiplexing: park ned2 so viperx may move.
 	if err := s.Interceptor.Do(action.Command{Device: "ned2", Action: action.MoveSleep}); err != nil {
@@ -107,6 +106,17 @@ func TestSpeculativeChainForensics(t *testing.T) {
 	}
 	if len(trig.Rules) == 0 {
 		t.Error("trigger carries no evaluated rule IDs")
+	}
+	// Satellite: the bundle's manifest names the alert's causal trace and
+	// every record captured in the bundle — the speculation and the hinting
+	// command included — belongs to that same trace.
+	if len(in.Manifest.TraceID) != 32 {
+		t.Errorf("manifest trace ID %q, want 32 hex chars", in.Manifest.TraceID)
+	}
+	for _, rec := range in.Records {
+		if rec.Trace != in.Manifest.TraceID {
+			t.Errorf("record %s trace %q != manifest trace %q", rec.Corr, rec.Trace, in.Manifest.TraceID)
+		}
 	}
 	if len(trig.Pre) == 0 {
 		t.Error("trigger carries no pre-state view")
@@ -181,6 +191,15 @@ func TestBugStudyIncidentForensics(t *testing.T) {
 				t.Errorf("bug %s: chain entry %s not in records.jsonl", o.Bug.Slug, corr)
 			}
 		}
+		if in.Manifest.TraceID == "" {
+			t.Errorf("bug %s: manifest carries no trace ID", o.Bug.Slug)
+		}
+		for _, rec := range in.Records {
+			if rec.Trace != in.Manifest.TraceID {
+				t.Errorf("bug %s: record %s trace %q != manifest trace %q",
+					o.Bug.Slug, rec.Corr, rec.Trace, in.Manifest.TraceID)
+			}
+		}
 	}
 	// Bundle count == detections: no spurious extra incidents anywhere.
 	if want := study.DetectedCount(ConfigModifiedSim); len(incs) != want {
@@ -207,7 +226,7 @@ func TestShardedRecorderRace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer obs.Unregister(s.Obs)
+	defer s.Close()
 
 	var wg sync.WaitGroup
 	for g := 0; g < scripts; g++ {
@@ -216,6 +235,7 @@ func TestShardedRecorderRace(t *testing.T) {
 			defer wg.Done()
 			ic := trace.NewInterceptor(s.Engine, s.Env)
 			ic.SetRecorder(s.Recorder)
+			ic.SetTracer(s.Tracer)
 			device := fmt.Sprintf("hp%02d", g)
 			for _, cmd := range throughputScript(device, 40) {
 				if g == 3 && cmd.Seq == 0 && cmd.Action == action.SetActionValue && cmd.Value > 100 {
@@ -313,7 +333,7 @@ func replayVerdict(t *testing.T, cmds []action.Command, unsafeAt int, noRecorder
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer obs.Unregister(s.Obs)
+	defer s.Close()
 	var verdict []string
 	for i, cmd := range cmds {
 		if i == unsafeAt && cmd.Action == action.SetActionValue {

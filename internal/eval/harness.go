@@ -15,6 +15,7 @@ import (
 	"repro/internal/labs"
 	"repro/internal/obs"
 	"repro/internal/obs/recorder"
+	otrace "repro/internal/obs/trace"
 	"repro/internal/rules"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -57,6 +58,15 @@ type Options struct {
 	// benchmark's before/after switch and the observer-effect property
 	// test's control arm.
 	NoRecorder bool
+	// NoTracing disables the causal tracing layer — the trace-overhead
+	// benchmark's before/after switch.
+	NoTracing bool
+	// TraceFile is where retained traces are exported as OTLP-JSON lines
+	// (empty: in-memory retention only).
+	TraceFile string
+	// TraceExporter injects a trace exporter directly (tests share one
+	// FileExporter across several runs). TraceFile wins when both are set.
+	TraceExporter otrace.Exporter
 	// Seed drives all stochastic fidelity noise.
 	Seed int64
 }
@@ -82,7 +92,18 @@ type Setup struct {
 	Session     *workflow.Session
 	Obs         *obs.Registry
 	Recorder    *recorder.Recorder
+	Tracer      *otrace.Tracer
+	System      *rabit.System
 	Opt         Options
+}
+
+// Close drains the stack (finishing any open trace) and releases its
+// process-global registrations. Idempotent; safe on a nil Setup.
+func (s *Setup) Close() error {
+	if s == nil || s.System == nil {
+		return nil
+	}
+	return s.System.Close()
 }
 
 // NewSetup wires a stack for an arbitrary lab spec via the public facade.
@@ -100,6 +121,9 @@ func NewSetup(spec *config.LabSpec, o Options) (*Setup, error) {
 		IncidentDir:       o.IncidentDir,
 		IncidentTag:       o.IncidentTag,
 		NoRecorder:        o.NoRecorder,
+		NoTracing:         o.NoTracing,
+		TraceFile:         o.TraceFile,
+		TraceExporter:     o.TraceExporter,
 		Seed:              o.Seed,
 	})
 	if err != nil {
@@ -114,6 +138,8 @@ func NewSetup(spec *config.LabSpec, o Options) (*Setup, error) {
 		Session:     sys.Session,
 		Obs:         sys.Obs,
 		Recorder:    sys.Recorder,
+		Tracer:      sys.Tracer,
+		System:      sys,
 		Opt:         o,
 	}, nil
 }

@@ -39,6 +39,9 @@ type ThroughputOptions struct {
 	// NoRecorder disables the flight recorder — the recorder-overhead
 	// benchmark's before/after switch.
 	NoRecorder bool
+	// NoTracing disables the causal tracing layer — the trace-overhead
+	// benchmark's before/after switch.
+	NoTracing bool
 	// Seed drives stochastic fidelity noise.
 	Seed int64
 }
@@ -118,11 +121,13 @@ func Throughput(o ThroughputOptions) (*ThroughputResult, error) {
 		WithRABIT:      true,
 		SerialPipeline: o.Serial,
 		NoRecorder:     o.NoRecorder,
+		NoTracing:      o.NoTracing,
 		Seed:           o.Seed,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("eval: throughput: %w", err)
 	}
+	defer s.Close()
 	if o.Speedup > 0 {
 		s.Env.SetPacing(o.Speedup)
 	}
@@ -136,6 +141,7 @@ func Throughput(o ThroughputOptions) (*ThroughputResult, error) {
 		} else {
 			interceptors[g] = trace.NewInterceptor(s.Engine, s.Env)
 			interceptors[g].SetRecorder(s.Recorder)
+			interceptors[g].SetTracer(s.Tracer)
 		}
 	}
 
@@ -156,6 +162,13 @@ func Throughput(o ThroughputOptions) (*ThroughputResult, error) {
 	}
 	wg.Wait()
 	wall := time.Since(start)
+	// Each script's interceptor opened its own run trace; settle their
+	// tail-sampling decisions before the setup drains.
+	for g := 0; g < o.Scripts; g++ {
+		if !o.Serial {
+			interceptors[g].FinishTrace()
+		}
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("eval: throughput: %w", err)

@@ -1,0 +1,128 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	otrace "repro/internal/obs/trace"
+)
+
+// Causal-trace rendering for `rabiteval -trace <file>`: the OTLP-JSON
+// lines the tracer's tail sampler retained, rendered the way the
+// incident timeline is — cause first. Alert traces lead (they are why
+// the file exists), and within a trace the span tree reads root-down:
+// the intercepted command, then each pipeline stage in start order,
+// speculation and simulator work indented under the span that caused
+// them.
+
+// RenderTraceFile loads an OTLP-JSON trace file and renders every trace
+// in it.
+func RenderTraceFile(path string) (string, error) {
+	tds, err := otrace.ReadFile(path)
+	if err != nil {
+		return "", fmt.Errorf("eval: traces: %w", err)
+	}
+	return RenderTraces(tds), nil
+}
+
+// RenderTraces renders a set of traces, alert traces first.
+func RenderTraces(tds []*otrace.TraceData) string {
+	var b strings.Builder
+	alerts := 0
+	for _, td := range tds {
+		if td.Alert {
+			alerts++
+		}
+	}
+	fmt.Fprintf(&b, "traces: %d (%d alert, %d sampled)\n", len(tds), alerts, len(tds)-alerts)
+	ordered := make([]*otrace.TraceData, len(tds))
+	copy(ordered, tds)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		return ordered[i].Alert && !ordered[j].Alert
+	})
+	for _, td := range ordered {
+		b.WriteString("\n")
+		b.WriteString(RenderTraceTree(td))
+	}
+	return b.String()
+}
+
+// RenderTraceTree renders one trace as an indented span tree.
+func RenderTraceTree(td *otrace.TraceData) string {
+	var b strings.Builder
+	head := "sampled"
+	if td.Alert {
+		head = "ALERT"
+	}
+	fmt.Fprintf(&b, "trace %s  %s  %d spans", td.ID, head, len(td.Spans))
+	if td.Dropped > 0 {
+		fmt.Fprintf(&b, " (%d dropped)", td.Dropped)
+	}
+	b.WriteString("\n")
+
+	// Spans arrive in start order; index them and bucket children under
+	// their parents, preserving that order.
+	byID := make(map[otrace.SpanID]int, len(td.Spans))
+	for i := range td.Spans {
+		byID[td.Spans[i].Span] = i
+	}
+	children := make(map[otrace.SpanID][]int, len(td.Spans))
+	var roots []int
+	var start time.Time
+	for i := range td.Spans {
+		sd := &td.Spans[i]
+		if start.IsZero() || sd.Start.Before(start) {
+			start = sd.Start
+		}
+		if _, ok := byID[sd.Parent]; ok && sd.Parent != sd.Span {
+			children[sd.Parent] = append(children[sd.Parent], i)
+		} else {
+			// Root, or an orphan whose parent fell to the ring bound —
+			// either way it anchors its own subtree.
+			roots = append(roots, i)
+		}
+	}
+	var walk func(i, depth int)
+	walk = func(i, depth int) {
+		b.WriteString(strings.Repeat("  ", depth+1))
+		b.WriteString(renderSpanLine(&td.Spans[i], start))
+		b.WriteString("\n")
+		for _, c := range children[td.Spans[i].Span] {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+	return b.String()
+}
+
+// renderSpanLine renders one span: offset from trace start, name,
+// duration, attributes, and its error/alert status.
+func renderSpanLine(sd *otrace.SpanData, traceStart time.Time) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "+%-9s %s", sd.Start.Sub(traceStart).Round(time.Microsecond), sd.Name)
+	if d := sd.End.Sub(sd.Start); d > 0 {
+		fmt.Fprintf(&b, " %s", d.Round(time.Microsecond))
+	}
+	for _, a := range sd.Attrs {
+		if a.Key == "alert" {
+			continue // rendered via the status mark below
+		}
+		fmt.Fprintf(&b, " %s=%s", a.Key, a.Val)
+	}
+	if sd.Err != "" {
+		fmt.Fprintf(&b, " ✗ %s", sd.Err)
+	}
+	if sd.Alert {
+		b.WriteString(" ⇒ ALERT")
+		for _, a := range sd.Attrs {
+			if a.Key == "alert" && a.Val != "" && a.Val != "true" {
+				fmt.Fprintf(&b, " %s", a.Val)
+			}
+		}
+	}
+	return b.String()
+}

@@ -42,25 +42,27 @@ type EventSink interface {
 
 // JSONLSink streams events as JSON lines to a writer, buffered like the
 // trace package's WriteJSONL. Emit never fails; the first write error is
-// latched and reported by Close.
+// latched and reported by Flush/Close.
 type JSONLSink struct {
-	mu  sync.Mutex
-	bw  *bufio.Writer
-	enc *json.Encoder
-	err error
+	mu     sync.Mutex
+	w      io.Writer
+	bw     *bufio.Writer
+	enc    *json.Encoder
+	err    error
+	closed bool
 }
 
 // NewJSONLSink wraps a writer (typically an *os.File) as an event sink.
 func NewJSONLSink(w io.Writer) *JSONLSink {
 	bw := bufio.NewWriter(w)
-	return &JSONLSink{bw: bw, enc: json.NewEncoder(bw)}
+	return &JSONLSink{w: w, bw: bw, enc: json.NewEncoder(bw)}
 }
 
-// Emit writes one event as a JSON line.
+// Emit writes one event as a JSON line. Events after Close are dropped.
 func (s *JSONLSink) Emit(ev Event) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.err != nil {
+	if s.err != nil || s.closed {
 		return
 	}
 	if err := s.enc.Encode(ev); err != nil {
@@ -72,6 +74,10 @@ func (s *JSONLSink) Emit(ev Event) {
 func (s *JSONLSink) Flush() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.flushLocked()
+}
+
+func (s *JSONLSink) flushLocked() error {
 	if s.err != nil {
 		return s.err
 	}
@@ -81,9 +87,33 @@ func (s *JSONLSink) Flush() error {
 	return s.err
 }
 
-// Close flushes and reports the first error. It does not close the
-// underlying writer (the caller owns the file).
-func (s *JSONLSink) Close() error { return s.Flush() }
+// Close flushes the buffer, then syncs and closes the underlying writer
+// when it supports those operations — so "the events hit disk" is the
+// sink's contract, not the caller's bookkeeping. Idempotent: a second
+// Close returns the same result as the first without re-closing the
+// writer. The first error anywhere (encode, flush, sync, close) wins.
+func (s *JSONLSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return s.err
+	}
+	s.closed = true
+	flushed := s.flushLocked() == nil
+	if sy, ok := s.w.(interface{ Sync() error }); ok && flushed {
+		if err := sy.Sync(); err != nil && s.err == nil {
+			s.err = fmt.Errorf("obs: sync events: %w", err)
+		}
+	}
+	// Close the writer even after a flush failure — an error must not
+	// leak the descriptor.
+	if c, ok := s.w.(io.Closer); ok {
+		if err := c.Close(); err != nil && s.err == nil {
+			s.err = fmt.Errorf("obs: close events: %w", err)
+		}
+	}
+	return s.err
+}
 
 // ReadEvents loads a JSONL event stream, mirroring trace.ReadJSONL —
 // including its tolerance for large lines.

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// failingFile is a writer that short-writes after a byte budget and
+// records whether Sync/Close ran — the JSONLSink error-path fixture.
+type failingFile struct {
+	budget   int
+	synced   bool
+	closed   bool
+	failSync bool
+}
+
+func (f *failingFile) Write(p []byte) (int, error) {
+	if f.budget <= 0 {
+		return 0, errors.New("device out of space")
+	}
+	if len(p) > f.budget {
+		n := f.budget
+		f.budget = 0
+		return n, errors.New("device out of space")
+	}
+	f.budget -= len(p)
+	return len(p), nil
+}
+
+func (f *failingFile) Sync() error {
+	f.synced = true
+	if f.failSync {
+		return errors.New("fsync failed")
+	}
+	return nil
+}
+
+func (f *failingFile) Close() error {
+	f.closed = true
+	return nil
+}
+
+// TestJSONLSinkShortWrite: a short write surfaces from Close, the
+// underlying file is still closed (no descriptor leak), Sync is skipped
+// on a failed flush, and a second Close returns the same latched error.
+func TestJSONLSinkShortWrite(t *testing.T) {
+	f := &failingFile{budget: 10}
+	sink := NewJSONLSink(f)
+	sink.Emit(Event{Kind: "command", Name: "set_action_value", Device: "hp00"})
+	err := sink.Close()
+	if err == nil {
+		t.Fatal("short write never surfaced")
+	}
+	if !strings.Contains(err.Error(), "out of space") {
+		t.Fatalf("Close error %v does not carry the write error", err)
+	}
+	if !f.closed {
+		t.Fatal("underlying file not closed after flush failure")
+	}
+	if f.synced {
+		t.Fatal("synced a file whose flush failed")
+	}
+	if again := sink.Close(); !errors.Is(again, err) {
+		t.Fatalf("second Close = %v, want the latched %v", again, err)
+	}
+	if sink.Flush() == nil {
+		t.Fatal("Flush lost the latched error")
+	}
+	// Emits after Close are dropped silently.
+	sink.Emit(Event{Kind: "command"})
+}
+
+// TestJSONLSinkCloseSyncsAndCloses: the happy path runs flush → sync →
+// close exactly once, and the second Close is a no-op returning nil.
+func TestJSONLSinkCloseSyncsAndCloses(t *testing.T) {
+	f := &failingFile{budget: 1 << 20}
+	sink := NewJSONLSink(f)
+	sink.Emit(Event{Kind: "alert", Name: "invalid_command"})
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !f.synced || !f.closed {
+		t.Fatalf("Close ran sync=%v close=%v, want both", f.synced, f.closed)
+	}
+	f.synced, f.closed = false, false
+	if err := sink.Close(); err != nil {
+		t.Fatalf("second Close = %v", err)
+	}
+	if f.synced || f.closed {
+		t.Fatal("second Close re-ran sync/close on the writer")
+	}
+}
+
+// TestJSONLSinkSyncErrorPropagates: an fsync failure is the sink's
+// error even though the flush succeeded, and the file still closes.
+func TestJSONLSinkSyncErrorPropagates(t *testing.T) {
+	f := &failingFile{budget: 1 << 20, failSync: true}
+	sink := NewJSONLSink(f)
+	sink.Emit(Event{Kind: "span", Name: "before.validate"})
+	err := sink.Close()
+	if err == nil || !strings.Contains(err.Error(), "fsync failed") {
+		t.Fatalf("Close = %v, want the sync error", err)
+	}
+	if !f.closed {
+		t.Fatal("underlying file not closed after sync failure")
+	}
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// Health is one component's report. OK is liveness (the component is
+// not broken); Ready is readiness (it is willing to take work — a
+// drained engine is alive but not ready). Detail is free-form context.
+type Health struct {
+	OK     bool   `json:"ok"`
+	Ready  bool   `json:"ready"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// HealthFunc reports a component's current health. It is called on
+// every /healthz–/readyz request and must be cheap and safe for
+// concurrent use.
+type HealthFunc func() Health
+
+// HealthReg is a registered health component; Unregister removes it.
+type HealthReg struct {
+	alias string
+	fn    HealthFunc
+}
+
+// The process-wide health group, aggregated by /healthz and /readyz.
+// Like the scrape group, repeated names are disambiguated with a "#N"
+// suffix so several systems on the same lab stay distinguishable.
+var (
+	healthMu  sync.Mutex
+	healthSeq = map[string]int{}
+	healthy   []*HealthReg
+)
+
+// RegisterHealth adds a named component to the process-wide health
+// group and returns its registration handle.
+func RegisterHealth(name string, fn HealthFunc) *HealthReg {
+	healthMu.Lock()
+	defer healthMu.Unlock()
+	healthSeq[name]++
+	alias := name
+	if n := healthSeq[name]; n > 1 {
+		alias = fmt.Sprintf("%s#%d", alias, n)
+	}
+	h := &HealthReg{alias: alias, fn: fn}
+	healthy = append(healthy, h)
+	return h
+}
+
+// Unregister removes the component from the health group. Nil-safe;
+// idempotent.
+func (h *HealthReg) Unregister() {
+	if h == nil {
+		return
+	}
+	healthMu.Lock()
+	defer healthMu.Unlock()
+	for i, g := range healthy {
+		if g == h {
+			healthy = append(healthy[:i], healthy[i+1:]...)
+			return
+		}
+	}
+}
+
+// HealthReport aggregates every registered component.
+type HealthReport struct {
+	// Status is "ok" or "unhealthy" (for /readyz: "ready"/"unready").
+	Status     string            `json:"status"`
+	Components map[string]Health `json:"components,omitempty"`
+}
+
+// CheckHealth polls every registered component and reports overall
+// liveness and readiness plus the per-component map.
+func CheckHealth() (ok, ready bool, components map[string]Health) {
+	healthMu.Lock()
+	regs := make([]*HealthReg, len(healthy))
+	copy(regs, healthy)
+	healthMu.Unlock()
+	ok, ready = true, true
+	components = make(map[string]Health, len(regs))
+	for _, r := range regs {
+		h := r.fn()
+		components[r.alias] = h
+		ok = ok && h.OK
+		ready = ready && h.Ready
+	}
+	return ok, ready, components
+}
+
+// writeHealthJSON renders a health report with the right status code
+// (encoding/json already orders map keys, so the body is stable).
+func writeHealthJSON(w http.ResponseWriter, pass bool, passStatus, failStatus string, components map[string]Health) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	status := passStatus
+	if !pass {
+		status = failStatus
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(HealthReport{Status: status, Components: components})
+}
+
+// healthzHandler is liveness: 200 while every component reports OK,
+// 503 otherwise. With no components registered it reports 200 — an
+// idle process is alive.
+func healthzHandler(w http.ResponseWriter, _ *http.Request) {
+	ok, _, components := CheckHealth()
+	writeHealthJSON(w, ok, "ok", "unhealthy", components)
+}
+
+// readyzHandler is readiness: 200 while every component is ready to
+// take work, 503 once any has drained, stopped, or failed.
+func readyzHandler(w http.ResponseWriter, _ *http.Request) {
+	_, ready, components := CheckHealth()
+	writeHealthJSON(w, ready, "ready", "unready", components)
+}

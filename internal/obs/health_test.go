@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// getJSON fetches a health endpoint, asserting the content type and
+// decoding the report.
+func getJSON(t *testing.T, url string) (int, HealthReport) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("GET %s: content-type %q", url, ct)
+	}
+	var rep HealthReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatalf("GET %s: body not JSON: %v", url, err)
+	}
+	return resp.StatusCode, rep
+}
+
+// TestHealthEndpoints drives /healthz and /readyz through the component
+// states that matter: empty group, all-healthy, drained (alive but not
+// ready), and broken (both fail).
+func TestHealthEndpoints(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	// No components: an idle process is alive and ready.
+	if code, rep := getJSON(t, srv.URL+"/healthz"); code != 200 || rep.Status != "ok" {
+		t.Fatalf("empty /healthz = %d %q", code, rep.Status)
+	}
+	if code, rep := getJSON(t, srv.URL+"/readyz"); code != 200 || rep.Status != "ready" {
+		t.Fatalf("empty /readyz = %d %q", code, rep.Status)
+	}
+
+	state := Health{OK: true, Ready: true}
+	reg := RegisterHealth("engine", func() Health { return state })
+	defer reg.Unregister()
+	reg2 := RegisterHealth("engine", func() Health { return Health{OK: true, Ready: true} })
+	defer reg2.Unregister()
+
+	code, rep := getJSON(t, srv.URL+"/healthz")
+	if code != 200 || rep.Status != "ok" {
+		t.Fatalf("healthy /healthz = %d %q", code, rep.Status)
+	}
+	// The duplicate name was disambiguated, not clobbered.
+	if _, ok := rep.Components["engine"]; !ok {
+		t.Error("component engine missing")
+	}
+	if _, ok := rep.Components["engine#2"]; !ok {
+		t.Errorf("duplicate component not aliased: %v", rep.Components)
+	}
+
+	// Drained: alive, not ready.
+	state = Health{OK: true, Ready: false, Detail: "drained"}
+	if code, rep := getJSON(t, srv.URL+"/healthz"); code != 200 || rep.Status != "ok" {
+		t.Fatalf("drained /healthz = %d %q, want 200 ok", code, rep.Status)
+	}
+	code, rep = getJSON(t, srv.URL+"/readyz")
+	if code != http.StatusServiceUnavailable || rep.Status != "unready" {
+		t.Fatalf("drained /readyz = %d %q, want 503 unready", code, rep.Status)
+	}
+	if rep.Components["engine"].Detail != "drained" {
+		t.Errorf("detail %q not surfaced", rep.Components["engine"].Detail)
+	}
+
+	// Broken: neither live nor ready.
+	state = Health{OK: false, Ready: false, Detail: "bundle write: disk full"}
+	if code, rep := getJSON(t, srv.URL+"/healthz"); code != http.StatusServiceUnavailable || rep.Status != "unhealthy" {
+		t.Fatalf("broken /healthz = %d %q, want 503 unhealthy", code, rep.Status)
+	}
+
+	// Unregister restores the all-clear.
+	reg.Unregister()
+	reg.Unregister() // idempotent
+	if code, _ := getJSON(t, srv.URL+"/healthz"); code != 200 {
+		t.Fatalf("/healthz still %d after Unregister", code)
+	}
+	var nilReg *HealthReg
+	nilReg.Unregister() // nil-safe
+}
+
+// TestEndpointsAfterServerClose covers every introspection endpoint's
+// status and content type on the live listener, then proves Close ends
+// service.
+func TestEndpointsAfterServerClose(t *testing.T) {
+	reg := NewRegistry("endpoints-test")
+	Register(reg)
+	defer Unregister(reg)
+	sloReg := RegisterSLO(NewSLO("endpoint_slo", 0.9, time.Millisecond))
+	defer sloReg.Unregister()
+
+	srv, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCT := map[string]string{
+		"/metrics":        "text/plain; version=0.0.4",
+		"/metrics/prom":   "text/plain; version=0.0.4",
+		"/healthz":        "application/json",
+		"/readyz":         "application/json",
+		"/traces":         "", // mounted by the trace subpackage; absent here
+		"/debug/vars":     "application/json",
+		"/traces/summary": "",
+	}
+	for path, ct := range wantCT {
+		resp, err := http.Get("http://" + srv.Addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if ct == "" {
+			// obs does not import its trace subpackage, so in this test
+			// binary the aux route may or may not be mounted; only assert
+			// it does not 500.
+			if resp.StatusCode >= 500 {
+				t.Errorf("GET %s: status %d", path, resp.StatusCode)
+			}
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if got := resp.Header.Get("Content-Type"); !strings.HasPrefix(got, ct) {
+			t.Errorf("GET %s: content-type %q, want prefix %q", path, got, ct)
+		}
+		if path == "/metrics/prom" && !strings.Contains(string(body), `rabit_slo_objective{slo="endpoint_slo`) {
+			t.Errorf("/metrics/prom missing the registered SLO")
+		}
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{"/metrics", "/metrics/prom", "/healthz", "/readyz"} {
+		if _, err := http.Get("http://" + srv.Addr + path); err == nil {
+			t.Errorf("GET %s still served after Close", path)
+		}
+	}
+}
+
+// TestSLORollingWindows exercises the burn-rate math over a simulated
+// clock: observations age out of the short window but stay in the long
+// one.
+func TestSLORollingWindows(t *testing.T) {
+	now := time.Unix(1_000_000, 0)
+	slo := NewSLO("clocked", 0.9, time.Millisecond, 10*time.Second, time.Hour)
+	slo.now = func() time.Time { return now }
+
+	approx := func(got, want float64) bool { return math.Abs(got-want) < 1e-9 }
+	for i := 0; i < 8; i++ {
+		slo.Observe(time.Microsecond) // good
+	}
+	slo.Observe(time.Second) // bad
+	slo.Observe(time.Second) // bad
+	// 2 bad / 10 total over a 0.1 budget: burning at 2x.
+	if br := slo.BurnRate(10 * time.Second); !approx(br, 2.0) {
+		t.Fatalf("short-window burn rate = %v, want 2.0", br)
+	}
+
+	// 30 seconds later the short window is empty, the long one is not.
+	now = now.Add(30 * time.Second)
+	if br := slo.BurnRate(10 * time.Second); br != 0 {
+		t.Fatalf("aged short-window burn rate = %v, want 0", br)
+	}
+	if br := slo.BurnRate(time.Hour); !approx(br, 2.0) {
+		t.Fatalf("long-window burn rate = %v, want 2.0", br)
+	}
+
+	// New good observations dilute the long window.
+	for i := 0; i < 30; i++ {
+		slo.Observe(0)
+	}
+	snap := slo.Snapshot()
+	if len(snap.Windows) != 2 {
+		t.Fatalf("%d windows", len(snap.Windows))
+	}
+	long := snap.Windows[1]
+	if long.Good != 38 || long.Bad != 2 {
+		t.Fatalf("long window %d good / %d bad, want 38/2", long.Good, long.Bad)
+	}
+	if want := (2.0 / 40.0) / 0.1; !approx(long.BurnRate, want) {
+		t.Fatalf("long burn rate %v, want %v", long.BurnRate, want)
+	}
+
+	// Threshold boundary: exactly-at-threshold is good.
+	slo2 := NewSLO("edge", 0.5, time.Millisecond)
+	slo2.Observe(time.Millisecond)
+	if br := slo2.BurnRate(time.Hour); br != 0 {
+		t.Fatalf("at-threshold observation counted bad (burn %v)", br)
+	}
+
+	// Nil-safety.
+	var nilSLO *SLO
+	nilSLO.Observe(time.Second)
+	if nilSLO.BurnRate(time.Minute) != 0 {
+		t.Fatal("nil SLO burns")
+	}
+	var s *SafetySLOs
+	s.ObserveCheck(time.Second)
+	s.ObserveDetection(time.Second)
+	s.Register()
+	s.Unregister()
+}

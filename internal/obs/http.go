@@ -22,6 +22,24 @@ var (
 	publishOnce sync.Once
 )
 
+// Auxiliary routes: subpackages (internal/obs/trace's /traces) add
+// endpoints to the introspection mux without obs importing them.
+var (
+	auxMu     sync.RWMutex
+	auxRoutes = map[string]http.Handler{}
+)
+
+// RegisterHTTPHandler mounts a handler on the introspection mux under
+// pattern (e.g. "/traces"). Later registrations for the same pattern
+// replace earlier ones; core routes (/metrics, /healthz, …) cannot be
+// replaced. Intended for obs subpackages, which would otherwise need an
+// import cycle to extend Handler.
+func RegisterHTTPHandler(pattern string, h http.Handler) {
+	auxMu.Lock()
+	defer auxMu.Unlock()
+	auxRoutes[pattern] = h
+}
+
 // groupEntry pairs a registry with its scrape alias. Two systems built
 // on the same lab share a registry name; exporting both under one name
 // would emit duplicate series that scrape tooling rejects, so the group
@@ -82,14 +100,31 @@ func publishExpvar() {
 }
 
 // Handler returns the introspection mux: /debug/vars (expvar, including
-// the "rabit" snapshot tree), /metrics (a flat text rendering), and
-// /debug/pprof (live profiling).
+// the "rabit" snapshot tree), /metrics (a flat text rendering),
+// /metrics/prom (Prometheus exposition), /healthz and /readyz (service
+// health), any auxiliary routes subpackages registered (e.g. /traces),
+// and /debug/pprof (live profiling).
 func Handler() http.Handler {
 	publishExpvar()
 	mux := http.NewServeMux()
+	core := map[string]bool{
+		"/debug/vars": true, "/metrics": true, "/metrics/prom": true,
+		"/healthz": true, "/readyz": true, "/debug/pprof/": true,
+		"/debug/pprof/cmdline": true, "/debug/pprof/profile": true,
+		"/debug/pprof/symbol": true, "/debug/pprof/trace": true,
+	}
+	auxMu.RLock()
+	for pattern, h := range auxRoutes {
+		if !core[pattern] {
+			mux.Handle(pattern, h)
+		}
+	}
+	auxMu.RUnlock()
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/metrics", metricsText)
 	mux.HandleFunc("/metrics/prom", promMetricsText)
+	mux.HandleFunc("/healthz", healthzHandler)
+	mux.HandleFunc("/readyz", readyzHandler)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -12,51 +12,116 @@ import (
 // The Prometheus text-format exposition (/metrics/prom). The flat
 // /metrics rendering predates it and keeps its ad-hoc shape for existing
 // consumers; this endpoint speaks the standard text format 0.0.4 —
-// # TYPE lines, counters suffixed _total, histograms as real _bucket /
-// _sum / _count series with le labels in seconds — so an off-the-shelf
-// Prometheus scrape ingests RABIT's registries unmodified.
+// # HELP/# TYPE lines, counters suffixed _total, histograms as real
+// _bucket / _sum / _count series with le labels in seconds — so an
+// off-the-shelf Prometheus scrape ingests RABIT's registries unmodified.
 
-// promMetricsText renders every registered registry in the Prometheus
-// text exposition format.
+// promMetricsText renders every registered registry plus the SLO group
+// in the Prometheus text exposition format.
 func promMetricsText(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	WritePromText(w, Snapshots())
+	WritePromSLOs(w, SLOSnapshots())
+}
+
+// escapeLabel escapes a label value per the exposition format: exactly
+// backslash, double-quote, and line-feed — no more (Go's %q would also
+// escape tabs and non-printables, which Prometheus parsers take
+// literally, silently changing the label value).
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var sb strings.Builder
+	sb.Grow(len(v) + 8)
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteByte(v[i])
+		}
+	}
+	return sb.String()
+}
+
+// escapeHelp escapes a # HELP text: backslash and line-feed only, per
+// the format.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
 }
 
 // promFamily accumulates one metric family's samples so each family
-// renders under a single # TYPE header even when several registries
-// carry the instrument.
+// renders under a single # HELP/# TYPE header pair even when several
+// registries carry the instrument.
 type promFamily struct {
 	typ   string // "counter" | "gauge" | "histogram"
+	help  string
 	lines []string
+}
+
+// helpText maps sanitized family names to # HELP strings; families not
+// listed fall back to a generic line. Kept deliberately small — the
+// point of HELP is orientation, not documentation.
+var helpText = map[string]string{
+	"rabit_commands_total":            "Commands fully checked by the engine (Before and After).",
+	"rabit_check_ns_total":            "Cumulative safety-check overhead in nanoseconds.",
+	"rabit_before_validate_seconds":   "Rule validation stage latency.",
+	"rabit_before_trajectory_seconds": "Trajectory validation stage latency.",
+	"rabit_after_fetch_seconds":       "Post-state fetch stage latency.",
+	"rabit_after_compare_seconds":     "Post-state comparison stage latency.",
+	"rabit_intercept_seconds":         "End-to-end interception latency per command.",
+	"rabit_execute_seconds":           "Device execution latency per command.",
+	"rabit_slo_objective":             "SLO objective (fraction of observations that must be good).",
+	"rabit_slo_threshold_seconds":     "SLO threshold under which an observation counts as good.",
+	"rabit_slo_good":                  "Good observations inside the rolling window.",
+	"rabit_slo_bad":                   "Bad observations inside the rolling window.",
+	"rabit_slo_burn_rate":             "Error-budget burn rate over the rolling window (1.0 = at objective).",
+	"rabit_traces_started_total":      "Traces opened by the causal tracer.",
+	"rabit_traces_retained_total":     "Traces kept by the tail-sampling decision.",
+	"rabit_traces_sampled_out_total":  "Non-alert traces dropped by the tail-sampling decision.",
+	"rabit_trace_spans_dropped_total": "Spans lost to per-trace ring bounds or finished traces.",
+	"rabit_trace_export_errors_total": "Retained traces the exporter failed to write.",
+}
+
+func helpFor(name string) string {
+	if h, ok := helpText[name]; ok {
+		return h
+	}
+	return "RABIT metric " + name + "."
 }
 
 // WritePromText renders snapshots in the Prometheus text format. Metric
 // names are stable: "rabit_" + the sanitized instrument name, counters
 // suffixed _total, histograms suffixed _seconds (durations convert from
 // nanoseconds). Every series carries a reg label naming its registry's
-// scrape alias.
+// scrape alias; label values are escaped per the format.
 func WritePromText(w io.Writer, snaps []Snapshot) {
 	fams := map[string]*promFamily{}
 	family := func(name, typ string) *promFamily {
 		f, ok := fams[name]
 		if !ok {
-			f = &promFamily{typ: typ}
+			f = &promFamily{typ: typ, help: helpFor(name)}
 			fams[name] = f
 		}
 		return f
 	}
 	for _, s := range snaps {
-		reg := s.Name
+		reg := escapeLabel(s.Name)
 		for _, c := range s.Counters {
 			name := "rabit_" + sanitize(c.Name) + "_total"
 			f := family(name, "counter")
-			f.lines = append(f.lines, fmt.Sprintf("%s{reg=%q} %d", name, reg, c.Value))
+			f.lines = append(f.lines, fmt.Sprintf("%s{reg=\"%s\"} %d", name, reg, c.Value))
 		}
 		for _, g := range s.Gauges {
 			name := "rabit_" + sanitize(g.Name)
 			f := family(name, "gauge")
-			f.lines = append(f.lines, fmt.Sprintf("%s{reg=%q} %d", name, reg, g.Value))
+			f.lines = append(f.lines, fmt.Sprintf("%s{reg=\"%s\"} %d", name, reg, g.Value))
 		}
 		bounds := BucketBoundsNS()
 		for _, h := range s.Histograms {
@@ -68,16 +133,60 @@ func WritePromText(w io.Writer, snaps []Snapshot) {
 				cum = make([]int64, len(bounds)+1)
 			}
 			for i, b := range bounds {
-				f.lines = append(f.lines, fmt.Sprintf("%s_bucket{reg=%q,le=%q} %d",
+				f.lines = append(f.lines, fmt.Sprintf("%s_bucket{reg=\"%s\",le=\"%s\"} %d",
 					name, reg, promSeconds(b), cum[i]))
 			}
-			f.lines = append(f.lines, fmt.Sprintf("%s_bucket{reg=%q,le=\"+Inf\"} %d",
+			f.lines = append(f.lines, fmt.Sprintf("%s_bucket{reg=\"%s\",le=\"+Inf\"} %d",
 				name, reg, cum[len(cum)-1]))
-			f.lines = append(f.lines, fmt.Sprintf("%s_sum{reg=%q} %s",
+			f.lines = append(f.lines, fmt.Sprintf("%s_sum{reg=\"%s\"} %s",
 				name, reg, promSeconds(h.SumNS)))
-			f.lines = append(f.lines, fmt.Sprintf("%s_count{reg=%q} %d", name, reg, h.Count))
+			f.lines = append(f.lines, fmt.Sprintf("%s_count{reg=\"%s\"} %d", name, reg, h.Count))
 		}
 	}
+	writeFamilies(w, fams)
+}
+
+// WritePromSLOs renders the SLO group: objective and threshold as
+// per-SLO gauges, plus good/bad totals and the burn rate per rolling
+// window.
+func WritePromSLOs(w io.Writer, slos []SLOSnapshot) {
+	if len(slos) == 0 {
+		return
+	}
+	fams := map[string]*promFamily{}
+	family := func(name string) *promFamily {
+		f, ok := fams[name]
+		if !ok {
+			f = &promFamily{typ: "gauge", help: helpFor(name)}
+			fams[name] = f
+		}
+		return f
+	}
+	for _, s := range slos {
+		slo := escapeLabel(s.Name)
+		f := family("rabit_slo_objective")
+		f.lines = append(f.lines, fmt.Sprintf("rabit_slo_objective{slo=\"%s\"} %s",
+			slo, strconv.FormatFloat(s.Objective, 'g', -1, 64)))
+		f = family("rabit_slo_threshold_seconds")
+		f.lines = append(f.lines, fmt.Sprintf("rabit_slo_threshold_seconds{slo=\"%s\"} %s",
+			slo, promSeconds(s.ThresholdNS)))
+		for _, ws := range s.Windows {
+			win := escapeLabel(ws.Window.String())
+			f = family("rabit_slo_good")
+			f.lines = append(f.lines, fmt.Sprintf("rabit_slo_good{slo=\"%s\",window=\"%s\"} %d", slo, win, ws.Good))
+			f = family("rabit_slo_bad")
+			f.lines = append(f.lines, fmt.Sprintf("rabit_slo_bad{slo=\"%s\",window=\"%s\"} %d", slo, win, ws.Bad))
+			f = family("rabit_slo_burn_rate")
+			f.lines = append(f.lines, fmt.Sprintf("rabit_slo_burn_rate{slo=\"%s\",window=\"%s\"} %s",
+				slo, win, strconv.FormatFloat(ws.BurnRate, 'g', -1, 64)))
+		}
+	}
+	writeFamilies(w, fams)
+}
+
+// writeFamilies emits families sorted by name, each under exactly one
+// # HELP and one # TYPE line.
+func writeFamilies(w io.Writer, fams map[string]*promFamily) {
 	names := make([]string, 0, len(fams))
 	for name := range fams {
 		names = append(names, name)
@@ -86,6 +195,7 @@ func WritePromText(w io.Writer, snaps []Snapshot) {
 	var sb strings.Builder
 	for _, name := range names {
 		f := fams[name]
+		fmt.Fprintf(&sb, "# HELP %s %s\n", name, escapeHelp(f.help))
 		fmt.Fprintf(&sb, "# TYPE %s %s\n", name, f.typ)
 		for _, line := range f.lines {
 			sb.WriteString(line)

@@ -82,6 +82,105 @@ func TestWritePromTextEmptyHistogram(t *testing.T) {
 	}
 }
 
+// TestPromHostileLabels is the escaping regression test: registry names
+// carrying backslashes, quotes, and newlines must land in label values
+// escaped per the exposition format — and exactly those three bytes, so
+// parsers reconstruct the original value.
+func TestPromHostileLabels(t *testing.T) {
+	hostile := "lab \"A\"\\east\nwing"
+	reg := NewRegistry(hostile)
+	reg.Counter("outcome.ok").Inc()
+	var b strings.Builder
+	snap := reg.Snapshot()
+	snap.Name = hostile
+	WritePromText(&b, []Snapshot{snap})
+	want := `rabit_outcome_ok_total{reg="lab \"A\"\\east\nwing"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("exposition missing %q:\n%s", want, b.String())
+	}
+	// One physical line per sample: the raw newline must not survive.
+	for _, line := range strings.Split(b.String(), "\n") {
+		if strings.HasPrefix(line, "wing") {
+			t.Fatalf("unescaped newline split a sample line:\n%s", b.String())
+		}
+	}
+	// Bytes the format takes literally pass through untouched.
+	if got := escapeLabel("tab\there"); got != "tab\there" {
+		t.Fatalf("escapeLabel mangled a literal tab: %q", got)
+	}
+}
+
+// TestPromHelpTypeOncePerFamily: several registries carrying the same
+// instruments must merge under a single # HELP/# TYPE header pair per
+// family, with every registry's series beneath it.
+func TestPromHelpTypeOncePerFamily(t *testing.T) {
+	var snaps []Snapshot
+	for _, name := range []string{"sysA", "sysB", "sysC"} {
+		reg := NewRegistry(name)
+		reg.Counter(CounterCommands).Add(3)
+		reg.Histogram(StageValidate).Observe(time.Millisecond)
+		snap := reg.Snapshot()
+		snap.Name = name
+		snaps = append(snaps, snap)
+	}
+	var b strings.Builder
+	WritePromText(&b, snaps)
+	text := b.String()
+	for _, family := range []string{"rabit_commands_total", "rabit_before_validate_seconds"} {
+		if n := strings.Count(text, "# HELP "+family+" "); n != 1 {
+			t.Errorf("family %s has %d HELP lines, want 1", family, n)
+		}
+		if n := strings.Count(text, "# TYPE "+family+" "); n != 1 {
+			t.Errorf("family %s has %d TYPE lines, want 1", family, n)
+		}
+	}
+	for _, name := range []string{"sysA", "sysB", "sysC"} {
+		if !strings.Contains(text, fmt.Sprintf(`rabit_commands_total{reg="%s"} 3`, name)) {
+			t.Errorf("registry %s's series missing", name)
+		}
+	}
+	// HELP text itself escapes backslash and newline.
+	if got := escapeHelp(`a\b` + "\nc"); got != `a\\b\nc` {
+		t.Fatalf("escapeHelp = %q", got)
+	}
+}
+
+// TestWritePromSLOs covers the SLO exposition: per-SLO objective and
+// threshold gauges plus per-window good/bad/burn-rate series.
+func TestWritePromSLOs(t *testing.T) {
+	// Objective 0.5 keeps the error budget a power of two, so the
+	// burn-rate sample values render without float dust.
+	slo := NewSLO("check_overhead", 0.5, 5*time.Millisecond)
+	for i := 0; i < 99; i++ {
+		slo.Observe(time.Millisecond)
+	}
+	slo.Observe(50 * time.Millisecond) // one bad in 100: burn = 0.01/0.5
+	var b strings.Builder
+	WritePromSLOs(&b, []SLOSnapshot{slo.Snapshot()})
+	text := b.String()
+	for _, want := range []string{
+		`rabit_slo_objective{slo="check_overhead"} 0.5`,
+		`rabit_slo_threshold_seconds{slo="check_overhead"} 0.005`,
+		`rabit_slo_good{slo="check_overhead",window="5m0s"} 99`,
+		`rabit_slo_bad{slo="check_overhead",window="5m0s"} 1`,
+		`rabit_slo_burn_rate{slo="check_overhead",window="5m0s"} 0.02`,
+		`rabit_slo_burn_rate{slo="check_overhead",window="1h0m0s"} 0.02`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("SLO exposition missing %q:\n%s", want, text)
+		}
+	}
+	if n := strings.Count(text, "# TYPE rabit_slo_burn_rate gauge"); n != 1 {
+		t.Errorf("burn-rate family declared %d times", n)
+	}
+	// An empty group writes nothing at all — not even headers.
+	var empty strings.Builder
+	WritePromSLOs(&empty, nil)
+	if empty.Len() != 0 {
+		t.Errorf("empty SLO group wrote %q", empty.String())
+	}
+}
+
 // TestServeGracefulShutdown drives the real listener: serve, scrape both
 // exposition endpoints, shut down, and verify the address is released.
 func TestServeGracefulShutdown(t *testing.T) {

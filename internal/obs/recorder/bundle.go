@@ -35,6 +35,10 @@ type Manifest struct {
 	RuleIDs []string `json:"rule_ids,omitempty"`
 	Device  string   `json:"device,omitempty"`
 	Seq     int      `json:"seq,omitempty"`
+	// TraceID is the trigger's causal trace (32 hex chars); `rabiteval
+	// -trace` renders the matching retained trace tree. Empty when
+	// tracing was off.
+	TraceID string `json:"trace_id,omitempty"`
 	// TNS is the lab clock at the alert — detection-latency aggregation
 	// reads it.
 	TNS int64 `json:"t_ns"`
@@ -61,6 +65,7 @@ func (r *Recorder) writeBundle(trigger Record) {
 		RuleIDs:   trigger.Violations,
 		Device:    trigger.Device,
 		Seq:       trigger.Seq,
+		TraceID:   trigger.Trace,
 		TNS:       trigger.AlertTNS,
 		Records:   len(window),
 	}

@@ -96,6 +96,10 @@ type Record struct {
 	hasCmd bool
 	// TNS is the lab clock when the record opened (command issue time).
 	TNS int64 `json:"t_ns,omitempty"`
+	// Trace is the causal trace ID (32 hex chars) of the run that
+	// produced this record — the key linking a bundle to its retained
+	// trace tree (see internal/obs/trace). Empty when tracing is off.
+	Trace string `json:"trace_id,omitempty"`
 
 	// Rules are the rule IDs the validation stage evaluated for this
 	// command (its label bucket filtered to matching devices).

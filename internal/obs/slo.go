@@ -1,0 +1,291 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Safety SLOs (ISSUE 6): the two objectives that matter for a safety
+// checker as a service. Check overhead is how much latency RABIT adds
+// per command; detection latency is how long an unsafe command lives
+// between being issued and being alerted on. Both are tracked as
+// threshold objectives — an observation is "good" when it lands under
+// the threshold — with burn rates over rolling windows.
+const (
+	// SLOCheckOverhead: the per-command safety check stays under
+	// DefaultCheckOverheadThreshold for DefaultCheckOverheadObjective of
+	// commands.
+	SLOCheckOverhead = "check_overhead"
+	// SLODetectionLatency: an alert fires within
+	// DefaultDetectionLatencyThreshold of the offending command being
+	// issued for DefaultDetectionLatencyObjective of alerts.
+	SLODetectionLatency = "detection_latency"
+)
+
+// Default objectives and thresholds.
+const (
+	DefaultCheckOverheadObjective    = 0.99
+	DefaultCheckOverheadThreshold    = 5 * time.Millisecond
+	DefaultDetectionLatencyObjective = 0.95
+	DefaultDetectionLatencyThreshold = 250 * time.Millisecond
+)
+
+// DefaultSLOWindows are the rolling burn-rate windows: a short one for
+// paging-grade signal and a long one for trend.
+var DefaultSLOWindows = []time.Duration{5 * time.Minute, time.Hour}
+
+// sloSlot is one second of observations.
+type sloSlot struct {
+	sec  int64
+	good int64
+	bad  int64
+}
+
+// SLO is one threshold objective with rolling per-second buckets. Safe
+// for concurrent use; the zero value is not usable — build with NewSLO.
+type SLO struct {
+	name      string
+	objective float64
+	threshold time.Duration
+	windows   []time.Duration
+
+	mu    sync.Mutex
+	slots []sloSlot
+	now   func() time.Time // injectable for tests
+}
+
+// NewSLO builds an SLO. objective must be in (0, 1); windows default to
+// DefaultSLOWindows.
+func NewSLO(name string, objective float64, threshold time.Duration, windows ...time.Duration) *SLO {
+	if len(windows) == 0 {
+		windows = DefaultSLOWindows
+	}
+	max := time.Duration(0)
+	for _, w := range windows {
+		if w > max {
+			max = w
+		}
+	}
+	return &SLO{
+		name:      name,
+		objective: objective,
+		threshold: threshold,
+		windows:   windows,
+		slots:     make([]sloSlot, int(max/time.Second)+2),
+		now:       time.Now,
+	}
+}
+
+// Name returns the SLO's name.
+func (s *SLO) Name() string { return s.name }
+
+// Observe records one observation: good when it lands at or under the
+// threshold. Nil-safe.
+func (s *SLO) Observe(d time.Duration) {
+	if s == nil {
+		return
+	}
+	good := d <= s.threshold
+	s.mu.Lock()
+	sec := s.now().Unix()
+	slot := &s.slots[sec%int64(len(s.slots))]
+	if slot.sec != sec {
+		*slot = sloSlot{sec: sec}
+	}
+	if good {
+		slot.good++
+	} else {
+		slot.bad++
+	}
+	s.mu.Unlock()
+}
+
+// totals sums the slots inside [now-window, now]. Callers hold s.mu.
+func (s *SLO) totals(nowSec int64, window time.Duration) (good, bad int64) {
+	cutoff := nowSec - int64(window/time.Second)
+	for i := range s.slots {
+		if s.slots[i].sec > cutoff && s.slots[i].sec <= nowSec {
+			good += s.slots[i].good
+			bad += s.slots[i].bad
+		}
+	}
+	return good, bad
+}
+
+// BurnRate reports how fast the window is consuming error budget:
+// (bad/total) / (1 - objective). 1.0 means the window is burning budget
+// exactly at the objective's tolerated rate; above it the SLO is in
+// deficit. An empty window burns nothing.
+func (s *SLO) BurnRate(window time.Duration) float64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	good, bad := s.totals(s.now().Unix(), window)
+	total := good + bad
+	if total == 0 {
+		return 0
+	}
+	budget := 1 - s.objective
+	if budget <= 0 {
+		budget = 1e-9
+	}
+	return (float64(bad) / float64(total)) / budget
+}
+
+// SLOWindowSnapshot is one window's rolling totals.
+type SLOWindowSnapshot struct {
+	Window   time.Duration `json:"window"`
+	Good     int64         `json:"good"`
+	Bad      int64         `json:"bad"`
+	BurnRate float64       `json:"burn_rate"`
+}
+
+// SLOSnapshot is one SLO's full state.
+type SLOSnapshot struct {
+	Name        string              `json:"name"`
+	Objective   float64             `json:"objective"`
+	ThresholdNS int64               `json:"threshold_ns"`
+	Windows     []SLOWindowSnapshot `json:"windows"`
+}
+
+// Snapshot captures the SLO's windows. Nil-safe.
+func (s *SLO) Snapshot() SLOSnapshot {
+	if s == nil {
+		return SLOSnapshot{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	nowSec := s.now().Unix()
+	snap := SLOSnapshot{Name: s.name, Objective: s.objective, ThresholdNS: s.threshold.Nanoseconds()}
+	budget := 1 - s.objective
+	if budget <= 0 {
+		budget = 1e-9
+	}
+	for _, w := range s.windows {
+		good, bad := s.totals(nowSec, w)
+		ws := SLOWindowSnapshot{Window: w, Good: good, Bad: bad}
+		if total := good + bad; total > 0 {
+			ws.BurnRate = (float64(bad) / float64(total)) / budget
+		}
+		snap.Windows = append(snap.Windows, ws)
+	}
+	return snap
+}
+
+// SafetySLOs bundles the two safety objectives a System monitors. The
+// engine feeds CheckOverhead once per checked command and
+// DetectionLatency once per alert. Nil-safe throughout.
+type SafetySLOs struct {
+	CheckOverhead    *SLO
+	DetectionLatency *SLO
+	regs             []*SLOReg
+}
+
+// NewSafetySLOs builds the default safety objectives.
+func NewSafetySLOs() *SafetySLOs {
+	return &SafetySLOs{
+		CheckOverhead:    NewSLO(SLOCheckOverhead, DefaultCheckOverheadObjective, DefaultCheckOverheadThreshold),
+		DetectionLatency: NewSLO(SLODetectionLatency, DefaultDetectionLatencyObjective, DefaultDetectionLatencyThreshold),
+	}
+}
+
+// ObserveCheck feeds one per-command check overhead. Nil-safe.
+func (s *SafetySLOs) ObserveCheck(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.CheckOverhead.Observe(d)
+}
+
+// ObserveDetection feeds one alert's detection latency. Nil-safe.
+func (s *SafetySLOs) ObserveDetection(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.DetectionLatency.Observe(d)
+}
+
+// Register adds both SLOs to the process-wide SLO group exported on
+// /metrics/prom. Nil-safe; idempotent per call pairing with Unregister.
+func (s *SafetySLOs) Register() {
+	if s == nil {
+		return
+	}
+	s.regs = append(s.regs, RegisterSLO(s.CheckOverhead), RegisterSLO(s.DetectionLatency))
+}
+
+// Unregister removes both SLOs from the group. Nil-safe.
+func (s *SafetySLOs) Unregister() {
+	if s == nil {
+		return
+	}
+	for _, r := range s.regs {
+		r.Unregister()
+	}
+	s.regs = nil
+}
+
+// The process-wide SLO group. Repeated names get a "#N" alias, exactly
+// like the scrape group, so several systems' burn rates stay distinct
+// series.
+var (
+	sloMu    sync.Mutex
+	sloSeq   = map[string]int{}
+	sloGroup []*SLOReg
+)
+
+// SLOReg is a registered SLO; Unregister removes it from the group.
+type SLOReg struct {
+	slo   *SLO
+	alias string
+}
+
+// RegisterSLO adds an SLO to the process-wide group (nil-safe).
+func RegisterSLO(s *SLO) *SLOReg {
+	if s == nil {
+		return nil
+	}
+	sloMu.Lock()
+	defer sloMu.Unlock()
+	sloSeq[s.name]++
+	alias := s.name
+	if n := sloSeq[s.name]; n > 1 {
+		alias = fmt.Sprintf("%s#%d", alias, n)
+	}
+	r := &SLOReg{slo: s, alias: alias}
+	sloGroup = append(sloGroup, r)
+	return r
+}
+
+// Unregister removes the SLO from the group. Nil-safe; idempotent.
+func (r *SLOReg) Unregister() {
+	if r == nil {
+		return
+	}
+	sloMu.Lock()
+	defer sloMu.Unlock()
+	for i, g := range sloGroup {
+		if g == r {
+			sloGroup = append(sloGroup[:i], sloGroup[i+1:]...)
+			return
+		}
+	}
+}
+
+// SLOSnapshots captures every registered SLO under its alias.
+func SLOSnapshots() []SLOSnapshot {
+	sloMu.Lock()
+	regs := make([]*SLOReg, len(sloGroup))
+	copy(regs, sloGroup)
+	sloMu.Unlock()
+	out := make([]SLOSnapshot, 0, len(regs))
+	for _, r := range regs {
+		snap := r.slo.Snapshot()
+		snap.Name = r.alias
+		out = append(out, snap)
+	}
+	return out
+}

@@ -84,6 +84,24 @@ const (
 	GaugeSpeculationHits = "sim.speculation_hits"
 )
 
+// Causal-tracer instruments (internal/obs/trace).
+const (
+	// CounterTracesStarted counts traces opened by the tracer.
+	CounterTracesStarted = "trace.started"
+	// CounterTracesRetained counts traces the tail-sampling decision
+	// kept (alerts always, the rest probabilistically).
+	CounterTracesRetained = "trace.retained"
+	// CounterTracesSampledOut counts non-alert traces dropped at the
+	// tail-sampling decision.
+	CounterTracesSampledOut = "trace.sampled_out"
+	// CounterTraceSpansDropped counts spans lost to the per-trace ring
+	// bound or published after their trace finished.
+	CounterTraceSpansDropped = "trace.spans_dropped"
+	// CounterTraceExportErrors counts retained traces the exporter
+	// failed to write (the tracer never fails the pipeline on them).
+	CounterTraceExportErrors = "trace.export_errors"
+)
+
 // Flight-recorder instruments (internal/obs/recorder).
 const (
 	// CounterRecorderRecords counts records committed to the black-box

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// The process-wide tracer group, mirroring obs's scrape group:
+// rabit.System registers its tracer here so the /traces endpoint sees
+// every system's retained traces without extra plumbing.
+var (
+	tracerMu    sync.Mutex
+	tracerGroup []*Tracer
+)
+
+// Register adds a tracer to the process-wide group. Nil-safe.
+func Register(t *Tracer) {
+	if t == nil {
+		return
+	}
+	tracerMu.Lock()
+	defer tracerMu.Unlock()
+	tracerGroup = append(tracerGroup, t)
+}
+
+// Unregister removes a tracer from the group. Nil-safe.
+func Unregister(t *Tracer) {
+	if t == nil {
+		return
+	}
+	tracerMu.Lock()
+	defer tracerMu.Unlock()
+	for i, g := range tracerGroup {
+		if g == t {
+			tracerGroup = append(tracerGroup[:i], tracerGroup[i+1:]...)
+			return
+		}
+	}
+}
+
+// RetainedAll returns every registered tracer's retained traces.
+func RetainedAll() []*TraceData {
+	tracerMu.Lock()
+	tracers := make([]*Tracer, len(tracerGroup))
+	copy(tracers, tracerGroup)
+	tracerMu.Unlock()
+	var out []*TraceData
+	for _, t := range tracers {
+		out = append(out, t.Retained()...)
+	}
+	return out
+}
+
+// tracesHandler serves the retained traces as OTLP-JSON lines — the
+// same format the file exporter writes, so `curl /traces` output feeds
+// straight into `rabiteval -trace`.
+func tracesHandler(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+	for _, td := range RetainedAll() {
+		if id != "" && td.ID.String() != id {
+			continue
+		}
+		data, err := MarshalOTLP(td)
+		if err != nil {
+			continue // a single unmarshalable trace must not kill the page
+		}
+		w.Write(data)
+		w.Write([]byte("\n"))
+	}
+}
+
+// tracesSummaryHandler serves a JSON index of retained traces.
+func tracesSummaryHandler(w http.ResponseWriter, _ *http.Request) {
+	type summary struct {
+		ID     string `json:"id"`
+		Alert  bool   `json:"alert"`
+		Spans  int    `json:"spans"`
+		DurNS  int64  `json:"dur_ns"`
+		RootNS int64  `json:"start_unix_ns"`
+	}
+	var out []summary
+	for _, td := range RetainedAll() {
+		s := summary{ID: td.ID.String(), Alert: td.Alert, Spans: len(td.Spans)}
+		if len(td.Spans) > 0 {
+			first, last := td.Spans[0].Start, td.Spans[0].End
+			for _, sp := range td.Spans {
+				if sp.End.After(last) {
+					last = sp.End
+				}
+			}
+			s.RootNS = first.UnixNano()
+			s.DurNS = last.Sub(first).Nanoseconds()
+		}
+		out = append(out, s)
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(out)
+}
+
+func init() {
+	obs.RegisterHTTPHandler("/traces", http.HandlerFunc(tracesHandler))
+	obs.RegisterHTTPHandler("/traces/summary", http.HandlerFunc(tracesSummaryHandler))
+}

@@ -1,0 +1,130 @@
+// Package trace is RABIT's causal tracing layer: every intercepted
+// command becomes a root span of a per-run trace, and the engine's
+// pipeline stages, the simulator's kinematics/sweep work, and the
+// speculative lookahead all attach child spans to it — upgrading the
+// flat per-stage latency histograms and the flight recorder's
+// correlation IDs into one coherent trace tree.
+//
+// Identifiers follow the W3C Trace Context model (128-bit trace IDs,
+// 64-bit span IDs) and round-trip through `traceparent` headers, so the
+// future gateway can propagate context over HTTP/gRPC. Retention is
+// tail-based: the keep/drop decision is made when a trace *finishes* —
+// traces that ended in an alert or fail-safe are always retained,
+// everything else is sampled probabilistically (see Tracer).
+package trace
+
+import (
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// TraceID is a 128-bit trace identifier (nonzero when valid).
+type TraceID [16]byte
+
+// SpanID is a 64-bit span identifier (nonzero when valid).
+type SpanID [8]byte
+
+// IsZero reports whether the trace ID is the invalid all-zero ID.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// IsZero reports whether the span ID is the invalid all-zero ID.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String returns the 32-char lowercase hex form ("" for the zero ID).
+func (t TraceID) String() string {
+	if t.IsZero() {
+		return ""
+	}
+	return hex.EncodeToString(t[:])
+}
+
+// String returns the 16-char lowercase hex form ("" for the zero ID).
+func (s SpanID) String() string {
+	if s.IsZero() {
+		return ""
+	}
+	return hex.EncodeToString(s[:])
+}
+
+// ParseTraceID parses a 32-char hex trace ID.
+func ParseTraceID(s string) (TraceID, error) {
+	var t TraceID
+	if len(s) != 32 {
+		return t, fmt.Errorf("trace: trace ID must be 32 hex chars, got %d", len(s))
+	}
+	if _, err := hex.Decode(t[:], []byte(strings.ToLower(s))); err != nil {
+		return TraceID{}, fmt.Errorf("trace: trace ID: %w", err)
+	}
+	if t.IsZero() {
+		return TraceID{}, fmt.Errorf("trace: trace ID is all zeros")
+	}
+	return t, nil
+}
+
+// ParseSpanID parses a 16-char hex span ID.
+func ParseSpanID(s string) (SpanID, error) {
+	var id SpanID
+	if len(s) != 16 {
+		return id, fmt.Errorf("trace: span ID must be 16 hex chars, got %d", len(s))
+	}
+	if _, err := hex.Decode(id[:], []byte(strings.ToLower(s))); err != nil {
+		return SpanID{}, fmt.Errorf("trace: span ID: %w", err)
+	}
+	if id.IsZero() {
+		return SpanID{}, fmt.Errorf("trace: span ID is all zeros")
+	}
+	return id, nil
+}
+
+// SpanContext names a position in a trace: the trace and the span under
+// which new child spans should parent. The zero value is invalid and
+// every consumer treats it as "not traced".
+type SpanContext struct {
+	Trace TraceID
+	Span  SpanID
+}
+
+// Valid reports whether both IDs are set.
+func (c SpanContext) Valid() bool { return !c.Trace.IsZero() && !c.Span.IsZero() }
+
+// TraceParent renders the context as a W3C traceparent header value
+// (version 00, sampled flag set — retention is decided at trace end by
+// tail sampling, so in-band every span is recorded). Returns "" for an
+// invalid context.
+func (c SpanContext) TraceParent() string {
+	if !c.Valid() {
+		return ""
+	}
+	return "00-" + c.Trace.String() + "-" + c.Span.String() + "-01"
+}
+
+// ParseTraceParent parses a W3C traceparent header value. Unknown
+// future versions are accepted as long as the version-00 prefix fields
+// parse (per the spec's forward-compatibility rule); the invalid
+// version "ff" and zero IDs are rejected.
+func ParseTraceParent(s string) (SpanContext, error) {
+	parts := strings.SplitN(s, "-", 4)
+	if len(parts) < 4 {
+		return SpanContext{}, fmt.Errorf("trace: traceparent %q: want 4 dash-separated fields", s)
+	}
+	ver := strings.ToLower(parts[0])
+	if len(ver) != 2 {
+		return SpanContext{}, fmt.Errorf("trace: traceparent %q: bad version field", s)
+	}
+	if ver == "ff" {
+		return SpanContext{}, fmt.Errorf("trace: traceparent %q: version ff is invalid", s)
+	}
+	tid, err := ParseTraceID(parts[1])
+	if err != nil {
+		return SpanContext{}, fmt.Errorf("trace: traceparent %q: %w", s, err)
+	}
+	sid, err := ParseSpanID(parts[2])
+	if err != nil {
+		return SpanContext{}, fmt.Errorf("trace: traceparent %q: %w", s, err)
+	}
+	if len(parts[3]) < 2 {
+		return SpanContext{}, fmt.Errorf("trace: traceparent %q: bad flags field", s)
+	}
+	return SpanContext{Trace: tid, Span: sid}, nil
+}

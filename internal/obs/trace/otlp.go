@@ -1,0 +1,295 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// OTLP-JSON wire shapes (the subset RABIT emits): one
+// ExportTraceServiceRequest per retained trace, one JSON line per
+// request. Timestamps are decimal strings of Unix nanos, per the OTLP
+// JSON mapping of uint64 fields.
+
+type otlpRequest struct {
+	ResourceSpans []otlpResourceSpans `json:"resourceSpans"`
+}
+
+type otlpResourceSpans struct {
+	Resource   otlpResource     `json:"resource"`
+	ScopeSpans []otlpScopeSpans `json:"scopeSpans"`
+}
+
+type otlpResource struct {
+	Attributes []otlpAttr `json:"attributes,omitempty"`
+}
+
+type otlpScopeSpans struct {
+	Scope otlpScope  `json:"scope"`
+	Spans []otlpSpan `json:"spans"`
+}
+
+type otlpScope struct {
+	Name string `json:"name"`
+}
+
+type otlpSpan struct {
+	TraceID      string      `json:"traceId"`
+	SpanID       string      `json:"spanId"`
+	ParentSpanID string      `json:"parentSpanId,omitempty"`
+	Name         string      `json:"name"`
+	Kind         int         `json:"kind"`
+	Start        string      `json:"startTimeUnixNano"`
+	End          string      `json:"endTimeUnixNano"`
+	Attributes   []otlpAttr  `json:"attributes,omitempty"`
+	Status       *otlpStatus `json:"status,omitempty"`
+}
+
+type otlpAttr struct {
+	Key   string    `json:"key"`
+	Value otlpValue `json:"value"`
+}
+
+type otlpValue struct {
+	StringValue string `json:"stringValue"`
+}
+
+type otlpStatus struct {
+	Code    int    `json:"code"`
+	Message string `json:"message,omitempty"`
+}
+
+const (
+	otlpKindInternal  = 1
+	otlpStatusError   = 2
+	otlpScopeName     = "repro/internal/obs/trace"
+	otlpServiceName   = "rabit"
+	otlpAlertAttrName = "alert"
+)
+
+// MarshalOTLP renders one trace as an OTLP-JSON
+// ExportTraceServiceRequest document.
+func MarshalOTLP(td *TraceData) ([]byte, error) {
+	spans := make([]otlpSpan, 0, len(td.Spans))
+	for _, sd := range td.Spans {
+		sp := otlpSpan{
+			TraceID:      sd.Trace.String(),
+			SpanID:       sd.Span.String(),
+			ParentSpanID: sd.Parent.String(),
+			Name:         sd.Name,
+			Kind:         otlpKindInternal,
+			Start:        strconv.FormatInt(sd.Start.UnixNano(), 10),
+			End:          strconv.FormatInt(sd.End.UnixNano(), 10),
+		}
+		for _, a := range sd.Attrs {
+			sp.Attributes = append(sp.Attributes, otlpAttr{Key: a.Key, Value: otlpValue{StringValue: a.Val}})
+		}
+		if sd.Err != "" {
+			sp.Status = &otlpStatus{Code: otlpStatusError, Message: sd.Err}
+		}
+		spans = append(spans, sp)
+	}
+	req := otlpRequest{ResourceSpans: []otlpResourceSpans{{
+		Resource: otlpResource{Attributes: []otlpAttr{
+			{Key: "service.name", Value: otlpValue{StringValue: otlpServiceName}},
+		}},
+		ScopeSpans: []otlpScopeSpans{{Scope: otlpScope{Name: otlpScopeName}, Spans: spans}},
+	}}}
+	return json.Marshal(req)
+}
+
+// UnmarshalOTLP parses one OTLP-JSON document back into traces (a
+// document may carry several trace IDs; RABIT's own exporter writes one
+// per line). The Alert flag is recovered from the "alert" attribute.
+func UnmarshalOTLP(data []byte) ([]*TraceData, error) {
+	var req otlpRequest
+	if err := json.Unmarshal(data, &req); err != nil {
+		return nil, fmt.Errorf("trace: otlp: %w", err)
+	}
+	byID := map[TraceID]*TraceData{}
+	var order []TraceID
+	for _, rs := range req.ResourceSpans {
+		for _, ss := range rs.ScopeSpans {
+			for _, osp := range ss.Spans {
+				tid, err := ParseTraceID(osp.TraceID)
+				if err != nil {
+					return nil, err
+				}
+				sid, err := ParseSpanID(osp.SpanID)
+				if err != nil {
+					return nil, err
+				}
+				sd := SpanData{Trace: tid, Span: sid, Name: osp.Name}
+				if osp.ParentSpanID != "" {
+					if sd.Parent, err = ParseSpanID(osp.ParentSpanID); err != nil {
+						return nil, err
+					}
+				}
+				if ns, err := strconv.ParseInt(osp.Start, 10, 64); err == nil {
+					sd.Start = time.Unix(0, ns)
+				}
+				if ns, err := strconv.ParseInt(osp.End, 10, 64); err == nil {
+					sd.End = time.Unix(0, ns)
+				}
+				for _, a := range osp.Attributes {
+					sd.Attrs = append(sd.Attrs, Attr{Key: a.Key, Val: a.Value.StringValue})
+					if a.Key == otlpAlertAttrName {
+						sd.Alert = true
+					}
+				}
+				if osp.Status != nil && osp.Status.Code == otlpStatusError {
+					sd.Err = osp.Status.Message
+					if sd.Err == "" {
+						sd.Err = "error"
+					}
+				}
+				td, ok := byID[tid]
+				if !ok {
+					td = &TraceData{ID: tid}
+					byID[tid] = td
+					order = append(order, tid)
+				}
+				if sd.Alert {
+					td.Alert = true
+				}
+				td.Spans = append(td.Spans, sd)
+			}
+		}
+	}
+	out := make([]*TraceData, 0, len(order))
+	for _, id := range order {
+		out = append(out, byID[id])
+	}
+	return out, nil
+}
+
+// FileExporter writes retained traces as OTLP-JSON lines. Close is
+// idempotent and propagates the underlying writer's Sync/Close errors;
+// the first error ever hit is latched and reported by Err (the /healthz
+// exporter component surfaces it).
+type FileExporter struct {
+	mu     sync.Mutex
+	w      io.Writer
+	bw     *bufio.Writer
+	err    error
+	closed bool
+}
+
+// NewFileExporter wraps a writer (typically an *os.File).
+func NewFileExporter(w io.Writer) *FileExporter {
+	return &FileExporter{w: w, bw: bufio.NewWriter(w)}
+}
+
+// ExportTrace writes one trace as one OTLP-JSON line.
+func (e *FileExporter) ExportTrace(td *TraceData) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return e.latch(fmt.Errorf("trace: exporter is closed"))
+	}
+	data, err := MarshalOTLP(td)
+	if err != nil {
+		return e.latch(err)
+	}
+	if _, err := e.bw.Write(data); err != nil {
+		return e.latch(err)
+	}
+	if err := e.bw.WriteByte('\n'); err != nil {
+		return e.latch(err)
+	}
+	return e.err
+}
+
+func (e *FileExporter) latch(err error) error {
+	if e.err == nil {
+		e.err = err
+	}
+	return err
+}
+
+// Flush drains the buffer to the underlying writer.
+func (e *FileExporter) Flush() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return e.err
+	}
+	if err := e.bw.Flush(); err != nil {
+		return e.latch(err)
+	}
+	return e.err
+}
+
+// Err returns the latched first error (nil when healthy).
+func (e *FileExporter) Err() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+// Close flushes, syncs, and closes the underlying writer when it
+// supports those operations. Idempotent: later calls return the same
+// result as the first.
+func (e *FileExporter) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return e.err
+	}
+	e.closed = true
+	flushErr := e.bw.Flush()
+	if flushErr != nil {
+		e.latch(flushErr)
+	}
+	if s, ok := e.w.(interface{ Sync() error }); ok && flushErr == nil {
+		if err := s.Sync(); err != nil {
+			e.latch(err)
+		}
+	}
+	// Close the writer even after a flush failure — an error must not
+	// leak the descriptor.
+	if c, ok := e.w.(io.Closer); ok {
+		if err := c.Close(); err != nil {
+			e.latch(err)
+		}
+	}
+	return e.err
+}
+
+// ReadOTLP loads every trace from a stream of OTLP-JSON lines.
+func ReadOTLP(r io.Reader) ([]*TraceData, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []*TraceData
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		tds, err := UnmarshalOTLP(sc.Bytes())
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, tds...)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: scan: %w", err)
+	}
+	return out, nil
+}
+
+// ReadFile loads every trace from an OTLP-JSON file.
+func ReadFile(path string) ([]*TraceData, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadOTLP(f)
+}

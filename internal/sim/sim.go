@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/action"
 	"repro/internal/config"
@@ -39,6 +40,7 @@ import (
 	"repro/internal/kin"
 	"repro/internal/obs"
 	"repro/internal/obs/recorder"
+	otrace "repro/internal/obs/trace"
 	"repro/internal/rules"
 	"repro/internal/state"
 )
@@ -125,6 +127,14 @@ func WithSharedPlanCache(pc *kin.PlanCache) Option {
 	return func(s *Simulator) { s.planCache = pc }
 }
 
+// WithTracer attaches the causal tracer: traced checks emit kin.plan,
+// sim.sweep, and sim.verdict child spans under the parent span the
+// engine passes in. Must be the same tracer the engine and interceptor
+// share, or child spans land in traces nobody retains.
+func WithTracer(t *otrace.Tracer) Option {
+	return func(s *Simulator) { s.tracer = t }
+}
+
 // mirrorArm is the simulator's model of one arm. Each arm carries its own
 // lock and scratch buffers, so checks on different arms never contend.
 type mirrorArm struct {
@@ -171,6 +181,9 @@ type Simulator struct {
 	verdicts  *verdictCache
 	epoch     atomic.Uint64
 	specHits  atomic.Int64
+	// tracer emits kin/sim child spans under engine-supplied parents
+	// (nil = tracing off; every use is nil-guarded).
+	tracer *otrace.Tracer
 	// Telemetry instruments, resolved once by WithObserver (nil-safe
 	// otherwise).
 	reg               *obs.Registry
@@ -444,6 +457,19 @@ func (s *Simulator) ValidTrajectory(cmd action.Command, model state.Snapshot) er
 // correlation ID). The verdict itself is byte-identical to
 // ValidTrajectory's — provenance is observation, never behaviour.
 func (s *Simulator) ValidTrajectoryProv(cmd action.Command, model state.Snapshot) (recorder.Verdict, error) {
+	return s.validTraced(cmd, model, otrace.SpanContext{})
+}
+
+// ValidTrajectoryTraced is ValidTrajectoryProv under a causal parent
+// span: the planner and sweep emit kin.plan / sim.sweep / sim.verdict
+// child spans beneath it (when WithTracer is set). The verdict is
+// byte-identical to ValidTrajectory's — tracing is observation, never
+// behaviour.
+func (s *Simulator) ValidTrajectoryTraced(cmd action.Command, model state.Snapshot, parent otrace.SpanContext) (recorder.Verdict, error) {
+	return s.validTraced(cmd, model, parent)
+}
+
+func (s *Simulator) validTraced(cmd action.Command, model state.Snapshot, parent otrace.SpanContext) (recorder.Verdict, error) {
 	if !cmd.Action.IsRobotMotion() {
 		return recorder.Verdict{}, nil
 	}
@@ -465,10 +491,25 @@ func (s *Simulator) ValidTrajectoryProv(cmd action.Command, model state.Snapshot
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if s.cacheOn && s.gui == nil {
-		return s.cachedVerdict(m, m.joints, cmd, model, s.epoch.Load(), false, "")
+		return s.cachedVerdict(m, m.joints, cmd, model, s.epoch.Load(), false, "", parent)
 	}
-	err := s.sweepValidate(m, m.joints, cmd, model)
+	err := s.sweepValidate(m, m.joints, cmd, model, parent)
+	s.verdictSpan(parent, recorder.SourceColdSolve, err)
 	return recorder.Verdict{Source: recorder.SourceColdSolve, EpochAtValidation: s.epoch.Load()}, err
+}
+
+// verdictSpan emits the sim.verdict child span naming where a verdict
+// came from. Free when tracing is off or the parent is unbound.
+func (s *Simulator) verdictSpan(parent otrace.SpanContext, source string, err error) {
+	if s.tracer == nil || !parent.Valid() {
+		return
+	}
+	sp := s.tracer.StartSpan(parent, "sim.verdict")
+	sp.SetAttr("source", source)
+	if err != nil {
+		sp.SetError(err.Error())
+	}
+	sp.End()
 }
 
 // cachedVerdict answers a check from the verdict cache when possible and
@@ -479,7 +520,8 @@ func (s *Simulator) ValidTrajectoryProv(cmd action.Command, model state.Snapshot
 // speculative caller's stored verdict with its correlation ID. The
 // caller holds m.mu.
 func (s *Simulator) cachedVerdict(m *mirrorArm, from []float64, cmd action.Command,
-	model state.Snapshot, epoch uint64, speculative bool, specCorr string) (recorder.Verdict, error) {
+	model state.Snapshot, epoch uint64, speculative bool, specCorr string,
+	parent otrace.SpanContext) (recorder.Verdict, error) {
 	key := s.verdictKey(from, cmd, epoch)
 	v, ok, wasSpec := s.verdicts.get(key, !speculative)
 	if ok {
@@ -492,33 +534,66 @@ func (s *Simulator) cachedVerdict(m *mirrorArm, from []float64, cmd action.Comma
 				prov.SpecCorr = v.corr
 			}
 		}
-		if v.reason == "" {
-			return prov, nil
+		var err error
+		if v.reason != "" {
+			err = &Violation{Cmd: cmd, Reason: v.reason}
 		}
-		return prov, &Violation{Cmd: cmd, Reason: v.reason}
+		s.verdictSpan(parent, prov.Source, err)
+		return prov, err
 	}
 	if !speculative {
 		s.cVerdictMisses.Inc()
 	}
-	err := s.sweepValidate(m, from, cmd, model)
+	err := s.sweepValidate(m, from, cmd, model, parent)
 	reason := ""
 	if v, ok := err.(*Violation); ok {
 		reason = v.Reason
 	}
 	s.verdicts.put(key, outcome{reason: reason, spec: speculative, corr: specCorr}, s.cVerdictEvictions)
+	s.verdictSpan(parent, recorder.SourceColdSolve, err)
 	return recorder.Verdict{Source: recorder.SourceColdSolve, EpochAtValidation: epoch}, err
 }
 
 // sweepValidate plans cmd from the given configuration and runs the full
-// swept-volume check against the model's deck. The caller holds m.mu.
-func (s *Simulator) sweepValidate(m *mirrorArm, from []float64, cmd action.Command, model state.Snapshot) error {
+// swept-volume check against the model's deck, emitting kin.plan and
+// sim.sweep child spans under a valid parent. The caller holds m.mu.
+func (s *Simulator) sweepValidate(m *mirrorArm, from []float64, cmd action.Command,
+	model state.Snapshot, parent otrace.SpanContext) error {
+	if s.tracer == nil || !parent.Valid() {
+		tr, err := s.plannedFrom(m, from, cmd)
+		if err != nil {
+			// The arm cannot plan this move at all. Whatever the real
+			// controller does (raise, halt, or silently skip), the
+			// experiment's intent cannot be executed — alert.
+			return &Violation{Cmd: cmd, Reason: fmt.Sprintf("cannot compute trajectory: %v", err)}
+		}
+		return s.sweepCheck(m, tr, cmd, model)
+	}
+	planStart := time.Now()
 	tr, err := s.plannedFrom(m, from, cmd)
+	planEnd := time.Now()
+	ps := s.tracer.StartSpanAt(parent, "kin.plan", planStart)
 	if err != nil {
-		// The arm cannot plan this move at all. Whatever the real
-		// controller does (raise, halt, or silently skip), the
-		// experiment's intent cannot be executed — alert.
+		ps.SetError(err.Error())
+	}
+	ps.EndAt(planEnd)
+	if err != nil {
 		return &Violation{Cmd: cmd, Reason: fmt.Sprintf("cannot compute trajectory: %v", err)}
 	}
+	serr := s.sweepCheck(m, tr, cmd, model)
+	// The sweep span starts at the planner's end stamp — one shared clock
+	// read per boundary, like the engine's stage histograms.
+	ss := s.tracer.StartSpanAt(parent, "sim.sweep", planEnd)
+	if serr != nil {
+		ss.SetError(serr.Error())
+	}
+	ss.End()
+	return serr
+}
+
+// sweepCheck runs the full swept-volume check of a planned trajectory
+// against the model's deck. The caller holds m.mu.
+func (s *Simulator) sweepCheck(m *mirrorArm, tr *kin.Trajectory, cmd action.Command, model state.Snapshot) error {
 	obstacles := s.obstacles(cmd, model)
 	floor := geom.PlaneFromPointNormal(geom.V(0, 0, s.lab.Spec.FloorZ), geom.V(0, 0, 1))
 	m.walls = m.walls[:0]
@@ -653,6 +728,14 @@ func (s *Simulator) SpeculateAfter(prior, next action.Command, model state.Snaps
 // check that later consumes it can name the speculative span in its
 // provenance. An empty corr degrades to the untagged behaviour.
 func (s *Simulator) SpeculateAfterTagged(prior, next action.Command, model state.Snapshot, epoch uint64, corr string) bool {
+	return s.SpeculateAfterTraced(prior, next, model, epoch, corr, otrace.SpanContext{})
+}
+
+// SpeculateAfterTraced is SpeculateAfterTagged under a causal parent
+// span — the engine passes its "speculate" span so the lookahead's
+// kin/sim child spans join the hinting command's trace.
+func (s *Simulator) SpeculateAfterTraced(prior, next action.Command, model state.Snapshot,
+	epoch uint64, corr string, parent otrace.SpanContext) bool {
 	if !s.cacheOn || s.gui != nil || !next.Action.IsRobotMotion() {
 		return false
 	}
@@ -670,7 +753,7 @@ func (s *Simulator) SpeculateAfterTagged(prior, next action.Command, model state
 		}
 		from = tr.To
 	}
-	s.cachedVerdict(m, from, next, model, epoch, true, corr)
+	s.cachedVerdict(m, from, next, model, epoch, true, corr, parent)
 	return true
 }
 

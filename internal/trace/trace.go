@@ -18,6 +18,7 @@ import (
 	"repro/internal/action"
 	"repro/internal/obs"
 	"repro/internal/obs/recorder"
+	otrace "repro/internal/obs/trace"
 )
 
 // Record is one traced command, in the style of the Robot Arm Dataset
@@ -76,6 +77,14 @@ type Interceptor struct {
 	// current call's execute span to the record() annotation.
 	rec        *recorder.Recorder
 	lastExecNS int64
+
+	// tracer is the causal tracer (nil = tracing off). The interceptor
+	// owns the run trace: the first command lazily opens it, every
+	// command gets an "intercept" root span bound under (device, seq) so
+	// the engine's stages can parent beneath it, and FinishTrace closes
+	// the run and makes the tail-sampling decision.
+	tracer  *otrace.Tracer
+	traceID otrace.TraceID
 }
 
 // NewInterceptor builds an interceptor. checker may be nil (tracing
@@ -101,6 +110,60 @@ func (i *Interceptor) SetRecorder(r *recorder.Recorder) {
 	i.mu.Lock()
 	defer i.mu.Unlock()
 	i.rec = r
+}
+
+// SetTracer attaches a causal tracer (nil detaches it). It must be the
+// same tracer the checker's engine carries, or the engine's stage spans
+// will not find the interceptor's bindings.
+func (i *Interceptor) SetTracer(t *otrace.Tracer) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.tracer = t
+}
+
+// TraceID returns the current run trace's ID (zero when tracing is off
+// or no command has run since the last FinishTrace).
+func (i *Interceptor) TraceID() otrace.TraceID {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.traceID
+}
+
+// FinishTrace closes the current run trace and makes the tail-sampling
+// retention decision, returning the trace's ID and whether it was
+// retained. The next command opens a fresh trace.
+func (i *Interceptor) FinishTrace() (otrace.TraceID, bool) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.finishTraceLocked()
+}
+
+func (i *Interceptor) finishTraceLocked() (otrace.TraceID, bool) {
+	id := i.traceID
+	i.traceID = otrace.TraceID{}
+	if i.tracer == nil || id.IsZero() {
+		return id, false
+	}
+	return id, i.tracer.FinishTrace(id)
+}
+
+// rootSpan lazily opens the run trace and starts one command's
+// "intercept" root span, binding it under (device, seq) for the
+// engine's pipeline stages. Returns nil when tracing is off (callers
+// hold i.mu).
+func (i *Interceptor) rootSpan(cmd action.Command) *otrace.Span {
+	if i.tracer == nil {
+		return nil
+	}
+	if i.traceID.IsZero() {
+		i.traceID = i.tracer.StartTrace()
+	}
+	s := i.tracer.StartRoot(i.traceID, obs.StageIntercept)
+	s.SetAttr("device", cmd.Device)
+	s.SetAttr("action", string(cmd.Action))
+	s.SetIntAttr("seq", cmd.Seq)
+	i.tracer.Bind(cmd.Device, cmd.Seq, s.Context())
+	return s
 }
 
 // finish closes the intercept span and publishes outcome counters and
@@ -145,7 +208,7 @@ func (i *Interceptor) DoLookahead(cmd, next action.Command) error {
 	return i.do(cmd, next, true)
 }
 
-func (i *Interceptor) do(cmd, next action.Command, lookahead bool) error {
+func (i *Interceptor) do(cmd, next action.Command, lookahead bool) (err error) {
 	i.mu.Lock()
 	defer i.mu.Unlock()
 	span := i.hIntercept.Start()
@@ -153,6 +216,16 @@ func (i *Interceptor) do(cmd, next action.Command, lookahead bool) error {
 	i.seq++
 	cmd.Seq = i.seq
 	i.lastExecNS = 0
+	root := i.rootSpan(cmd)
+	if root != nil {
+		defer func() {
+			if err != nil {
+				root.SetError(err.Error())
+			}
+			i.tracer.Unbind(cmd.Device, cmd.Seq)
+			root.End()
+		}()
+	}
 	if err := cmd.Validate(); err != nil {
 		i.record(cmd, "error", err.Error())
 		return err
@@ -169,7 +242,12 @@ func (i *Interceptor) do(cmd, next action.Command, lookahead bool) error {
 		}
 	}
 	spanExec := i.hExecute.Start()
+	execSpan := i.tracer.StartSpan(root.Context(), obs.StageExecute)
 	execErr := i.executor.Execute(cmd)
+	if execErr != nil {
+		execSpan.SetError(execErr.Error())
+	}
+	execSpan.End()
 	i.lastExecNS = spanExec.End().Nanoseconds()
 	if err := execErr; err != nil {
 		i.record(cmd, "error", err.Error())
@@ -215,7 +293,7 @@ type ConcurrentExecutor interface {
 // motion: every command is checked individually before any executes, the
 // environment runs them in lockstep, and post-state checks run once the
 // motion settles.
-func (i *Interceptor) DoConcurrent(cmds []action.Command) error {
+func (i *Interceptor) DoConcurrent(cmds []action.Command) (err error) {
 	i.mu.Lock()
 	defer i.mu.Unlock()
 	span := i.hIntercept.Start()
@@ -235,6 +313,28 @@ func (i *Interceptor) DoConcurrent(cmds []action.Command) error {
 		}
 		stamped[k] = cmd
 	}
+	// The batch shares one root span — the commands execute as one
+	// simultaneous motion — with every (device, seq) bound to it so each
+	// command's pipeline stages parent under the same node.
+	var root *otrace.Span
+	if len(stamped) > 0 {
+		root = i.rootSpan(stamped[0])
+		if root != nil {
+			root.SetIntAttr("batch", len(stamped))
+			for _, cmd := range stamped[1:] {
+				i.tracer.Bind(cmd.Device, cmd.Seq, root.Context())
+			}
+			defer func() {
+				if err != nil {
+					root.SetError(err.Error())
+				}
+				for _, cmd := range stamped {
+					i.tracer.Unbind(cmd.Device, cmd.Seq)
+				}
+				root.End()
+			}()
+		}
+	}
 	if i.checker != nil {
 		for _, cmd := range stamped {
 			if err := i.checker.Before(cmd); err != nil {
@@ -245,7 +345,12 @@ func (i *Interceptor) DoConcurrent(cmds []action.Command) error {
 	}
 	last := stamped[len(stamped)-1]
 	spanExec := i.hExecute.Start()
+	execSpan := i.tracer.StartSpan(root.Context(), obs.StageExecute)
 	execErr := ce.ExecuteConcurrent(stamped)
+	if execErr != nil {
+		execSpan.SetError(execErr.Error())
+	}
+	execSpan.End()
 	i.lastExecNS = spanExec.End().Nanoseconds()
 	if err := execErr; err != nil {
 		for _, cmd := range stamped {
@@ -281,12 +386,14 @@ func (i *Interceptor) Records() []Record {
 	return out
 }
 
-// Reset clears the trace and sequence counter (between evaluation runs).
+// Reset clears the trace and sequence counter (between evaluation
+// runs), closing any open run trace so the next run starts a fresh one.
 func (i *Interceptor) Reset() {
 	i.mu.Lock()
 	defer i.mu.Unlock()
 	i.records = nil
 	i.seq = 0
+	i.finishTraceLocked()
 }
 
 // Replay feeds a recorded command stream back through an interceptor:

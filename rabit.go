@@ -2,6 +2,8 @@ package rabit
 
 import (
 	"fmt"
+	"os"
+	"sync/atomic"
 
 	"repro/internal/config"
 	"repro/internal/core"
@@ -9,6 +11,7 @@ import (
 	"repro/internal/labs"
 	"repro/internal/obs"
 	"repro/internal/obs/recorder"
+	otrace "repro/internal/obs/trace"
 	"repro/internal/rules"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -111,6 +114,22 @@ type Options struct {
 	// single-lock pipeline (the seed design), disabling per-device
 	// sharding. Parity tests and throughput baselines use it.
 	SerialPipeline bool
+	// NoTracing disables the causal tracer. Tracing is otherwise always
+	// on: span emission rides on clock reads the pipeline already makes
+	// (see BenchmarkTraceOverhead) and tail sampling bounds retention.
+	NoTracing bool
+	// TraceFile, when set, streams every retained trace to this path as
+	// OTLP-JSON lines (one ExportTraceServiceRequest per line — the same
+	// format /traces serves and `rabiteval -trace` renders). The System
+	// owns the file; Close flushes and closes it.
+	TraceFile string
+	// TraceExporter receives retained traces when TraceFile is empty.
+	// The caller owns it: Close never closes an injected exporter.
+	TraceExporter otrace.Exporter
+	// TraceSampleRate overrides the tail-sampling probability for
+	// non-alert traces (default otrace.DefaultSampleRate; negative
+	// retains alert traces only; alert traces are always retained).
+	TraceSampleRate float64
 	// Seed drives all stochastic fidelity noise (default 1).
 	Seed int64
 }
@@ -147,6 +166,24 @@ type System struct {
 	// the interceptor, and the simulator, and registered with the
 	// process-wide scrape group served by obs.Serve (-metrics).
 	Obs *obs.Registry
+	// Tracer is the causal tracer (nil when NoTracing): the interceptor
+	// opens the run trace, the engine and simulator hang stage spans
+	// beneath each command's root span, and tail sampling decides
+	// retention at FinishTrace. Registered with the process-wide tracer
+	// group served on /traces.
+	Tracer *otrace.Tracer
+	// SLOs are the safety objectives (nil when Unprotected): check
+	// overhead and detection latency, exported as burn-rate series on
+	// /metrics/prom.
+	SLOs *obs.SafetySLOs
+
+	// traceFile is the System-owned OTLP exporter behind TraceFile (nil
+	// when traces export elsewhere or nowhere).
+	traceFile *otrace.FileExporter
+	// healthRegs are this system's /healthz–/readyz components.
+	healthRegs []*obs.HealthReg
+	// drained latches Drain so shutdown paths can run it idempotently.
+	drained atomic.Bool
 }
 
 // New builds a System from a parsed lab specification.
@@ -164,6 +201,26 @@ func New(spec *config.LabSpec, o Options) (*System, error) {
 	obs.Register(reg)
 	sys := &System{Lab: lab, Env: e, Obs: reg}
 
+	if !o.NoTracing {
+		exporter := o.TraceExporter
+		if o.TraceFile != "" {
+			f, err := os.Create(o.TraceFile)
+			if err != nil {
+				obs.Unregister(reg)
+				return nil, fmt.Errorf("rabit: trace file: %w", err)
+			}
+			sys.traceFile = otrace.NewFileExporter(f)
+			exporter = sys.traceFile
+		}
+		sys.Tracer = otrace.NewTracer(otrace.Options{
+			SampleRate: o.TraceSampleRate,
+			Exporter:   exporter,
+			Seed:       o.Seed,
+			Obs:        reg,
+		})
+		otrace.Register(sys.Tracer)
+	}
+
 	var checker trace.Checker
 	if !o.Unprotected {
 		custom, err := lab.CustomRules()
@@ -180,6 +237,12 @@ func New(spec *config.LabSpec, o Options) (*System, error) {
 		engOpts := []core.Option{
 			core.WithInitialModel(lab.InitialModelState()),
 			core.WithObserver(reg),
+		}
+		sys.SLOs = obs.NewSafetySLOs()
+		sys.SLOs.Register()
+		engOpts = append(engOpts, core.WithSLOs(sys.SLOs))
+		if sys.Tracer != nil {
+			engOpts = append(engOpts, core.WithTracer(sys.Tracer))
 		}
 		if !o.NoRecorder {
 			sys.Recorder = recorder.New(recorder.Options{
@@ -200,6 +263,9 @@ func New(spec *config.LabSpec, o Options) (*System, error) {
 			simOpts := []sim.Option{
 				sim.WithHeldObjectAware(o.Generation >= GenModified),
 				sim.WithObserver(reg),
+			}
+			if sys.Tracer != nil {
+				simOpts = append(simOpts, sim.WithTracer(sys.Tracer))
 			}
 			if !o.NoMotionCache {
 				// Sound here because the engine owns the model and bumps
@@ -227,9 +293,89 @@ func New(spec *config.LabSpec, o Options) (*System, error) {
 	sys.Interceptor = trace.NewInterceptor(checker, e)
 	sys.Interceptor.SetObserver(reg)
 	sys.Interceptor.SetRecorder(sys.Recorder)
+	sys.Interceptor.SetTracer(sys.Tracer)
 	sys.Session = workflow.NewSession(sys.Interceptor, lab)
 	sys.Session.Measure = e.MeasureSolubility
+	sys.registerHealth()
 	return sys, nil
+}
+
+// registerHealth publishes the system's components to the process-wide
+// /healthz–/readyz group: the engine (alive always; ready until an
+// alert stops the run or the system drains), the recorder (unhealthy
+// once a bundle write has failed), and the trace exporter (unhealthy
+// once an export has failed).
+func (s *System) registerHealth() {
+	if s.Engine != nil {
+		s.healthRegs = append(s.healthRegs, obs.RegisterHealth("engine", func() obs.Health {
+			h := obs.Health{OK: true, Ready: true}
+			if s.drained.Load() {
+				h.Ready = false
+				h.Detail = "drained"
+			}
+			if al := s.Engine.Stopped(); al != nil {
+				h.Ready = false
+				h.Detail = "stopped: " + al.Kind.Slug()
+			}
+			return h
+		}))
+	}
+	if s.Recorder != nil {
+		s.healthRegs = append(s.healthRegs, obs.RegisterHealth("recorder", func() obs.Health {
+			if err := s.Recorder.Err(); err != nil {
+				return obs.Health{Detail: err.Error()}
+			}
+			return obs.Health{OK: true, Ready: true}
+		}))
+	}
+	if s.Tracer != nil {
+		s.healthRegs = append(s.healthRegs, obs.RegisterHealth("trace_exporter", func() obs.Health {
+			if err := s.Tracer.ExportErr(); err != nil {
+				return obs.Health{Detail: err.Error()}
+			}
+			return obs.Health{OK: true, Ready: true}
+		}))
+	}
+}
+
+// Drain quiesces the system: waits out any in-flight speculative
+// lookahead, closes the current run trace (making its tail-sampling
+// decision), and flushes the owned trace file. Idempotent; after Drain
+// the engine health component reports not-ready. Commands issued after
+// Drain still check and execute — draining is advisory quiescence for
+// shutdown, not a gate.
+func (s *System) Drain() {
+	if !s.drained.CompareAndSwap(false, true) {
+		return
+	}
+	if s.Engine != nil {
+		s.Engine.WaitSpeculation()
+	}
+	if s.Interceptor != nil {
+		s.Interceptor.FinishTrace()
+	}
+	if s.traceFile != nil {
+		s.traceFile.Flush()
+	}
+}
+
+// Close drains the system and releases every process-wide registration
+// (scrape group, tracer group, SLO group, health group), then closes
+// the owned trace file. The returned error is the trace file's close
+// state; injected TraceExporters are the caller's to close.
+func (s *System) Close() error {
+	s.Drain()
+	for _, hr := range s.healthRegs {
+		hr.Unregister()
+	}
+	s.healthRegs = nil
+	s.SLOs.Unregister()
+	otrace.Unregister(s.Tracer)
+	obs.Unregister(s.Obs)
+	if s.traceFile != nil {
+		return s.traceFile.Close()
+	}
+	return nil
 }
 
 // NewFromFile builds a System from a lab JSON configuration file

@@ -1,0 +1,109 @@
+package rabit_test
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	rabit "repro"
+	"repro/internal/obs"
+)
+
+// TestSystemHealthAndTraceLifecycle covers the gateway-readiness
+// acceptance loop at the component level: health components report
+// correctly during a run and after Drain, the safety-SLO burn-rate
+// series show up on /metrics/prom, and the run's tail-retained trace is
+// served by /traces.
+func TestSystemHealthAndTraceLifecycle(t *testing.T) {
+	sys, err := rabit.NewTestbed(rabit.Options{
+		ExtendedSimulator: true,
+		TraceSampleRate:   1.0, // retain the run trace even without an alert
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	if err := rabit.RunSteps(sys.Session, rabit.Fig5Workflow()); err != nil {
+		t.Fatalf("fig5 workflow: %v", err)
+	}
+
+	// Mid-run: every component this system registered is live and ready.
+	// Other tests leave components behind in the process-wide group, so
+	// assertions work on the before→after delta around Drain.
+	_, _, before := obs.CheckHealth()
+	tid := sys.Interceptor.TraceID()
+	if tid.IsZero() {
+		t.Fatal("run opened no trace")
+	}
+
+	sys.Drain()
+	_, ready, after := obs.CheckHealth()
+	if ready {
+		t.Error("readiness still true after Drain")
+	}
+	drainedEngines := 0
+	for alias, h := range after {
+		if !strings.HasPrefix(alias, "engine") {
+			continue
+		}
+		was, ok := before[alias]
+		if !ok {
+			t.Errorf("engine component %q appeared after Drain", alias)
+			continue
+		}
+		if was.Ready && !h.Ready {
+			drainedEngines++
+			if !h.OK {
+				t.Errorf("drained engine %q reports not-OK: draining is readiness, not liveness", alias)
+			}
+			if h.Detail != "drained" {
+				t.Errorf("drained engine %q detail %q", alias, h.Detail)
+			}
+		}
+	}
+	if drainedEngines != 1 {
+		t.Errorf("%d engine components flipped to drained, want exactly 1", drainedEngines)
+	}
+	sawRecorder, sawExporter := false, false
+	for alias, h := range after {
+		if strings.HasPrefix(alias, "recorder") && h.OK && h.Ready {
+			sawRecorder = true
+		}
+		if strings.HasPrefix(alias, "trace_exporter") && h.OK && h.Ready {
+			sawExporter = true
+		}
+	}
+	if !sawRecorder || !sawExporter {
+		t.Errorf("recorder/trace_exporter components healthy = %v/%v, want both", sawRecorder, sawExporter)
+	}
+
+	srv := httptest.NewServer(obs.Handler())
+	defer srv.Close()
+
+	// The safety-SLO burn-rate series are on the Prometheus exposition.
+	prom := httpGet(t, srv.URL+"/metrics/prom")
+	for _, want := range []string{
+		`rabit_slo_burn_rate{slo="check_overhead`,
+		`rabit_slo_burn_rate{slo="detection_latency`,
+		`window="5m0s"`,
+		`window="1h0m0s"`,
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("/metrics/prom missing %q", want)
+		}
+	}
+	if !strings.Contains(prom, "# TYPE rabit_slo_burn_rate gauge") {
+		t.Error("/metrics/prom missing the burn-rate TYPE header")
+	}
+
+	// Drain finished the run trace; tail sampling at rate 1.0 retained
+	// it, so /traces serves it as an OTLP-JSON line.
+	body := httpGet(t, srv.URL+"/traces?id="+tid.String())
+	if !strings.Contains(body, tid.String()) {
+		t.Errorf("/traces?id=%s does not carry the run trace", tid)
+	}
+	if !strings.Contains(body, `"name":"intercept"`) {
+		t.Error("/traces line has no interception root span")
+	}
+}
