@@ -1,0 +1,120 @@
+// Command rabitd is the long-running multi-lab safety gateway: an
+// HTTP+JSON service fronting a pool of per-lab RABIT engines.
+// Experiment scripts open sessions against a lab tenant (a bundled deck
+// name or an inline lab spec) and stream command batches through the
+// tenant's engine; verdicts and alerts stream back as NDJSON lines.
+// The listener also serves the gateway's own observability — /metrics,
+// /metrics/prom, /healthz, /readyz, /traces, /debug/pprof — for every
+// pooled tenant.
+//
+// Usage:
+//
+//	rabitd [flags]
+//
+//	-addr addr      listen address (default localhost:8080)
+//	-stage name     simulator | testbed | production (default testbed)
+//	-sim            attach the Extended Simulator to every tenant
+//	-queue n        per-tenant admission queue depth: concurrently
+//	                admitted command batches before 429 (default 4)
+//	-max-tenants n  engine-pool cap (default 16)
+//	-idle d         evict tenants idle this long, e.g. 10m (0 = never)
+//	-incident-dir d write flight-recorder incident bundles under d
+//	-seed n         noise seed
+//
+// API:
+//
+//	POST   /v1/sessions                {"lab":"testbed"} or {"spec":{…}}
+//	GET    /v1/sessions/{id}           attach: session info
+//	POST   /v1/sessions/{id}/commands  {"commands":[…]} → NDJSON verdicts
+//	DELETE /v1/sessions/{id}           close the session
+//	GET    /v1/labs                    the tenant pool
+//
+// On SIGINT/SIGTERM rabitd drains: new sessions and command batches are
+// rejected, /readyz flips unready, in-flight checks finish, every
+// tenant's recorder and traces flush, and only then does the listener
+// close.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	rabit "repro"
+	"repro/internal/gateway"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rabitd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr        = flag.String("addr", "localhost:8080", "listen address")
+		stageName   = flag.String("stage", "testbed", "simulator | testbed | production")
+		withSim     = flag.Bool("sim", false, "attach the Extended Simulator to every tenant")
+		queueDepth  = flag.Int("queue", gateway.DefaultQueueDepth, "per-tenant admission queue depth")
+		maxTenants  = flag.Int("max-tenants", gateway.DefaultMaxTenants, "engine-pool cap")
+		idleTimeout = flag.Duration("idle", 0, "evict tenants idle this long (0 = never)")
+		incidentDir = flag.String("incident-dir", "", "write flight-recorder incident bundles here")
+		seed        = flag.Int64("seed", 1, "noise seed")
+	)
+	flag.Parse()
+
+	sysOpts := rabit.Options{
+		ExtendedSimulator: *withSim,
+		IncidentDir:       *incidentDir,
+		Seed:              *seed,
+	}
+	switch *stageName {
+	case "simulator":
+		sysOpts.Stage = rabit.StageSimulator
+	case "testbed":
+		sysOpts.Stage = rabit.StageTestbed
+	case "production":
+		sysOpts.Stage = rabit.StageProduction
+	default:
+		return fmt.Errorf("unknown stage %q", *stageName)
+	}
+
+	gw := gateway.New(gateway.Options{
+		System:      sysOpts,
+		QueueDepth:  *queueDepth,
+		MaxTenants:  *maxTenants,
+		IdleTimeout: *idleTimeout,
+	})
+	srv, err := gw.Group().ServeHandler(*addr, gw.Handler())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rabitd: serving on http://%s (stage %s, queue %d)\n",
+		srv.Addr, *stageName, *queueDepth)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	sig := <-sigc
+	fmt.Printf("rabitd: %s — draining\n", sig)
+
+	// Drain before the listener closes: the gate flips (/readyz goes
+	// unready, new command batches get 503) while the listener still
+	// answers, in-flight checks finish, recorders and traces flush —
+	// and only then does Shutdown stop accepting connections.
+	gw.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "rabitd: shutdown:", err)
+	}
+	if err := gw.Close(); err != nil {
+		return err
+	}
+	fmt.Println("rabitd: drained")
+	return nil
+}

@@ -62,6 +62,8 @@ func run() error {
 	fig := flag.Int("fig", 0, "regenerate one figure experiment (5 or 6)")
 	latency := flag.Bool("latency", false, "run the latency experiment")
 	throughput := flag.Bool("throughput", false, "run the replay-throughput benchmark (serial vs sharded)")
+	gatewayMode := flag.Bool("gateway", false, "with -throughput, also measure the HTTP gateway deployment")
+	labsN := flag.Int("labs", 4, "with -gateway, the number of lab tenants in the gateway pool")
 	motion := flag.Bool("motion", false, "run the motion-planning fast-path benchmark (caches + speculation)")
 	jsonPath := flag.String("json", "", "with -throughput or -motion, also write the measured rows to this JSON file")
 	pilot := flag.Bool("pilot", false, "run the pilot-study configuration-error experiment")
@@ -140,7 +142,11 @@ func run() error {
 		}
 	}
 	if all || *throughput {
-		if err := throughputRun(*seed, *jsonPath); err != nil {
+		gwLabs := 0
+		if *throughput && *gatewayMode {
+			gwLabs = *labsN
+		}
+		if err := throughputRun(*seed, *jsonPath, gwLabs); err != nil {
 			return err
 		}
 	}
@@ -180,8 +186,11 @@ func incidentsRun(dir string) error {
 // throughputRun measures replay throughput for the serial single-lock
 // pipeline (all scripts behind one shared interceptor — the seed
 // architecture's only safe concurrent deployment) and the sharded
-// per-device pipeline, at 1, 4, and 16 concurrent scripts.
-func throughputRun(seed int64, jsonPath string) error {
+// per-device pipeline, at 1, 4, and 16 concurrent scripts. With
+// gwLabs > 0 it extends the trajectory with the gateway deployment:
+// the same scripts issued over the HTTP API against gwLabs pooled lab
+// tenants.
+func throughputRun(seed int64, jsonPath string, gwLabs int) error {
 	fmt.Println("=== Replay throughput: serial single-lock vs sharded pipeline ===")
 	var rows []eval.ThroughputResult
 	for _, serial := range []bool{true, false} {
@@ -191,6 +200,25 @@ func throughputRun(seed int64, jsonPath string) error {
 				CommandsPerScript: 40,
 				Speedup:           200,
 				Serial:            serial,
+				Seed:              seed,
+			})
+			if err != nil {
+				return err
+			}
+			rows = append(rows, *res)
+		}
+	}
+	if gwLabs > 0 {
+		counts := []int{gwLabs}
+		if gwLabs < 16 {
+			counts = append(counts, 16)
+		}
+		for _, scripts := range counts {
+			res, err := eval.GatewayThroughput(eval.GatewayThroughputOptions{
+				Labs:              gwLabs,
+				Scripts:           scripts,
+				CommandsPerScript: 40,
+				Speedup:           200,
 				Seed:              seed,
 			})
 			if err != nil {
@@ -238,6 +266,7 @@ func throughputSpeedup(rows []eval.ThroughputResult, scripts int) float64 {
 func writeThroughputJSON(path string, rows []eval.ThroughputResult) error {
 	type row struct {
 		Mode           string  `json:"mode"`
+		Labs           int     `json:"labs,omitempty"`
 		Scripts        int     `json:"scripts"`
 		Commands       int     `json:"commands"`
 		WallNS         int64   `json:"wall_ns"`
@@ -255,6 +284,7 @@ func writeThroughputJSON(path string, rows []eval.ThroughputResult) error {
 	for _, r := range rows {
 		doc.Rows = append(doc.Rows, row{
 			Mode:           r.Mode,
+			Labs:           r.Labs,
 			Scripts:        r.Scripts,
 			Commands:       r.Commands,
 			WallNS:         r.Wall.Nanoseconds(),

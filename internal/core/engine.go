@@ -126,6 +126,13 @@ func AsAlert(err error) (*Alert, bool) {
 // halted by an alert.
 var ErrStopped = errors.New("core: experiment stopped by a previous RABIT alert")
 
+// ErrDraining is returned by Before once the engine has been drained:
+// the command was rejected at admission, never checked and never
+// executed. Draining is a real gate, not advisory quiescence — a
+// gateway replica flips /readyz only after this gate is closed, so a
+// submit racing a drain can never slip a command in afterwards.
+var ErrDraining = errors.New("core: engine draining; command rejected")
+
 // TrajectoryValidator is the Extended Simulator's interface (Fig. 2,
 // lines 8–10). Observe lets the simulator mirror accepted commands.
 type TrajectoryValidator interface {
@@ -263,6 +270,11 @@ type Engine struct {
 	alerts   []Alert
 	failSafe func(Alert)
 
+	// draining gates admission (see Drain); inflight counts Before/After
+	// calls currently inside the engine so Drain can wait them out.
+	draining atomic.Bool
+	inflight atomic.Int64
+
 	// shardMu guards the per-device shard table (see shard.go).
 	shardMu  sync.Mutex
 	shards   map[string]*sync.Mutex
@@ -352,6 +364,8 @@ func (e *Engine) Start() {
 	e.stopped = nil
 	e.alerts = nil
 	e.adminMu.Unlock()
+	// A fresh run reopens the admission gate a previous Drain closed.
+	e.draining.Store(false)
 	e.pending = nil
 	e.pendingRecs = nil
 	e.shardMu.Lock()
@@ -456,10 +470,44 @@ func (e *Engine) finish(start time.Time, fsAlert *Alert) {
 	}
 }
 
+// Drain closes the admission gate and waits until every in-flight
+// Before/After call has left the engine. Commands submitted afterwards
+// are rejected with ErrDraining; a command whose Before was already
+// admitted may still run its After (an in-flight cycle finishes its
+// checks). The gate-then-wait order makes the race benign: an admission
+// that read the gate open is visible to the drainer's wait, an
+// admission that started after the gate closed is rejected. Start
+// reopens the gate for a fresh run.
+func (e *Engine) Drain() {
+	e.draining.Store(true)
+	for e.inflight.Load() > 0 {
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// Draining reports whether the admission gate is closed.
+func (e *Engine) Draining() bool { return e.draining.Load() }
+
+// admit counts a checker call in-flight; gated calls are rejected once
+// the engine drains. The increment happens before the gate read — see
+// Drain for why that order closes the submit/drain race.
+func (e *Engine) admit(gated bool) error {
+	e.inflight.Add(1)
+	if gated && e.draining.Load() {
+		e.inflight.Add(-1)
+		return ErrDraining
+	}
+	return nil
+}
+
 // Before implements Fig. 2 lines 5–11: validity, trajectory, and the
 // expected-state computation. Commands whose rules read only their own
 // devices run on the sharded pipeline; the rest serialize globally.
 func (e *Engine) Before(cmd action.Command) error {
+	if err := e.admit(true); err != nil {
+		return err
+	}
+	defer e.inflight.Add(-1)
 	start := time.Now()
 	cmd = rules.NormalizeCommand(e.rb.Lab(), cmd)
 	var fsAlert *Alert
@@ -474,8 +522,11 @@ func (e *Engine) Before(cmd action.Command) error {
 }
 
 // After implements Fig. 2 lines 13–16: fetch the actual state, compare
-// with the expectation, and commit S_current.
+// with the expectation, and commit S_current. After is never gated:
+// a command admitted before a drain still settles its post-state check.
 func (e *Engine) After(cmd action.Command) error {
+	e.admit(false)
+	defer e.inflight.Add(-1)
 	start := time.Now()
 	cmd = rules.NormalizeCommand(e.rb.Lab(), cmd)
 	var fsAlert *Alert

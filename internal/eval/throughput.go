@@ -48,7 +48,10 @@ type ThroughputOptions struct {
 
 // ThroughputResult is one measured configuration.
 type ThroughputResult struct {
-	Mode     string
+	Mode string
+	// Labs is the gateway deployment's tenant count (0 for the
+	// in-process serial and sharded modes).
+	Labs     int
 	Scripts  int
 	Commands int
 	Wall     time.Duration
@@ -214,8 +217,12 @@ func RenderThroughput(rows []ThroughputResult) string {
 		return sl.P50.String()
 	}
 	for _, r := range rows {
+		mode := r.Mode
+		if r.Labs > 0 {
+			mode = fmt.Sprintf("%s/%d", r.Mode, r.Labs)
+		}
 		out += fmt.Sprintf("%-10s %8d %10d %12s %12.0f %12s %14s %14s %14s\n",
-			r.Mode, r.Scripts, r.Commands, r.Wall.Round(time.Millisecond),
+			mode, r.Scripts, r.Commands, r.Wall.Round(time.Millisecond),
 			r.CommandsPerSec, r.CheckPerCommand,
 			stage(r.Validate), stage(r.Fetch), stage(r.Compare))
 	}

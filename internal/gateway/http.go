@@ -1,0 +1,146 @@
+package gateway
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+)
+
+// Handler returns the gateway mux: the /v1 session API plus the
+// gateway group's introspection routes (/metrics, /metrics/prom,
+// /healthz, /readyz, /traces, /debug/pprof) on the same listener — one
+// port serves both the safety API and its own observability.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", g.handleCreateSession)
+	mux.HandleFunc("GET /v1/sessions/{id}", g.handleSessionInfo)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", g.handleCloseSession)
+	mux.HandleFunc("POST /v1/sessions/{id}/commands", g.handleCommands)
+	mux.HandleFunc("GET /v1/labs", g.handleLabs)
+	mux.Handle("/", g.group.Handler())
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorBody{Error: err.Error()})
+}
+
+func (g *Gateway) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var req CreateSessionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	id, lab, err := g.CreateSession(req.Lab, req.Spec)
+	switch {
+	case errors.Is(err, ErrDraining):
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, SessionInfo{SessionID: id, Lab: lab})
+}
+
+func (g *Gateway) handleSessionInfo(w http.ResponseWriter, r *http.Request) {
+	s, ok := g.lookup(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, errors.New("gateway: unknown session"))
+		return
+	}
+	writeJSON(w, http.StatusOK, SessionInfo{
+		SessionID: s.id,
+		Lab:       s.tenant.lab,
+		Commands:  len(s.ic.Records()),
+	})
+}
+
+func (g *Gateway) handleCloseSession(w http.ResponseWriter, r *http.Request) {
+	if err := g.CloseSession(r.PathValue("id")); err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (g *Gateway) handleLabs(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, g.Tenants())
+}
+
+// handleCommands runs one command batch through the session's
+// interceptor, streaming each verdict back as one NDJSON line the
+// moment it lands. The batch stops at the first non-ok verdict —
+// embedded script semantics. Admission is two-staged: the gateway-wide
+// drain gate (503 once draining), then the tenant's bounded queue (429
+// + Retry-After when QueueDepth batches are already in flight on the
+// lab).
+func (g *Gateway) handleCommands(w http.ResponseWriter, r *http.Request) {
+	s, ok := g.lookup(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, errors.New("gateway: unknown session"))
+		return
+	}
+	if s.closed.Load() {
+		writeErr(w, http.StatusConflict, errors.New("gateway: session closed"))
+		return
+	}
+	var batch CommandBatch
+	if err := json.NewDecoder(r.Body).Decode(&batch); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if !g.admitBatch() {
+		writeErr(w, http.StatusServiceUnavailable, ErrDraining)
+		return
+	}
+	defer g.releaseBatch()
+	t := s.tenant
+	select {
+	case t.sem <- struct{}{}:
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests,
+			errors.New("gateway: lab "+t.lab+" admission queue full"))
+		return
+	}
+	defer func() { <-t.sem }()
+	g.mu.Lock()
+	t.lastUsed = time.Now()
+	g.mu.Unlock()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	for i, cmd := range batch.Commands {
+		var err error
+		if i+1 < len(batch.Commands) {
+			// The batch is the lookahead's ideal input: the next queued
+			// command is always known, so the engine can pre-validate it
+			// while this one executes.
+			err = s.ic.DoLookahead(cmd, batch.Commands[i+1])
+		} else {
+			err = s.ic.Do(cmd)
+		}
+		s.seq++
+		_ = enc.Encode(result(cmd, s.seq, err))
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// Group is one introspection domain: a scrape group of registries, a
+// health group of components, and an SLO group, plus the HTTP handler
+// and server that expose them. The package-level Register/Serve/…
+// functions are thin shims over DefaultGroup — the single-system CLIs
+// keep their process-wide endpoint — while multi-system processes (the
+// gateway's per-lab engine pool) build one Group per service so two
+// Systems never collide on scrape aliases, health components, or mux
+// state, and closing one service's group cannot disturb another's.
+type Group struct {
+	mu      sync.RWMutex
+	entries []groupEntry
+	regSeq  map[string]int
+
+	healthMu  sync.Mutex
+	healthSeq map[string]int
+	healthy   []*HealthReg
+
+	sloMu    sync.Mutex
+	sloSeq   map[string]int
+	sloGroup []*SLOReg
+}
+
+// NewGroup builds an empty introspection group.
+func NewGroup() *Group {
+	return &Group{
+		regSeq:    map[string]int{},
+		healthSeq: map[string]int{},
+		sloSeq:    map[string]int{},
+	}
+}
+
+// DefaultGroup is the process-wide group behind the package-level shims
+// — the group the CLIs' -metrics endpoint serves.
+var DefaultGroup = NewGroup()
+
+// groupEntry pairs a registry with its scrape alias. Two systems built
+// on the same lab share a registry name; exporting both under one name
+// would emit duplicate series that scrape tooling rejects, so the group
+// disambiguates every registration after the first with a "#N" suffix.
+type groupEntry struct {
+	reg   *Registry
+	alias string
+}
+
+// Register adds a registry to the group's scrape set. Nil-safe.
+func (g *Group) Register(r *Registry) {
+	if r == nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.regSeq[r.name]++
+	alias := r.name
+	if n := g.regSeq[r.name]; n > 1 {
+		alias = fmt.Sprintf("%s#%d", alias, n)
+	}
+	g.entries = append(g.entries, groupEntry{reg: r, alias: alias})
+}
+
+// Unregister removes a registry from the scrape set.
+func (g *Group) Unregister(r *Registry) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i, e := range g.entries {
+		if e.reg == r {
+			g.entries = append(g.entries[:i], g.entries[i+1:]...)
+			return
+		}
+	}
+}
+
+// Snapshots captures every registered registry under its scrape alias.
+func (g *Group) Snapshots() []Snapshot {
+	g.mu.RLock()
+	entries := make([]groupEntry, len(g.entries))
+	copy(entries, g.entries)
+	g.mu.RUnlock()
+	out := make([]Snapshot, 0, len(entries))
+	for _, e := range entries {
+		s := e.reg.Snapshot()
+		s.Name = e.alias
+		out = append(out, s)
+	}
+	return out
+}
+
+// RegisterHealth adds a named component to the group's health set and
+// returns its registration handle.
+func (g *Group) RegisterHealth(name string, fn HealthFunc) *HealthReg {
+	g.healthMu.Lock()
+	defer g.healthMu.Unlock()
+	g.healthSeq[name]++
+	alias := name
+	if n := g.healthSeq[name]; n > 1 {
+		alias = fmt.Sprintf("%s#%d", alias, n)
+	}
+	h := &HealthReg{g: g, alias: alias, fn: fn}
+	g.healthy = append(g.healthy, h)
+	return h
+}
+
+// CheckHealth polls every registered component and reports overall
+// liveness and readiness plus the per-component map.
+func (g *Group) CheckHealth() (ok, ready bool, components map[string]Health) {
+	g.healthMu.Lock()
+	regs := make([]*HealthReg, len(g.healthy))
+	copy(regs, g.healthy)
+	g.healthMu.Unlock()
+	ok, ready = true, true
+	components = make(map[string]Health, len(regs))
+	for _, r := range regs {
+		h := r.fn()
+		components[r.alias] = h
+		ok = ok && h.OK
+		ready = ready && h.Ready
+	}
+	return ok, ready, components
+}
+
+// RegisterSLO adds an SLO to the group (nil-safe).
+func (g *Group) RegisterSLO(s *SLO) *SLOReg {
+	if s == nil {
+		return nil
+	}
+	g.sloMu.Lock()
+	defer g.sloMu.Unlock()
+	g.sloSeq[s.name]++
+	alias := s.name
+	if n := g.sloSeq[s.name]; n > 1 {
+		alias = fmt.Sprintf("%s#%d", alias, n)
+	}
+	r := &SLOReg{g: g, slo: s, alias: alias}
+	g.sloGroup = append(g.sloGroup, r)
+	return r
+}
+
+// SLOSnapshots captures every registered SLO under its alias.
+func (g *Group) SLOSnapshots() []SLOSnapshot {
+	g.sloMu.Lock()
+	regs := make([]*SLOReg, len(g.sloGroup))
+	copy(regs, g.sloGroup)
+	g.sloMu.Unlock()
+	out := make([]SLOSnapshot, 0, len(regs))
+	for _, r := range regs {
+		snap := r.slo.Snapshot()
+		snap.Name = r.alias
+		out = append(out, snap)
+	}
+	return out
+}
+
+// healthzHandler is liveness: 200 while every component reports OK,
+// 503 otherwise. With no components registered it reports 200 — an
+// idle process is alive.
+func (g *Group) healthzHandler(w http.ResponseWriter, _ *http.Request) {
+	ok, _, components := g.CheckHealth()
+	writeHealthJSON(w, ok, "ok", "unhealthy", components)
+}
+
+// readyzHandler is readiness: 200 while every component is ready to
+// take work, 503 once any has drained, stopped, or failed.
+func (g *Group) readyzHandler(w http.ResponseWriter, _ *http.Request) {
+	_, ready, components := g.CheckHealth()
+	writeHealthJSON(w, ready, "ready", "unready", components)
+}

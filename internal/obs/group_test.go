@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Two groups must be fully isolated introspection domains: same-named
+// registries, health components, and SLOs registered in different
+// groups never alias each other, and each group's handler serves only
+// its own state.
+func TestGroupsAreIsolated(t *testing.T) {
+	g1, g2 := NewGroup(), NewGroup()
+
+	r1 := NewRegistry("rabit/shared-lab")
+	r2 := NewRegistry("rabit/shared-lab")
+	g1.Register(r1)
+	g2.Register(r2)
+	r1.Counter("only.in.one").Inc()
+
+	// Same name in different groups: no "#2" alias — the whole point of
+	// per-instance groups is that two services' systems never collide.
+	for _, g := range []*Group{g1, g2} {
+		snaps := g.Snapshots()
+		if len(snaps) != 1 {
+			t.Fatalf("group has %d snapshots, want 1", len(snaps))
+		}
+		if snaps[0].Name != "rabit/shared-lab" {
+			t.Fatalf("alias %q, want plain name (no cross-group dedup)", snaps[0].Name)
+		}
+	}
+
+	g1.RegisterHealth("engine", func() Health { return Health{OK: true, Ready: true} })
+	g2.RegisterHealth("engine", func() Health { return Health{OK: true, Ready: false, Detail: "drained"} })
+	if _, ready, comps := g1.CheckHealth(); !ready || len(comps) != 1 {
+		t.Fatalf("g1 health: ready=%v comps=%v, want ready with 1 component", ready, comps)
+	}
+	if _, ready, _ := g2.CheckHealth(); ready {
+		t.Fatal("g2 drained engine leaked readiness from g1")
+	}
+
+	// Handlers are built per group: g2's /metrics must not show g1's
+	// counter.
+	srv2 := httptest.NewServer(g2.Handler())
+	defer srv2.Close()
+	body := mustGet(t, srv2.URL+"/metrics")
+	if strings.Contains(body, "only_in_one") {
+		t.Fatal("g2's /metrics serves g1's counter")
+	}
+
+	// Unregistering from one group leaves the other untouched.
+	g1.Unregister(r1)
+	if n := len(g1.Snapshots()); n != 0 {
+		t.Fatalf("g1 still has %d snapshots after Unregister", n)
+	}
+	if n := len(g2.Snapshots()); n != 1 {
+		t.Fatalf("g2 lost its registry to g1's Unregister (%d snapshots)", n)
+	}
+}
+
+// Within one group the "#N" alias dedup still applies.
+func TestGroupAliasesDuplicateNames(t *testing.T) {
+	g := NewGroup()
+	g.Register(NewRegistry("rabit/lab"))
+	g.Register(NewRegistry("rabit/lab"))
+	snaps := g.Snapshots()
+	if len(snaps) != 2 || snaps[0].Name != "rabit/lab" || snaps[1].Name != "rabit/lab#2" {
+		t.Fatalf("aliases = %v, want [rabit/lab rabit/lab#2]", []string{snaps[0].Name, snaps[1].Name})
+	}
+}
+
+// A serve-loop failure must not vanish into a discarded goroutine
+// return: it latches on the Server and degrades the owning group's
+// /readyz through the obs_server health component.
+func TestServeErrorLatchesAndDegradesReadiness(t *testing.T) {
+	g := NewGroup()
+	s, err := g.Serve("localhost:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if err := s.Err(); err != nil {
+		t.Fatalf("fresh server already latched error: %v", err)
+	}
+	if _, ready, _ := g.CheckHealth(); !ready {
+		t.Fatal("healthy server reports unready")
+	}
+
+	// Tear the listener down under the server — the accept loop dies
+	// with a non-ErrServerClosed error.
+	s.ln.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Err() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("serve error never latched after listener close")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	ok, ready, comps := g.CheckHealth()
+	if !ok || ready {
+		// ok=false is the expected liveness degradation; ready must be
+		// false either way.
+		if ready {
+			t.Fatalf("group still ready after serve failure: %+v", comps)
+		}
+	}
+	h, found := comps["obs_server"]
+	if !found {
+		t.Fatalf("no obs_server component in %+v", comps)
+	}
+	if h.OK || h.Ready || !strings.Contains(h.Detail, "serve:") {
+		t.Fatalf("obs_server component = %+v, want failed with serve detail", h)
+	}
+}
+
+// A clean Shutdown is not a failure: no error latches and the health
+// component is withdrawn rather than left failing.
+func TestServeShutdownDoesNotLatch(t *testing.T) {
+	g := NewGroup()
+	s, err := g.Serve("localhost:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Err(); err != nil {
+		t.Fatalf("clean shutdown latched %v", err)
+	}
+	if _, _, comps := g.CheckHealth(); len(comps) != 0 {
+		t.Fatalf("obs_server component still registered after shutdown: %+v", comps)
+	}
+}
+
+func mustGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

@@ -2,9 +2,7 @@ package obs
 
 import (
 	"encoding/json"
-	"fmt"
 	"net/http"
-	"sync"
 )
 
 // Health is one component's report. OK is liveness (the component is
@@ -21,47 +19,33 @@ type Health struct {
 // concurrent use.
 type HealthFunc func() Health
 
-// HealthReg is a registered health component; Unregister removes it.
+// HealthReg is a registered health component; Unregister removes it
+// from the group that issued it. Like the scrape group, repeated names
+// within a group are disambiguated with a "#N" suffix so several
+// systems on the same lab stay distinguishable.
 type HealthReg struct {
+	g     *Group
 	alias string
 	fn    HealthFunc
 }
 
-// The process-wide health group, aggregated by /healthz and /readyz.
-// Like the scrape group, repeated names are disambiguated with a "#N"
-// suffix so several systems on the same lab stay distinguishable.
-var (
-	healthMu  sync.Mutex
-	healthSeq = map[string]int{}
-	healthy   []*HealthReg
-)
-
-// RegisterHealth adds a named component to the process-wide health
-// group and returns its registration handle.
+// RegisterHealth adds a named component to the default group's health
+// set and returns its registration handle.
 func RegisterHealth(name string, fn HealthFunc) *HealthReg {
-	healthMu.Lock()
-	defer healthMu.Unlock()
-	healthSeq[name]++
-	alias := name
-	if n := healthSeq[name]; n > 1 {
-		alias = fmt.Sprintf("%s#%d", alias, n)
-	}
-	h := &HealthReg{alias: alias, fn: fn}
-	healthy = append(healthy, h)
-	return h
+	return DefaultGroup.RegisterHealth(name, fn)
 }
 
-// Unregister removes the component from the health group. Nil-safe;
+// Unregister removes the component from its health group. Nil-safe;
 // idempotent.
 func (h *HealthReg) Unregister() {
 	if h == nil {
 		return
 	}
-	healthMu.Lock()
-	defer healthMu.Unlock()
-	for i, g := range healthy {
+	h.g.healthMu.Lock()
+	defer h.g.healthMu.Unlock()
+	for i, g := range h.g.healthy {
 		if g == h {
-			healthy = append(healthy[:i], healthy[i+1:]...)
+			h.g.healthy = append(h.g.healthy[:i], h.g.healthy[i+1:]...)
 			return
 		}
 	}
@@ -74,22 +58,9 @@ type HealthReport struct {
 	Components map[string]Health `json:"components,omitempty"`
 }
 
-// CheckHealth polls every registered component and reports overall
-// liveness and readiness plus the per-component map.
+// CheckHealth polls every component in the default group.
 func CheckHealth() (ok, ready bool, components map[string]Health) {
-	healthMu.Lock()
-	regs := make([]*HealthReg, len(healthy))
-	copy(regs, healthy)
-	healthMu.Unlock()
-	ok, ready = true, true
-	components = make(map[string]Health, len(regs))
-	for _, r := range regs {
-		h := r.fn()
-		components[r.alias] = h
-		ok = ok && h.OK
-		ready = ready && h.Ready
-	}
-	return ok, ready, components
+	return DefaultGroup.CheckHealth()
 }
 
 // writeHealthJSON renders a health report with the right status code
@@ -104,19 +75,4 @@ func writeHealthJSON(w http.ResponseWriter, pass bool, passStatus, failStatus st
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(HealthReport{Status: status, Components: components})
-}
-
-// healthzHandler is liveness: 200 while every component reports OK,
-// 503 otherwise. With no components registered it reports 200 — an
-// idle process is alive.
-func healthzHandler(w http.ResponseWriter, _ *http.Request) {
-	ok, _, components := CheckHealth()
-	writeHealthJSON(w, ok, "ok", "unhealthy", components)
-}
-
-// readyzHandler is readiness: 200 while every component is ready to
-// take work, 503 once any has drained, stopped, or failed.
-func readyzHandler(w http.ResponseWriter, _ *http.Request) {
-	_, ready, components := CheckHealth()
-	writeHealthJSON(w, ready, "ready", "unready", components)
 }

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"context"
+	"errors"
 	"expvar"
 	"fmt"
 	"net"
@@ -11,19 +12,25 @@ import (
 	"time"
 )
 
-// The package-level group: every registry a process wants scraped.
-// rabit.System registers its registry here so the CLIs' -metrics endpoint
-// sees it without extra plumbing.
-var (
-	groupMu sync.RWMutex
-	group   []groupEntry
-	regSeq  = map[string]int{}
+// Package-level shims over DefaultGroup: rabit.System registers its
+// registry here by default so the CLIs' -metrics endpoint sees it
+// without extra plumbing. Multi-system services build their own Group.
 
-	publishOnce sync.Once
-)
+// Register adds a registry to the default scrape group. Nil-safe.
+func Register(r *Registry) { DefaultGroup.Register(r) }
+
+// Unregister removes a registry from the default scrape group.
+func Unregister(r *Registry) { DefaultGroup.Unregister(r) }
+
+// Snapshots captures every registry in the default group.
+func Snapshots() []Snapshot { return DefaultGroup.Snapshots() }
+
+var publishOnce sync.Once
 
 // Auxiliary routes: subpackages (internal/obs/trace's /traces) add
-// endpoints to the introspection mux without obs importing them.
+// endpoints to the introspection mux without obs importing them. The
+// route table is package-wide — the handlers themselves are stateless
+// route definitions — and every Group's Handler mounts it.
 var (
 	auxMu     sync.RWMutex
 	auxRoutes = map[string]http.Handler{}
@@ -40,71 +47,25 @@ func RegisterHTTPHandler(pattern string, h http.Handler) {
 	auxRoutes[pattern] = h
 }
 
-// groupEntry pairs a registry with its scrape alias. Two systems built
-// on the same lab share a registry name; exporting both under one name
-// would emit duplicate series that scrape tooling rejects, so the group
-// disambiguates every registration after the first with a "#N" suffix.
-type groupEntry struct {
-	reg   *Registry
-	alias string
-}
-
-// Register adds a registry to the process-wide scrape group. Nil-safe.
-func Register(r *Registry) {
-	if r == nil {
-		return
-	}
-	groupMu.Lock()
-	defer groupMu.Unlock()
-	regSeq[r.name]++
-	alias := r.name
-	if n := regSeq[r.name]; n > 1 {
-		alias = fmt.Sprintf("%s#%d", alias, n)
-	}
-	group = append(group, groupEntry{reg: r, alias: alias})
-}
-
-// Unregister removes a registry from the scrape group.
-func Unregister(r *Registry) {
-	groupMu.Lock()
-	defer groupMu.Unlock()
-	for i, g := range group {
-		if g.reg == r {
-			group = append(group[:i], group[i+1:]...)
-			return
-		}
-	}
-}
-
-// Snapshots captures every registered registry under its scrape alias.
-func Snapshots() []Snapshot {
-	groupMu.RLock()
-	entries := make([]groupEntry, len(group))
-	copy(entries, group)
-	groupMu.RUnlock()
-	out := make([]Snapshot, 0, len(entries))
-	for _, e := range entries {
-		s := e.reg.Snapshot()
-		s.Name = e.alias
-		out = append(out, s)
-	}
-	return out
-}
-
-// publishExpvar exposes the scrape group as the expvar "rabit" variable,
-// once per process (expvar panics on duplicate names).
+// publishExpvar exposes the default scrape group as the expvar "rabit"
+// variable, once per process (expvar panics on duplicate names).
 func publishExpvar() {
 	publishOnce.Do(func() {
 		expvar.Publish("rabit", expvar.Func(func() any { return Snapshots() }))
 	})
 }
 
-// Handler returns the introspection mux: /debug/vars (expvar, including
-// the "rabit" snapshot tree), /metrics (a flat text rendering),
-// /metrics/prom (Prometheus exposition), /healthz and /readyz (service
-// health), any auxiliary routes subpackages registered (e.g. /traces),
-// and /debug/pprof (live profiling).
-func Handler() http.Handler {
+// Handler returns the default group's introspection mux.
+func Handler() http.Handler { return DefaultGroup.Handler() }
+
+// Handler returns the group's introspection mux: /debug/vars (expvar,
+// including the default group's "rabit" snapshot tree), /metrics (a flat
+// text rendering of this group), /metrics/prom (Prometheus exposition),
+// /healthz and /readyz (this group's components), any auxiliary routes
+// subpackages registered (e.g. /traces), and /debug/pprof (live
+// profiling). Each call builds a fresh mux, so two groups' handlers
+// never share route state.
+func (g *Group) Handler() http.Handler {
 	publishExpvar()
 	mux := http.NewServeMux()
 	core := map[string]bool{
@@ -121,10 +82,10 @@ func Handler() http.Handler {
 	}
 	auxMu.RUnlock()
 	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/metrics", metricsText)
-	mux.HandleFunc("/metrics/prom", promMetricsText)
-	mux.HandleFunc("/healthz", healthzHandler)
-	mux.HandleFunc("/readyz", readyzHandler)
+	mux.HandleFunc("/metrics", g.metricsText)
+	mux.HandleFunc("/metrics/prom", g.promMetricsText)
+	mux.HandleFunc("/healthz", g.healthzHandler)
+	mux.HandleFunc("/readyz", g.readyzHandler)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -137,14 +98,14 @@ func Handler() http.Handler {
 // `name{reg="…"} value` text form, one line per counter/gauge and a
 // summary block per histogram — enough for curl and for scrape tooling
 // that speaks the common text exposition idiom.
-func metricsText(w http.ResponseWriter, _ *http.Request) {
+func (g *Group) metricsText(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	for _, s := range Snapshots() {
+	for _, s := range g.Snapshots() {
 		for _, c := range s.Counters {
 			fmt.Fprintf(w, "rabit_%s{reg=%q} %d\n", sanitize(c.Name), s.Name, c.Value)
 		}
-		for _, g := range s.Gauges {
-			fmt.Fprintf(w, "rabit_%s{reg=%q} %d\n", sanitize(g.Name), s.Name, g.Value)
+		for _, gg := range s.Gauges {
+			fmt.Fprintf(w, "rabit_%s{reg=%q} %d\n", sanitize(gg.Name), s.Name, gg.Value)
 		}
 		for _, h := range s.Histograms {
 			n := sanitize(h.Name)
@@ -182,22 +143,45 @@ func sanitize(name string) string {
 // Server is a running introspection endpoint with a graceful shutdown
 // path: Close/Shutdown stop the listener, drain in-flight requests, and
 // wait for the serve goroutine to exit, so tests and the CLIs never
-// leak the listener or race its teardown.
+// leak the listener or race its teardown. A Serve failure (listener
+// torn down under the server, accept loop dying) is latched — Err
+// returns it — and surfaces through the owning group's "obs_server"
+// health component, so /readyz degrades instead of the endpoint
+// silently going dark.
 type Server struct {
 	// Addr is the bound address (useful with ":0" listeners).
 	Addr string
 
 	srv  *http.Server
+	ln   net.Listener
 	done chan struct{}
+
+	mu       sync.Mutex
+	serveErr error
+	health   *HealthReg
+}
+
+// Err returns the latched srv.Serve error, if the serve loop died for
+// any reason other than a clean Shutdown/Close. Nil-safe.
+func (s *Server) Err() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.serveErr
 }
 
 // Shutdown gracefully stops the server: no new connections, in-flight
 // requests drain until ctx expires, and the serve goroutine has exited
-// by the time it returns. Nil-safe; idempotent.
+// by the time it returns. The health component is withdrawn — an
+// intentionally closed endpoint is not a degraded one. Nil-safe;
+// idempotent.
 func (s *Server) Shutdown(ctx context.Context) error {
 	if s == nil {
 		return nil
 	}
+	s.health.Unregister()
 	err := s.srv.Shutdown(ctx)
 	<-s.done
 	return err
@@ -214,21 +198,47 @@ func (s *Server) Close() error {
 	return s.Shutdown(ctx)
 }
 
-// Serve starts the introspection endpoint on addr (e.g. "localhost:6060")
-// in a background goroutine and returns the bound server. Callers shut
-// it down with Close (bounded) or Shutdown (caller's context).
+// Serve starts the default group's introspection endpoint on addr.
 func Serve(addr string) (*Server, error) {
+	return DefaultGroup.Serve(addr)
+}
+
+// Serve starts the group's introspection endpoint on addr (e.g.
+// "localhost:6060") in a background goroutine and returns the bound
+// server. Callers shut it down with Close (bounded) or Shutdown
+// (caller's context). Any serve-loop failure is latched on the Server
+// and reported by the group's "obs_server" health component.
+func (g *Group) Serve(addr string) (*Server, error) {
+	return g.ServeHandler(addr, g.Handler())
+}
+
+// ServeHandler is Serve with a caller-supplied handler — services (the
+// gateway) that mount their own API routes alongside the group's
+// introspection routes get the same listener lifecycle, error latch,
+// and health surfacing without re-implementing the serve plumbing.
+func (g *Group) ServeHandler(addr string, h http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: metrics listener: %w", err)
 	}
-	srv := &http.Server{Addr: ln.Addr().String(), Handler: Handler()}
-	s := &Server{Addr: srv.Addr, srv: srv, done: make(chan struct{})}
+	srv := &http.Server{Addr: ln.Addr().String(), Handler: h}
+	s := &Server{Addr: srv.Addr, srv: srv, ln: ln, done: make(chan struct{})}
+	s.health = g.RegisterHealth("obs_server", func() Health {
+		if err := s.Err(); err != nil {
+			return Health{Detail: "serve: " + err.Error()}
+		}
+		return Health{OK: true, Ready: true}
+	})
 	go func() {
 		defer close(s.done)
 		// ErrServerClosed after Shutdown is the expected exit; anything
-		// else has nowhere useful to go from a background goroutine.
-		_ = srv.Serve(ln)
+		// else is a real failure — latch it for Err and the health
+		// component instead of discarding it.
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.mu.Lock()
+			s.serveErr = err
+			s.mu.Unlock()
+		}
 	}()
 	return s, nil
 }

@@ -16,12 +16,12 @@ import (
 // _bucket / _sum / _count series with le labels in seconds — so an
 // off-the-shelf Prometheus scrape ingests RABIT's registries unmodified.
 
-// promMetricsText renders every registered registry plus the SLO group
-// in the Prometheus text exposition format.
-func promMetricsText(w http.ResponseWriter, _ *http.Request) {
+// promMetricsText renders the group's registries plus its SLO set in
+// the Prometheus text exposition format.
+func (g *Group) promMetricsText(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	WritePromText(w, Snapshots())
-	WritePromSLOs(w, SLOSnapshots())
+	WritePromText(w, g.Snapshots())
+	WritePromSLOs(w, g.SLOSnapshots())
 }
 
 // escapeLabel escapes a label value per the exposition format: exactly

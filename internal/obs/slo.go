@@ -1,7 +1,6 @@
 package obs
 
 import (
-	"fmt"
 	"sync"
 	"time"
 )
@@ -208,13 +207,17 @@ func (s *SafetySLOs) ObserveDetection(d time.Duration) {
 	s.DetectionLatency.Observe(d)
 }
 
-// Register adds both SLOs to the process-wide SLO group exported on
+// Register adds both SLOs to the default group, exported on
 // /metrics/prom. Nil-safe; idempotent per call pairing with Unregister.
-func (s *SafetySLOs) Register() {
+func (s *SafetySLOs) Register() { s.RegisterIn(DefaultGroup) }
+
+// RegisterIn adds both SLOs to a specific group's SLO set — one group
+// per service keeps two systems' burn rates from aliasing. Nil-safe.
+func (s *SafetySLOs) RegisterIn(g *Group) {
 	if s == nil {
 		return
 	}
-	s.regs = append(s.regs, RegisterSLO(s.CheckOverhead), RegisterSLO(s.DetectionLatency))
+	s.regs = append(s.regs, g.RegisterSLO(s.CheckOverhead), g.RegisterSLO(s.DetectionLatency))
 }
 
 // Unregister removes both SLOs from the group. Nil-safe.
@@ -228,64 +231,33 @@ func (s *SafetySLOs) Unregister() {
 	s.regs = nil
 }
 
-// The process-wide SLO group. Repeated names get a "#N" alias, exactly
+// SLOReg is a registered SLO; Unregister removes it from the group that
+// issued it. Repeated names within a group get a "#N" alias, exactly
 // like the scrape group, so several systems' burn rates stay distinct
 // series.
-var (
-	sloMu    sync.Mutex
-	sloSeq   = map[string]int{}
-	sloGroup []*SLOReg
-)
-
-// SLOReg is a registered SLO; Unregister removes it from the group.
 type SLOReg struct {
+	g     *Group
 	slo   *SLO
 	alias string
 }
 
-// RegisterSLO adds an SLO to the process-wide group (nil-safe).
-func RegisterSLO(s *SLO) *SLOReg {
-	if s == nil {
-		return nil
-	}
-	sloMu.Lock()
-	defer sloMu.Unlock()
-	sloSeq[s.name]++
-	alias := s.name
-	if n := sloSeq[s.name]; n > 1 {
-		alias = fmt.Sprintf("%s#%d", alias, n)
-	}
-	r := &SLOReg{slo: s, alias: alias}
-	sloGroup = append(sloGroup, r)
-	return r
-}
+// RegisterSLO adds an SLO to the default group (nil-safe).
+func RegisterSLO(s *SLO) *SLOReg { return DefaultGroup.RegisterSLO(s) }
 
-// Unregister removes the SLO from the group. Nil-safe; idempotent.
+// Unregister removes the SLO from its group. Nil-safe; idempotent.
 func (r *SLOReg) Unregister() {
 	if r == nil {
 		return
 	}
-	sloMu.Lock()
-	defer sloMu.Unlock()
-	for i, g := range sloGroup {
+	r.g.sloMu.Lock()
+	defer r.g.sloMu.Unlock()
+	for i, g := range r.g.sloGroup {
 		if g == r {
-			sloGroup = append(sloGroup[:i], sloGroup[i+1:]...)
+			r.g.sloGroup = append(r.g.sloGroup[:i], r.g.sloGroup[i+1:]...)
 			return
 		}
 	}
 }
 
-// SLOSnapshots captures every registered SLO under its alias.
-func SLOSnapshots() []SLOSnapshot {
-	sloMu.Lock()
-	regs := make([]*SLOReg, len(sloGroup))
-	copy(regs, sloGroup)
-	sloMu.Unlock()
-	out := make([]SLOSnapshot, 0, len(regs))
-	for _, r := range regs {
-		snap := r.slo.Snapshot()
-		snap.Name = r.alias
-		out = append(out, snap)
-	}
-	return out
-}
+// SLOSnapshots captures every SLO in the default group under its alias.
+func SLOSnapshots() []SLOSnapshot { return DefaultGroup.SLOSnapshots() }

@@ -1,0 +1,230 @@
+package rabit_test
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	rabit "repro"
+	"repro/internal/action"
+	"repro/internal/config"
+	"repro/internal/obs"
+	otrace "repro/internal/obs/trace"
+	"repro/internal/trace"
+)
+
+// hotplateSpec is a minimal deck of n independent hotplates.
+func hotplateSpec(lab string, n int) *config.LabSpec {
+	spec := &config.LabSpec{Lab: lab, FloorZ: 0}
+	for i := 0; i < n; i++ {
+		x := float64(i) * 0.3
+		spec.Devices = append(spec.Devices, config.DeviceSpec{
+			ID:   fmt.Sprintf("hp%02d", i),
+			Type: "action_device", Kind: "hotplate", ClassName: "IKAHotplate",
+			Cuboid: config.BoxSpec{
+				Min: config.Vec{X: x, Y: 0, Z: 0},
+				Max: config.Vec{X: x + 0.2, Y: 0.2, Z: 0.15},
+			},
+			ActionThreshold: 150,
+			MaxSafeValue:    340,
+		})
+	}
+	return spec
+}
+
+// failingExporter always refuses retained traces.
+type failingExporter struct{}
+
+func (failingExporter) ExportTrace(*otrace.TraceData) error {
+	return errors.New("export sink unavailable")
+}
+
+// Close must aggregate every component's flush error with errors.Join
+// instead of reporting only the trace file: a failed incident-bundle
+// write and a failed trace export are each real losses.
+func TestCloseAggregatesComponentErrors(t *testing.T) {
+	dir := t.TempDir()
+	// A regular file where the incident directory's parent should be:
+	// bundle writes fail and latch on the recorder.
+	blocker := filepath.Join(dir, "blocker")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := rabit.New(hotplateSpec("close-errors", 1), rabit.Options{
+		IncidentDir:   filepath.Join(blocker, "bundles"),
+		TraceExporter: failingExporter{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trip an alert: over-max setpoint. The alert writes an incident
+	// bundle (fails: parent is a file) and retains the trace, whose
+	// export fails at drain time.
+	err = sys.Interceptor.Do(action.Command{Device: "hp00", Action: action.SetActionValue, Value: 400})
+	if _, ok := rabit.AsAlert(err); !ok {
+		t.Fatalf("over-max setpoint did not alert: %v", err)
+	}
+
+	cerr := sys.Close()
+	if cerr == nil {
+		t.Fatal("Close swallowed the recorder and exporter failures")
+	}
+	msg := cerr.Error()
+	if !strings.Contains(msg, "recorder") {
+		t.Errorf("Close error %q does not report the recorder failure", msg)
+	}
+	if !strings.Contains(msg, "trace exporter") {
+		t.Errorf("Close error %q does not report the trace-export failure", msg)
+	}
+}
+
+// A healthy Close stays nil.
+func TestCloseNilOnHealthySystem(t *testing.T) {
+	sys, err := rabit.New(hotplateSpec("close-clean", 1), rabit.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Interceptor.Do(action.Command{Device: "hp00", Action: action.ReadStatus}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatalf("healthy Close returned %v", err)
+	}
+}
+
+// Drain is a gate, not advisory quiescence: concurrent submits racing
+// the drain either finish before the gate closes or get ErrDraining —
+// and once Drain has returned (readiness reports drained), no command
+// is ever admitted again.
+func TestDrainGatesConcurrentSubmits(t *testing.T) {
+	const scripts = 8
+	sys, err := rabit.New(hotplateSpec("drain-race", scripts), rabit.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	sys.Env.SetPacing(1000)
+
+	// One interceptor per script, sharing the sharded engine — the
+	// gateway's session model.
+	var wg sync.WaitGroup
+	unexpected := make([]error, scripts)
+	for g := 0; g < scripts; g++ {
+		ic := trace.NewInterceptor(sys.Engine, sys.Env)
+		wg.Add(1)
+		go func(g int, ic *trace.Interceptor) {
+			defer wg.Done()
+			dev := fmt.Sprintf("hp%02d", g)
+			for i := 0; i < 500; i++ {
+				err := ic.Do(action.Command{Device: dev, Action: action.ReadStatus})
+				if err == nil {
+					continue
+				}
+				if !errors.Is(err, rabit.ErrDraining) {
+					unexpected[g] = err
+				}
+				return // gate closed (or a real failure recorded)
+			}
+		}(g, ic)
+	}
+	time.Sleep(2 * time.Millisecond) // let the scripts get going
+	sys.Drain()
+
+	// The gate has closed and Drain has waited out every in-flight
+	// check: any submit from this point on must be rejected.
+	for g := 0; g < scripts; g++ {
+		ic := trace.NewInterceptor(sys.Engine, sys.Env)
+		err := ic.Do(action.Command{Device: fmt.Sprintf("hp%02d", g), Action: action.ReadStatus})
+		if !errors.Is(err, rabit.ErrDraining) {
+			t.Fatalf("post-drain submit on hp%02d admitted: %v", g, err)
+		}
+	}
+	wg.Wait()
+	for g, err := range unexpected {
+		if err != nil {
+			t.Errorf("script %d saw a non-draining failure: %v", g, err)
+		}
+	}
+}
+
+// Two Systems in one process with their own obs groups: telemetry,
+// health, and lifecycle stay fully separated — draining or closing one
+// never degrades the other's endpoints.
+func TestTwoSystemsOneProcessSeparateGroups(t *testing.T) {
+	g1, g2 := obs.NewGroup(), obs.NewGroup()
+	sys1, err := rabit.New(hotplateSpec("proc-lab-a", 1), rabit.Options{ObsGroup: g1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys1.Close()
+	sys2, err := rabit.New(hotplateSpec("proc-lab-b", 1), rabit.Options{ObsGroup: g2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys2.Close()
+	for _, sys := range []*rabit.System{sys1, sys2} {
+		if err := sys.Interceptor.Do(action.Command{Device: "hp00", Action: action.ReadStatus}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	srv1 := httptest.NewServer(g1.Handler())
+	defer srv1.Close()
+	srv2 := httptest.NewServer(g2.Handler())
+	defer srv2.Close()
+
+	get := func(url string) (int, string) {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 32*1024)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, sb.String()
+	}
+
+	// Each group's /metrics shows its own lab only.
+	_, m1 := get(srv1.URL + "/metrics")
+	if !strings.Contains(m1, "proc-lab-a") || strings.Contains(m1, "proc-lab-b") {
+		t.Fatal("group 1 metrics leak across systems")
+	}
+	_, m2 := get(srv2.URL + "/metrics")
+	if !strings.Contains(m2, "proc-lab-b") || strings.Contains(m2, "proc-lab-a") {
+		t.Fatal("group 2 metrics leak across systems")
+	}
+
+	// Draining system 1 flips only group 1's readiness.
+	sys1.Drain()
+	if status, body := get(srv1.URL + "/readyz"); status != http.StatusServiceUnavailable || !strings.Contains(body, "drained") {
+		t.Fatalf("group 1 /readyz = %d after drain, want 503 drained", status)
+	}
+	if status, _ := get(srv2.URL + "/readyz"); status != http.StatusOK {
+		t.Fatalf("group 2 /readyz = %d, drained neighbour leaked", status)
+	}
+
+	// Closing system 1 leaves group 2's scrape set intact.
+	if err := sys1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(g2.Snapshots()); n != 1 {
+		t.Fatalf("group 2 lost registries to group 1's close: %d", n)
+	}
+	if n := len(g1.Snapshots()); n != 0 {
+		t.Fatalf("group 1 still scraping %d registries after close", n)
+	}
+}

@@ -1,8 +1,10 @@
 package rabit
 
 import (
+	"errors"
 	"fmt"
 	"os"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/config"
@@ -52,6 +54,10 @@ type Alert = core.Alert
 
 // AsAlert extracts an Alert from an error chain.
 func AsAlert(err error) (*Alert, bool) { return core.AsAlert(err) }
+
+// ErrDraining is returned for commands submitted after Drain: the
+// engine's admission gate rejected them before any check or execution.
+var ErrDraining = core.ErrDraining
 
 // Step is one named line of an experiment script.
 type Step = workflow.Step
@@ -130,6 +136,13 @@ type Options struct {
 	// non-alert traces (default otrace.DefaultSampleRate; negative
 	// retains alert traces only; alert traces are always retained).
 	TraceSampleRate float64
+	// ObsGroup selects the introspection group (scrape registries,
+	// health components, SLOs) the system registers with. Nil uses the
+	// process-wide default group served by obs.Serve — the CLI
+	// behavior. Services that pool several Systems in one process (the
+	// gateway) pass their own group so tenants' telemetry and health
+	// never collide with another service's.
+	ObsGroup *obs.Group
 	// Seed drives all stochastic fidelity noise (default 1).
 	Seed int64
 }
@@ -180,10 +193,16 @@ type System struct {
 	// traceFile is the System-owned OTLP exporter behind TraceFile (nil
 	// when traces export elsewhere or nowhere).
 	traceFile *otrace.FileExporter
+	// group is the introspection group every registration above lives
+	// in (Options.ObsGroup, defaulting to obs.DefaultGroup).
+	group *obs.Group
 	// healthRegs are this system's /healthz–/readyz components.
 	healthRegs []*obs.HealthReg
-	// drained latches Drain so shutdown paths can run it idempotently.
-	drained atomic.Bool
+	// drainOnce makes Drain idempotent; drained flips only after the
+	// engine's admission gate is closed, so a /readyz that reports
+	// drained can never be followed by an admitted command.
+	drainOnce sync.Once
+	drained   atomic.Bool
 }
 
 // New builds a System from a parsed lab specification.
@@ -197,16 +216,20 @@ func New(spec *config.LabSpec, o Options) (*System, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rabit: %w", err)
 	}
+	group := o.ObsGroup
+	if group == nil {
+		group = obs.DefaultGroup
+	}
 	reg := obs.NewRegistry("rabit/" + spec.Lab)
-	obs.Register(reg)
-	sys := &System{Lab: lab, Env: e, Obs: reg}
+	group.Register(reg)
+	sys := &System{Lab: lab, Env: e, Obs: reg, group: group}
 
 	if !o.NoTracing {
 		exporter := o.TraceExporter
 		if o.TraceFile != "" {
 			f, err := os.Create(o.TraceFile)
 			if err != nil {
-				obs.Unregister(reg)
+				group.Unregister(reg)
 				return nil, fmt.Errorf("rabit: trace file: %w", err)
 			}
 			sys.traceFile = otrace.NewFileExporter(f)
@@ -239,7 +262,7 @@ func New(spec *config.LabSpec, o Options) (*System, error) {
 			core.WithObserver(reg),
 		}
 		sys.SLOs = obs.NewSafetySLOs()
-		sys.SLOs.Register()
+		sys.SLOs.RegisterIn(group)
 		engOpts = append(engOpts, core.WithSLOs(sys.SLOs))
 		if sys.Tracer != nil {
 			engOpts = append(engOpts, core.WithTracer(sys.Tracer))
@@ -300,16 +323,16 @@ func New(spec *config.LabSpec, o Options) (*System, error) {
 	return sys, nil
 }
 
-// registerHealth publishes the system's components to the process-wide
-// /healthz–/readyz group: the engine (alive always; ready until an
+// registerHealth publishes the system's components to its group's
+// /healthz–/readyz set: the engine (alive always; ready until an
 // alert stops the run or the system drains), the recorder (unhealthy
 // once a bundle write has failed), and the trace exporter (unhealthy
 // once an export has failed).
 func (s *System) registerHealth() {
 	if s.Engine != nil {
-		s.healthRegs = append(s.healthRegs, obs.RegisterHealth("engine", func() obs.Health {
+		s.healthRegs = append(s.healthRegs, s.group.RegisterHealth("engine", func() obs.Health {
 			h := obs.Health{OK: true, Ready: true}
-			if s.drained.Load() {
+			if s.drained.Load() || s.Engine.Draining() {
 				h.Ready = false
 				h.Detail = "drained"
 			}
@@ -321,7 +344,7 @@ func (s *System) registerHealth() {
 		}))
 	}
 	if s.Recorder != nil {
-		s.healthRegs = append(s.healthRegs, obs.RegisterHealth("recorder", func() obs.Health {
+		s.healthRegs = append(s.healthRegs, s.group.RegisterHealth("recorder", func() obs.Health {
 			if err := s.Recorder.Err(); err != nil {
 				return obs.Health{Detail: err.Error()}
 			}
@@ -329,7 +352,7 @@ func (s *System) registerHealth() {
 		}))
 	}
 	if s.Tracer != nil {
-		s.healthRegs = append(s.healthRegs, obs.RegisterHealth("trace_exporter", func() obs.Health {
+		s.healthRegs = append(s.healthRegs, s.group.RegisterHealth("trace_exporter", func() obs.Health {
 			if err := s.Tracer.ExportErr(); err != nil {
 				return obs.Health{Detail: err.Error()}
 			}
@@ -338,31 +361,36 @@ func (s *System) registerHealth() {
 	}
 }
 
-// Drain quiesces the system: waits out any in-flight speculative
-// lookahead, closes the current run trace (making its tail-sampling
-// decision), and flushes the owned trace file. Idempotent; after Drain
-// the engine health component reports not-ready. Commands issued after
-// Drain still check and execute — draining is advisory quiescence for
-// shutdown, not a gate.
+// Drain quiesces the system for shutdown. It is a real gate, not
+// advisory: the engine's admission gate closes first — commands
+// submitted afterwards are rejected with ErrDraining — then in-flight
+// checks and any speculative lookahead are waited out, the current run
+// trace closes (making its tail-sampling decision), and the owned
+// trace file flushes. The drained latch (what flips /readyz) is set
+// only after the gate is closed, so a submit racing a drain can never
+// be admitted after readiness reports drained. Idempotent.
 func (s *System) Drain() {
-	if !s.drained.CompareAndSwap(false, true) {
-		return
-	}
-	if s.Engine != nil {
-		s.Engine.WaitSpeculation()
-	}
-	if s.Interceptor != nil {
-		s.Interceptor.FinishTrace()
-	}
-	if s.traceFile != nil {
-		s.traceFile.Flush()
-	}
+	s.drainOnce.Do(func() {
+		if s.Engine != nil {
+			s.Engine.Drain()
+			s.Engine.WaitSpeculation()
+		}
+		s.drained.Store(true)
+		if s.Interceptor != nil {
+			s.Interceptor.FinishTrace()
+		}
+		if s.traceFile != nil {
+			s.traceFile.Flush()
+		}
+	})
 }
 
-// Close drains the system and releases every process-wide registration
-// (scrape group, tracer group, SLO group, health group), then closes
-// the owned trace file. The returned error is the trace file's close
-// state; injected TraceExporters are the caller's to close.
+// Close drains the system and releases every registration in its
+// introspection group (scrape, tracer, SLO, health), then closes the
+// owned trace file. Component errors are aggregated with errors.Join —
+// a failed incident-bundle write, a failed trace export, and a failed
+// trace-file close are each real flush losses a service replica must
+// not swallow. Injected TraceExporters are the caller's to close.
 func (s *System) Close() error {
 	s.Drain()
 	for _, hr := range s.healthRegs {
@@ -371,11 +399,26 @@ func (s *System) Close() error {
 	s.healthRegs = nil
 	s.SLOs.Unregister()
 	otrace.Unregister(s.Tracer)
-	obs.Unregister(s.Obs)
-	if s.traceFile != nil {
-		return s.traceFile.Close()
+	s.group.Unregister(s.Obs)
+	var errs []error
+	if s.Recorder != nil {
+		if err := s.Recorder.Err(); err != nil {
+			errs = append(errs, fmt.Errorf("rabit: recorder: %w", err))
+		}
 	}
-	return nil
+	if s.traceFile != nil {
+		if err := s.traceFile.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("rabit: trace file: %w", err))
+		}
+	} else if s.Tracer != nil {
+		// With an owned file the exporter error is the file's latched
+		// state, already reported by Close above; report it separately
+		// only for injected exporters.
+		if err := s.Tracer.ExportErr(); err != nil {
+			errs = append(errs, fmt.Errorf("rabit: trace exporter: %w", err))
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // NewFromFile builds a System from a lab JSON configuration file
@@ -424,7 +467,7 @@ func (s *System) Trace() []trace.Record { return s.Interceptor.Records() }
 // histograms, outcome/alert/violation counters, gauges.
 func (s *System) ObsSnapshot() obs.Snapshot { return s.Obs.Snapshot() }
 
-// ReleaseObserver removes the system's registry from the process-wide
-// scrape group — for programs that build many short-lived systems (the
+// ReleaseObserver removes the system's registry from its introspection
+// group — for programs that build many short-lived systems (the
 // evaluation harness) and do not want dead registries on /metrics.
-func (s *System) ReleaseObserver() { obs.Unregister(s.Obs) }
+func (s *System) ReleaseObserver() { s.group.Unregister(s.Obs) }
