@@ -11,6 +11,10 @@
 //	rabiteval -throughput   run the replay-throughput benchmark
 //	rabiteval -motion       run the motion-planning fast-path benchmark
 //	                        (-json FILE additionally writes the rows as JSON)
+//	rabiteval -motion -cold run the cold-path adversarial benchmark: every
+//	                        command targets a fresh point, so every check
+//	                        runs the full sweep (legacy vs brute vs
+//	                        indexed, serial and sharded)
 //	rabiteval -incident-dir DIR
 //	                        with the bug study (all, -table 5, -fig 5/6):
 //	                        run the fully equipped configuration with the
@@ -65,6 +69,7 @@ func run() error {
 	gatewayMode := flag.Bool("gateway", false, "with -throughput, also measure the HTTP gateway deployment")
 	labsN := flag.Int("labs", 4, "with -gateway, the number of lab tenants in the gateway pool")
 	motion := flag.Bool("motion", false, "run the motion-planning fast-path benchmark (caches + speculation)")
+	cold := flag.Bool("cold", false, "with -motion, run the cold-path adversarial benchmark instead (every command a fresh target)")
 	jsonPath := flag.String("json", "", "with -throughput or -motion, also write the measured rows to this JSON file")
 	pilot := flag.Bool("pilot", false, "run the pilot-study configuration-error experiment")
 	metricsAddr := flag.String("metrics", "", "serve /debug/vars, /metrics, and pprof on this address while experiments run")
@@ -96,7 +101,7 @@ func run() error {
 		fmt.Printf("telemetry: http://%s/metrics (also /debug/vars, /debug/pprof)\n", srv.Addr)
 	}
 
-	all := *table == 0 && *fig == 0 && !*latency && !*throughput && !*motion && !*pilot
+	all := *table == 0 && *fig == 0 && !*latency && !*throughput && !*motion && !*pilot && !*cold
 
 	if all || *table == 1 {
 		if err := tableI(*seed); err != nil {
@@ -150,7 +155,11 @@ func run() error {
 			return err
 		}
 	}
-	if all || *motion {
+	if *motion && *cold {
+		if err := coldRun(*seed, *jsonPath); err != nil {
+			return err
+		}
+	} else if all || *motion {
 		var motionJSON string
 		if *motion {
 			motionJSON = *jsonPath
@@ -371,6 +380,73 @@ func writeMotionJSON(path string, rows []eval.MotionResult) error {
 			Speculations:        r.Speculations,
 			SpeculationHits:     r.SpeculationHits,
 			SpeculationsDropped: r.SpeculationsDropped,
+		})
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// coldRun measures the cold-path geometry engine: the identical seeded
+// fresh-target streams replayed under the legacy, brute-force, and
+// indexed sweep pipelines, serially and sharded across arms.
+func coldRun(seed int64, jsonPath string) error {
+	fmt.Println("=== Cold-path geometry: adversarial fresh-target sweep (legacy vs brute vs indexed) ===")
+	rows, err := eval.MotionCold(eval.ColdOptions{Checks: 150, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Print(eval.RenderCold(rows))
+	fmt.Println()
+	if jsonPath != "" {
+		if err := writeColdJSON(jsonPath, rows); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n\n", jsonPath)
+	}
+	return nil
+}
+
+// writeColdJSON persists the cold rows in the flat shape the CI bench
+// artifact expects.
+func writeColdJSON(path string, rows []eval.ColdResult) error {
+	type row struct {
+		Mode          string `json:"mode"`
+		Context       string `json:"context"`
+		Checks        int    `json:"checks"`
+		Accepts       int    `json:"accepts"`
+		WallNS        int64  `json:"wall_ns"`
+		P50NS         int64  `json:"p50_ns"`
+		P95NS         int64  `json:"p95_ns"`
+		PlanHits      int64  `json:"plan_cache_hits"`
+		PlanMisses    int64  `json:"plan_cache_misses"`
+		Candidates    int64  `json:"index_candidates"`
+		Kept          int64  `json:"broadphase_kept"`
+		Pruned        int64  `json:"broadphase_pruned"`
+		IndexRebuilds int64  `json:"index_rebuilds"`
+	}
+	doc := struct {
+		Benchmark  string  `json:"benchmark"`
+		P95Speedup float64 `json:"cold_p95_speedup"`
+		Rows       []row   `json:"rows"`
+	}{Benchmark: "cold_geometry", P95Speedup: eval.ColdSpeedup(rows)}
+	for _, r := range rows {
+		doc.Rows = append(doc.Rows, row{
+			Mode:          r.Mode,
+			Context:       r.Context,
+			Checks:        r.Checks,
+			Accepts:       r.Accepts,
+			WallNS:        r.Wall.Nanoseconds(),
+			P50NS:         r.P50.Nanoseconds(),
+			P95NS:         r.P95.Nanoseconds(),
+			PlanHits:      r.PlanHits,
+			PlanMisses:    r.PlanMisses,
+			Candidates:    r.Candidates,
+			Kept:          r.Kept,
+			Pruned:        r.Pruned,
+			IndexRebuilds: r.Rebuilds,
 		})
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")

@@ -119,9 +119,9 @@ func Latency(seed int64, speedup float64) ([]LatencyResult, error) {
 // (median latency per stage; "—" marks a stage that never ran) and the
 // simulator's broadphase pruning ratio.
 func RenderLatency(rows []LatencyResult) string {
-	out := fmt.Sprintf("%-42s %10s %14s %14s %10s %12s %12s %12s %14s\n",
+	out := fmt.Sprintf("%-42s %10s %14s %14s %10s %12s %12s %12s %20s\n",
 		"Configuration", "commands", "check/cmd", "exec/cmd", "overhead",
-		"validate p50", "traj p50", "compare p50", "pruned/kept")
+		"validate p50", "traj p50", "compare p50", "pruned/kept (ratio)")
 	stage := func(sl StageLatency) string {
 		if sl.Count == 0 {
 			return "—"
@@ -131,9 +131,10 @@ func RenderLatency(rows []LatencyResult) string {
 	for _, r := range rows {
 		pruneCol := "—"
 		if r.SimKept+r.SimPruned > 0 {
-			pruneCol = fmt.Sprintf("%d/%d", r.SimPruned, r.SimKept)
+			pruneCol = fmt.Sprintf("%d/%d (%.0f%%)", r.SimPruned, r.SimKept,
+				100*float64(r.SimPruned)/float64(r.SimPruned+r.SimKept))
 		}
-		out += fmt.Sprintf("%-42s %10d %14s %14s %9.1f%% %12s %12s %12s %14s\n",
+		out += fmt.Sprintf("%-42s %10d %14s %14s %9.1f%% %12s %12s %12s %20s\n",
 			r.Mode, r.Commands, r.CheckPerCommand, r.ExecPerCommand, r.OverheadPct,
 			stage(r.Validate), stage(r.Trajectory), stage(r.Compare), pruneCol)
 	}

@@ -1,0 +1,154 @@
+package geom
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randBoxes builds n deck-like boxes: footprints from a few centimetres
+// up to half a metre scattered over a 2 m deck, mimicking the size
+// spread of real device cuboids.
+func randBoxes(rng *rand.Rand, n int) []AABB {
+	out := make([]AABB, n)
+	for i := range out {
+		c := V(rng.Float64()*2-1, rng.Float64()*2-1, rng.Float64()*0.4)
+		d := V(0.03+rng.Float64()*0.5, 0.03+rng.Float64()*0.5, 0.03+rng.Float64()*0.3)
+		out[i] = BoxAt(c, d)
+	}
+	return out
+}
+
+// TestBVHQueryMatchesLinearScan is the index's correctness property:
+// over randomized decks and query volumes, Query returns exactly the
+// boxes a brute-force Intersects scan keeps — same set, since the leaf
+// filter applies the identical predicate.
+func TestBVHQueryMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 200; trial++ {
+		boxes := randBoxes(rng, rng.Intn(40)) // includes the empty deck
+		bv := NewBVH(boxes)
+		if bv.Len() != len(boxes) {
+			t.Fatalf("trial %d: Len=%d want %d", trial, bv.Len(), len(boxes))
+		}
+		for q := 0; q < 20; q++ {
+			query := BoxAt(
+				V(rng.Float64()*2.4-1.2, rng.Float64()*2.4-1.2, rng.Float64()*0.5),
+				V(rng.Float64()*0.8, rng.Float64()*0.8, rng.Float64()*0.5))
+			got := map[int32]bool{}
+			for _, it := range bv.Query(query, nil) {
+				if got[it] {
+					t.Fatalf("trial %d: duplicate item %d", trial, it)
+				}
+				got[it] = true
+			}
+			for i, b := range boxes {
+				if want := b.Intersects(query); want != got[int32(i)] {
+					t.Fatalf("trial %d: box %d (%v vs %v): bvh=%v scan=%v",
+						trial, i, b, query, got[int32(i)], want)
+				}
+			}
+		}
+	}
+}
+
+// TestBVHQueryTouchingCounts pins the predicate boundary: a query box
+// sharing exactly one face plane with an indexed box is a hit, matching
+// AABB.Intersects' closed comparison.
+func TestBVHQueryTouchingCounts(t *testing.T) {
+	boxes := []AABB{Box(V(0, 0, 0), V(1, 1, 1))}
+	bv := NewBVH(boxes)
+	if got := bv.Query(Box(V(1, 0, 0), V(2, 1, 1)), nil); len(got) != 1 {
+		t.Fatalf("touching query returned %v, want the box", got)
+	}
+	if got := bv.Query(Box(V(1.001, 0, 0), V(2, 1, 1)), nil); len(got) != 0 {
+		t.Fatalf("disjoint query returned %v, want nothing", got)
+	}
+}
+
+// TestBVHDegenerateBoxes covers zero-volume inputs (flat walls modelled
+// as boxes, point-like markers): they index and query like any other.
+func TestBVHDegenerateBoxes(t *testing.T) {
+	boxes := []AABB{
+		Box(V(0, 0, 0), V(1, 0, 1)),     // flat y=0 panel
+		Box(V(2, 2, 2), V(2, 2, 2)),     // point
+		Box(V(-1, -1, 0), V(1, 1, 0.1)), // normal slab
+	}
+	bv := NewBVH(boxes)
+	for i, b := range boxes {
+		hits := bv.Query(b, nil)
+		found := false
+		for _, it := range hits {
+			if it == int32(i) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("box %d does not find itself: %v", i, hits)
+		}
+	}
+	if got := bv.Query(Box(V(5, 5, 5), V(6, 6, 6)), nil); len(got) != 0 {
+		t.Errorf("far query returned %v", got)
+	}
+}
+
+// The pick-by-measurement benchmarks: BVH query vs the plain linear scan
+// it replaces, at deck sizes from the testbed's 5 solids up to a
+// campaign-scale 512. The index wins from ~16 solids and is within noise
+// below that, which is why the simulator routes every deck through it.
+func benchQueries(rng *rand.Rand) []AABB {
+	qs := make([]AABB, 64)
+	for i := range qs {
+		qs[i] = BoxAt(V(rng.Float64()*2-1, rng.Float64()*2-1, 0.2), V(0.3, 0.3, 0.4))
+	}
+	return qs
+}
+
+func BenchmarkBVHQuery(b *testing.B) {
+	for _, n := range []int{5, 16, 64, 512} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(int64(n)))
+			bv := NewBVH(randBoxes(rng, n))
+			qs := benchQueries(rng)
+			out := make([]int32, 0, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out = bv.Query(qs[i%len(qs)], out[:0])
+			}
+		})
+	}
+}
+
+func BenchmarkLinearScan(b *testing.B) {
+	for _, n := range []int{5, 16, 64, 512} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(int64(n)))
+			boxes := randBoxes(rng, n)
+			qs := benchQueries(rng)
+			out := make([]int32, 0, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out = out[:0]
+				q := qs[i%len(qs)]
+				for j, bx := range boxes {
+					if bx.Intersects(q) {
+						out = append(out, int32(j))
+					}
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkNewBVH(b *testing.B) {
+	for _, n := range []int{5, 64, 512} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(int64(n)))
+			boxes := randBoxes(rng, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				NewBVH(boxes)
+			}
+		})
+	}
+}

@@ -3,11 +3,112 @@ package geom
 import "math"
 
 // SegmentAABBDist returns the minimum distance between a segment and an
-// axis-aligned box (zero if they intersect). It is computed by a bounded
-// golden-section refinement over the segment parameter of the (convex)
-// point-to-box distance function, seeded by uniform sampling so that flat
-// regions (segment parallel to a face) do not trap the search.
+// axis-aligned box (zero if they intersect).
 func SegmentAABBDist(s Segment, b AABB) float64 {
+	return math.Sqrt(SegmentAABBDistSq(s, b))
+}
+
+// SegmentAABBDistSq returns the squared minimum distance between a
+// segment and an axis-aligned box (zero if they intersect), in closed
+// form.
+//
+// Writing the point at parameter t as P(t) = A + t·D, the squared
+// distance to the box is the sum over the three axes of the squared
+// distance to that axis' slab [Min_i, Max_i]. Each axis term is
+// piecewise quadratic in t, changing shape only where P(t) crosses one
+// of the slab's two faces, so the total has at most six interior
+// breakpoints. On each interval between consecutive breakpoints the
+// total is a single convex quadratic whose minimum is at an endpoint or
+// at its stationary point — all evaluated exactly, with no iteration
+// and no allocation. Degenerate inputs need no special casing: a
+// zero-length segment has no breakpoints and both endpoints evaluate to
+// the same point distance, and a zero-volume box is just a slab whose
+// faces coincide.
+func SegmentAABBDistSq(s Segment, b AABB) float64 {
+	a := [3]float64{s.A.X, s.A.Y, s.A.Z}
+	d := [3]float64{s.B.X - s.A.X, s.B.Y - s.A.Y, s.B.Z - s.A.Z}
+	lo := [3]float64{b.Min.X, b.Min.Y, b.Min.Z}
+	hi := [3]float64{b.Max.X, b.Max.Y, b.Max.Z}
+
+	// Collect the parameters in (0,1) where an axis crosses a slab face,
+	// plus the segment endpoints.
+	var ts [8]float64
+	ts[0], ts[1] = 0, 1
+	n := 2
+	for i := 0; i < 3; i++ {
+		if d[i] == 0 {
+			continue // axis constant in t: no crossings
+		}
+		if t := (lo[i] - a[i]) / d[i]; t > 0 && t < 1 {
+			ts[n] = t
+			n++
+		}
+		if t := (hi[i] - a[i]) / d[i]; t > 0 && t < 1 {
+			ts[n] = t
+			n++
+		}
+	}
+	for i := 1; i < n; i++ { // insertion sort: n ≤ 8
+		for j := i; j > 0 && ts[j] < ts[j-1]; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+
+	eval := func(t float64) float64 {
+		var sum float64
+		for i := 0; i < 3; i++ {
+			p := a[i] + t*d[i]
+			if p < lo[i] {
+				q := lo[i] - p
+				sum += q * q
+			} else if p > hi[i] {
+				q := p - hi[i]
+				sum += q * q
+			}
+		}
+		return sum
+	}
+
+	best := eval(ts[0])
+	for k := 0; k+1 < n && best > 0; k++ {
+		t0, t1 := ts[k], ts[k+1]
+		if v := eval(t1); v < best {
+			best = v
+		}
+		// Accumulate the interval's quadratic qa·t² + qb·t + const from
+		// each axis' side at the interval midpoint — no face crossing lies
+		// strictly inside the interval, so the side is constant on it.
+		mid := 0.5 * (t0 + t1)
+		var qa, qb float64
+		for i := 0; i < 3; i++ {
+			p := a[i] + mid*d[i]
+			if p < lo[i] {
+				// (lo_i − a_i − t·d_i)²
+				qa += d[i] * d[i]
+				qb -= 2 * (lo[i] - a[i]) * d[i]
+			} else if p > hi[i] {
+				// (a_i + t·d_i − hi_i)²
+				qa += d[i] * d[i]
+				qb += 2 * (a[i] - hi[i]) * d[i]
+			}
+		}
+		if qa > 0 {
+			if t := -qb / (2 * qa); t > t0 && t < t1 {
+				if v := eval(t); v < best {
+					best = v
+				}
+			}
+		}
+	}
+	return best
+}
+
+// SegmentAABBDistRef is the previous iterative implementation — a
+// bounded golden-section refinement over the segment parameter of the
+// point-to-box distance, seeded by uniform sampling. Retained as the
+// measured pre-index baseline for the cold-path benchmark (the legacy
+// sweep mode) and as an independent cross-check for the exact form.
+func SegmentAABBDistRef(s Segment, b AABB) float64 {
 	// Fast paths: either endpoint inside, or the segment clearly crosses.
 	if b.ContainsPoint(s.A) || b.ContainsPoint(s.B) {
 		return 0
@@ -76,13 +177,15 @@ func SegmentAABBIntersect(s Segment, b AABB) (bool, float64) {
 }
 
 // CapsuleAABBIntersect reports whether a capsule overlaps a box: the
-// segment-to-box distance is at most the capsule radius.
+// segment-to-box distance is at most the capsule radius. Compared in
+// squared form, sparing the square root on the narrow phase's hottest
+// predicate.
 func CapsuleAABBIntersect(c Capsule, b AABB) bool {
 	// Cheap reject on bounds first.
 	if !c.Bounds().Intersects(b) {
 		return false
 	}
-	return SegmentAABBDist(c.Seg, b) <= c.Radius
+	return SegmentAABBDistSq(c.Seg, b) <= c.Radius*c.Radius
 }
 
 // SegmentSegmentDist returns the minimum distance between two segments,

@@ -129,6 +129,116 @@ func (s *Sweep) CapsulesAt(tr *Trajectory, t float64) ([]geom.Capsule, error) {
 	return s.caps, nil
 }
 
+// CapsulesAtInto appends the chain's collision capsules at trajectory
+// parameter t to dst and returns it — the batch-fill variant of
+// CapsulesAt for SoA layouts that concatenate every sample into one
+// flat slice (see SweepBatch) instead of aliasing the workspace buffer.
+func (s *Sweep) CapsulesAtInto(tr *Trajectory, t float64, dst []geom.Capsule) ([]geom.Capsule, error) {
+	s.q = tr.AtInto(t, s.q)
+	pts, err := tr.Chain.JointOriginsInto(s.q, s.pts)
+	if err != nil {
+		return dst, err
+	}
+	s.pts = pts
+	return tr.Chain.linkCapsulesFrom(pts, dst), nil
+}
+
+// SweepBatch accumulates a whole trajectory's collision volume in SoA
+// (structure-of-arrays) form: every sample's capsules concatenated into
+// one flat slice, with per-sample offsets and AABBs, per-lane swept
+// AABBs, and the whole-trajectory AABB — everything a batched validation
+// pass needs, computed incrementally as samples are appended, with no
+// allocation once the buffers have grown. A "lane" is one capsule
+// position within a sample (link k, the gripper tip, the held object);
+// a lane's swept bound encloses that capsule at every sample, which is
+// a far tighter broadphase volume than the whole trajectory's box. Lane
+// bounds are only meaningful when every sample appends the same capsule
+// count (Uniform); a chain that drops a degenerate link mid-trajectory
+// degrades consumers to the whole-trajectory bound.
+//
+// The zero value is ready after Reset; a SweepBatch must not be shared
+// between goroutines.
+type SweepBatch struct {
+	// Caps is the flat capsule store. Producers append one sample's
+	// capsules (e.g. via Sweep.CapsulesAtInto, plus any extras such as a
+	// held object), then call EndSample to close it.
+	Caps []geom.Capsule
+
+	off     []int       // len = Samples()+1; sample i is Caps[off[i]:off[i+1]]
+	sample  []geom.AABB // per-sample bounds
+	lane    []geom.AABB // per-lane swept bounds (meaningful when uniform)
+	bounds  geom.AABB   // whole-trajectory bounds
+	uniform bool
+	n       int
+}
+
+// Reset discards all samples, keeping the grown buffers.
+func (b *SweepBatch) Reset() {
+	b.Caps = b.Caps[:0]
+	b.off = append(b.off[:0], 0)
+	b.sample = b.sample[:0]
+	b.lane = b.lane[:0]
+	b.uniform = true
+	b.n = 0
+}
+
+// EndSample closes the current sample — everything appended to Caps
+// since the previous EndSample (or Reset) — folding its capsule bounds
+// into the per-sample, per-lane, and whole-trajectory AABBs.
+func (b *SweepBatch) EndSample() {
+	start := b.off[len(b.off)-1]
+	b.off = append(b.off, len(b.Caps))
+	var sb geom.AABB
+	for k, c := range b.Caps[start:] {
+		cb := c.Bounds()
+		if k == 0 {
+			sb = cb
+		} else {
+			sb = sb.Union(cb)
+		}
+		if b.uniform {
+			if b.n == 0 {
+				b.lane = append(b.lane, cb)
+			} else if k < len(b.lane) {
+				b.lane[k] = b.lane[k].Union(cb)
+			}
+		}
+	}
+	if b.n == 0 {
+		b.bounds = sb
+	} else {
+		b.bounds = b.bounds.Union(sb)
+	}
+	if b.n > 0 && len(b.Caps)-start != len(b.lane) {
+		b.uniform = false
+	}
+	b.sample = append(b.sample, sb)
+	b.n++
+}
+
+// Samples reports how many samples have been closed.
+func (b *SweepBatch) Samples() int { return b.n }
+
+// Sample returns sample i's capsules (a view into Caps).
+func (b *SweepBatch) Sample(i int) []geom.Capsule { return b.Caps[b.off[i]:b.off[i+1]] }
+
+// SampleBounds returns the AABB enclosing sample i's capsules.
+func (b *SweepBatch) SampleBounds(i int) geom.AABB { return b.sample[i] }
+
+// Bounds returns the AABB enclosing every capsule of every sample.
+func (b *SweepBatch) Bounds() geom.AABB { return b.bounds }
+
+// Uniform reports whether every sample appended the same capsule count,
+// which is what makes per-lane bounds cover their lane at every sample.
+func (b *SweepBatch) Uniform() bool { return b.uniform && b.n > 0 }
+
+// Lanes reports the per-sample capsule count of a uniform batch.
+func (b *SweepBatch) Lanes() int { return len(b.lane) }
+
+// LaneBounds returns the AABB enclosing lane l's capsule at every
+// sample. Only meaningful when Uniform reports true.
+func (b *SweepBatch) LaneBounds(l int) geom.AABB { return b.lane[l] }
+
 // SweepCapsules invokes fn once per sample with the arm's collision
 // capsules along the trajectory; fn returning false stops the sweep early.
 // The parameter passed to fn is the trajectory parameter of that sample.

@@ -40,6 +40,15 @@ const (
 	// CounterSimBroadphaseKept counts solids and planes that survived the
 	// broadphase and were tested per sample.
 	CounterSimBroadphaseKept = "sim.broadphase_kept"
+	// CounterSimIndexCandidates counts the deck solids the spatial index's
+	// swept-AABB queries returned as narrow-phase candidates, before the
+	// per-check exclusion mask — the index's selectivity numerator.
+	CounterSimIndexCandidates = "sim.index_candidates"
+	// CounterSimIndexRebuilds counts deck spatial-index rebuilds: one per
+	// deck-epoch generation the cold path touched.
+	CounterSimIndexRebuilds = "sim.index_rebuilds"
+	// HistSimIndexRebuild times deck spatial-index rebuilds.
+	HistSimIndexRebuild = "sim.index_rebuild"
 	// GaugeSimChecksInFlight tracks how many trajectory validations are
 	// executing right now — >1 demonstrates the per-arm sharded locking.
 	GaugeSimChecksInFlight = "sim.checks_in_flight"

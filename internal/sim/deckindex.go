@@ -1,0 +1,147 @@
+// The deck spatial index: the cold sweep path's pre-digested view of the
+// deck snapshot. It exists because a cold trajectory check used to pay,
+// per check, (a) an allocation-heavy obstacle-list assembly with string
+// state-key construction per device, and (b) a per-sample × per-obstacle
+// narrow phase. The index precomputes everything that only depends on
+// the deck — the solid list in spec order, the state keys the exclusion
+// rules read, and a BVH over the solid boxes — and is rebuilt only when
+// the deck epoch moves, the same invalidation contract the verdict cache
+// keys encode (see verdictcache.go).
+package sim
+
+import (
+	"time"
+
+	"repro/internal/action"
+	"repro/internal/geom"
+	"repro/internal/rules"
+	"repro/internal/state"
+)
+
+// deckIndex is one epoch's immutable snapshot of the deck for the cold
+// sweep path. All fields are read-only after build, so checks on
+// different arms share one index without locking.
+type deckIndex struct {
+	epoch uint64
+	// solids are the non-sensor device cuboids in spec order — the order
+	// the narrow phase must test candidates in for verdict strings to
+	// match the brute-force sweep byte for byte.
+	solids []rules.NamedBox
+	byName map[string]int
+	// doorKeys[i] are solid i's door-status keys; insideKeys[armID][i] is
+	// the arm-inside key for solid i. Both precomputed because
+	// state.MakeKey allocates, and the exclusion mask is consulted on
+	// every cold check.
+	doorKeys   [][]state.Key
+	insideKeys map[string][]state.Key
+	bvh        *geom.BVH
+}
+
+// buildDeckIndex digests the lab spec into a deckIndex stamped with the
+// given epoch. Deck geometry is immutable after compile, so successive
+// epochs build identical geometry — the epoch stamp is what lets readers
+// prove their index is not from a generation whose cached artifacts the
+// model owner has invalidated.
+func (s *Simulator) buildDeckIndex(epoch uint64) *deckIndex {
+	idx := &deckIndex{
+		epoch:  epoch,
+		byName: make(map[string]int),
+	}
+	for _, ds := range s.lab.Spec.Devices {
+		if ds.Type == "sensor" {
+			continue
+		}
+		nb := rules.NamedBox{Name: ds.ID, Box: ds.Cuboid.AABB()}
+		if ds.Shape == "cylinder" || ds.Shape == "dome" {
+			cap := geom.InscribedVerticalCapsule(nb.Box)
+			nb.Rounded = &cap
+		}
+		idx.byName[ds.ID] = len(idx.solids)
+		idx.solids = append(idx.solids, nb)
+		var doors []state.Key
+		for _, door := range s.lab.DeviceDoors(ds.ID) {
+			doors = append(doors, state.DoorStatusOf(ds.ID, door))
+		}
+		idx.doorKeys = append(idx.doorKeys, doors)
+	}
+	idx.insideKeys = make(map[string][]state.Key, len(s.arms))
+	for armID := range s.arms {
+		keys := make([]state.Key, len(idx.solids))
+		for i, nb := range idx.solids {
+			keys[i] = state.ArmInside(armID, nb.Name)
+		}
+		idx.insideKeys[armID] = keys
+	}
+	boxes := make([]geom.AABB, len(idx.solids))
+	for i := range idx.solids {
+		boxes[i] = idx.solids[i].Box
+	}
+	idx.bvh = geom.NewBVH(boxes)
+	return idx
+}
+
+// deckIndexFor returns the index for the given deck epoch, building it
+// on first use and rebuilding when the epoch has moved on. The fast path
+// is one atomic load; rebuilds serialise on indexMu with a double check
+// so concurrent arms racing past a bump build at most one index. A check
+// that loads the index while another goroutine bumps the epoch is
+// harmless: deck geometry is immutable, so every generation's index is
+// geometrically identical — the stamp only bounds how long a build is
+// served before the deck snapshot is revisited.
+func (s *Simulator) deckIndexFor(epoch uint64) *deckIndex {
+	if idx := s.index.Load(); idx != nil && idx.epoch == epoch {
+		return idx
+	}
+	s.indexMu.Lock()
+	defer s.indexMu.Unlock()
+	if idx := s.index.Load(); idx != nil && idx.epoch == epoch {
+		return idx
+	}
+	start := time.Now()
+	idx := s.buildDeckIndex(epoch)
+	s.index.Store(idx)
+	s.cIndexRebuilds.Inc()
+	s.hIndexRebuild.Observe(time.Since(start))
+	return idx
+}
+
+// excludeInto fills ex with the per-check exclusion mask over solids —
+// exactly Simulator.obstacles' rules: the device being entered, the
+// owner of an inside target, any device the arm is reaching inside of,
+// and any open-doored device — using the precomputed keys instead of
+// per-call key construction.
+func (idx *deckIndex) excludeInto(ex []bool, s *Simulator, cmd action.Command, model state.Snapshot) []bool {
+	ex = ex[:0]
+	for range idx.solids {
+		ex = append(ex, false)
+	}
+	if cmd.InsideDevice != "" {
+		if j, ok := idx.byName[cmd.InsideDevice]; ok {
+			ex[j] = true
+		}
+	}
+	if cmd.TargetName != "" && s.lab.LocationIsInside(cmd.TargetName) {
+		if owner, ok := s.lab.LocationOwner(cmd.TargetName); ok {
+			if j, ok := idx.byName[owner]; ok {
+				ex[j] = true
+			}
+		}
+	}
+	inside := idx.insideKeys[cmd.Device]
+	for j := range idx.solids {
+		if ex[j] {
+			continue
+		}
+		if inside != nil && model.GetBool(inside[j]) {
+			ex[j] = true
+			continue
+		}
+		for _, k := range idx.doorKeys[j] {
+			if model.GetBool(k) {
+				ex[j] = true
+				break
+			}
+		}
+	}
+	return ex
+}

@@ -14,11 +14,13 @@
 // each mirror arm owns its joint state and scratch buffers under its own
 // mutex, so trajectory checks for different arms run concurrently (the
 // lab configuration is immutable and the model snapshot is caller-owned,
-// so the check itself takes no global lock). A broadphase prepass computes
-// the swept-volume AABB of the planned trajectory and prunes the deck
-// solids, walls, and platform that cannot possibly intersect it before
-// the per-sample narrow phase runs; the narrow phase itself samples into
-// reusable scratch buffers, so a check performs no per-sample allocation.
+// so the check itself takes no global lock). Cold checks validate the
+// whole trajectory in one batched pass: the samples' capsules are laid
+// out in SoA form (kin.SweepBatch), per-link swept AABBs are queried
+// against a deck spatial index (deckindex.go) instead of testing every
+// solid, and a conservative early-out skips the narrow phase entirely
+// for samples whose bound clears every broadphase survivor. The sampling
+// fills reusable scratch, so a check performs no per-sample allocation.
 //
 // The paper reports the Extended Simulator's ~2 s (112%) overhead comes
 // almost entirely from its GUI running in a virtual machine. WithGUI
@@ -79,12 +81,23 @@ func WithHeldObjectAware(aware bool) Option {
 	return func(s *Simulator) { s.heldAware = aware }
 }
 
-// WithBroadphase enables or disables the swept-volume broadphase (on by
-// default). Disabling it forces the narrow phase to test every solid at
-// every sample — the pre-optimisation behaviour, kept for benchmarks and
-// for the verdict-equivalence property tests.
+// WithBroadphase enables or disables broadphase pruning (on by
+// default; with it on, cold sweeps run the batched spatial-index path).
+// Disabling it forces the narrow phase to test every solid at every
+// sample — the brute-force reference behaviour the verdict-equivalence
+// property tests compare the indexed path against.
 func WithBroadphase(enabled bool) Option {
 	return func(s *Simulator) { s.broadphase = enabled }
+}
+
+// WithLegacySweep routes cold sweeps through the pre-index pipeline:
+// whole-trajectory broadphase pruning plus a per-sample narrow phase
+// using the iterative golden-section segment-box distance
+// (geom.SegmentAABBDistRef). Retained as the honest before-measurement
+// for the cold-path benchmark — the exact closed-form distance also sped
+// up the brute path, so comparing against it would understate the win.
+func WithLegacySweep(enabled bool) Option {
+	return func(s *Simulator) { s.legacySweep = enabled }
 }
 
 // WithObserver publishes simulator telemetry (collision-check counter,
@@ -97,6 +110,9 @@ func WithObserver(reg *obs.Registry) Option {
 		s.cChecks = reg.Counter(obs.CounterSimChecks)
 		s.cPruned = reg.Counter(obs.CounterSimBroadphasePruned)
 		s.cKept = reg.Counter(obs.CounterSimBroadphaseKept)
+		s.cIndexCandidates = reg.Counter(obs.CounterSimIndexCandidates)
+		s.cIndexRebuilds = reg.Counter(obs.CounterSimIndexRebuilds)
+		s.hIndexRebuild = reg.Histogram(obs.HistSimIndexRebuild)
 		s.gInFlight = reg.Gauge(obs.GaugeSimChecksInFlight)
 		s.gFrames = reg.Gauge(obs.GaugeGUIFrames)
 		s.cVerdictHits = reg.Counter(obs.CounterVerdictCacheHits)
@@ -151,12 +167,16 @@ type mirrorArm struct {
 	caps  []geom.Capsule
 	kept  []rules.NamedBox
 	walls []geom.Plane
-	// Sample cache filled by the broadphase prepass so the narrow phase
-	// never repeats the forward-kinematics sweep: all samples' capsules
-	// concatenated, with per-sample offsets and tip-start indices.
-	sampleCaps []geom.Capsule
-	sampleOff  []int
+	// Batched sweep scratch: the SoA sample layout, per-sample tip-start
+	// indices, and the indexed path's exclusion mask, candidate lists,
+	// and per-sample shortlist.
+	batch      kin.SweepBatch
 	sampleTip  []int
+	exclude    []bool
+	cand       []int32
+	candSeen   []bool
+	keptIdx    []int
+	sampleCand []int
 }
 
 // Simulator is the Extended Simulator. All fields other than the per-arm
@@ -167,6 +187,13 @@ type Simulator struct {
 	arms       map[string]*mirrorArm // immutable map; values self-locked
 	heldAware  bool
 	broadphase bool
+	// legacySweep routes cold sweeps through the pre-index pipeline (see
+	// WithLegacySweep).
+	legacySweep bool
+	// index is the published deck spatial index; indexMu serialises
+	// rebuilds when the deck epoch moves (see deckindex.go).
+	index   atomic.Pointer[deckIndex]
+	indexMu sync.Mutex
 	// checks counts ValidTrajectory invocations (for tests/benches).
 	checks atomic.Int64
 	// guiMu serialises rendering into the single shared framebuffer.
@@ -190,6 +217,9 @@ type Simulator struct {
 	cChecks           *obs.Counter
 	cPruned           *obs.Counter
 	cKept             *obs.Counter
+	cIndexCandidates  *obs.Counter
+	cIndexRebuilds    *obs.Counter
+	hIndexRebuild     *obs.Histogram
 	gInFlight         *obs.Gauge
 	gFrames           *obs.Gauge
 	cVerdictHits      *obs.Counter
@@ -381,62 +411,62 @@ func (s *Simulator) heldCapsuleFor(cmd action.Command, model state.Snapshot, tcp
 	return geom.NewCapsule(tcp, tcp.Add(geom.V(0, 0, -hang)), og.Radius), true
 }
 
-// armCapsulesAt fills m.caps with the arm's full collision volume at
-// trajectory parameter t — link capsules followed by the gripper tip
-// capsule and, when held-object aware, the held object capsule — and
-// returns it plus the index where the tip capsules start. The caller
-// holds m.mu; the slice is valid until the next call.
-func (s *Simulator) armCapsulesAt(m *mirrorArm, tr *kin.Trajectory, t float64,
-	cmd action.Command, model state.Snapshot) ([]geom.Capsule, int, error) {
-	linkCaps, err := m.sweep.CapsulesAt(tr, t)
+// armCapsulesInto appends the arm's full collision volume at trajectory
+// parameter t to dst — link capsules followed by the gripper tip capsule
+// and, when held-object aware, the held object capsule — and returns it
+// plus the offset within the appended run where the tip capsules start.
+// The caller holds m.mu.
+func (s *Simulator) armCapsulesInto(m *mirrorArm, tr *kin.Trajectory, t float64,
+	cmd action.Command, model state.Snapshot, dst []geom.Capsule) ([]geom.Capsule, int, error) {
+	start := len(dst)
+	dst, err := m.sweep.CapsulesAtInto(tr, t, dst)
 	if err != nil {
-		return nil, 0, err
+		return dst, 0, err
 	}
 	// The last link capsule is the end-effector stub: its endpoint is the
 	// TCP, sparing the extra forward-kinematics pass per sample.
-	tcp := linkCaps[len(linkCaps)-1].Seg.B
-	m.caps = append(m.caps[:0], linkCaps...)
-	tipStart := len(m.caps)
-	m.caps = append(m.caps, geom.NewCapsule(tcp, tcp.Add(geom.V(0, 0, -m.drop)), m.radius))
+	tcp := dst[len(dst)-1].Seg.B
+	tipStart := len(dst) - start
+	dst = append(dst, geom.NewCapsule(tcp, tcp.Add(geom.V(0, 0, -m.drop)), m.radius))
 	if held, ok := s.heldCapsuleFor(cmd, model, tcp); ok {
-		m.caps = append(m.caps, held)
+		dst = append(dst, held)
 	}
-	return m.caps, tipStart, nil
+	return dst, tipStart, nil
 }
 
-// sweptBounds runs the broadphase prepass: the AABB enclosing the arm's
-// full collision volume (links, tip, held object) at every sample the
-// narrow phase will visit. The per-sample capsules are cached in
-// m.sampleCaps/sampleOff/sampleTip as a side effect, so the narrow phase
-// reuses them instead of repeating the forward-kinematics sweep. The
-// caller holds m.mu.
-func (s *Simulator) sweptBounds(m *mirrorArm, tr *kin.Trajectory,
-	cmd action.Command, model state.Snapshot) (geom.AABB, error) {
+// armCapsulesAt is armCapsulesInto into m.caps — the per-sample scratch
+// the unbatched (brute/GUI) path reuses. The slice is valid until the
+// next call; the caller holds m.mu.
+func (s *Simulator) armCapsulesAt(m *mirrorArm, tr *kin.Trajectory, t float64,
+	cmd action.Command, model state.Snapshot) ([]geom.Capsule, int, error) {
+	caps, tipStart, err := s.armCapsulesInto(m, tr, t, cmd, model, m.caps[:0])
+	m.caps = caps[:0]
+	if err != nil {
+		return nil, 0, err
+	}
+	return caps, tipStart, nil
+}
+
+// fillBatch runs the forward-kinematics sweep once, laying every
+// sample's capsules out in m.batch (SoA form with per-sample, per-lane,
+// and whole-trajectory bounds) and the tip-start offsets in m.sampleTip.
+// The caller holds m.mu.
+func (s *Simulator) fillBatch(m *mirrorArm, tr *kin.Trajectory,
+	cmd action.Command, model state.Snapshot) error {
 	n := tr.SampleCount(sweepStep)
-	var bounds geom.AABB
-	first := true
-	m.sampleCaps = m.sampleCaps[:0]
-	m.sampleOff = append(m.sampleOff[:0], 0)
+	m.batch.Reset()
 	m.sampleTip = m.sampleTip[:0]
 	for i := 0; i <= n; i++ {
 		t := float64(i) / float64(n)
-		caps, tipStart, err := s.armCapsulesAt(m, tr, t, cmd, model)
+		caps, tipStart, err := s.armCapsulesInto(m, tr, t, cmd, model, m.batch.Caps)
 		if err != nil {
-			return geom.AABB{}, err
+			return fmt.Errorf("sweep capsules at t=%.3f: %v", t, err)
 		}
-		m.sampleCaps = append(m.sampleCaps, caps...)
-		m.sampleOff = append(m.sampleOff, len(m.sampleCaps))
+		m.batch.Caps = caps
+		m.batch.EndSample()
 		m.sampleTip = append(m.sampleTip, tipStart)
-		for _, c := range caps {
-			if first {
-				bounds = c.Bounds()
-				first = false
-				continue
-			}
-			bounds = bounds.Union(c.Bounds())
-		}
 	}
-	return bounds, nil
+	return nil
 }
 
 // ValidTrajectory validates one robot motion command against the mirror:
@@ -592,9 +622,42 @@ func (s *Simulator) sweepValidate(m *mirrorArm, from []float64, cmd action.Comma
 }
 
 // sweepCheck runs the full swept-volume check of a planned trajectory
-// against the model's deck. The caller holds m.mu.
+// against the model's deck. The caller holds m.mu. Three implementations
+// share one contract — identical verdicts with byte-identical violation
+// strings (the equivalence property tests pin this):
+//
+//   - indexed (the default): one batched forward-kinematics pass into SoA
+//     scratch, swept-AABB queries against the deck spatial index, and a
+//     conservative per-sample early-out;
+//   - classic scan (broadphase off, or under the GUI, which renders every
+//     sample): per-sample brute force over the full deck — the oracle the
+//     property tests compare the index against;
+//   - legacy (WithLegacySweep): the pre-index broadphase prepass with the
+//     iterative narrow-phase predicate, retained as the honest
+//     before-measurement for the cold benchmark.
 func (s *Simulator) sweepCheck(m *mirrorArm, tr *kin.Trajectory, cmd action.Command, model state.Snapshot) error {
-	obstacles := s.obstacles(cmd, model)
+	if s.broadphase && s.gui == nil && !s.legacySweep {
+		return s.sweepCheckIndexed(m, tr, cmd, model)
+	}
+	return s.sweepCheckClassic(m, tr, cmd, model)
+}
+
+// sweepCheckIndexed is the batched cold path. Everything it skips is
+// provably unable to produce a violation: sample and lane bounds enclose
+// their capsules (radius included), solids outside every queried bound
+// cannot intersect any capsule, and a sample whose bounds clear every
+// surviving candidate, wall, and the floor needs no narrow phase at all.
+// Within a tested sample the check order (floor → walls → obstacles in
+// spec order, capsule-major) matches the classic scan, so the first
+// violation found — and its reason string — is identical.
+func (s *Simulator) sweepCheckIndexed(m *mirrorArm, tr *kin.Trajectory, cmd action.Command, model state.Snapshot) error {
+	idx := s.deckIndexFor(s.epoch.Load())
+	if err := s.fillBatch(m, tr, cmd, model); err != nil {
+		return &Violation{Cmd: cmd, Reason: err.Error()}
+	}
+	b := &m.batch
+	bounds := b.Bounds()
+
 	floor := geom.PlaneFromPointNormal(geom.V(0, 0, s.lab.Spec.FloorZ), geom.V(0, 0, 1))
 	m.walls = m.walls[:0]
 	for _, ws := range s.lab.Spec.Walls {
@@ -603,19 +666,152 @@ func (s *Simulator) sweepCheck(m *mirrorArm, tr *kin.Trajectory, cmd action.Comm
 		// algebra PlaneFromPointNormal applies).
 		m.walls = append(m.walls, geom.PlaneFromNormalOffset(ws.Normal.V3(), ws.Offset))
 	}
+	pruned := 0
+	walls := m.walls[:0]
+	for _, w := range m.walls {
+		if w.MinSignedDistAABB(bounds) < 0 {
+			walls = append(walls, w)
+		} else {
+			pruned++
+		}
+	}
+	checkFloor := floor.MinSignedDistAABB(bounds) < 0
+	if !checkFloor {
+		pruned++
+	}
+
+	// Swept-AABB candidates from the index: one query per lane when the
+	// batch is uniform (each lane's bound encloses that capsule at every
+	// sample — far tighter than the whole-trajectory box), else one query
+	// with the whole bound.
+	m.exclude = idx.excludeInto(m.exclude, s, cmd, model)
+	m.cand = m.cand[:0]
+	if b.Uniform() {
+		for l := 0; l < b.Lanes(); l++ {
+			m.cand = idx.bvh.Query(b.LaneBounds(l), m.cand)
+		}
+	} else {
+		m.cand = idx.bvh.Query(bounds, m.cand)
+	}
+	s.cIndexCandidates.Add(int64(len(m.cand)))
+	if cap(m.candSeen) < len(idx.solids) {
+		m.candSeen = make([]bool, len(idx.solids))
+	}
+	m.candSeen = m.candSeen[:len(idx.solids)]
+	for j := range m.candSeen {
+		m.candSeen[j] = false
+	}
+	for _, j := range m.cand {
+		m.candSeen[j] = true
+	}
+	// Survivors in spec order — the narrow phase must visit obstacles in
+	// the order the classic scan does for verdict strings to match.
+	eligible := 0
+	m.keptIdx = m.keptIdx[:0]
+	for j := range idx.solids {
+		if m.exclude[j] {
+			continue
+		}
+		eligible++
+		if m.candSeen[j] {
+			m.keptIdx = append(m.keptIdx, j)
+		}
+	}
+	pruned += eligible - len(m.keptIdx)
+	s.cPruned.Add(int64(pruned))
+	s.cKept.Add(int64(len(m.keptIdx) + len(walls)))
+
+	n := b.Samples()
+	for i := 0; i < n; i++ {
+		sb := b.SampleBounds(i)
+		m.sampleCand = m.sampleCand[:0]
+		for _, j := range m.keptIdx {
+			if idx.solids[j].Box.Intersects(sb) {
+				m.sampleCand = append(m.sampleCand, j)
+			}
+		}
+		anyWall := false
+		for _, w := range walls {
+			if w.MinSignedDistAABB(sb) < 0 {
+				anyWall = true
+				break
+			}
+		}
+		doFloor := checkFloor && floor.MinSignedDistAABB(sb) < 0
+		if len(m.sampleCand) == 0 && !anyWall && !doFloor {
+			continue
+		}
+		t := float64(i) / float64(n-1)
+		caps := b.Sample(i)
+		if doFloor {
+			// Tip capsules (fingers + held object) are additionally
+			// checked against the platform; link capsules are not — the
+			// base column legitimately meets it.
+			for _, c := range caps[m.sampleTip[i]:] {
+				if geom.CapsulePlanePenetrates(c, floor) {
+					return &Violation{Cmd: cmd, Reason: fmt.Sprintf("trajectory dips below the platform at t=%.2f", t)}
+				}
+			}
+		}
+		if anyWall {
+			for _, c := range caps {
+				for _, wall := range walls {
+					if geom.CapsulePlanePenetrates(c, wall) {
+						return &Violation{Cmd: cmd, Reason: fmt.Sprintf("trajectory punches into a lab wall at t=%.2f", t)}
+					}
+				}
+			}
+		}
+		for _, c := range caps {
+			for _, j := range m.sampleCand {
+				if idx.solids[j].IntersectsCapsule(c) {
+					return &Violation{Cmd: cmd, Reason: fmt.Sprintf("trajectory collides with %s at t=%.2f", idx.solids[j].Name, t)}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// legacyIntersectsCapsule is the pre-index narrow-phase predicate: the
+// iterative golden-section segment–box distance instead of the exact
+// closed form. Kept only so WithLegacySweep measures the old cost
+// honestly.
+func legacyIntersectsCapsule(nb rules.NamedBox, c geom.Capsule) bool {
+	if nb.Rounded != nil {
+		return geom.CapsuleCapsuleIntersect(c, *nb.Rounded)
+	}
+	return geom.SegmentAABBDistRef(c.Seg, nb.Box) <= c.Radius
+}
+
+// sweepCheckClassic is the unindexed sweep: the per-sample brute scan the
+// GUI and the equivalence property tests drive, plus the legacy
+// broadphase prepass. The caller holds m.mu.
+func (s *Simulator) sweepCheckClassic(m *mirrorArm, tr *kin.Trajectory, cmd action.Command, model state.Snapshot) error {
+	obstacles := s.obstacles(cmd, model)
+	floor := geom.PlaneFromPointNormal(geom.V(0, 0, s.lab.Spec.FloorZ), geom.V(0, 0, 1))
+	m.walls = m.walls[:0]
+	for _, ws := range s.lab.Spec.Walls {
+		// See sweepCheckIndexed on the offset rescale.
+		m.walls = append(m.walls, geom.PlaneFromNormalOffset(ws.Normal.V3(), ws.Offset))
+	}
 	walls := m.walls
 	checkFloor := true
 	cached := false
+	hit := rules.NamedBox.IntersectsCapsule
+	if s.legacySweep {
+		hit = legacyIntersectsCapsule
+	}
 
 	// Broadphase: prune every solid and plane the swept volume cannot
 	// touch, so the narrow phase only tests real candidates. Skipped under
 	// the GUI, which wants the full deck in every rendered frame.
 	if s.broadphase && s.gui == nil {
 		cached = true
-		bounds, err := s.sweptBounds(m, tr, cmd, model)
-		if err != nil {
+		if err := s.fillBatch(m, tr, cmd, model); err != nil {
 			return &Violation{Cmd: cmd, Reason: err.Error()}
 		}
+		bounds := m.batch.Bounds()
 		pruned := 0
 		m.kept = m.kept[:0]
 		for _, nb := range obstacles {
@@ -649,7 +845,7 @@ func (s *Simulator) sweepCheck(m *mirrorArm, tr *kin.Trajectory, cmd action.Comm
 		var caps []geom.Capsule
 		var tipStart int
 		if cached {
-			caps = m.sampleCaps[m.sampleOff[i]:m.sampleOff[i+1]]
+			caps = m.batch.Sample(i)
 			tipStart = m.sampleTip[i]
 		} else {
 			var err error
@@ -682,7 +878,7 @@ func (s *Simulator) sweepCheck(m *mirrorArm, tr *kin.Trajectory, cmd action.Comm
 		}
 		for _, c := range caps {
 			for _, nb := range obstacles {
-				if nb.IntersectsCapsule(c) {
+				if hit(nb, c) {
 					return &Violation{Cmd: cmd, Reason: fmt.Sprintf("trajectory collides with %s at t=%.2f", nb.Name, t)}
 				}
 			}
