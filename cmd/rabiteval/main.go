@@ -15,6 +15,14 @@
 //	                        command targets a fresh point, so every check
 //	                        runs the full sweep (legacy vs brute vs
 //	                        indexed, serial and sharded)
+//	rabiteval -campaign -n 10000 -seed 1 -workers 8
+//	                        run a seeded safety campaign: n generated
+//	                        fault-injection scenarios through pooled
+//	                        engine stacks, with naive-construction and
+//	                        worker-scaling calibration runs (-json FILE
+//	                        writes the bench artifact; -incident-dir DIR
+//	                        files a bundle per alert and per missed
+//	                        unsafe injection)
 //	rabiteval -incident-dir DIR
 //	                        with the bug study (all, -table 5, -fig 5/6):
 //	                        run the fully equipped configuration with the
@@ -46,13 +54,47 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
+	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/env"
 	"repro/internal/eval"
 	"repro/internal/obs"
 	"repro/internal/obs/recorder"
 	"repro/internal/rules"
 )
+
+// benchSchema versions the JSON envelope every benchmark mode writes.
+// All four artifacts (-throughput, -motion, -motion -cold, -campaign)
+// share it: config holds the knobs that produced the run, metrics the
+// headline scalars CI gates read, rows the per-configuration detail.
+const benchSchema = "rabit-bench/v1"
+
+// writeBenchJSON persists one benchmark artifact in the shared envelope.
+func writeBenchJSON(path, name string, config, metrics map[string]any, rows any) error {
+	doc := struct {
+		Schema    string         `json:"schema"`
+		Name      string         `json:"name"`
+		Timestamp string         `json:"timestamp"`
+		Config    map[string]any `json:"config"`
+		Metrics   map[string]any `json:"metrics"`
+		Rows      any            `json:"rows,omitempty"`
+	}{
+		Schema:    benchSchema,
+		Name:      name,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Config:    config,
+		Metrics:   metrics,
+		Rows:      rows,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -70,7 +112,10 @@ func run() error {
 	labsN := flag.Int("labs", 4, "with -gateway, the number of lab tenants in the gateway pool")
 	motion := flag.Bool("motion", false, "run the motion-planning fast-path benchmark (caches + speculation)")
 	cold := flag.Bool("cold", false, "with -motion, run the cold-path adversarial benchmark instead (every command a fresh target)")
-	jsonPath := flag.String("json", "", "with -throughput or -motion, also write the measured rows to this JSON file")
+	campaignMode := flag.Bool("campaign", false, "run a seeded safety campaign (pooled engines, parallel workers)")
+	campaignN := flag.Int("n", 10000, "with -campaign, the number of scenarios")
+	workers := flag.Int("workers", 0, "with -campaign, parallel worker count (0 = GOMAXPROCS)")
+	jsonPath := flag.String("json", "", "with -throughput, -motion, or -campaign, also write the results to this JSON file")
 	pilot := flag.Bool("pilot", false, "run the pilot-study configuration-error experiment")
 	metricsAddr := flag.String("metrics", "", "serve /debug/vars, /metrics, and pprof on this address while experiments run")
 	incidentDir := flag.String("incident-dir", "", "write flight-recorder incident bundles from the bug study here")
@@ -99,6 +144,10 @@ func run() error {
 		}
 		defer srv.Close()
 		fmt.Printf("telemetry: http://%s/metrics (also /debug/vars, /debug/pprof)\n", srv.Addr)
+	}
+
+	if *campaignMode {
+		return campaignRun(*campaignN, uint64(*seed), *workers, *jsonPath, *incidentDir)
 	}
 
 	all := *table == 0 && *fig == 0 && !*latency && !*throughput && !*motion && !*pilot && !*cold
@@ -270,8 +319,8 @@ func throughputSpeedup(rows []eval.ThroughputResult, scripts int) float64 {
 	return sharded / serial
 }
 
-// writeThroughputJSON persists the measured rows in the flat shape the
-// CI bench artifact expects.
+// writeThroughputJSON persists the measured rows in the shared bench
+// envelope.
 func writeThroughputJSON(path string, rows []eval.ThroughputResult) error {
 	type row struct {
 		Mode           string  `json:"mode"`
@@ -285,13 +334,9 @@ func writeThroughputJSON(path string, rows []eval.ThroughputResult) error {
 		FetchP50NS     int64   `json:"fetch_p50_ns"`
 		CompareP50NS   int64   `json:"compare_p50_ns"`
 	}
-	doc := struct {
-		Benchmark string  `json:"benchmark"`
-		Speedup16 float64 `json:"sharded_speedup_16_scripts"`
-		Rows      []row   `json:"rows"`
-	}{Benchmark: "engine_throughput", Speedup16: throughputSpeedup(rows, 16)}
+	var out []row
 	for _, r := range rows {
-		doc.Rows = append(doc.Rows, row{
+		out = append(out, row{
 			Mode:           r.Mode,
 			Labs:           r.Labs,
 			Scripts:        r.Scripts,
@@ -304,11 +349,10 @@ func writeThroughputJSON(path string, rows []eval.ThroughputResult) error {
 			CompareP50NS:   r.Compare.P50.Nanoseconds(),
 		})
 	}
-	data, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return writeBenchJSON(path, "engine_throughput",
+		map[string]any{"commands_per_script": 40, "speedup_factor": 200},
+		map[string]any{"sharded_speedup_16_scripts": throughputSpeedup(rows, 16)},
+		out)
 }
 
 // motionRun measures the motion-planning fast path: the identical
@@ -334,8 +378,7 @@ func motionRun(seed int64, jsonPath string) error {
 	return nil
 }
 
-// writeMotionJSON persists the motion rows in the flat shape the CI
-// bench artifact expects.
+// writeMotionJSON persists the motion rows in the shared bench envelope.
 func writeMotionJSON(path string, rows []eval.MotionResult) error {
 	type row struct {
 		Mode                string `json:"mode"`
@@ -356,13 +399,9 @@ func writeMotionJSON(path string, rows []eval.MotionResult) error {
 		SpeculationHits     int64  `json:"speculation_hits"`
 		SpeculationsDropped int64  `json:"speculations_dropped"`
 	}
-	doc := struct {
-		Benchmark  string  `json:"benchmark"`
-		P50Speedup float64 `json:"p50_speedup_no_cache_vs_spec"`
-		Rows       []row   `json:"rows"`
-	}{Benchmark: "motion_fast_path", P50Speedup: eval.MotionSpeedup(rows)}
+	var out []row
 	for _, r := range rows {
-		doc.Rows = append(doc.Rows, row{
+		out = append(out, row{
 			Mode:                r.Mode,
 			Commands:            r.Commands,
 			MotionCommands:      r.MotionCommands,
@@ -382,11 +421,10 @@ func writeMotionJSON(path string, rows []eval.MotionResult) error {
 			SpeculationsDropped: r.SpeculationsDropped,
 		})
 	}
-	data, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return writeBenchJSON(path, "motion_fast_path",
+		map[string]any{"visits": 12},
+		map[string]any{"p50_speedup_no_cache_vs_spec": eval.MotionSpeedup(rows)},
+		out)
 }
 
 // coldRun measures the cold-path geometry engine: the identical seeded
@@ -409,8 +447,7 @@ func coldRun(seed int64, jsonPath string) error {
 	return nil
 }
 
-// writeColdJSON persists the cold rows in the flat shape the CI bench
-// artifact expects.
+// writeColdJSON persists the cold rows in the shared bench envelope.
 func writeColdJSON(path string, rows []eval.ColdResult) error {
 	type row struct {
 		Mode          string `json:"mode"`
@@ -427,13 +464,9 @@ func writeColdJSON(path string, rows []eval.ColdResult) error {
 		Pruned        int64  `json:"broadphase_pruned"`
 		IndexRebuilds int64  `json:"index_rebuilds"`
 	}
-	doc := struct {
-		Benchmark  string  `json:"benchmark"`
-		P95Speedup float64 `json:"cold_p95_speedup"`
-		Rows       []row   `json:"rows"`
-	}{Benchmark: "cold_geometry", P95Speedup: eval.ColdSpeedup(rows)}
+	var out []row
 	for _, r := range rows {
-		doc.Rows = append(doc.Rows, row{
+		out = append(out, row{
 			Mode:          r.Mode,
 			Context:       r.Context,
 			Checks:        r.Checks,
@@ -449,11 +482,128 @@ func writeColdJSON(path string, rows []eval.ColdResult) error {
 			IndexRebuilds: r.Rebuilds,
 		})
 	}
-	data, err := json.MarshalIndent(doc, "", "  ")
+	return writeBenchJSON(path, "cold_geometry",
+		map[string]any{"checks": 150},
+		map[string]any{"cold_p95_speedup": eval.ColdSpeedup(rows)},
+		out)
+}
+
+// campaignRun executes a seeded safety campaign and reports the pooled
+// runner's throughput against three calibration runs at min(n, 1000)
+// scenarios: the naive per-scenario-construction baseline (the speedup
+// denominator) and pooled runs at 1 and 8 workers (the scaling and
+// determinism checks). The calibration size is capped because the naive
+// baseline is, by design, several times slower than the thing being
+// measured.
+func campaignRun(n int, seed uint64, workers int, jsonPath, incidentDir string) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cores := runtime.NumCPU()
+	fmt.Printf("=== Campaign: %d seeded scenarios, %d workers, %d core(s) ===\n", n, workers, cores)
+
+	pooled, err := campaign.Run(campaign.Options{N: n, Seed: seed, Workers: workers, IncidentDir: incidentDir})
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	fmt.Printf("pooled   n=%-7d workers=%d: %8.1f scen/s\n", n, workers, pooled.ScenariosPerSec)
+
+	nCal := min(n, 1000)
+	naive, err := campaign.Run(campaign.Options{N: nCal, Seed: seed, Workers: workers, Naive: true})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("naive    n=%-7d workers=%d: %8.1f scen/s\n", nCal, workers, naive.ScenariosPerSec)
+	speedup := 0.0
+	if naive.ScenariosPerSec > 0 {
+		speedup = pooled.ScenariosPerSec / naive.ScenariosPerSec
+	}
+	fmt.Printf("→ pooled speedup over per-scenario construction: %.1f×\n", speedup)
+
+	w1, err := campaign.Run(campaign.Options{N: nCal, Seed: seed, Workers: 1})
+	if err != nil {
+		return err
+	}
+	w8, err := campaign.Run(campaign.Options{N: nCal, Seed: seed, Workers: 8})
+	if err != nil {
+		return err
+	}
+	scaling := 0.0
+	if w1.ScenariosPerSec > 0 {
+		scaling = w8.ScenariosPerSec / w1.ScenariosPerSec
+	}
+	fmt.Printf("scaling  n=%-7d w1 %.1f scen/s, w8 %.1f scen/s → %.1f× on %d core(s)\n",
+		nCal, w1.ScenariosPerSec, w8.ScenariosPerSec, scaling, cores)
+
+	// The determinism contract, checked end to end: worker count must not
+	// change the summary, and the pooled fast path must compute exactly
+	// what the naive baseline computes.
+	invariant := w1.Counts() == w8.Counts()
+	norm := func(c string) string {
+		c = strings.Replace(c, "naive=true", "naive=?", 1)
+		return strings.Replace(c, "naive=false", "naive=?", 1)
+	}
+	equivalent := norm(w1.Counts()) == norm(naive.Counts())
+	fmt.Printf("worker-invariant summary: %v; pooled ≡ naive: %v\n\n", invariant, equivalent)
+	fmt.Print(pooled.Counts())
+	if incidentDir != "" {
+		fmt.Printf("\nincident bundles (alerts + missed unsafe injections) under %s\n", incidentDir)
+	}
+	fmt.Println()
+	if !invariant {
+		return fmt.Errorf("campaign: summary varies with worker count")
+	}
+	if !equivalent {
+		return fmt.Errorf("campaign: pooled and naive runs disagree at n=%d", nCal)
+	}
+
+	if jsonPath != "" {
+		totals := pooled.Totals()
+		type faultRow struct {
+			Fault string `json:"fault"`
+			campaign.KindStats
+		}
+		var rows []faultRow
+		for k, ks := range pooled.ByFault {
+			rows = append(rows, faultRow{Fault: campaign.FaultKind(k).String(), KindStats: ks})
+		}
+		err := writeBenchJSON(jsonPath, "campaign_throughput",
+			map[string]any{
+				"n":             n,
+				"n_calibration": nCal,
+				"seed":          seed,
+				"workers":       workers,
+				"cores":         cores,
+				"incident_dir":  incidentDir,
+			},
+			map[string]any{
+				"pooled_scen_per_sec": pooled.ScenariosPerSec,
+				"naive_scen_per_sec":  naive.ScenariosPerSec,
+				"pooled_speedup_x":    speedup,
+				"w1_scen_per_sec":     w1.ScenariosPerSec,
+				"w8_scen_per_sec":     w8.ScenariosPerSec,
+				"scaling_8v1_x":       scaling,
+				"worker_invariant":    invariant,
+				"pooled_naive_equal":  equivalent,
+				"scenarios":           totals.Scenarios,
+				"unsafe":              totals.Unsafe,
+				"detected":            totals.Detected,
+				"missed":              totals.Missed,
+				"benign_alerts":       totals.BenignAlerts,
+				"false_alarms":        pooled.FalseAlarms,
+				"incidents_filed":     pooled.IncidentsFiled,
+				"damage_micros":       pooled.DamageMicros,
+				"oracle_errors":       pooled.OracleErrors,
+				"run_errors":          pooled.RunErrors,
+				"setup_errors":        pooled.SetupErrors,
+			},
+			rows)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n\n", jsonPath)
+	}
+	return nil
 }
 
 func pilotRun() error {

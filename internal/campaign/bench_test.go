@@ -1,0 +1,57 @@
+package campaign
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// BenchmarkCampaignThroughput is the CI perf gate: it times a pooled
+// campaign per iteration and reports the pooled/naive throughput ratio
+// as "pooled-speedup-x". The naive baseline is calibrated once before
+// the timer starts — it is the denominator, not the thing under test.
+// Both modes run the same seed, scenario count, and worker count, so
+// the ratio isolates exactly what the pool amortizes: spec compiles,
+// rulebase generation, simulator/BVH construction, profile IK, and
+// cold motion plans.
+func BenchmarkCampaignThroughput(b *testing.B) {
+	const (
+		n    = 128
+		seed = 5
+	)
+	workers := runtime.GOMAXPROCS(0)
+
+	naive, err := Run(Options{N: n, Seed: seed, Workers: workers, Naive: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	want := naive.Counts()
+
+	b.ResetTimer()
+	var pooledPerSec float64
+	for i := 0; i < b.N; i++ {
+		pooled, err := Run(Options{N: n, Seed: seed, Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pooledPerSec = pooled.ScenariosPerSec
+		p := pooled.Counts()
+		b.StopTimer()
+		// The speedup only counts if the fast path computes the same answer.
+		if got := replaceNaiveFlag(p); got != replaceNaiveFlag(want) {
+			b.Fatalf("pooled summary diverged from naive:\npooled:\n%s\nnaive:\n%s", p, want)
+		}
+		b.StartTimer()
+	}
+	b.ReportMetric(pooledPerSec, "scen/s")
+	if naive.ScenariosPerSec > 0 {
+		b.ReportMetric(pooledPerSec/naive.ScenariosPerSec, "pooled-speedup-x")
+	}
+}
+
+// replaceNaiveFlag normalizes the one mode-identifying token so the
+// byte compare checks outcomes, not the flag itself.
+func replaceNaiveFlag(counts string) string {
+	counts = strings.Replace(counts, "naive=true", "naive=?", 1)
+	return strings.Replace(counts, "naive=false", "naive=?", 1)
+}

@@ -1,0 +1,290 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/geom"
+	"repro/internal/kin"
+	"repro/internal/rules"
+)
+
+// Deck is one generated deck variant: a lab spec with devices (and the
+// locations they own) displaced within the deck plane, compiled once and
+// shared read-only by every scenario that lands on it. The fingerprint
+// is the pooled runner's reuse key — scenarios with equal fingerprints
+// share engines, rulebases, simulators, and the deck spatial index.
+type Deck struct {
+	LabName string
+	Variant int
+	// Spec is the jittered spec — the naive runner compiles it per
+	// scenario, which is exactly the cost the pooled runner amortizes.
+	Spec *config.LabSpec
+	// Compiled and Rulebase are the precompiled shared immutables the
+	// pooled path reuses.
+	Compiled *config.Lab
+	Rulebase *rules.Rulebase
+	// Profiles are the arms' kinematic profiles, solved once per deck;
+	// pooled simulator stacks share them instead of re-running
+	// NewProfile's canonical-pose IK per stack.
+	Profiles map[string]*kin.Profile
+	// Fingerprint renders the variant's device placement, so equal decks
+	// are recognizably equal across runs and in reports.
+	Fingerprint string
+}
+
+// Deck jitter bounds: devices move in the deck plane on a 5 mm grid
+// within ±15 mm. Small enough that canonical workflows (safe heights,
+// approach points) stay collision-free; large enough that trajectories,
+// IK solutions, and BVH layouts genuinely differ per variant.
+const (
+	jitterQuantum = 0.005
+	jitterSteps   = 3 // offsets in {-3..3} * quantum
+	jitterMargin  = 0.01
+)
+
+// cloneSpec deep-copies a lab spec through its JSON form — the spec is
+// by construction a pure JSON document, so the round-trip is lossless.
+func cloneSpec(spec *config.LabSpec) (*config.LabSpec, error) {
+	b, err := json.Marshal(spec)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: clone spec: %w", err)
+	}
+	out := &config.LabSpec{}
+	if err := json.Unmarshal(b, out); err != nil {
+		return nil, fmt.Errorf("campaign: clone spec: %w", err)
+	}
+	return out, nil
+}
+
+// xyOverlap reports whether two boxes overlap in the deck plane with the
+// given margin.
+func xyOverlap(a, b config.BoxSpec, margin float64) bool {
+	return a.Min.X-margin < b.Max.X && a.Max.X+margin > b.Min.X &&
+		a.Min.Y-margin < b.Max.Y && a.Max.Y+margin > b.Min.Y
+}
+
+// armSolver wraps one arm's kinematic chain for reachability checks.
+type armSolver struct {
+	base  geom.Vec3
+	chain *kin.Chain
+	home  []float64
+}
+
+func (s armSolver) reaches(world geom.Vec3) bool {
+	_, err := s.chain.Solve(world, s.home, kin.DefaultIKOptions())
+	return err == nil
+}
+
+// deckProfiles solves one kinematic profile per arm. Arms are never
+// jittered, so the profiles hold for every variant of a lab and for the
+// compiled deck the pooled stacks run against.
+func deckProfiles(spec *config.LabSpec) (map[string]*kin.Profile, error) {
+	out := make(map[string]*kin.Profile, len(spec.Arms))
+	for _, a := range spec.Arms {
+		m, err := kin.ParseModel(a.Model)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: %s: %w", a.ID, err)
+		}
+		p, err := kin.NewProfile(m, geom.PoseAt(a.Base.V3()))
+		if err != nil {
+			return nil, fmt.Errorf("campaign: %s: %w", a.ID, err)
+		}
+		out[a.ID] = p
+	}
+	return out, nil
+}
+
+// specSolvers wraps the deck profiles as IK solvers keyed by arm ID.
+func specSolvers(spec *config.LabSpec, profiles map[string]*kin.Profile) map[string]armSolver {
+	out := make(map[string]armSolver, len(spec.Arms))
+	for _, a := range spec.Arms {
+		p := profiles[a.ID]
+		out[a.ID] = armSolver{base: a.Base.V3(), chain: p.Chain, home: p.Home}
+	}
+	return out
+}
+
+// reachPreserved reports whether every location the device owns that was
+// IK-solvable at its original position stays solvable after the (dx, dy)
+// displacement. Canonical workflows park at safe points barely inside an
+// arm's envelope (the Hein deck's ts_safe solves with under a millimetre
+// to spare), so even a centimetre of jitter can strand a step.
+func reachPreserved(spec *config.LabSpec, deviceID string, dx, dy float64, solvers map[string]armSolver) bool {
+	for li := range spec.Locations {
+		l := &spec.Locations[li]
+		if l.Owner != deviceID {
+			continue
+		}
+		orig := l.DeckPos.V3()
+		moved := orig.Add(geom.V(dx, dy, 0))
+		for _, s := range solvers {
+			if s.reaches(orig) && !s.reaches(moved) {
+				return false
+			}
+		}
+		for arm, p := range l.PerArm {
+			s, ok := solvers[arm]
+			if !ok {
+				continue
+			}
+			// Per-arm overrides are in the owning arm's frame.
+			orig := p.V3().Add(s.base)
+			if s.reaches(orig) && !s.reaches(orig.Add(geom.V(dx, dy, 0))) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// jitterSpec displaces every non-sensor device (body, interior, and all
+// locations it owns, including per-arm calibration overrides) by a
+// quantized random offset, rejecting placements that would bring device
+// footprints within jitterMargin of each other or push a reachable owned
+// location out of any arm's IK envelope. A device that cannot be placed
+// after a few tries keeps its original position — a valid, just less
+// diverse, deck.
+func jitterSpec(spec *config.LabSpec, r *rng, solvers map[string]armSolver) {
+	for di := range spec.Devices {
+		d := &spec.Devices[di]
+		if d.Type == "sensor" {
+			continue
+		}
+		for try := 0; try < 8; try++ {
+			dx := float64(r.intn(2*jitterSteps+1)-jitterSteps) * jitterQuantum
+			dy := float64(r.intn(2*jitterSteps+1)-jitterSteps) * jitterQuantum
+			moved := d.Cuboid
+			moved.Min.X += dx
+			moved.Max.X += dx
+			moved.Min.Y += dy
+			moved.Max.Y += dy
+			ok := true
+			for oi := range spec.Devices {
+				if oi == di {
+					continue
+				}
+				if xyOverlap(moved, spec.Devices[oi].Cuboid, jitterMargin) &&
+					!xyOverlap(d.Cuboid, spec.Devices[oi].Cuboid, jitterMargin) {
+					// Only reject overlaps the jitter introduced: some decks
+					// legitimately nest footprints (a rack beside its sensor).
+					ok = false
+					break
+				}
+			}
+			if !ok || !reachPreserved(spec, d.ID, dx, dy, solvers) {
+				continue
+			}
+			d.Cuboid = moved
+			if d.Interior != nil {
+				d.Interior.Min.X += dx
+				d.Interior.Max.X += dx
+				d.Interior.Min.Y += dy
+				d.Interior.Max.Y += dy
+			}
+			for li := range spec.Locations {
+				l := &spec.Locations[li]
+				if l.Owner != d.ID {
+					continue
+				}
+				l.DeckPos.X += dx
+				l.DeckPos.Y += dy
+				for arm, p := range l.PerArm {
+					p.X += dx
+					p.Y += dy
+					l.PerArm[arm] = p
+				}
+			}
+			break
+		}
+	}
+}
+
+// campaignizeSpec adapts the paper's testbed for the campaign grammar.
+// Two adjustments, applied to every variant (including the pristine
+// variant 0) so clean scenarios are genuinely safe AND legal:
+//
+//   - The grid vials carry 2 mL of liquid: the hotplate task heats one of
+//     them, and an action device refuses empty containers (general #6).
+//   - An hp_approach waypoint appears short of the hotplate footprint,
+//     high enough that a held vial clears the plate body: the direct
+//     grid→hp_safe diagonal enters the footprint while still climbing,
+//     and deck jitter can close that margin to a collision. Owned by the
+//     hotplate, so jitter moves it with the device.
+func campaignizeSpec(spec *config.LabSpec) {
+	if spec.Lab != "hein-testbed" {
+		return
+	}
+	for i := range spec.Containers {
+		c := &spec.Containers[i]
+		if c.ID == "vial_1" || c.ID == "vial_2" {
+			c.InitialLiquidML = 2
+		}
+	}
+	spec.Locations = append(spec.Locations, config.LocationSpec{
+		Name: "hp_approach", Owner: "hotplate",
+		DeckPos: config.Vec{X: 0.44, Y: 0.34, Z: 0.40},
+		Meta:    "campaign: high entry point clear of the hotplate body",
+	})
+}
+
+// deckFingerprint renders the variant's placement compactly and stably.
+func deckFingerprint(spec *config.LabSpec, variant int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/v%d", spec.Lab, variant)
+	for _, d := range spec.Devices {
+		if d.Type == "sensor" {
+			continue
+		}
+		fmt.Fprintf(&b, " %s@(%.3f,%.3f)", d.ID, d.Cuboid.Min.X, d.Cuboid.Min.Y)
+	}
+	return b.String()
+}
+
+// buildDeck compiles one variant. Variant 0 is the pristine lab; higher
+// variants jitter with a seed derived from (master, lab name, variant),
+// so the variant set is itself a pure function of the campaign seed.
+func buildDeck(base *config.LabSpec, master uint64, variant int) (*Deck, error) {
+	spec, err := cloneSpec(base)
+	if err != nil {
+		return nil, err
+	}
+	campaignizeSpec(spec)
+	profiles, err := deckProfiles(spec)
+	if err != nil {
+		return nil, err
+	}
+	if variant > 0 {
+		seed := mix64(master ^ mix64(uint64(variant)))
+		for _, c := range base.Lab {
+			seed = mix64(seed ^ uint64(c))
+		}
+		jitterSpec(spec, newRNG(seed), specSolvers(spec, profiles))
+	}
+	lab, err := config.Compile(spec)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: compile %s variant %d: %w", base.Lab, variant, err)
+	}
+	custom, err := lab.CustomRules()
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %s custom rules: %w", base.Lab, err)
+	}
+	rb, err := rules.NewRulebase(lab, rules.Config{
+		Generation: rules.GenModified,
+		Multiplex:  rules.MultiplexTime,
+	}, custom...)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %s rulebase: %w", base.Lab, err)
+	}
+	return &Deck{
+		LabName:     spec.Lab,
+		Variant:     variant,
+		Spec:        spec,
+		Compiled:    lab,
+		Rulebase:    rb,
+		Profiles:    profiles,
+		Fingerprint: deckFingerprint(spec, variant),
+	}, nil
+}

@@ -1,0 +1,59 @@
+// Package campaign is the generative safety-benchmark engine (ROADMAP
+// item 3): a deterministic seeded scenario generator — randomized decks,
+// workflow sequences drawn from a grammar over internal/workflow, and
+// fault injections in the three classes of the paper's Section IV
+// ("delete commands, change the order of commands, change the arguments
+// of commands") — plus a parallel campaign runner that replays each
+// scenario twice: once unprotected against the ground-truth world (the
+// oracle for whether the injection was actually unsafe) and once through
+// the full RABIT stack (did the checker catch it).
+//
+// Determinism is the package's hard contract: a scenario is a pure
+// function of (campaign seed, scenario index), and campaign summaries
+// accumulate only order-independent integers, so the same seed yields
+// byte-identical scenario streams and identical summaries at any worker
+// count.
+package campaign
+
+// rng is a splitmix64 generator: tiny, fast, and — unlike math/rand —
+// trivially seedable per scenario index so two scenarios never share a
+// stream. The campaign's determinism contract hangs on this being a pure
+// function of its seed.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{s: seed} }
+
+// mix64 is the splitmix64 output function, used both inside the stream
+// and as a standalone hash for deriving per-scenario seeds.
+func mix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	return mix64(r.s)
+}
+
+// intn returns a value in [0, n). The modulo bias is irrelevant here —
+// choices are tiny relative to 2^64 — and the simplicity keeps the
+// stream easy to reproduce in other tooling.
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// float returns a value in [0, 1) from the top 53 bits.
+func (r *rng) float() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// ScenarioSeed derives scenario index i's private seed from the campaign
+// master seed. It is a pure function — the generator and any external
+// tool replaying a single scenario agree without sharing state.
+func ScenarioSeed(master uint64, index int) uint64 {
+	return mix64(master ^ mix64(uint64(index)+0x51ed2701a9b4d22f))
+}

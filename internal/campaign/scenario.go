@@ -1,0 +1,375 @@
+package campaign
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/workflow"
+)
+
+// TaskKind enumerates the grammar's productions.
+type TaskKind uint8
+
+// Task kinds. The testbed grammar composes parameterized tasks; the
+// production decks run their canonical workflows (screening on the Hein
+// deck, spray-coating on the Berlinguette deck) so the campaign
+// exercises the same scripts the paper's studies do.
+const (
+	TaskFerry TaskKind = iota + 1
+	TaskHotplate
+	TaskPump
+	TaskPatrol
+	TaskScreening
+	TaskSpray
+)
+
+func (k TaskKind) String() string {
+	switch k {
+	case TaskFerry:
+		return "ferry"
+	case TaskHotplate:
+		return "hotplate"
+	case TaskPump:
+		return "pump"
+	case TaskPatrol:
+		return "patrol"
+	case TaskScreening:
+		return "screening"
+	case TaskSpray:
+		return "spray"
+	default:
+		return fmt.Sprintf("task(%d)", int(k))
+	}
+}
+
+// Task is one grammar production instance with its drawn parameters.
+type Task struct {
+	Kind TaskKind
+	// Ferry: which vial is ferried into the dosing device and how much
+	// solid is dosed.
+	Vial  string
+	Slot  string
+	QtyMg float64
+	// Hotplate: the setpoint.
+	TempC float64
+	// Pump: the dosed volume (into the stoppered vial_3).
+	VolML float64
+	// Patrol: waypoint poses in the patrolling arm's frame.
+	Poses []geom.Vec3
+}
+
+// FaultKind enumerates the paper's three mutation classes plus "none".
+type FaultKind uint8
+
+// Fault kinds (Section IV: the naive programmer "could easily change the
+// arguments of commands, delete commands, or change the order of
+// commands").
+const (
+	FaultNone FaultKind = iota
+	FaultDelete
+	FaultReorder
+	FaultMutate
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultDelete:
+		return "delete"
+	case FaultReorder:
+		return "reorder"
+	case FaultMutate:
+		return "mutate"
+	default:
+		return fmt.Sprintf("fault(%d)", int(k))
+	}
+}
+
+// Mutation is one argument-change fault: either a script location-table
+// edit (the Bug D idiom — Loc/Arm/DZ) or a parameter scale already baked
+// into the task it names (Param/Scale).
+type Mutation struct {
+	Arm   string
+	Loc   string
+	DZ    float64
+	Param string
+	Task  int
+	Scale float64
+}
+
+// Fault is one injected bug. Delete removes the step at index Step;
+// Reorder moves the step at index Step to position To; Mutate applies
+// Mut. StepName/ToName record the affected step names for fingerprints
+// and incident details.
+type Fault struct {
+	Kind     FaultKind
+	Step     int
+	To       int
+	StepName string
+	ToName   string
+	Mut      Mutation
+}
+
+// Scenario is one generated case: a deck variant, a task sequence, and
+// at most one injected fault. It is pure data plus deterministic
+// derivations — running it is the runner's job.
+type Scenario struct {
+	Index int
+	Seed  uint64
+	Deck  *Deck
+	Tasks []Task
+	Fault Fault
+}
+
+// baseSteps materializes the task sequence as named workflow steps,
+// before any delete/reorder fault is applied. Parameter mutations are
+// already baked into the task values. Step names carry the task index so
+// repeated productions stay distinguishable in fingerprints and bundles.
+func (sc *Scenario) baseSteps() []workflow.Step {
+	switch sc.Deck.LabName {
+	case "hein-production":
+		return workflow.ScreeningSteps()
+	case "berlinguette":
+		return workflow.SpraySteps()
+	}
+	steps := []workflow.Step{
+		{Name: "ned2-sleep", Run: func(s *workflow.Session) error {
+			return s.Arm("ned2").GoSleep()
+		}},
+		{Name: "viperx-home", Run: func(s *workflow.Session) error {
+			return s.Arm("viperx").GoHome()
+		}},
+	}
+	for ti, t := range sc.Tasks {
+		steps = append(steps, taskSteps(ti, t)...)
+	}
+	return steps
+}
+
+// taskSteps expands one testbed production.
+func taskSteps(ti int, t Task) []workflow.Step {
+	p := fmt.Sprintf("t%d-", ti)
+	switch t.Kind {
+	case TaskFerry:
+		vial, slot, safe, qty := t.Vial, t.Slot, t.Slot+"_safe", t.QtyMg
+		return []workflow.Step{
+			{Name: p + "open-door", Run: func(s *workflow.Session) error {
+				return s.Device("dosing_device").SetDoor(true)
+			}},
+			{Name: p + "decap", Run: func(s *workflow.Session) error {
+				return s.Vial(vial).Decap()
+			}},
+			{Name: p + "pick-grid", Run: func(s *workflow.Session) error {
+				return s.Arm("viperx").PickUpObject(safe, slot, vial)
+			}},
+			{Name: p + "approach-dd", Run: func(s *workflow.Session) error {
+				return s.Arm("viperx").GoToLocation("dd_approach")
+			}},
+			{Name: p + "place-dd", Run: func(s *workflow.Session) error {
+				return s.Arm("viperx").PlaceObject("dd_safe_height", "dd_pickup", vial)
+			}},
+			{Name: p + "exit-dd", Run: func(s *workflow.Session) error {
+				return s.Arm("viperx").GoToLocation("dd_approach")
+			}},
+			{Name: p + "clear", Run: func(s *workflow.Session) error {
+				return s.Arm("viperx").GoHome()
+			}},
+			{Name: p + "close-door", Run: func(s *workflow.Session) error {
+				return s.Device("dosing_device").SetDoor(false)
+			}},
+			{Name: p + "dose", Run: func(s *workflow.Session) error {
+				return s.Device("dosing_device").RunAction(3*time.Second, qty)
+			}},
+			{Name: p + "stop-dose", Run: func(s *workflow.Session) error {
+				return s.Device("dosing_device").Stop()
+			}},
+			{Name: p + "reopen-door", Run: func(s *workflow.Session) error {
+				return s.Device("dosing_device").SetDoor(true)
+			}},
+			{Name: p + "approach-dd-2", Run: func(s *workflow.Session) error {
+				return s.Arm("viperx").GoToLocation("dd_approach")
+			}},
+			{Name: p + "pick-dd", Run: func(s *workflow.Session) error {
+				return s.Arm("viperx").PickUpObject("dd_safe_height", "dd_pickup", vial)
+			}},
+			{Name: p + "exit-dd-2", Run: func(s *workflow.Session) error {
+				return s.Arm("viperx").GoToLocation("dd_approach")
+			}},
+			{Name: p + "place-grid", Run: func(s *workflow.Session) error {
+				return s.Arm("viperx").PlaceObject(safe, slot, vial)
+			}},
+			{Name: p + "close-door-2", Run: func(s *workflow.Session) error {
+				return s.Device("dosing_device").SetDoor(false)
+			}},
+			{Name: p + "cap", Run: func(s *workflow.Session) error {
+				return s.Vial(vial).Cap()
+			}},
+			{Name: p + "home", Run: func(s *workflow.Session) error {
+				return s.Arm("viperx").GoHome()
+			}},
+		}
+	case TaskHotplate:
+		// The hotplate only accepts start_action with a container inside
+		// (rule general-5), so the task ferries its vial onto the plate,
+		// heats, and puts it back.
+		vial, slot, safe, temp := t.Vial, t.Slot, t.Slot+"_safe", t.TempC
+		return []workflow.Step{
+			{Name: p + "hp-pick-grid", Run: func(s *workflow.Session) error {
+				return s.Arm("viperx").PickUpObject(safe, slot, vial)
+			}},
+			{Name: p + "hp-approach", Run: func(s *workflow.Session) error {
+				return s.Arm("viperx").GoToLocation("hp_approach")
+			}},
+			{Name: p + "hp-place", Run: func(s *workflow.Session) error {
+				return s.Arm("viperx").PlaceObject("hp_safe", "hp_place", vial)
+			}},
+			{Name: p + "hp-clear", Run: func(s *workflow.Session) error {
+				return s.Arm("viperx").GoHome()
+			}},
+			{Name: p + "hp-set", Run: func(s *workflow.Session) error {
+				return s.Device("hotplate").SetValue(temp)
+			}},
+			{Name: p + "hp-start", Run: func(s *workflow.Session) error {
+				return s.Device("hotplate").Start(60 * time.Second)
+			}},
+			{Name: p + "hp-stop", Run: func(s *workflow.Session) error {
+				return s.Device("hotplate").Stop()
+			}},
+			{Name: p + "hp-reapproach", Run: func(s *workflow.Session) error {
+				return s.Arm("viperx").GoToLocation("hp_approach")
+			}},
+			{Name: p + "hp-pick-back", Run: func(s *workflow.Session) error {
+				return s.Arm("viperx").PickUpObject("hp_safe", "hp_place", vial)
+			}},
+			{Name: p + "hp-exit", Run: func(s *workflow.Session) error {
+				return s.Arm("viperx").GoToLocation("hp_approach")
+			}},
+			{Name: p + "hp-return", Run: func(s *workflow.Session) error {
+				return s.Arm("viperx").PlaceObject(safe, slot, vial)
+			}},
+			{Name: p + "hp-home", Run: func(s *workflow.Session) error {
+				return s.Arm("viperx").GoHome()
+			}},
+		}
+	case TaskPump:
+		vol := t.VolML
+		return []workflow.Step{
+			{Name: p + "pump-decap", Run: func(s *workflow.Session) error {
+				return s.Vial("vial_3").Decap()
+			}},
+			{Name: p + "pump-dose", Run: func(s *workflow.Session) error {
+				return s.Device("pump").DoseLiquid("vial_3", vol)
+			}},
+			{Name: p + "pump-cap", Run: func(s *workflow.Session) error {
+				return s.Vial("vial_3").Cap()
+			}},
+		}
+	case TaskPatrol:
+		poses := t.Poses
+		steps := []workflow.Step{
+			{Name: p + "viperx-sleep", Run: func(s *workflow.Session) error {
+				return s.Arm("viperx").GoSleep()
+			}},
+		}
+		for pi, pose := range poses {
+			pose := pose
+			steps = append(steps, workflow.Step{
+				Name: fmt.Sprintf("%sned2-pose-%d", p, pi),
+				Run: func(s *workflow.Session) error {
+					return s.Arm("ned2").MovePose(pose)
+				},
+			})
+		}
+		steps = append(steps, workflow.Step{
+			Name: p + "ned2-sleep", Run: func(s *workflow.Session) error {
+				return s.Arm("ned2").GoSleep()
+			},
+		})
+		return steps
+	default:
+		return nil
+	}
+}
+
+// Steps returns the scenario's final script: the base steps with the
+// structural fault (delete/reorder) applied. Mutate faults act through
+// task parameters (already baked in) or the session location table
+// (ApplyLocs).
+func (sc *Scenario) Steps() []workflow.Step {
+	steps := sc.baseSteps()
+	switch sc.Fault.Kind {
+	case FaultDelete:
+		if i := sc.Fault.Step; i >= 0 && i < len(steps) {
+			steps = append(steps[:i:i], steps[i+1:]...)
+		}
+	case FaultReorder:
+		i, j := sc.Fault.Step, sc.Fault.To
+		if i >= 0 && i < len(steps) && j >= 0 && j < len(steps) && i != j {
+			moved := steps[i]
+			rest := append(steps[:i:i], steps[i+1:]...)
+			steps = append(rest[:j:j], append([]workflow.Step{moved}, rest[j:]...)...)
+		}
+	}
+	return steps
+}
+
+// ApplyLocs applies a location-table mutation (the Bug D idiom: the
+// script's own utilities table is edited, not the lab config — RABIT
+// only ever sees the resulting raw coordinates).
+func (sc *Scenario) ApplyLocs(s *workflow.Session) {
+	m := sc.Fault.Mut
+	if sc.Fault.Kind != FaultMutate || m.Loc == "" {
+		return
+	}
+	if p, ok := s.Locs.Coord(m.Arm, m.Loc); ok {
+		s.Locs.Set(m.Arm, m.Loc, p.Add(geom.V(0, 0, m.DZ)))
+	}
+}
+
+// Fingerprint renders the scenario deterministically — the byte-stream
+// identity the determinism property tests compare.
+func (sc *Scenario) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "s%07d seed=%016x deck=[%s] tasks=[", sc.Index, sc.Seed, sc.Deck.Fingerprint)
+	for i, t := range sc.Tasks {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		switch t.Kind {
+		case TaskFerry:
+			fmt.Fprintf(&b, "ferry(%s@%s,%.1fmg)", t.Vial, t.Slot, t.QtyMg)
+		case TaskHotplate:
+			fmt.Fprintf(&b, "hotplate(%s,%.0fC)", t.Vial, t.TempC)
+		case TaskPump:
+			fmt.Fprintf(&b, "pump(%.1fmL)", t.VolML)
+		case TaskPatrol:
+			fmt.Fprintf(&b, "patrol(%d", len(t.Poses))
+			for _, p := range t.Poses {
+				fmt.Fprintf(&b, ",%.3f/%.3f/%.3f", p.X, p.Y, p.Z)
+			}
+			b.WriteByte(')')
+		default:
+			b.WriteString(t.Kind.String())
+		}
+	}
+	b.WriteString("] fault=")
+	f := sc.Fault
+	switch f.Kind {
+	case FaultNone:
+		b.WriteString("none")
+	case FaultDelete:
+		fmt.Fprintf(&b, "delete(%s)", f.StepName)
+	case FaultReorder:
+		fmt.Fprintf(&b, "reorder(%s->%d:%s)", f.StepName, f.To, f.ToName)
+	case FaultMutate:
+		if f.Mut.Loc != "" {
+			fmt.Fprintf(&b, "mutate(loc=%s arm=%s dz=%+.3f)", f.Mut.Loc, f.Mut.Arm, f.Mut.DZ)
+		} else {
+			fmt.Fprintf(&b, "mutate(%s[t%d]x%.1f)", f.Mut.Param, f.Mut.Task, f.Mut.Scale)
+		}
+	}
+	return b.String()
+}

@@ -387,6 +387,22 @@ func (e *Engine) Start() {
 	e.obs.ResetPrefix(obs.PrefixAlerts)
 	e.obs.ResetPrefix(obs.PrefixViolations)
 	e.obs.Gauge(obs.GaugeRules).Set(int64(len(e.rb.Rules())))
+	e.slos.Reset()
+}
+
+// Rebind points the engine at a different environment and restarts it
+// against that environment's observed state. It is the pooled-engine
+// reset path: a campaign runner reuses one engine (rulebase, simulator,
+// instruments, caches) across thousands of generated scenarios, swapping
+// only the world underneath. The caller must guarantee quiescence — no
+// commands in flight and no speculation running (Drain + WaitSpeculation)
+// — exactly as for Start.
+func (e *Engine) Rebind(env Environment) {
+	e.mu.Lock()
+	e.env = env
+	e.scopedEnv, _ = env.(ScopedEnvironment)
+	e.mu.Unlock()
+	e.Start()
 }
 
 // Model returns a copy of the engine's current model state.

@@ -99,6 +99,32 @@ type Env struct {
 	paceSpeedup float64
 }
 
+// profileCache memoizes arm kinematic profiles by (model, base pose).
+// Profiles are immutable after construction and already shared between
+// the world's arm and its driver within one environment, so sharing them
+// across environments is equally sound — and a campaign building tens of
+// thousands of environments would otherwise re-pay NewProfile's IK
+// anchor solves on every Build.
+var profileCache sync.Map // profileKey -> *kin.Profile
+
+type profileKey struct {
+	model kin.Model
+	base  geom.Vec3
+}
+
+func profileFor(model kin.Model, base geom.Vec3) (*kin.Profile, error) {
+	key := profileKey{model: model, base: base}
+	if p, ok := profileCache.Load(key); ok {
+		return p.(*kin.Profile), nil
+	}
+	p, err := kin.NewProfile(model, geom.PoseAt(base))
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := profileCache.LoadOrStore(key, p)
+	return actual.(*kin.Profile), nil
+}
+
 // Build constructs a stage from a compiled lab configuration.
 func Build(lab *config.Lab, stage Stage, seed int64) (*Env, error) {
 	w := world.New(seed)
@@ -120,7 +146,7 @@ func Build(lab *config.Lab, stage Stage, seed int64) (*Env, error) {
 		if err != nil {
 			return nil, fmt.Errorf("env: arm %s: %w", as.ID, err)
 		}
-		profile, err := kin.NewProfile(model, geom.PoseAt(as.Base.V3()))
+		profile, err := profileFor(model, as.Base.V3())
 		if err != nil {
 			return nil, fmt.Errorf("env: arm %s: %w", as.ID, err)
 		}

@@ -107,6 +107,29 @@ func (r *Recorder) writeBundle(trigger Record) {
 	r.cIncidents.Inc()
 }
 
+// FileSnapshot freezes the current window into an incident bundle
+// without an alert trigger: a synthetic KindSnapshot record carrying the
+// given kind and detail is pushed and bundled exactly like an alert
+// record. The campaign harness files one for every unsafe injection the
+// engine missed — the window is the forensic evidence of what the
+// checker saw while the world broke. Nil-safe; a no-op without a bundle
+// directory.
+func (r *Recorder) FileSnapshot(alertKind, detail string, tNS int64) {
+	if r == nil || r.dir == "" {
+		return
+	}
+	trigger := Record{
+		Corr:      corrID("c", r.corr.Add(1)),
+		Kind:      KindSnapshot,
+		AlertKind: alertKind,
+		Alert:     detail,
+		TNS:       tNS,
+		AlertTNS:  tNS,
+	}
+	r.push(trigger)
+	r.writeBundle(trigger)
+}
+
 // resolveChain walks the causal links the window can actually resolve:
 // trigger → consumed speculation → the command that hinted it. Links
 // whose records fell off the ring are omitted, keeping the invariant

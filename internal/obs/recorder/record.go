@@ -16,6 +16,10 @@ const (
 	KindCommand = "command"
 	// KindSpeculation is one run of the single-flight lookahead worker.
 	KindSpeculation = "speculation"
+	// KindSnapshot is a manually filed window freeze — no alert fired;
+	// an external judge (the campaign oracle) decided the window is
+	// evidence. See Recorder.FileSnapshot.
+	KindSnapshot = "snapshot"
 )
 
 // Pipeline paths (Record.Path).

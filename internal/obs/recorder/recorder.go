@@ -125,6 +125,34 @@ func (r *Recorder) Dir() string {
 	return r.dir
 }
 
+// Reset clears the ring and restarts correlation-ID, insertion-order,
+// and bundle-sequence numbering under a new tag. It is the pooled-stack
+// reset path: a campaign runner reuses one recorder across scenarios,
+// re-tagging it per scenario so bundle names stay unique (and identical
+// at any worker count) even when many recorders share one incident
+// directory. The caller must guarantee quiescence — no commands in
+// flight. Nil-safe.
+func (r *Recorder) Reset(tag string) {
+	if r == nil {
+		return
+	}
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		sh.next, sh.n = 0, 0
+		sh.mu.Unlock()
+	}
+	r.ord.Store(0)
+	r.corr.Store(0)
+	r.bundleMu.Lock()
+	r.bundleSeq = 0
+	r.tag = tag
+	r.bundleMu.Unlock()
+	r.errMu.Lock()
+	r.lastErr = nil
+	r.errMu.Unlock()
+}
+
 // Err returns the last bundle-write error, if any. Nil-safe.
 func (r *Recorder) Err() error {
 	if r == nil {

@@ -100,6 +100,20 @@ func (s *SLO) Observe(d time.Duration) {
 	s.mu.Unlock()
 }
 
+// Reset clears every slot, forgetting all observations. Pooled engines
+// call this between scenarios so one scenario's burn rate cannot leak
+// into the next tenant of the engine. Nil-safe.
+func (s *SLO) Reset() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	for i := range s.slots {
+		s.slots[i] = sloSlot{}
+	}
+	s.mu.Unlock()
+}
+
 // totals sums the slots inside [now-window, now]. Callers hold s.mu.
 func (s *SLO) totals(nowSec int64, window time.Duration) (good, bad int64) {
 	cutoff := nowSec - int64(window/time.Second)
@@ -205,6 +219,15 @@ func (s *SafetySLOs) ObserveDetection(d time.Duration) {
 		return
 	}
 	s.DetectionLatency.Observe(d)
+}
+
+// Reset clears both objectives' slot rings. Nil-safe.
+func (s *SafetySLOs) Reset() {
+	if s == nil {
+		return
+	}
+	s.CheckOverhead.Reset()
+	s.DetectionLatency.Reset()
 }
 
 // Register adds both SLOs to the default group, exported on

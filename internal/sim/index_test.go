@@ -228,8 +228,10 @@ func TestIndexRebuildUnderLoad(t *testing.T) {
 			}
 		}
 	}
-	if rebuilds := reg.Counter(obs.CounterSimIndexRebuilds).Value(); rebuilds < 2 {
-		t.Errorf("epoch churn mid-batch should rebuild the index repeatedly, got %d", rebuilds)
+	// Epoch churn restamps the geometrically immutable index rather than
+	// rebuilding it: only the very first index counts as a true build.
+	if rebuilds := reg.Counter(obs.CounterSimIndexRebuilds).Value(); rebuilds != 1 {
+		t.Errorf("epoch churn should restamp, not rebuild: got %d true builds, want 1", rebuilds)
 	}
 }
 

@@ -151,6 +151,16 @@ func WithTracer(t *otrace.Tracer) Option {
 	return func(s *Simulator) { s.tracer = t }
 }
 
+// WithArmProfiles supplies prebuilt kinematic profiles by arm ID,
+// skipping NewProfile's canonical-pose IK solves for matching arms.
+// Profiles are immutable after construction, so one set may back any
+// number of simulators — an engine pool builds them once per deck
+// instead of once per pooled stack. Supplied profiles must match the
+// lab's arm models and mounting poses.
+func WithArmProfiles(profiles map[string]*kin.Profile) Option {
+	return func(s *Simulator) { s.sharedProfiles = profiles }
+}
+
 // mirrorArm is the simulator's model of one arm. Each arm carries its own
 // lock and scratch buffers, so checks on different arms never contend.
 type mirrorArm struct {
@@ -211,6 +221,9 @@ type Simulator struct {
 	// tracer emits kin/sim child spans under engine-supplied parents
 	// (nil = tracing off; every use is nil-guarded).
 	tracer *otrace.Tracer
+	// sharedProfiles, when set, supplies prebuilt arm profiles by ID
+	// (WithArmProfiles); arms not present fall back to NewProfile.
+	sharedProfiles map[string]*kin.Profile
 	// Telemetry instruments, resolved once by WithObserver (nil-safe
 	// otherwise).
 	reg               *obs.Registry
@@ -237,14 +250,20 @@ func New(lab *config.Lab, opts ...Option) (*Simulator, error) {
 		heldAware:  true,
 		broadphase: true,
 	}
+	for _, o := range opts {
+		o(s)
+	}
 	for _, as := range lab.Spec.Arms {
-		model, err := kin.ParseModel(as.Model)
-		if err != nil {
-			return nil, fmt.Errorf("sim: arm %s: %w", as.ID, err)
-		}
-		p, err := kin.NewProfile(model, geom.PoseAt(as.Base.V3()))
-		if err != nil {
-			return nil, fmt.Errorf("sim: arm %s: %w", as.ID, err)
+		p := s.sharedProfiles[as.ID]
+		if p == nil {
+			model, err := kin.ParseModel(as.Model)
+			if err != nil {
+				return nil, fmt.Errorf("sim: arm %s: %w", as.ID, err)
+			}
+			p, err = kin.NewProfile(model, geom.PoseAt(as.Base.V3()))
+			if err != nil {
+				return nil, fmt.Errorf("sim: arm %s: %w", as.ID, err)
+			}
 		}
 		s.arms[as.ID] = &mirrorArm{
 			profile: p,
@@ -253,9 +272,6 @@ func New(lab *config.Lab, opts ...Option) (*Simulator, error) {
 			drop:    as.Gripper.FingerDrop,
 			radius:  as.Gripper.FingerRadius,
 		}
-	}
-	for _, o := range opts {
-		o(s)
 	}
 	if s.cacheOn {
 		if s.planCache == nil {
@@ -288,6 +304,19 @@ func (s *Simulator) DeckEpoch() uint64 { return s.epoch.Load() }
 func (s *Simulator) BumpDeckEpoch() {
 	s.epoch.Add(1)
 	s.cEpochBumps.Inc()
+}
+
+// Reset re-homes every mirror arm. Mirror joints are the one piece of
+// per-run state the simulator accumulates (Observe advances them with
+// each motion command), so a pooled simulator must re-home between
+// scenarios or the next run starts from wherever the last one parked the
+// arms. Not safe to call concurrently with checks.
+func (s *Simulator) Reset() {
+	for _, m := range s.arms {
+		m.mu.Lock()
+		m.joints = append(m.joints[:0], m.profile.Home...)
+		m.mu.Unlock()
+	}
 }
 
 // SpeculationHits reports how many on-path checks were answered by a

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"repro/internal/geom"
@@ -43,6 +44,7 @@ type MoveOptions struct {
 type obstacle struct {
 	box     geom.AABB
 	rounded *geom.Capsule // non-nil for cylinder/dome bodies
+	bounds  geom.AABB     // conservative bound of the solid, for the sweep prepass
 	id      string
 	isDoor  bool
 	fixture *Fixture
@@ -73,7 +75,7 @@ func (w *World) MoveArmTo(armID string, target geom.Vec3, opts MoveOptions) erro
 		return fmt.Errorf("world: no arm %q", armID)
 	}
 	noisy := w.noisyTargetLocked(a, target)
-	tr, err := a.Profile.Chain.PlanJointMove(a.Joints, noisy, kin.DefaultIKOptions())
+	tr, err := w.planLocked(a, noisy)
 	if err != nil {
 		return fmt.Errorf("world: arm %s cannot reach %v: %w", armID, target, err)
 	}
@@ -133,7 +135,7 @@ func (w *World) MoveArmsConcurrently(moves []ConcurrentMove) error {
 			return fmt.Errorf("world: no arm %q", m.ArmID)
 		}
 		noisy := w.noisyTargetLocked(a, m.Target)
-		tr, err := a.Profile.Chain.PlanJointMove(a.Joints, noisy, kin.DefaultIKOptions())
+		tr, err := w.planLocked(a, noisy)
 		if err != nil {
 			return fmt.Errorf("world: arm %s cannot reach %v: %w", m.ArmID, m.Target, err)
 		}
@@ -151,21 +153,27 @@ func (w *World) MoveArmsConcurrently(moves []ConcurrentMove) error {
 			n = c
 		}
 	}
+	// Obstacles are static for the whole sweep; assemble them per leg once.
+	legObstacles := make([][]obstacle, len(legs))
+	for li, l := range legs {
+		legObstacles[li] = w.obstaclesLocked(l.arm, l.mv.Opts, moving)
+	}
 	for i := 0; i <= n; i++ {
 		t := float64(i) / float64(n)
 		// Position every leg at t, then check each against statics and
 		// against the other moving arms.
 		allCaps := make([][]labeledCapsule, len(legs))
+		allBounds := make([][]geom.AABB, len(legs))
 		for li, l := range legs {
 			caps, err := w.labeledCapsulesAt(l.arm, l.tr.At(t), l.mv.Opts.Roll)
 			if err != nil {
 				return fmt.Errorf("world: concurrent sweep: %w", err)
 			}
 			allCaps[li] = caps
+			allBounds[li], _ = capsuleBounds(caps, nil)
 		}
 		for li, l := range legs {
-			obstacles := w.obstaclesLocked(l.arm, l.mv.Opts, moving)
-			if ev, hit := w.checkCapsulesLocked(l.arm, allCaps[li], obstacles); hit {
+			if ev, hit := w.checkCapsulesLocked(l.arm, allCaps[li], allBounds[li], legObstacles[li]); hit {
 				w.stopLegsAt(legs, t)
 				w.now += scaleDuration(maxLegDuration(legs), t)
 				return &CollisionError{Ev: ev}
@@ -223,11 +231,20 @@ func scaleDuration(d time.Duration, f float64) time.Duration {
 	return time.Duration(float64(d) * f)
 }
 
+// planLocked plans an arm's joint move to a world-frame target, through
+// the plan cache when one is installed.
+func (w *World) planLocked(a *Arm, target geom.Vec3) (*kin.Trajectory, error) {
+	if w.planCache != nil {
+		return w.planCache.Plan(a.Profile.Chain, a.Joints, target, kin.DefaultIKOptions())
+	}
+	return a.Profile.Chain.PlanJointMove(a.Joints, target, kin.DefaultIKOptions())
+}
+
 // noisyTargetLocked perturbs a commanded target by the arm's
 // repeatability, modelling device precision.
 func (w *World) noisyTargetLocked(a *Arm, target geom.Vec3) geom.Vec3 {
 	r := a.Profile.Chain.Repeatability
-	if r <= 0 {
+	if r <= 0 || w.exactMotion {
 		return target
 	}
 	return target.Add(geom.V(
@@ -254,8 +271,16 @@ func (w *World) finishMoveLocked(a *Arm, tr *kin.Trajectory, opts MoveOptions, c
 // sweepLocked sweeps one arm's trajectory against all static obstacles and
 // the *stationary* other arms. On collision it stops the arm at the
 // contact sample, records the damage event, and returns a CollisionError.
+//
+// The other arms don't move during the sweep, so their collision volumes
+// are solved once; per sample, a union bound over the moving arm's
+// capsules rejects far-away obstacles and arms before any narrow-phase
+// test. Bounds include the capsule radius, so the prepass can only skip
+// pairs the narrow phase would reject — verdicts are unchanged.
 func (w *World) sweepLocked(a *Arm, tr *kin.Trajectory, opts MoveOptions, extraIgnore map[string]bool) error {
 	obstacles := w.obstaclesLocked(a, opts, extraIgnore)
+	others := w.parkedArmsLocked(a, extraIgnore)
+	var scratch [24]geom.AABB
 	n := tr.SampleCount(sweepStep)
 	for i := 0; i <= n; i++ {
 		t := float64(i) / float64(n)
@@ -263,24 +288,18 @@ func (w *World) sweepLocked(a *Arm, tr *kin.Trajectory, opts MoveOptions, extraI
 		if err != nil {
 			return fmt.Errorf("world: sweep: %w", err)
 		}
-		if ev, hit := w.checkCapsulesLocked(a, caps, obstacles); hit {
+		capBounds, bound := capsuleBounds(caps, scratch[:0])
+		if ev, hit := w.checkCapsulesLocked(a, caps, capBounds, obstacles); hit {
 			a.Joints = tr.At(t)
 			a.Asleep = false
 			w.now += scaleDuration(tr.Duration(), t)
 			return &CollisionError{Ev: ev}
 		}
-		for _, other := range w.arms {
-			if other.ID == a.ID {
+		for _, o := range others {
+			if !bound.Intersects(o.bounds) {
 				continue
 			}
-			if extraIgnore != nil && extraIgnore[other.ID] {
-				continue
-			}
-			otherCaps, err := w.labeledCapsulesAt(other, other.Joints, other.Roll)
-			if err != nil {
-				continue
-			}
-			if ev, hit := w.checkArmArmLocked(a, caps, other, otherCaps); hit {
+			if ev, hit := w.checkArmArmLocked(a, caps, o.arm, o.caps); hit {
 				a.Joints = tr.At(t)
 				a.Asleep = false
 				w.now += scaleDuration(tr.Duration(), t)
@@ -289,6 +308,54 @@ func (w *World) sweepLocked(a *Arm, tr *kin.Trajectory, opts MoveOptions, extraI
 		}
 	}
 	return nil
+}
+
+// parkedArm is a stationary arm's collision volume, solved once per sweep.
+type parkedArm struct {
+	arm    *Arm
+	caps   []labeledCapsule
+	bounds geom.AABB
+}
+
+// parkedArmsLocked solves the stationary arms' capsules for a sweep by
+// the moving arm. Sorted by ID so collision attribution doesn't depend
+// on map iteration order.
+func (w *World) parkedArmsLocked(moving *Arm, skip map[string]bool) []parkedArm {
+	ids := make([]string, 0, len(w.arms))
+	for id := range w.arms {
+		if id == moving.ID || (skip != nil && skip[id]) {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]parkedArm, 0, len(ids))
+	for _, id := range ids {
+		other := w.arms[id]
+		caps, err := w.labeledCapsulesAt(other, other.Joints, other.Roll)
+		if err != nil {
+			continue
+		}
+		_, b := capsuleBounds(caps, nil)
+		out = append(out, parkedArm{arm: other, caps: caps, bounds: b})
+	}
+	return out
+}
+
+// capsuleBounds appends each capsule's bound to dst and returns the
+// slice plus the union over all of them.
+func capsuleBounds(caps []labeledCapsule, dst []geom.AABB) ([]geom.AABB, geom.AABB) {
+	var u geom.AABB
+	for i, lc := range caps {
+		b := lc.cap.Bounds()
+		dst = append(dst, b)
+		if i == 0 {
+			u = b
+		} else {
+			u = u.Union(b)
+		}
+	}
+	return dst, u
 }
 
 // obstaclesLocked assembles the static collision volumes relevant to a
@@ -317,7 +384,7 @@ func (w *World) obstaclesLocked(a *Arm, opts MoveOptions, skipArms map[string]bo
 					continue
 				}
 				if slab, ok := f.slabForSide(p.Side); ok {
-					obs = append(obs, obstacle{box: slab, id: f.ID, isDoor: true, fixture: f})
+					obs = append(obs, obstacle{box: slab, bounds: slab, id: f.ID, isDoor: true, fixture: f})
 				}
 			}
 			continue
@@ -327,16 +394,17 @@ func (w *World) obstaclesLocked(a *Arm, opts MoveOptions, skipArms map[string]bo
 			// slabs so damage events name the glass door.
 			for _, p := range f.panelViews() {
 				if slab, ok := f.slabForSide(p.Side); ok {
-					obs = append(obs, obstacle{box: slab, id: f.ID, isDoor: true, fixture: f})
+					obs = append(obs, obstacle{box: slab, bounds: slab, id: f.ID, isDoor: true, fixture: f})
 				}
 			}
-			obs = append(obs, obstacle{box: f.Body, id: f.ID, fixture: f})
+			obs = append(obs, obstacle{box: f.Body, bounds: f.Body, id: f.ID, fixture: f})
 			continue
 		}
-		ob := obstacle{box: f.Body, id: f.ID, fixture: f}
+		ob := obstacle{box: f.Body, bounds: f.Body, id: f.ID, fixture: f}
 		if f.Rounded {
 			cap := f.roundedCapsule()
 			ob.rounded = &cap
+			ob.bounds = cap.Bounds()
 		}
 		obs = append(obs, ob)
 	}
@@ -345,7 +413,7 @@ func (w *World) obstaclesLocked(a *Arm, opts MoveOptions, skipArms map[string]bo
 			continue
 		}
 		if box, ok := w.objectBoxAtLocked(o); ok {
-			obs = append(obs, obstacle{box: box, id: o.ID, object: o})
+			obs = append(obs, obstacle{box: box, bounds: box, id: o.ID, object: o})
 		}
 	}
 	return obs
@@ -353,10 +421,13 @@ func (w *World) obstaclesLocked(a *Arm, opts MoveOptions, skipArms map[string]bo
 
 // checkCapsulesLocked tests an arm's labelled capsules against static
 // obstacles, the floor, and the walls; it records and returns the first
-// damage event.
-func (w *World) checkCapsulesLocked(a *Arm, caps []labeledCapsule, obstacles []obstacle) (Event, bool) {
+// damage event. capBounds holds each capsule's precomputed bound,
+// index-aligned with caps: a capsule whose bound misses an obstacle's
+// bound can't hit its solid, so the narrow phase is skipped without
+// changing any verdict.
+func (w *World) checkCapsulesLocked(a *Arm, caps []labeledCapsule, capBounds []geom.AABB, obstacles []obstacle) (Event, bool) {
 	floor := geom.PlaneFromPointNormal(geom.V(0, 0, w.floorZ), geom.V(0, 0, 1))
-	for _, lc := range caps {
+	for ci, lc := range caps {
 		// Floor: only the parts that can realistically dive (fingers and
 		// held glassware); the arm's base column legitimately meets the
 		// platform.
@@ -372,6 +443,9 @@ func (w *World) checkCapsulesLocked(a *Arm, caps []labeledCapsule, obstacles []o
 		}
 		for i := range obstacles {
 			ob := &obstacles[i]
+			if !capBounds[ci].Intersects(ob.bounds) {
+				continue
+			}
 			if ob.hitBy(lc.cap) {
 				return w.recordImpactLocked(a, lc, *ob), true
 			}

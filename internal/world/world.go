@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/geom"
+	"repro/internal/kin"
 )
 
 // Severity grades damage, matching Table V of the paper.
@@ -140,6 +141,34 @@ type World struct {
 	floorZ float64
 	walls  []geom.Plane
 	events []Event
+	// exactMotion disables repeatability noise so arms converge on the
+	// commanded target exactly. Campaign worlds run exact so motion plans
+	// become pure functions of (deck, script) and can be memoized across
+	// scenarios; scenario diversity comes from placement jitter and task
+	// parameters instead.
+	exactMotion bool
+	// planCache, when set, memoizes MoveArmTo's IK plans. Sound only with
+	// warm-start disabled (a hit must be byte-identical to a cold solve)
+	// and with exactMotion on (noisy targets never repeat, so keys would
+	// only churn the LRU).
+	planCache *kin.PlanCache
+}
+
+// SetExactMotion toggles repeatability noise off (true) or on (false).
+func (w *World) SetExactMotion(on bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.exactMotion = on
+}
+
+// SetMotionPlanCache routes MoveArmTo IK planning through pc (nil
+// restores direct solving). Callers sharing one cache across worlds must
+// disable its warm start: exact-key hits replay the cold solver's own
+// answer, which keeps cached and uncached runs byte-identical.
+func (w *World) SetMotionPlanCache(pc *kin.PlanCache) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.planCache = pc
 }
 
 // Location is a named deck position in the global frame, optionally owned
