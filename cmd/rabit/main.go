@@ -32,6 +32,7 @@
 //	-events path    write the structured telemetry event JSONL (one event
 //	                per command outcome and alert); off by default
 //	-seed n         noise seed
+//	-version        print build provenance and exit
 package main
 
 import (
@@ -75,8 +76,14 @@ func run() error {
 		eventsPath  = flag.String("events", "", "write the structured telemetry event JSONL here")
 		incidentDir = flag.String("incident-dir", "", "write a flight-recorder incident bundle here for every alert")
 		seed        = flag.Int64("seed", 1, "noise seed")
+		version     = flag.Bool("version", false, "print build provenance and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println("rabit", obs.ReadBuild())
+		return nil
+	}
 
 	if *metricsAddr != "" {
 		srv, err := obs.Serve(*metricsAddr)

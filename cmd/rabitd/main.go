@@ -20,6 +20,7 @@
 //	-idle d         evict tenants idle this long, e.g. 10m (0 = never)
 //	-incident-dir d write flight-recorder incident bundles under d
 //	-seed n         noise seed
+//	-version        print build provenance and exit
 //
 // API:
 //
@@ -46,6 +47,7 @@ import (
 
 	rabit "repro"
 	"repro/internal/gateway"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -65,8 +67,14 @@ func run() error {
 		idleTimeout = flag.Duration("idle", 0, "evict tenants idle this long (0 = never)")
 		incidentDir = flag.String("incident-dir", "", "write flight-recorder incident bundles here")
 		seed        = flag.Int64("seed", 1, "noise seed")
+		version     = flag.Bool("version", false, "print build provenance and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println("rabitd", obs.ReadBuild())
+		return nil
+	}
 
 	sysOpts := rabit.Options{
 		ExtendedSimulator: *withSim,

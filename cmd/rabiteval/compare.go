@@ -1,0 +1,220 @@
+package main
+
+// Bench-regression comparison (ISSUE 10). `rabiteval -compare old.json
+// new.json` diffs two rabit-bench/v1 envelopes metric by metric and
+// exits non-zero when any gated metric regressed past the threshold.
+// CI runs it against the committed baseline artifacts (`git show
+// HEAD:BENCH_pr9.json`) so a perf regression fails the build with a
+// readable diff instead of a silent drift.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// benchDoc is the subset of the shared bench envelope -compare reads.
+type benchDoc struct {
+	Schema  string         `json:"schema"`
+	Name    string         `json:"name"`
+	Build   obs.BuildInfo  `json:"build"`
+	Metrics map[string]any `json:"metrics"`
+}
+
+func readBenchDoc(path string) (*benchDoc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc benchDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if doc.Schema != benchSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, doc.Schema, benchSchema)
+	}
+	return &doc, nil
+}
+
+// metricDirection classifies a metric key: +1 higher-is-better, -1
+// lower-is-better, 0 ungated (informational only). The heuristics
+// follow the envelope's naming conventions: rates, speedups, and
+// detection counts should not fall; latencies, misses, false alarms,
+// and error counts should not rise.
+func metricDirection(key string) int {
+	k := strings.ToLower(key)
+	// Higher-is-better wins ties: "p50_speedup_…" is a speedup that
+	// happens to mention the percentile it was computed from.
+	higher := []string{"per_sec", "speedup", "scaling", "detected", "_x"}
+	for _, s := range higher {
+		if strings.Contains(k, s) {
+			return +1
+		}
+	}
+	lower := []string{"_ns", "latency", "missed", "false_alarms", "damage",
+		"errors", "p50", "p95", "p99"}
+	for _, s := range lower {
+		if strings.Contains(k, s) {
+			return -1
+		}
+	}
+	return 0
+}
+
+// compareVerdict is one metric's comparison outcome.
+type compareVerdict struct {
+	Key      string
+	Old, New string
+	Delta    string // signed relative change, "" when not applicable
+	Verdict  string // "ok" | "REGRESSION" | "info" | "improved"
+}
+
+// compareMetrics diffs the metric maps. threshold is the tolerated
+// relative change in the bad direction (0.5 = 50%) — generous because
+// throughput numbers on shared CI runners are noisy; a real regression
+// (a lost fast path, a broken shard) moves integer factors, not
+// percents.
+func compareMetrics(oldM, newM map[string]any, threshold float64) ([]compareVerdict, int) {
+	keys := make([]string, 0, len(oldM))
+	for k := range oldM {
+		if _, ok := newM[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var rows []compareVerdict
+	regressions := 0
+	for _, k := range keys {
+		row := compareVerdict{Key: k, Old: fmt.Sprint(oldM[k]), New: fmt.Sprint(newM[k]), Verdict: "info"}
+		ob, oIsBool := oldM[k].(bool)
+		nb, nIsBool := newM[k].(bool)
+		switch {
+		case oIsBool && nIsBool:
+			// Invariant bits (worker_invariant, pooled_naive_equal): any
+			// true→false flip is a regression regardless of threshold.
+			switch {
+			case ob && !nb:
+				row.Verdict = "REGRESSION"
+				regressions++
+			case !ob && nb:
+				row.Verdict = "improved"
+			default:
+				row.Verdict = "ok"
+			}
+		default:
+			ov, oOK := asFloat(oldM[k])
+			nv, nOK := asFloat(newM[k])
+			if !oOK || !nOK {
+				break
+			}
+			dir := metricDirection(k)
+			if ov != 0 {
+				rel := (nv - ov) / math.Abs(ov)
+				row.Delta = fmt.Sprintf("%+.1f%%", 100*rel)
+				if dir != 0 {
+					switch {
+					case float64(dir)*rel < -threshold:
+						row.Verdict = "REGRESSION"
+						regressions++
+					case float64(dir)*rel > threshold:
+						row.Verdict = "improved"
+					default:
+						row.Verdict = "ok"
+					}
+				}
+			} else if dir != 0 {
+				// Zero baseline: only a move in the bad direction matters.
+				if float64(dir)*nv < 0 || (dir < 0 && nv > 0) {
+					row.Verdict = "REGRESSION"
+					regressions++
+				} else {
+					row.Verdict = "ok"
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, regressions
+}
+
+func asFloat(v any) (float64, bool) {
+	switch n := v.(type) {
+	case float64:
+		return n, true
+	case json.Number:
+		f, err := n.Float64()
+		return f, err == nil
+	}
+	return 0, false
+}
+
+// compareRun is the -compare mode entry point.
+func compareRun(oldPath, newPath string, threshold float64) error {
+	oldDoc, err := readBenchDoc(oldPath)
+	if err != nil {
+		return err
+	}
+	newDoc, err := readBenchDoc(newPath)
+	if err != nil {
+		return err
+	}
+	if oldDoc.Name != newDoc.Name {
+		return fmt.Errorf("comparing different benchmarks: %q vs %q", oldDoc.Name, newDoc.Name)
+	}
+	fmt.Printf("=== Bench comparison: %s (threshold ±%.0f%%) ===\n", oldDoc.Name, 100*threshold)
+	fmt.Printf("old: %s  (%s)\nnew: %s  (%s)\n\n", oldPath, oldDoc.Build, newPath, newDoc.Build)
+	rows, regressions := compareMetrics(oldDoc.Metrics, newDoc.Metrics, threshold)
+	fmt.Printf("%-32s %16s %16s %10s %12s\n", "metric", "old", "new", "delta", "verdict")
+	for _, r := range rows {
+		fmt.Printf("%-32s %16s %16s %10s %12s\n", r.Key, r.Old, r.New, r.Delta, r.Verdict)
+	}
+	fmt.Println()
+	if regressions > 0 {
+		return fmt.Errorf("%d metric(s) regressed beyond %.0f%%", regressions, 100*threshold)
+	}
+	fmt.Println("no regressions")
+	return nil
+}
+
+// validateOMRun fetches (http/https URL) or reads (file path) one
+// exposition and runs it through the OpenMetrics grammar validator —
+// the CI hook that keeps /metrics/prom honest against real scrapers.
+func validateOMRun(src string) error {
+	var data []byte
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		req, err := http.NewRequest(http.MethodGet, src, nil)
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Accept", "application/openmetrics-text")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s: HTTP %s", src, resp.Status)
+		}
+		if data, err = io.ReadAll(resp.Body); err != nil {
+			return err
+		}
+	} else {
+		var err error
+		if data, err = os.ReadFile(src); err != nil {
+			return err
+		}
+	}
+	if err := obs.ValidateOpenMetrics(data); err != nil {
+		return fmt.Errorf("%s: %w", src, err)
+	}
+	lines := strings.Count(string(data), "\n")
+	fmt.Printf("%s: valid OpenMetrics (%d lines)\n", src, lines)
+	return nil
+}

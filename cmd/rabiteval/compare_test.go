@@ -1,0 +1,129 @@
+package main
+
+import "testing"
+
+func TestMetricDirection(t *testing.T) {
+	cases := map[string]int{
+		"pooled_scen_per_sec":          +1,
+		"p50_speedup_no_cache_vs_spec": +1,
+		"pooled_speedup_x":             +1,
+		"scaling_8v1_x":                +1,
+		"detected":                     +1,
+		"check_per_command_ns":         -1,
+		"p95":                          -1,
+		"missed":                       -1,
+		"false_alarms":                 -1,
+		"damage_micros":                -1,
+		"oracle_errors":                -1,
+		"scenarios":                    0,
+		"incidents_filed":              0,
+	}
+	for key, want := range cases {
+		if got := metricDirection(key); got != want {
+			t.Errorf("metricDirection(%q) = %d, want %d", key, got, want)
+		}
+	}
+}
+
+func regressionCount(t *testing.T, oldM, newM map[string]any, threshold float64) (int, map[string]string) {
+	t.Helper()
+	rows, n := compareMetrics(oldM, newM, threshold)
+	verdicts := map[string]string{}
+	for _, r := range rows {
+		verdicts[r.Key] = r.Verdict
+	}
+	return n, verdicts
+}
+
+func TestCompareMetricsThreshold(t *testing.T) {
+	oldM := map[string]any{
+		"pooled_scen_per_sec": 100.0,
+		"missed":              float64(2),
+		"scenarios":           float64(4096),
+	}
+	// Within the 50% band in both directions: no regression.
+	n, v := regressionCount(t, oldM, map[string]any{
+		"pooled_scen_per_sec": 60.0,
+		"missed":              float64(2),
+		"scenarios":           float64(4096),
+	}, 0.5)
+	if n != 0 || v["pooled_scen_per_sec"] != "ok" {
+		t.Fatalf("40%% throughput drop at ±50%%: regressions=%d verdicts=%v", n, v)
+	}
+
+	// A higher-is-better metric falling past the threshold regresses.
+	n, v = regressionCount(t, oldM, map[string]any{
+		"pooled_scen_per_sec": 40.0,
+		"missed":              float64(2),
+		"scenarios":           float64(4096),
+	}, 0.5)
+	if n != 1 || v["pooled_scen_per_sec"] != "REGRESSION" {
+		t.Fatalf("60%% throughput drop at ±50%%: regressions=%d verdicts=%v", n, v)
+	}
+
+	// A lower-is-better metric rising past the threshold regresses, and
+	// an ungated metric moving wildly stays informational.
+	n, v = regressionCount(t, oldM, map[string]any{
+		"pooled_scen_per_sec": 100.0,
+		"missed":              float64(9),
+		"scenarios":           float64(1),
+	}, 0.5)
+	if n != 1 || v["missed"] != "REGRESSION" || v["scenarios"] != "info" {
+		t.Fatalf("miss-count spike: regressions=%d verdicts=%v", n, v)
+	}
+
+	// Large moves in the good direction report "improved", never gate.
+	n, v = regressionCount(t, oldM, map[string]any{
+		"pooled_scen_per_sec": 400.0,
+		"missed":              float64(0),
+		"scenarios":           float64(4096),
+	}, 0.5)
+	if n != 0 || v["pooled_scen_per_sec"] != "improved" || v["missed"] != "improved" {
+		t.Fatalf("improvements misclassified: regressions=%d verdicts=%v", n, v)
+	}
+}
+
+func TestCompareMetricsBoolInvariant(t *testing.T) {
+	// Invariant bits gate on any true→false flip regardless of threshold.
+	n, v := regressionCount(t,
+		map[string]any{"worker_invariant": true, "pooled_naive_equal": true},
+		map[string]any{"worker_invariant": false, "pooled_naive_equal": true},
+		1000)
+	if n != 1 || v["worker_invariant"] != "REGRESSION" || v["pooled_naive_equal"] != "ok" {
+		t.Fatalf("bool flip: regressions=%d verdicts=%v", n, v)
+	}
+	n, v = regressionCount(t,
+		map[string]any{"worker_invariant": false},
+		map[string]any{"worker_invariant": true}, 0.5)
+	if n != 0 || v["worker_invariant"] != "improved" {
+		t.Fatalf("false→true: regressions=%d verdicts=%v", n, v)
+	}
+}
+
+func TestCompareMetricsZeroBaselineAndMissingKeys(t *testing.T) {
+	// Zero baseline: a lower-is-better metric appearing from nowhere is a
+	// regression (relative change is undefined, absolute change is not).
+	n, v := regressionCount(t,
+		map[string]any{"oracle_errors": float64(0), "detected": float64(0)},
+		map[string]any{"oracle_errors": float64(3), "detected": float64(5)}, 0.5)
+	if n != 1 || v["oracle_errors"] != "REGRESSION" || v["detected"] != "ok" {
+		t.Fatalf("zero baseline: regressions=%d verdicts=%v", n, v)
+	}
+
+	// Keys present on only one side are skipped, not crashed on — schema
+	// growth between PRs must not break old baselines.
+	n, v = regressionCount(t,
+		map[string]any{"old_only_ns": float64(1)},
+		map[string]any{"new_only_ns": float64(9)}, 0.5)
+	if n != 0 || len(v) != 0 {
+		t.Fatalf("disjoint keys: regressions=%d verdicts=%v", n, v)
+	}
+
+	// Non-numeric, non-bool values stay informational.
+	n, v = regressionCount(t,
+		map[string]any{"mode_ns": "pooled"},
+		map[string]any{"mode_ns": "naive"}, 0.5)
+	if n != 0 || v["mode_ns"] != "info" {
+		t.Fatalf("string metric: regressions=%d verdicts=%v", n, v)
+	}
+}

@@ -22,7 +22,10 @@
 //	                        worker-scaling calibration runs (-json FILE
 //	                        writes the bench artifact; -incident-dir DIR
 //	                        files a bundle per alert and per missed
-//	                        unsafe injection)
+//	                        unsafe injection; with -metrics addr the
+//	                        server also streams live NDJSON progress on
+//	                        /campaign and rabit_campaign_* gauges on
+//	                        /metrics/prom)
 //	rabiteval -incident-dir DIR
 //	                        with the bug study (all, -table 5, -fig 5/6):
 //	                        run the fully equipped configuration with the
@@ -41,6 +44,17 @@
 //	                        render mode: print every trace in an
 //	                        OTLP-JSON file as a cause-first span tree,
 //	                        alert traces first (no experiments run)
+//	rabiteval -rules        run the per-rule safety report: every rule
+//	                        ranked by fire rate, eval latency, and
+//	                        near-miss margin over the bug study
+//	rabiteval -compare old.json new.json
+//	                        diff two bench artifacts metric by metric;
+//	                        non-zero exit when a gated metric regressed
+//	                        beyond -threshold (default 50%)
+//	rabiteval -validate-om SRC
+//	                        validate one OpenMetrics exposition (file
+//	                        path or http URL) against the grammar
+//	rabiteval -version      print build provenance and exit
 //
 // With -metrics addr the process serves live telemetry while the
 // experiments run: /debug/vars (expvar), /metrics (text exposition), and
@@ -78,6 +92,7 @@ func writeBenchJSON(path, name string, config, metrics map[string]any, rows any)
 		Schema    string         `json:"schema"`
 		Name      string         `json:"name"`
 		Timestamp string         `json:"timestamp"`
+		Build     obs.BuildInfo  `json:"build"`
 		Config    map[string]any `json:"config"`
 		Metrics   map[string]any `json:"metrics"`
 		Rows      any            `json:"rows,omitempty"`
@@ -85,6 +100,7 @@ func writeBenchJSON(path, name string, config, metrics map[string]any, rows any)
 		Schema:    benchSchema,
 		Name:      name,
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Build:     obs.ReadBuild(),
 		Config:    config,
 		Metrics:   metrics,
 		Rows:      rows,
@@ -117,6 +133,11 @@ func run() error {
 	workers := flag.Int("workers", 0, "with -campaign, parallel worker count (0 = GOMAXPROCS)")
 	jsonPath := flag.String("json", "", "with -throughput, -motion, or -campaign, also write the results to this JSON file")
 	pilot := flag.Bool("pilot", false, "run the pilot-study configuration-error experiment")
+	rulesMode := flag.Bool("rules", false, "run the per-rule safety report: rank every rule by fire rate, eval latency, and near-miss margin")
+	compareMode := flag.Bool("compare", false, "compare two bench JSON artifacts: rabiteval -compare old.json new.json (non-zero exit on regression)")
+	compareThreshold := flag.Float64("threshold", 0.5, "with -compare, tolerated relative change in the bad direction (0.5 = 50%)")
+	validateOM := flag.String("validate-om", "", "validate one OpenMetrics exposition (file path or http URL) and exit")
+	version := flag.Bool("version", false, "print build provenance and exit")
 	metricsAddr := flag.String("metrics", "", "serve /debug/vars, /metrics, and pprof on this address while experiments run")
 	incidentDir := flag.String("incident-dir", "", "write flight-recorder incident bundles from the bug study here")
 	incidents := flag.String("incidents", "", "analyze the incident bundles under this directory and exit")
@@ -125,6 +146,19 @@ func run() error {
 	seed := flag.Int64("seed", 1, "noise seed")
 	flag.Parse()
 
+	if *version {
+		fmt.Println("rabiteval", obs.ReadBuild())
+		return nil
+	}
+	if *compareMode {
+		if flag.NArg() != 2 {
+			return fmt.Errorf("-compare wants two artifacts: rabiteval -compare old.json new.json")
+		}
+		return compareRun(flag.Arg(0), flag.Arg(1), *compareThreshold)
+	}
+	if *validateOM != "" {
+		return validateOMRun(*validateOM)
+	}
 	if *incidents != "" {
 		return incidentsRun(*incidents)
 	}
@@ -146,6 +180,9 @@ func run() error {
 		fmt.Printf("telemetry: http://%s/metrics (also /debug/vars, /debug/pprof)\n", srv.Addr)
 	}
 
+	if *rulesMode {
+		return rulesRun(*seed)
+	}
 	if *campaignMode {
 		return campaignRun(*campaignN, uint64(*seed), *workers, *jsonPath, *incidentDir)
 	}
@@ -238,6 +275,20 @@ func incidentsRun(dir string) error {
 		fmt.Println(eval.RenderIncidentTimeline(in))
 	}
 	fmt.Print(eval.RenderIncidentReport(eval.BuildIncidentReport(incs)))
+	return nil
+}
+
+// rulesRun is the per-rule safety report: the sixteen-bug study plus a
+// clean run, every rule's labeled metric series merged and ranked by
+// fire rate.
+func rulesRun(seed int64) error {
+	fmt.Println("=== Per-rule safety report: fire rate, eval latency, near-miss margin ===")
+	rows, err := eval.RulesReport(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(eval.RenderRuleReport(rows))
+	fmt.Println()
 	return nil
 }
 
@@ -502,7 +553,16 @@ func campaignRun(n int, seed uint64, workers int, jsonPath, incidentDir string) 
 	cores := runtime.NumCPU()
 	fmt.Printf("=== Campaign: %d seeded scenarios, %d workers, %d core(s) ===\n", n, workers, cores)
 
-	pooled, err := campaign.Run(campaign.Options{N: n, Seed: seed, Workers: workers, IncidentDir: incidentDir})
+	// Live telemetry: the campaign registry's rabit_campaign_* gauges
+	// land on /metrics and /metrics/prom, and /campaign streams NDJSON
+	// progress snapshots — both served by -metrics while the run is hot.
+	reg := obs.NewRegistry("campaign")
+	obs.Register(reg)
+	defer obs.Unregister(reg)
+	prog := campaign.NewProgress(reg)
+	obs.RegisterHTTPHandler("/campaign", prog)
+
+	pooled, err := campaign.Run(campaign.Options{N: n, Seed: seed, Workers: workers, IncidentDir: incidentDir, Progress: prog})
 	if err != nil {
 		return err
 	}

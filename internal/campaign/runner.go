@@ -43,6 +43,11 @@ type Options struct {
 	// unsafe injection, so every oracle-confirmed miss leaves a
 	// debuggable artifact.
 	IncidentDir string
+	// Progress, when set, receives live telemetry: scenario counts,
+	// running detection/miss/false-alarm tallies, throughput, ETA, and
+	// per-worker progress, published as rabit_campaign_* gauges and the
+	// /campaign NDJSON stream. Nil runs silently.
+	Progress *Progress
 }
 
 // KindStats aggregates scenario outcomes for one fault kind.
@@ -172,12 +177,13 @@ func Run(o Options) (*Summary, error) {
 	var next atomic.Int64
 	accums := make([]*accum, o.Workers)
 	var wg sync.WaitGroup
+	o.Progress.begin(o.N, o.Workers)
 	start := time.Now()
 	for w := 0; w < o.Workers; w++ {
 		acc := &accum{}
 		accums[w] = acc
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				base := next.Add(chunkSize) - chunkSize
@@ -187,13 +193,14 @@ func Run(o Options) (*Summary, error) {
 				end := min(base+chunkSize, int64(o.N))
 				for i := base; i < end; i++ {
 					sc := gen.Scenario(int(i))
-					runOne(sc, runtimes[sc.Deck], o, acc)
+					runOne(sc, runtimes[sc.Deck], o, acc, worker)
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	wall := time.Since(start)
+	o.Progress.finish()
 
 	s := &Summary{N: o.N, Seed: o.Seed, Workers: o.Workers, Naive: o.Naive, WallNS: wall.Nanoseconds()}
 	for _, acc := range accums {
@@ -216,7 +223,7 @@ func Run(o Options) (*Summary, error) {
 // runOne replays one scenario twice — unprotected against the
 // ground-truth world (the oracle) and through the full RABIT stack — and
 // classifies the outcome.
-func runOne(sc *Scenario, rt *deckRuntime, o Options, acc *accum) {
+func runOne(sc *Scenario, rt *deckRuntime, o Options, acc *accum, worker int) {
 	// The oracle replay shares the deck's world-plan cache in pooled mode;
 	// the naive baseline re-solves from scratch, as a one-shot harness
 	// would.
@@ -239,8 +246,13 @@ func runOne(sc *Scenario, rt *deckRuntime, o Options, acc *accum) {
 	}
 	if err != nil {
 		acc.setupErrors++
+		o.Progress.scenarioDone(worker, false, false, false)
 		return
 	}
+	o.Progress.scenarioDone(worker,
+		oracleUnsafe && alerted,
+		oracleUnsafe && !alerted,
+		!oracleUnsafe && alerted && sc.Fault.Kind == FaultNone)
 
 	ks := &acc.byFault[sc.Fault.Kind]
 	ks.Scenarios++

@@ -185,6 +185,14 @@ func WithSerialPipeline() Option {
 	return func(e *Engine) { e.serial = true }
 }
 
+// WithoutRuleMetrics disables per-rule instrumentation (evaluation and
+// fire counts, eval latency, near-miss margins): validation runs the
+// uninstrumented path with zero per-rule cost. The overhead benchmark's
+// baseline uses it; deployments keep the default (enabled).
+func WithoutRuleMetrics() Option {
+	return func(e *Engine) { e.noRuleMetrics = true }
+}
+
 // WithObserver attaches a telemetry registry — typically the system-wide
 // one shared with the interceptor and simulator. Passing nil disables
 // instrumentation entirely (CheckOverhead then reports zero); without
@@ -301,6 +309,10 @@ type Engine struct {
 	// by the single-flight gate.
 	cSpeculations *obs.Counter
 	cSpecDropped  *obs.Counter
+	// ruleMetrics caches per-rule instruments (ISSUE 10); nil when
+	// disabled via WithoutRuleMetrics or when instrumentation is off.
+	ruleMetrics   *rules.RuleMetrics
+	noRuleMetrics bool
 }
 
 var _ trace.Checker = (*Engine)(nil)
@@ -323,6 +335,9 @@ func New(rb *rules.Rulebase, env Environment, opts ...Option) *Engine {
 	e.cCommands = e.obs.Counter(obs.CounterCommands)
 	e.cSpeculations = e.obs.Counter(obs.CounterSpeculations)
 	e.cSpecDropped = e.obs.Counter(obs.CounterSpeculationsDropped)
+	if !e.noRuleMetrics {
+		e.ruleMetrics = rules.NewRuleMetrics(e.obs, rb)
+	}
 	// The motion fast path engages only when the simulator carries a deck
 	// epoch — without it there is no sound pairing to speculate against.
 	e.epocher, _ = e.sim.(deckEpocher)
@@ -386,6 +401,7 @@ func (e *Engine) Start() {
 	e.hCompare.Reset()
 	e.obs.ResetPrefix(obs.PrefixAlerts)
 	e.obs.ResetPrefix(obs.PrefixViolations)
+	e.ruleMetrics.Reset()
 	e.obs.Gauge(obs.GaugeRules).Set(int64(len(e.rb.Rules())))
 	e.slos.Reset()
 }
@@ -573,8 +589,12 @@ func (e *Engine) beforeGlobal(cmd action.Command, start time.Time, fs **Alert) e
 	// 1% of a check: before.validate runs from Before's entry (it covers
 	// normalization + rule evaluation) and its end stamp doubles as
 	// before.trajectory's start. Trace spans reuse the same stamps.
+	traceID := ""
+	if tctx.Valid() {
+		traceID = tctx.Trace.String()
+	}
 	e.stateMu.RLock()
-	vs := e.rb.Validate(e.model, cmd)
+	vs := e.rb.ValidateObserved(e.model, cmd, e.ruleMetrics, traceID)
 	if act != nil {
 		scope := recordScope(cmd, e.model.GetString(state.ContainerInside(cmd.Device)))
 		act.R.Pre = recorder.CaptureView(e.model, scope)
@@ -582,7 +602,7 @@ func (e *Engine) beforeGlobal(cmd action.Command, start time.Time, fs **Alert) e
 	e.stateMu.RUnlock()
 	validateEnd := time.Now()
 	vd := validateEnd.Sub(start)
-	e.hValidate.Observe(vd)
+	e.hValidate.ObserveExemplar(vd, traceID)
 	if act != nil {
 		act.R.Spans.ValidateNS = vd.Nanoseconds()
 	}
@@ -615,7 +635,7 @@ func (e *Engine) beforeGlobal(cmd action.Command, start time.Time, fs **Alert) e
 		e.stateMu.RUnlock()
 		trajEnd := time.Now()
 		td := trajEnd.Sub(validateEnd)
-		e.hTrajectory.Observe(td)
+		e.hTrajectory.ObserveExemplar(td, traceID)
 		if act != nil {
 			act.R.Spans.TrajectoryNS = td.Nanoseconds()
 		}
@@ -670,13 +690,17 @@ func (e *Engine) afterGlobal(cmd action.Command, start time.Time, fs **Alert) er
 		}
 	}
 	tctx := e.traceOf(cmd, act)
+	traceID := ""
+	if tctx.Valid() {
+		traceID = tctx.Trace.String()
+	}
 	// after.fetch runs from After's entry through state acquisition; its
 	// end stamp doubles as after.compare's start (see Before).
 	observed := e.env.FetchState()
 	e.dropInFlight(observed)
 	fetchEnd := time.Now()
 	fd := fetchEnd.Sub(start)
-	e.hFetch.Observe(fd)
+	e.hFetch.ObserveExemplar(fd, traceID)
 	e.stateMu.RLock()
 	var expected state.View = e.model
 	if pending != nil {
@@ -690,7 +714,7 @@ func (e *Engine) afterGlobal(cmd action.Command, start time.Time, fs **Alert) er
 	e.stateMu.RUnlock()
 	compareEnd := time.Now()
 	cd := compareEnd.Sub(fetchEnd)
-	e.hCompare.Observe(cd)
+	e.hCompare.ObserveExemplar(cd, traceID)
 	if act != nil {
 		act.R.Spans.FetchNS = fd.Nanoseconds()
 		act.R.Spans.CompareNS = cd.Nanoseconds()

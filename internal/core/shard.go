@@ -222,8 +222,12 @@ func (e *Engine) beforeSharded(cmd action.Command, start time.Time, fs **Alert) 
 	}
 	t.rec = e.beginRecord(cmd, recorder.PathSharded)
 	t.tctx = e.traceOf(cmd, t.rec)
+	traceID := ""
+	if t.tctx.Valid() {
+		traceID = t.tctx.Trace.String()
+	}
 	e.stateMu.RLock()
-	vs := e.rb.Validate(e.model, cmd)
+	vs := e.rb.ValidateObserved(e.model, cmd, e.ruleMetrics, traceID)
 	if len(vs) == 0 {
 		t.expected = e.rb.ExpectedOverlay(e.model, cmd)
 	}
@@ -234,7 +238,7 @@ func (e *Engine) beforeSharded(cmd action.Command, start time.Time, fs **Alert) 
 	e.stateMu.RUnlock()
 	validateEnd := time.Now()
 	vd := validateEnd.Sub(start)
-	e.hValidate.Observe(vd)
+	e.hValidate.ObserveExemplar(vd, traceID)
 	if t.rec != nil {
 		t.rec.R.Spans.ValidateNS = vd.Nanoseconds()
 	}
@@ -266,16 +270,20 @@ func (e *Engine) afterSharded(cmd action.Command, start time.Time, fs **Alert) e
 		return fmt.Errorf("%w: %s", ErrStopped, stopped.Error())
 	}
 	e.cCommands.Inc()
+	traceID := ""
+	if t.tctx.Valid() {
+		traceID = t.tctx.Trace.String()
+	}
 	observed := e.fetchScoped(t)
 	fetchEnd := time.Now()
 	fd := fetchEnd.Sub(start)
-	e.hFetch.Observe(fd)
+	e.hFetch.ObserveExemplar(fd, traceID)
 	e.stateMu.RLock()
 	ms := state.CompareObservedView(t.expected, observed)
 	e.stateMu.RUnlock()
 	compareEnd := time.Now()
 	cd := compareEnd.Sub(fetchEnd)
-	e.hCompare.Observe(cd)
+	e.hCompare.ObserveExemplar(cd, traceID)
 	if t.rec != nil {
 		t.rec.R.Spans.FetchNS = fd.Nanoseconds()
 		t.rec.R.Spans.CompareNS = cd.Nanoseconds()

@@ -61,6 +61,9 @@ type Options struct {
 	// NoTracing disables the causal tracing layer — the trace-overhead
 	// benchmark's before/after switch.
 	NoTracing bool
+	// NoRuleMetrics disables the per-rule labeled metric families — the
+	// labeled-observability overhead benchmark's before/after switch.
+	NoRuleMetrics bool
 	// TraceFile is where retained traces are exported as OTLP-JSON lines
 	// (empty: in-memory retention only).
 	TraceFile string
@@ -122,6 +125,7 @@ func NewSetup(spec *config.LabSpec, o Options) (*Setup, error) {
 		IncidentTag:       o.IncidentTag,
 		NoRecorder:        o.NoRecorder,
 		NoTracing:         o.NoTracing,
+		NoRuleMetrics:     o.NoRuleMetrics,
 		TraceFile:         o.TraceFile,
 		TraceExporter:     o.TraceExporter,
 		Seed:              o.Seed,

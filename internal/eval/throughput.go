@@ -42,6 +42,9 @@ type ThroughputOptions struct {
 	// NoTracing disables the causal tracing layer — the trace-overhead
 	// benchmark's before/after switch.
 	NoTracing bool
+	// NoRuleMetrics disables the per-rule labeled metric families — the
+	// labeled-observability overhead benchmark's before/after switch.
+	NoRuleMetrics bool
 	// Seed drives stochastic fidelity noise.
 	Seed int64
 }
@@ -125,6 +128,7 @@ func Throughput(o ThroughputOptions) (*ThroughputResult, error) {
 		SerialPipeline: o.Serial,
 		NoRecorder:     o.NoRecorder,
 		NoTracing:      o.NoTracing,
+		NoRuleMetrics:  o.NoRuleMetrics,
 		Seed:           o.Seed,
 	})
 	if err != nil {

@@ -40,6 +40,11 @@ const (
 	DefaultQueueDepth = 4
 	// DefaultMaxTenants caps the engine pool.
 	DefaultMaxTenants = 16
+	// DefaultWriteTimeout bounds each write of a streamed NDJSON verdict
+	// response: a client that stops reading cannot pin a session lock
+	// and an admission token for longer than this per verdict line. The
+	// aborted stream increments rabit_gateway_slow_client_aborts_total.
+	DefaultWriteTimeout = 10 * time.Second
 )
 
 // Options configures a Gateway.
@@ -60,6 +65,10 @@ type Options struct {
 	// traffic for this long (its System is closed and its engine
 	// released). Zero keeps tenants forever.
 	IdleTimeout time.Duration
+	// WriteTimeout bounds each write on a streamed verdict response
+	// (default DefaultWriteTimeout); see the slow-client guard in
+	// handleCommands. Negative disables the deadline.
+	WriteTimeout time.Duration
 	// ConfigureSystem, when set, runs after each tenant's System is
 	// built and before it serves commands — the evaluation harness uses
 	// it to set execution pacing on the tenant's environment.
@@ -76,6 +85,17 @@ type tenant struct {
 	sem      chan struct{}
 	sessions int
 	lastUsed time.Time
+
+	// Cached per-tenant instruments (ISSUE 10): the RED set plus
+	// admission-queue depth, rejections, and active sessions, all
+	// tenant-labeled series of the gateway's own registry. Resolved once
+	// at tenant construction so the request path is atomic increments.
+	mReqs     *obs.Counter
+	mErrs     *obs.Counter
+	mRejects  *obs.Counter
+	mDur      *obs.Histogram
+	mQueue    *obs.Gauge
+	mSessions *obs.Gauge
 }
 
 // session is one experiment script's attachment to a tenant: its own
@@ -100,6 +120,18 @@ type session struct {
 type Gateway struct {
 	opts  Options
 	group *obs.Group
+	// reg is the gateway's own registry (scrape alias "gateway"): the
+	// tenant-labeled admission and RED families live here, beside — not
+	// inside — the tenants' per-System registries, so tenant eviction
+	// never erases the gateway's view of that lab's request history.
+	reg         *obs.Registry
+	famReqs     *obs.Family
+	famErrs     *obs.Family
+	famRejects  *obs.Family
+	famDur      *obs.Family
+	famQueue    *obs.Family
+	famSessions *obs.Family
+	cSlowAborts *obs.Counter
 
 	mu       sync.Mutex
 	tenants  map[string]*tenant
@@ -131,13 +163,25 @@ func New(opts Options) *Gateway {
 	if opts.MaxTenants <= 0 {
 		opts.MaxTenants = DefaultMaxTenants
 	}
+	if opts.WriteTimeout == 0 {
+		opts.WriteTimeout = DefaultWriteTimeout
+	}
 	opts.System.TraceFile = ""
 	g := &Gateway{
 		opts:     opts,
 		group:    obs.NewGroup(),
+		reg:      obs.NewRegistry("gateway"),
 		tenants:  map[string]*tenant{},
 		sessions: map[string]*session{},
 	}
+	g.group.Register(g.reg)
+	g.famReqs = g.reg.CounterFamily(obs.FamilyGatewayRequests, obs.LabelTenant)
+	g.famErrs = g.reg.CounterFamily(obs.FamilyGatewayErrors, obs.LabelTenant)
+	g.famRejects = g.reg.CounterFamily(obs.FamilyGatewayRejections, obs.LabelTenant)
+	g.famDur = g.reg.HistogramFamily(obs.FamilyGatewayRequest, obs.LabelTenant)
+	g.famQueue = g.reg.GaugeFamily(obs.FamilyGatewayQueueDepth, obs.LabelTenant)
+	g.famSessions = g.reg.GaugeFamily(obs.FamilyGatewaySessions, obs.LabelTenant)
+	g.cSlowAborts = g.reg.Counter(obs.CounterGatewaySlowClientAborts)
 	g.health = g.group.RegisterHealth("gateway", func() obs.Health {
 		if g.draining.Load() {
 			return obs.Health{OK: true, Ready: false, Detail: "draining"}
@@ -206,6 +250,9 @@ func (g *Gateway) tenantFor(spec *config.LabSpec) (*tenant, error) {
 	}
 	o := g.opts.System
 	o.ObsGroup = g.group
+	// Each tenant's safety SLOs carry its lab as the tenant label, so
+	// per-tenant burn rates export as distinct series.
+	o.Tenant = spec.Lab
 	if o.IncidentTag == "" {
 		o.IncidentTag = spec.Lab
 	}
@@ -217,10 +264,16 @@ func (g *Gateway) tenantFor(spec *config.LabSpec) (*tenant, error) {
 		g.opts.ConfigureSystem(spec.Lab, sys)
 	}
 	t := &tenant{
-		lab:      spec.Lab,
-		sys:      sys,
-		sem:      make(chan struct{}, g.opts.QueueDepth),
-		lastUsed: time.Now(),
+		lab:       spec.Lab,
+		sys:       sys,
+		sem:       make(chan struct{}, g.opts.QueueDepth),
+		lastUsed:  time.Now(),
+		mReqs:     g.famReqs.Counter(spec.Lab),
+		mErrs:     g.famErrs.Counter(spec.Lab),
+		mRejects:  g.famRejects.Counter(spec.Lab),
+		mDur:      g.famDur.Histogram(spec.Lab),
+		mQueue:    g.famQueue.Gauge(spec.Lab),
+		mSessions: g.famSessions.Gauge(spec.Lab),
 	}
 	g.tenants[spec.Lab] = t
 	return t, nil
@@ -254,6 +307,7 @@ func (g *Gateway) CreateSession(lab string, raw []byte) (string, string, error) 
 	s := &session{id: id, tenant: t, ic: ic}
 	g.sessions[id] = s
 	t.sessions++
+	t.mSessions.Set(int64(t.sessions))
 	t.lastUsed = time.Now()
 	return id, t.lab, nil
 }
@@ -275,6 +329,7 @@ func (g *Gateway) CloseSession(id string) error {
 	if ok {
 		delete(g.sessions, id)
 		s.tenant.sessions--
+		s.tenant.mSessions.Set(int64(s.tenant.sessions))
 		s.tenant.lastUsed = time.Now()
 	}
 	g.mu.Unlock()

@@ -108,15 +108,27 @@ func (g *Gateway) handleCommands(w http.ResponseWriter, r *http.Request) {
 	select {
 	case t.sem <- struct{}{}:
 	default:
+		t.mRejects.Inc()
 		w.Header().Set("Retry-After", "1")
 		writeErr(w, http.StatusTooManyRequests,
 			errors.New("gateway: lab "+t.lab+" admission queue full"))
 		return
 	}
-	defer func() { <-t.sem }()
+	t.mQueue.Set(int64(len(t.sem)))
+	defer func() {
+		<-t.sem
+		t.mQueue.Set(int64(len(t.sem)))
+	}()
 	g.mu.Lock()
 	t.lastUsed = time.Now()
 	g.mu.Unlock()
+
+	// RED accounting: the batch is the request unit. A batch whose
+	// stream ends in any error — alert, engine error, or a severed slow
+	// client — counts against the tenant's error series.
+	t.mReqs.Inc()
+	start := time.Now()
+	defer func() { t.mDur.Observe(time.Since(start)) }()
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -124,6 +136,12 @@ func (g *Gateway) handleCommands(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
+	// Slow-client guard: every verdict line must be written (and
+	// flushed) within WriteTimeout, or the stream is severed. Without a
+	// deadline, a client that stops reading pins this session's lock and
+	// one of the tenant's QueueDepth admission tokens indefinitely —
+	// starving the lab's other scripts off a full verdict buffer.
+	rc := http.NewResponseController(w)
 	for i, cmd := range batch.Commands {
 		var err error
 		if i+1 < len(batch.Commands) {
@@ -135,11 +153,19 @@ func (g *Gateway) handleCommands(w http.ResponseWriter, r *http.Request) {
 			err = s.ic.Do(cmd)
 		}
 		s.seq++
-		_ = enc.Encode(result(cmd, s.seq, err))
+		if g.opts.WriteTimeout > 0 {
+			_ = rc.SetWriteDeadline(time.Now().Add(g.opts.WriteTimeout))
+		}
+		if werr := enc.Encode(result(cmd, s.seq, err)); werr != nil {
+			g.cSlowAborts.Inc()
+			t.mErrs.Inc()
+			return
+		}
 		if flusher != nil {
 			flusher.Flush()
 		}
 		if err != nil {
+			t.mErrs.Inc()
 			return
 		}
 	}

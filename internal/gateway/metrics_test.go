@@ -1,0 +1,179 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/action"
+	"repro/internal/obs"
+)
+
+// scrapeOM fetches /metrics/prom with OpenMetrics content negotiation
+// and runs the exposition through the grammar validator.
+func scrapeOM(t *testing.T, base string) string {
+	t.Helper()
+	req, _ := http.NewRequest(http.MethodGet, base+"/metrics/prom", nil)
+	req.Header.Set("Accept", "application/openmetrics-text")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/openmetrics-text") {
+		t.Fatalf("content type %q, want openmetrics", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateOpenMetrics(body); err != nil {
+		t.Fatalf("exposition fails the OpenMetrics grammar: %v\n%s", err, body)
+	}
+	return string(body)
+}
+
+// Two tenants behind one gateway: every tenant-labeled series must
+// account only its own lab's traffic — requests, errors, rejections,
+// sessions, and the per-tenant SLO burn rates — with zero label bleed
+// into the idle tenant.
+func TestGatewayTenantMetricsIsolation(t *testing.T) {
+	gw, srv := newTestGateway(t, Options{QueueDepth: 2})
+	busy := createSession(t, srv, CreateSessionRequest{Spec: rawSpec(t, fleetSpec("iso-busy", 1))})
+	_ = createSession(t, srv, CreateSessionRequest{Spec: rawSpec(t, fleetSpec("iso-idle", 1))})
+
+	ok := []action.Command{{Device: "hp00", Action: action.ReadStatus}}
+	for i := 0; i < 2; i++ {
+		if got, status := postBatch(t, srv, busy.id(), ok); status != http.StatusOK || len(got) != 1 {
+			t.Fatalf("ok batch %d: status %d, %d verdicts", i, status, len(got))
+		}
+	}
+	// One erroring batch: the blocked setpoint lands in the busy
+	// tenant's error series.
+	bad := []action.Command{{Device: "hp00", Action: action.SetActionValue, Value: 400}}
+	if got, status := postBatch(t, srv, busy.id(), bad); status != http.StatusOK || len(got) != 1 || got[0].Outcome != OutcomeBlocked {
+		t.Fatalf("blocked batch: status %d, verdicts %v", status, got)
+	}
+	// One backpressure rejection: saturate the busy tenant's admission
+	// queue by hand and bounce a batch off it.
+	bt := gw.tenants["iso-busy"]
+	for i := 0; i < cap(bt.sem); i++ {
+		bt.sem <- struct{}{}
+	}
+	raw, _ := json.Marshal(CommandBatch{Commands: ok})
+	resp, err := http.Post(srv.URL+"/v1/sessions/"+busy.id()+"/commands", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated queue: status %d, want 429", resp.StatusCode)
+	}
+	for i := 0; i < cap(bt.sem); i++ {
+		<-bt.sem
+	}
+
+	text := scrapeOM(t, srv.URL)
+	for _, want := range []string{
+		`rabit_gateway_requests_total{reg="gateway",tenant="iso-busy"} 3`,
+		`rabit_gateway_errors_total{reg="gateway",tenant="iso-busy"} 1`,
+		`rabit_gateway_rejections_total{reg="gateway",tenant="iso-busy"} 1`,
+		`rabit_gateway_sessions{reg="gateway",tenant="iso-busy"} 1`,
+		// The idle tenant's series exist (instruments resolve at tenant
+		// construction) and hold exactly zero — no bleed.
+		`rabit_gateway_requests_total{reg="gateway",tenant="iso-idle"} 0`,
+		`rabit_gateway_errors_total{reg="gateway",tenant="iso-idle"} 0`,
+		`rabit_gateway_rejections_total{reg="gateway",tenant="iso-idle"} 0`,
+		`rabit_gateway_sessions{reg="gateway",tenant="iso-idle"} 1`,
+		`rabit_gateway_request_seconds_count{reg="gateway",tenant="iso-idle"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// The request-duration histogram counted exactly the busy tenant's
+	// three batches.
+	if !strings.Contains(text, `rabit_gateway_request_seconds_count{reg="gateway",tenant="iso-busy"} 3`) {
+		t.Errorf("busy tenant's duration histogram did not count 3 batches")
+	}
+	// Per-tenant SLO series: each tenant's safety SLOs carry its lab as
+	// the tenant label, and neither label leaks into the other's series.
+	if !strings.Contains(text, `tenant="iso-busy"} `) || !strings.Contains(text, "rabit_slo_objective{slo=") {
+		t.Errorf("per-tenant SLO series missing")
+	}
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, `tenant="iso-busy"`) && strings.Contains(line, `tenant="iso-idle"`) {
+			t.Errorf("tenant labels bleed into one sample: %q", line)
+		}
+	}
+}
+
+// stallWriter is a ResponseWriter whose underlying connection has
+// stopped accepting bytes: every write after the first fails the way a
+// timed-out socket write does.
+type stallWriter struct {
+	hdr    http.Header
+	writes int
+}
+
+func (w *stallWriter) Header() http.Header { return w.hdr }
+func (w *stallWriter) WriteHeader(int)     {}
+func (w *stallWriter) Write(p []byte) (int, error) {
+	w.writes++
+	if w.writes > 1 {
+		return 0, errors.New("write tcp: i/o timeout (slow client)")
+	}
+	return len(p), nil
+}
+
+// A client that stops reading mid-stream must not pin the session or
+// its admission token: the stream aborts, the abort is counted against
+// the gateway and the tenant's error series, and the tenant keeps
+// serving other clients.
+func TestGatewaySlowClientAbort(t *testing.T) {
+	gw := New(Options{WriteTimeout: 50 * time.Millisecond})
+	defer gw.Close()
+	id, lab, err := gw.CreateSession("", rawSpec(t, fleetSpec("stall-lab", 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cmds := []action.Command{
+		{Device: "hp00", Action: action.ReadStatus},
+		{Device: "hp00", Action: action.ReadStatus},
+		{Device: "hp00", Action: action.ReadStatus},
+	}
+	raw, _ := json.Marshal(CommandBatch{Commands: cmds})
+	req := httptest.NewRequest(http.MethodPost, "/v1/sessions/"+id+"/commands", bytes.NewReader(raw))
+	w := &stallWriter{hdr: http.Header{}}
+	gw.Handler().ServeHTTP(w, req)
+
+	if got := gw.cSlowAborts.Value(); got != 1 {
+		t.Fatalf("slow-client aborts = %d, want 1", got)
+	}
+	tn := gw.tenants[lab]
+	if got := tn.mErrs.Value(); got != 1 {
+		t.Fatalf("tenant errors = %d, want 1 (the severed stream)", got)
+	}
+	if n := len(tn.sem); n != 0 {
+		t.Fatalf("severed stream leaked %d admission token(s)", n)
+	}
+
+	// The session is still usable by a healthy client: the abort
+	// released the lock and the token.
+	rec := httptest.NewRecorder()
+	req = httptest.NewRequest(http.MethodPost, "/v1/sessions/"+id+"/commands", bytes.NewReader(raw))
+	gw.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("follow-up batch status %d, want 200", rec.Code)
+	}
+	if lines := strings.Count(strings.TrimSpace(rec.Body.String()), "\n") + 1; lines != len(cmds) {
+		t.Fatalf("follow-up batch streamed %d lines, want %d", lines, len(cmds))
+	}
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Build provenance (ISSUE 10): every artifact a RABIT deployment emits
+// — bench envelopes, incident bundles, the /buildz endpoint, -version
+// output — carries the exact build that produced it, read once from the
+// binary's embedded module info. A regression bisect or an incident
+// post-mortem then starts from "which commit was this?" already
+// answered.
+
+// BuildInfo identifies the running binary.
+type BuildInfo struct {
+	// Main is the main module path (e.g. "rabit").
+	Main string `json:"main,omitempty"`
+	// Version is the main module version ("(devel)" for source builds).
+	Version string `json:"version,omitempty"`
+	// Revision is the VCS revision the binary was built from.
+	Revision string `json:"revision,omitempty"`
+	// Time is the VCS commit time (RFC 3339).
+	Time string `json:"time,omitempty"`
+	// Dirty reports uncommitted changes at build time.
+	Dirty bool `json:"dirty,omitempty"`
+	// Go is the toolchain version.
+	Go string `json:"go"`
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo BuildInfo
+)
+
+// ReadBuild returns the binary's build provenance, computed once.
+func ReadBuild() BuildInfo {
+	buildOnce.Do(func() {
+		buildInfo = BuildInfo{Go: runtime.Version()}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		buildInfo.Main = bi.Main.Path
+		buildInfo.Version = bi.Main.Version
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfo.Revision = s.Value
+			case "vcs.time":
+				buildInfo.Time = s.Value
+			case "vcs.modified":
+				buildInfo.Dirty = s.Value == "true"
+			}
+		}
+	})
+	return buildInfo
+}
+
+// String renders the provenance for -version flags:
+// "rabit (devel) rev 5cae36b… (dirty) go1.24.1".
+func (b BuildInfo) String() string {
+	out := b.Main
+	if out == "" {
+		out = "rabit"
+	}
+	if b.Version != "" {
+		out += " " + b.Version
+	}
+	if b.Revision != "" {
+		rev := b.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		out += " rev " + rev
+	}
+	if b.Dirty {
+		out += " (dirty)"
+	}
+	return out + " " + b.Go
+}
+
+// buildzHandler serves the provenance as JSON on /buildz.
+func buildzHandler(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(ReadBuild())
+}

@@ -1,0 +1,273 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// Labeled instrument families (ISSUE 10). A Family is one metric name
+// fanned out over the values of a single label key — rule IDs, lab
+// tenants, campaign workers — so the Prometheus exposition can serve
+// `rabit_rule_evals_total{rule="general-11"}`-style series without the
+// registry's flat namespace absorbing unbounded dynamic names. Label
+// values are arbitrary strings (rule IDs are tenant-authored under
+// ROADMAP item 2); escaping happens at exposition time, never here.
+//
+// Hot paths resolve a label value's instrument once and cache the
+// pointer — Family lookups take an RWMutex, the instruments themselves
+// stay lock-free atomics. All methods tolerate nil receivers, matching
+// the rest of the package's "telemetry off" contract.
+
+// Family kinds.
+const (
+	KindCounter   = "counter"
+	KindGauge     = "gauge"
+	KindHistogram = "histogram"
+)
+
+// Histogram family units. Duration histograms expose in seconds; the
+// near-miss margin histograms reuse the same fixed bucket ladder as a
+// dimensionless ratio (an observation of margin m is recorded as
+// m×1e9 ns, so the exposition's ns→unit conversion yields the raw
+// ratio: le="0.001" holds margins ≤ 0.1%).
+const (
+	UnitSeconds = "seconds"
+	UnitRatio   = "ratio"
+)
+
+// Family is one labeled instrument family: a metric name, the label key
+// that dimensions it, and one instrument per label value, created
+// lazily.
+type Family struct {
+	name string
+	key  string
+	kind string
+	unit string // histograms only: UnitSeconds (default) or UnitRatio
+
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// Name returns the family's instrument name. Nil-safe ("").
+func (f *Family) Name() string {
+	if f == nil {
+		return ""
+	}
+	return f.name
+}
+
+// Key returns the family's label key. Nil-safe ("").
+func (f *Family) Key() string {
+	if f == nil {
+		return ""
+	}
+	return f.key
+}
+
+// Counter returns the counter for a label value, creating it on first
+// use. Only valid on counter families; other kinds return nil (which
+// itself no-ops). Nil-safe.
+func (f *Family) Counter(value string) *Counter {
+	if f == nil || f.kind != KindCounter {
+		return nil
+	}
+	f.mu.RLock()
+	c := f.counters[value]
+	f.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c = f.counters[value]; c == nil {
+		c = &Counter{}
+		f.counters[value] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge for a label value, creating it on first use.
+// Nil-safe.
+func (f *Family) Gauge(value string) *Gauge {
+	if f == nil || f.kind != KindGauge {
+		return nil
+	}
+	f.mu.RLock()
+	g := f.gauges[value]
+	f.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if g = f.gauges[value]; g == nil {
+		g = &Gauge{}
+		f.gauges[value] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram for a label value, creating it on
+// first use. Nil-safe.
+func (f *Family) Histogram(value string) *Histogram {
+	if f == nil || f.kind != KindHistogram {
+		return nil
+	}
+	f.mu.RLock()
+	h := f.hists[value]
+	f.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if h = f.hists[value]; h == nil {
+		h = NewHistogram()
+		f.hists[value] = h
+	}
+	return h
+}
+
+// Reset zeroes every counter and histogram in the family, leaving
+// gauges and the instrument set intact (cached pointers stay valid) —
+// the same contract as Registry.Reset. Nil-safe.
+func (f *Family) Reset() {
+	if f == nil {
+		return
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	for _, c := range f.counters {
+		c.Reset()
+	}
+	for _, h := range f.hists {
+		h.Reset()
+	}
+}
+
+// newFamily builds an empty family of the given kind.
+func newFamily(name, key, kind, unit string) *Family {
+	f := &Family{name: name, key: key, kind: kind, unit: unit}
+	switch kind {
+	case KindCounter:
+		f.counters = make(map[string]*Counter)
+	case KindGauge:
+		f.gauges = make(map[string]*Gauge)
+	case KindHistogram:
+		f.hists = make(map[string]*Histogram)
+	}
+	return f
+}
+
+// family returns the named family, creating it on first use. The first
+// creation fixes the family's label key, kind, and unit; later lookups
+// under the same name return the existing family regardless of the
+// requested shape (matching the registry's lazily-created-instrument
+// contract — names are agreed in stages.go, not negotiated at runtime).
+func (r *Registry) family(name, key, kind, unit string) *Family {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	f := r.fams[name]
+	r.mu.RUnlock()
+	if f != nil {
+		return f
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f = r.fams[name]; f == nil {
+		f = newFamily(name, key, kind, unit)
+		r.fams[name] = f
+	}
+	return f
+}
+
+// CounterFamily returns the named counter family dimensioned by the
+// label key, creating it on first use. Nil-safe (nil).
+func (r *Registry) CounterFamily(name, key string) *Family {
+	return r.family(name, key, KindCounter, "")
+}
+
+// GaugeFamily returns the named gauge family. Nil-safe.
+func (r *Registry) GaugeFamily(name, key string) *Family {
+	return r.family(name, key, KindGauge, "")
+}
+
+// HistogramFamily returns the named duration-histogram family (exposed
+// in seconds). Nil-safe.
+func (r *Registry) HistogramFamily(name, key string) *Family {
+	return r.family(name, key, KindHistogram, UnitSeconds)
+}
+
+// RatioHistogramFamily returns the named dimensionless-histogram family
+// (exposed as a raw ratio; see UnitRatio). Nil-safe.
+func (r *Registry) RatioHistogramFamily(name, key string) *Family {
+	return r.family(name, key, KindHistogram, UnitRatio)
+}
+
+// FamilySnapshot is one labeled family's state: the per-label-value
+// instrument snapshots reuse the flat snapshot types with Name holding
+// the label value.
+type FamilySnapshot struct {
+	Name       string              `json:"name"`
+	Key        string              `json:"key"`
+	Kind       string              `json:"kind"`
+	Unit       string              `json:"unit,omitempty"`
+	Counters   []CounterSnapshot   `json:"counters,omitempty"`
+	Gauges     []GaugeSnapshot     `json:"gauges,omitempty"`
+	Histograms []HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// snapshot captures the family, label values sorted.
+func (f *Family) snapshot() FamilySnapshot {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := FamilySnapshot{Name: f.name, Key: f.key, Kind: f.kind, Unit: f.unit}
+	for v, c := range f.counters {
+		out.Counters = append(out.Counters, CounterSnapshot{Name: v, Value: c.Value()})
+	}
+	for v, g := range f.gauges {
+		out.Gauges = append(out.Gauges, GaugeSnapshot{Name: v, Value: g.Value()})
+	}
+	for v, h := range f.hists {
+		out.Histograms = append(out.Histograms, h.snapshot(v))
+	}
+	sort.Slice(out.Counters, func(i, j int) bool { return out.Counters[i].Name < out.Counters[j].Name })
+	sort.Slice(out.Gauges, func(i, j int) bool { return out.Gauges[i].Name < out.Gauges[j].Name })
+	sort.Slice(out.Histograms, func(i, j int) bool { return out.Histograms[i].Name < out.Histograms[j].Name })
+	return out
+}
+
+// Family finds a family snapshot by name.
+func (s Snapshot) Family(name string) (FamilySnapshot, bool) {
+	for _, f := range s.Families {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return FamilySnapshot{}, false
+}
+
+// Counter finds a labeled counter value in the family snapshot (0 when
+// absent).
+func (f FamilySnapshot) Counter(label string) int64 {
+	for _, c := range f.Counters {
+		if c.Name == label {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// Histogram finds a labeled histogram in the family snapshot.
+func (f FamilySnapshot) Histogram(label string) (HistogramSnapshot, bool) {
+	for _, h := range f.Histograms {
+		if h.Name == label {
+			return h, true
+		}
+	}
+	return HistogramSnapshot{}, false
+}

@@ -126,18 +126,26 @@ func (g *Group) CheckHealth() (ok, ready bool, components map[string]Health) {
 }
 
 // RegisterSLO adds an SLO to the group (nil-safe).
-func (g *Group) RegisterSLO(s *SLO) *SLOReg {
+func (g *Group) RegisterSLO(s *SLO) *SLOReg { return g.RegisterSLOTenant(s, "") }
+
+// RegisterSLOTenant adds an SLO to the group scoped to a lab tenant:
+// the snapshot carries the tenant, which the Prometheus exposition
+// renders as a tenant label. Name aliasing is per (name, tenant) — two
+// tenants registering "check_overhead" stay distinct series through
+// the label, not through a "#N" suffix. Nil-safe.
+func (g *Group) RegisterSLOTenant(s *SLO, tenant string) *SLOReg {
 	if s == nil {
 		return nil
 	}
 	g.sloMu.Lock()
 	defer g.sloMu.Unlock()
-	g.sloSeq[s.name]++
+	seqKey := s.name + "\x00" + tenant
+	g.sloSeq[seqKey]++
 	alias := s.name
-	if n := g.sloSeq[s.name]; n > 1 {
+	if n := g.sloSeq[seqKey]; n > 1 {
 		alias = fmt.Sprintf("%s#%d", alias, n)
 	}
-	r := &SLOReg{g: g, slo: s, alias: alias}
+	r := &SLOReg{g: g, slo: s, alias: alias, tenant: tenant}
 	g.sloGroup = append(g.sloGroup, r)
 	return r
 }
@@ -152,6 +160,7 @@ func (g *Group) SLOSnapshots() []SLOSnapshot {
 	for _, r := range regs {
 		snap := r.slo.Snapshot()
 		snap.Name = r.alias
+		snap.Tenant = r.tenant
 		out = append(out, snap)
 	}
 	return out

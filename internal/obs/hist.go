@@ -44,6 +44,17 @@ type Histogram struct {
 	count   atomic.Int64
 	sum     atomic.Int64 // nanoseconds
 	max     atomic.Int64 // nanoseconds
+	// exemplars holds the most recent trace-carrying observation per
+	// bucket (nil until one lands) — the metric→trace links the
+	// OpenMetrics exposition emits. Stored as pointers so an update is a
+	// single atomic publish.
+	exemplars [numBuckets]atomic.Pointer[Exemplar]
+}
+
+// Exemplar pairs one observation with the trace that produced it.
+type Exemplar struct {
+	TraceID string
+	ValueNS int64
 }
 
 // NewHistogram builds an empty histogram.
@@ -79,6 +90,21 @@ func (h *Histogram) Observe(d time.Duration) {
 			return
 		}
 	}
+}
+
+// ObserveExemplar records one duration and, when a trace ID is known,
+// publishes it as the observation's bucket exemplar — a latency spike
+// on /metrics/prom then links to the causal trace that produced it.
+// With an empty trace ID it is exactly Observe. Nil-safe.
+func (h *Histogram) ObserveExemplar(d time.Duration, traceID string) {
+	h.Observe(d)
+	if h == nil || traceID == "" {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.exemplars[bucketIndex(d)].Store(&Exemplar{TraceID: traceID, ValueNS: d.Nanoseconds()})
 }
 
 // Count returns how many observations were recorded. Nil-safe (0).
@@ -183,6 +209,9 @@ func (h *Histogram) Reset() {
 	for i := range h.buckets {
 		h.buckets[i].Store(0)
 	}
+	for i := range h.exemplars {
+		h.exemplars[i].Store(nil)
+	}
 	h.count.Store(0)
 	h.sum.Store(0)
 	h.max.Store(0)
@@ -241,6 +270,17 @@ type HistogramSnapshot struct {
 	// BucketBoundsNS()[i], and the final entry is the +Inf bucket.
 	// Present only when the histogram has observations.
 	CumCounts []int64 `json:"cum_counts,omitempty"`
+	// Exemplars are the per-bucket metric→trace links: Bucket indexes
+	// the dense ladder (CumCounts/BucketBoundsNS positions, the last
+	// being +Inf). Only buckets that saw a traced observation appear.
+	Exemplars []ExemplarSnapshot `json:"exemplars,omitempty"`
+}
+
+// ExemplarSnapshot is one bucket's most recent traced observation.
+type ExemplarSnapshot struct {
+	Bucket  int    `json:"bucket"`
+	TraceID string `json:"trace_id"`
+	ValueNS int64  `json:"value_ns"`
 }
 
 // snapshot captures the histogram under a name.
@@ -270,6 +310,11 @@ func (h *Histogram) snapshot(name string) HistogramSnapshot {
 	}
 	if s.Count > 0 {
 		s.CumCounts = h.CumulativeCounts()
+	}
+	for i := 0; i < numBuckets; i++ {
+		if ex := h.exemplars[i].Load(); ex != nil {
+			s.Exemplars = append(s.Exemplars, ExemplarSnapshot{Bucket: i, TraceID: ex.TraceID, ValueNS: ex.ValueNS})
+		}
 	}
 	return s
 }

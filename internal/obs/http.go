@@ -70,7 +70,7 @@ func (g *Group) Handler() http.Handler {
 	mux := http.NewServeMux()
 	core := map[string]bool{
 		"/debug/vars": true, "/metrics": true, "/metrics/prom": true,
-		"/healthz": true, "/readyz": true, "/debug/pprof/": true,
+		"/healthz": true, "/readyz": true, "/buildz": true, "/debug/pprof/": true,
 		"/debug/pprof/cmdline": true, "/debug/pprof/profile": true,
 		"/debug/pprof/symbol": true, "/debug/pprof/trace": true,
 	}
@@ -86,6 +86,7 @@ func (g *Group) Handler() http.Handler {
 	mux.HandleFunc("/metrics/prom", g.promMetricsText)
 	mux.HandleFunc("/healthz", g.healthzHandler)
 	mux.HandleFunc("/readyz", g.readyzHandler)
+	mux.HandleFunc("/buildz", buildzHandler)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -121,6 +122,25 @@ func (g *Group) metricsText(w http.ResponseWriter, _ *http.Request) {
 					le = fmt.Sprintf("%d", b.UpperNS)
 				}
 				fmt.Fprintf(w, "rabit_%s_bucket{reg=%q,le=%q} %d\n", n, s.Name, le, b.Cumulative)
+			}
+		}
+		for _, f := range s.Families {
+			n := sanitize(f.Name)
+			key := sanitize(f.Key)
+			for _, c := range f.Counters {
+				fmt.Fprintf(w, "rabit_%s{reg=%q,%s=%q} %d\n", n, s.Name, key, c.Name, c.Value)
+			}
+			for _, gg := range f.Gauges {
+				fmt.Fprintf(w, "rabit_%s{reg=%q,%s=%q} %d\n", n, s.Name, key, gg.Name, gg.Value)
+			}
+			for _, h := range f.Histograms {
+				lbl := fmt.Sprintf("reg=%q,%s=%q", s.Name, key, h.Name)
+				fmt.Fprintf(w, "rabit_%s_count{%s} %d\n", n, lbl, h.Count)
+				fmt.Fprintf(w, "rabit_%s_sum_ns{%s} %d\n", n, lbl, h.SumNS)
+				fmt.Fprintf(w, "rabit_%s_ns{%s,q=\"0.5\"} %d\n", n, lbl, h.P50NS)
+				fmt.Fprintf(w, "rabit_%s_ns{%s,q=\"0.95\"} %d\n", n, lbl, h.P95NS)
+				fmt.Fprintf(w, "rabit_%s_ns{%s,q=\"0.99\"} %d\n", n, lbl, h.P99NS)
+				fmt.Fprintf(w, "rabit_%s_ns{%s,q=\"max\"} %d\n", n, lbl, h.MaxNS)
 			}
 		}
 	}
@@ -208,8 +228,16 @@ func Serve(addr string) (*Server, error) {
 // server. Callers shut it down with Close (bounded) or Shutdown
 // (caller's context). Any serve-loop failure is latched on the Server
 // and reported by the group's "obs_server" health component.
+//
+// The route table is resolved per request, not snapshotted at listen
+// time: CLI modes register auxiliary routes (rabiteval's /campaign)
+// after the flag-driven server is already listening, and a mux built
+// once here would 404 them forever.
 func (g *Group) Serve(addr string) (*Server, error) {
-	return g.ServeHandler(addr, g.Handler())
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		g.Handler().ServeHTTP(w, r)
+	})
+	return g.ServeHandler(addr, h)
 }
 
 // ServeHandler is Serve with a caller-supplied handler — services (the

@@ -132,6 +132,7 @@ type Registry struct {
 	counts map[string]*Counter
 	gauges map[string]*Gauge
 	hists  map[string]*Histogram
+	fams   map[string]*Family
 
 	sink atomic.Pointer[sinkBox]
 }
@@ -147,6 +148,7 @@ func NewRegistry(name string) *Registry {
 		counts: make(map[string]*Counter),
 		gauges: make(map[string]*Gauge),
 		hists:  make(map[string]*Histogram),
+		fams:   make(map[string]*Family),
 	}
 }
 
@@ -272,6 +274,9 @@ func (r *Registry) Reset() {
 	for _, h := range r.hists {
 		h.Reset()
 	}
+	for _, f := range r.fams {
+		f.Reset()
+	}
 }
 
 // ResetPrefix zeroes every counter whose name starts with prefix —
@@ -310,6 +315,7 @@ type Snapshot struct {
 	Counters   []CounterSnapshot   `json:"counters,omitempty"`
 	Gauges     []GaugeSnapshot     `json:"gauges,omitempty"`
 	Histograms []HistogramSnapshot `json:"histograms,omitempty"`
+	Families   []FamilySnapshot    `json:"families,omitempty"`
 }
 
 // Counter finds a counter value in the snapshot (0 when absent).
@@ -317,6 +323,16 @@ func (s Snapshot) Counter(name string) int64 {
 	for _, c := range s.Counters {
 		if c.Name == name {
 			return c.Value
+		}
+	}
+	return 0
+}
+
+// Gauge finds a gauge value in the snapshot (0 when absent).
+func (s Snapshot) Gauge(name string) int64 {
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value
 		}
 	}
 	return 0
@@ -350,8 +366,12 @@ func (r *Registry) Snapshot() Snapshot {
 	for name, h := range r.hists {
 		out.Histograms = append(out.Histograms, h.snapshot(name))
 	}
+	for _, f := range r.fams {
+		out.Families = append(out.Families, f.snapshot())
+	}
 	sort.Slice(out.Counters, func(i, j int) bool { return out.Counters[i].Name < out.Counters[j].Name })
 	sort.Slice(out.Gauges, func(i, j int) bool { return out.Gauges[i].Name < out.Gauges[j].Name })
 	sort.Slice(out.Histograms, func(i, j int) bool { return out.Histograms[i].Name < out.Histograms[j].Name })
+	sort.Slice(out.Families, func(i, j int) bool { return out.Families[i].Name < out.Families[j].Name })
 	return out
 }

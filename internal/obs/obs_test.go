@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -344,6 +345,30 @@ func TestServeBindsAndAnswers(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("metrics endpoint: %s", resp.Status)
+	}
+}
+
+func TestServeSeesLateRegisteredRoutes(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	// CLI modes mount auxiliary routes after the flag-driven server is
+	// already listening (rabiteval registers /campaign inside the
+	// campaign mode). The listener must resolve routes per request, not
+	// from a mux snapshotted at Serve time.
+	RegisterHTTPHandler("/late-route", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, "late ok")
+	}))
+	resp, err := http.Get("http://" + srv.Addr + "/late-route")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "late ok" {
+		t.Fatalf("late-registered route: %s %q", resp.Status, body)
 	}
 }
 

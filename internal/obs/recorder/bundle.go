@@ -9,6 +9,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+
+	"repro/internal/obs"
 )
 
 // ManifestSchema versions the bundle layout.
@@ -44,6 +46,11 @@ type Manifest struct {
 	TNS int64 `json:"t_ns"`
 	// Records is the number of records in records.jsonl.
 	Records int `json:"records"`
+	// Build identifies the binary that wrote the bundle (module version,
+	// VCS revision, dirty bit) — forensics on an old bundle can pin the
+	// exact code that raised the alert. Zero on bundles written before
+	// provenance stamping.
+	Build obs.BuildInfo `json:"build"`
 }
 
 // writeBundle freezes the window around a trigger record into a
@@ -68,6 +75,7 @@ func (r *Recorder) writeBundle(trigger Record) {
 		TraceID:   trigger.Trace,
 		TNS:       trigger.AlertTNS,
 		Records:   len(window),
+		Build:     obs.ReadBuild(),
 	}
 	if man.TNS == 0 {
 		man.TNS = trigger.TNS

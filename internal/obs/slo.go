@@ -156,9 +156,13 @@ type SLOWindowSnapshot struct {
 	BurnRate float64       `json:"burn_rate"`
 }
 
-// SLOSnapshot is one SLO's full state.
+// SLOSnapshot is one SLO's full state. Tenant is the lab tenant the
+// SLO is scoped to (empty for a process-global SLO); the Prometheus
+// exposition renders it as a tenant label, so a multi-lab gateway's
+// per-tenant burn rates stay distinct series.
 type SLOSnapshot struct {
 	Name        string              `json:"name"`
+	Tenant      string              `json:"tenant,omitempty"`
 	Objective   float64             `json:"objective"`
 	ThresholdNS int64               `json:"threshold_ns"`
 	Windows     []SLOWindowSnapshot `json:"windows"`
@@ -243,6 +247,20 @@ func (s *SafetySLOs) RegisterIn(g *Group) {
 	s.regs = append(s.regs, g.RegisterSLO(s.CheckOverhead), g.RegisterSLO(s.DetectionLatency))
 }
 
+// RegisterTenantIn adds both SLOs to a group under a lab-tenant label:
+// the gateway registers each tenant System's safety objectives this
+// way, so `rabit_slo_burn_rate{slo="check_overhead",tenant="hein"}`
+// tracks that lab's burn rate alongside the unlabeled global series.
+// Nil-safe.
+func (s *SafetySLOs) RegisterTenantIn(g *Group, tenant string) {
+	if s == nil {
+		return
+	}
+	s.regs = append(s.regs,
+		g.RegisterSLOTenant(s.CheckOverhead, tenant),
+		g.RegisterSLOTenant(s.DetectionLatency, tenant))
+}
+
 // Unregister removes both SLOs from the group. Nil-safe.
 func (s *SafetySLOs) Unregister() {
 	if s == nil {
@@ -259,9 +277,10 @@ func (s *SafetySLOs) Unregister() {
 // like the scrape group, so several systems' burn rates stay distinct
 // series.
 type SLOReg struct {
-	g     *Group
-	slo   *SLO
-	alias string
+	g      *Group
+	slo    *SLO
+	alias  string
+	tenant string
 }
 
 // RegisterSLO adds an SLO to the default group (nil-safe).

@@ -123,6 +123,71 @@ const (
 	CounterRecorderErrors = "recorder.errors"
 )
 
+// Labeled instrument families and their label keys (ISSUE 10): the
+// engine's per-rule series, the gateway's per-tenant RED set, and the
+// campaign engine's live-progress gauges. Family names follow the flat
+// instrument convention (dotted, sanitized at exposition); histogram
+// families append their unit at exposition ("_seconds"/"_ratio").
+const (
+	// LabelRule keys the engine's per-rule families by rule ID.
+	LabelRule = "rule"
+	// LabelTenant keys the gateway's per-tenant families by lab tenant.
+	LabelTenant = "tenant"
+	// LabelWorker keys the campaign per-worker family by worker index.
+	LabelWorker = "worker"
+
+	// FamilyRuleEvals counts evaluations per rule
+	// (rabit_rule_evals_total{rule="…"}).
+	FamilyRuleEvals = "rule.evals"
+	// FamilyRuleFires counts violations fired per rule
+	// (rabit_rule_fires_total{rule="…"}).
+	FamilyRuleFires = "rule.fires"
+	// FamilyRuleEval times a single rule's evaluation
+	// (rabit_rule_eval_seconds{rule="…"}).
+	FamilyRuleEval = "rule.eval"
+	// FamilyRuleMargin histograms the near-miss margin of non-firing
+	// evaluations for rules that expose one — how close (as a fraction
+	// of the limit, 0 = at the threshold) the state came to violating
+	// (rabit_rule_margin_ratio{rule="…"}).
+	FamilyRuleMargin = "rule.margin"
+
+	// FamilyGatewayRequests counts admitted gateway requests per tenant.
+	FamilyGatewayRequests = "gateway.requests"
+	// FamilyGatewayErrors counts failed gateway requests per tenant.
+	FamilyGatewayErrors = "gateway.errors"
+	// FamilyGatewayRequest times gateway request handling per tenant.
+	FamilyGatewayRequest = "gateway.request"
+	// FamilyGatewayQueueDepth gauges admission-queue depth per tenant.
+	FamilyGatewayQueueDepth = "gateway.queue_depth"
+	// FamilyGatewayRejections counts admission rejections per tenant.
+	FamilyGatewayRejections = "gateway.rejections"
+	// FamilyGatewaySessions gauges active sessions per tenant.
+	FamilyGatewaySessions = "gateway.sessions"
+	// CounterGatewaySlowClientAborts counts verdict streams severed by
+	// the slow-client write deadline.
+	CounterGatewaySlowClientAborts = "gateway.slow_client_aborts"
+
+	// GaugeCampaignTotal / GaugeCampaignDone are the campaign scenario
+	// totals; the rest are the live campaign telemetry set.
+	GaugeCampaignTotal = "campaign.total"
+	// GaugeCampaignDone counts scenarios completed so far.
+	GaugeCampaignDone = "campaign.done"
+	// GaugeCampaignDetected counts injected faults detected so far.
+	GaugeCampaignDetected = "campaign.detected"
+	// GaugeCampaignMissed counts injected faults missed so far.
+	GaugeCampaignMissed = "campaign.missed"
+	// GaugeCampaignFalseAlarms counts alerts on clean scenarios so far.
+	GaugeCampaignFalseAlarms = "campaign.false_alarms"
+	// GaugeCampaignScenPerSecMilli is current throughput in scenarios
+	// per second × 1000 (gauges are integers).
+	GaugeCampaignScenPerSecMilli = "campaign.scen_per_sec_milli"
+	// GaugeCampaignETASeconds is the estimated seconds to completion.
+	GaugeCampaignETASeconds = "campaign.eta_seconds"
+	// FamilyCampaignWorkerDone counts scenarios completed per worker
+	// (rabit_campaign_worker_done{worker="…"}).
+	FamilyCampaignWorkerDone = "campaign.worker_done"
+)
+
 // Prefixes for instrument families keyed by a dynamic component.
 const (
 	// PrefixAlerts + an AlertKind slug counts alerts by kind, e.g.

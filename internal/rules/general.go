@@ -217,7 +217,55 @@ func generalRule8() *Rule {
 				return ""
 			}
 		},
+		Margin: func(ctx *EvalContext) (float64, bool) {
+			switch ctx.Cmd.Action {
+			case action.TransferSubstance:
+				return marginRoom(ctx, ctx.Cmd.ToContainer, 0, ctx.Cmd.Value)
+			case action.DoseSolid:
+				if c := dosedContainer(ctx); c != "" {
+					return marginRoom(ctx, c, ctx.Cmd.Value, 0)
+				}
+			case action.DoseLiquid:
+				if c := dosedContainer(ctx); c != "" {
+					return marginRoom(ctx, c, 0, ctx.Cmd.Value)
+				}
+			}
+			return 0, false
+		},
 	}
+}
+
+// marginRoom is checkRoom's near-miss companion: the remaining headroom
+// of the tightest applicable capacity, as a fraction of that capacity.
+// 0 means the dose lands exactly at the limit; ok=false means no
+// capacity is configured for the dimensions being added.
+func marginRoom(ctx *EvalContext, container string, addMg, addML float64) (float64, bool) {
+	og, ok := ctx.Lab.ObjectGeometry(container)
+	if !ok {
+		return 0, false
+	}
+	margin, has := 1.0, false
+	if addMg > 0 && og.CapacityMg > 0 {
+		cur := 0.0
+		if v, ok := ctx.State.Get(state.SolidAmount(container)); ok {
+			cur = v.AsFloat()
+		}
+		if m := (og.CapacityMg - (cur + addMg)) / og.CapacityMg; !has || m < margin {
+			margin = m
+		}
+		has = true
+	}
+	if addML > 0 && og.CapacityML > 0 {
+		cur := 0.0
+		if v, ok := ctx.State.Get(state.LiquidAmount(container)); ok {
+			cur = v.AsFloat()
+		}
+		if m := (og.CapacityML - (cur + addML)) / og.CapacityML; !has || m < margin {
+			margin = m
+		}
+		has = true
+	}
+	return margin, has
 }
 
 // checkRoom validates that the receiving container has room for the added
@@ -314,6 +362,21 @@ func generalRule11() *Rule {
 				return fmt.Sprintf("action value %.1f exceeds %s's threshold %.1f", val, ctx.Cmd.Device, limit)
 			}
 			return ""
+		},
+		Margin: func(ctx *EvalContext) (float64, bool) {
+			limit, ok := ctx.Lab.ActionThreshold(ctx.Cmd.Device)
+			if !ok || limit <= 0 {
+				return 0, false
+			}
+			val := ctx.Cmd.Value
+			if ctx.Cmd.Action == action.StartAction {
+				v, ok := ctx.State.Get(state.ActionValue(ctx.Cmd.Device))
+				if !ok {
+					return 0, false
+				}
+				val = v.AsFloat()
+			}
+			return (limit - val) / limit, true
 		},
 	}
 }

@@ -80,9 +80,21 @@ type Rule struct {
 	// Check returns a non-empty reason when the command would violate
 	// the rule in the given context.
 	Check func(ctx *EvalContext) string
+	// Margin, when present, reports how close a passing command came to
+	// violating the rule, as a fraction of the limit: 0 means exactly at
+	// the threshold, 1 means maximally clear of it. The observed
+	// validation path histograms it per rule (the near-miss signal), so
+	// a lab drifting toward a violation shows up before the first alert.
+	// Only consulted on non-firing evaluations; ok=false means no
+	// meaningful margin exists for this command.
+	Margin func(ctx *EvalContext) (margin float64, ok bool)
 
 	// deviceSet is Devices compiled by NewRulebase.
 	deviceSet map[string]bool
+	// index is the rule's position in the rulebase's sorted rule list,
+	// assigned by NewRulebase; RuleMetrics uses it for O(1) lookup of
+	// the rule's cached instruments.
+	index int
 }
 
 // matchesDevice reports whether the rule's device restriction admits the

@@ -52,7 +52,8 @@ func NewRulebase(lab LabModel, cfg Config, custom ...*Rule) (*Rulebase, error) {
 		return rb.rules[i].Number < rb.rules[j].Number
 	})
 	rb.byID = make(map[string]*Rule, len(rb.rules))
-	for _, r := range rb.rules {
+	for i, r := range rb.rules {
+		r.index = i
 		if r.ID == "" {
 			return nil, fmt.Errorf("rules: rule %q (%s #%d) has no ID", r.Description, r.Scope, r.Number)
 		}

@@ -136,6 +136,16 @@ type Options struct {
 	// non-alert traces (default otrace.DefaultSampleRate; negative
 	// retains alert traces only; alert traces are always retained).
 	TraceSampleRate float64
+	// NoRuleMetrics disables per-rule instrumentation (evaluation/fire
+	// counts, eval-latency and near-miss-margin histograms). The labeled
+	// series are otherwise always on; the overhead benchmark uses this
+	// as its before/after switch.
+	NoRuleMetrics bool
+	// Tenant labels this system's safety SLOs with a lab-tenant name:
+	// the gateway sets it per lab so each tenant's burn rates export as
+	// rabit_slo_burn_rate{slo="…",tenant="…"} alongside any global
+	// series. Empty registers unlabeled (the single-lab CLI behavior).
+	Tenant string
 	// ObsGroup selects the introspection group (scrape registries,
 	// health components, SLOs) the system registers with. Nil uses the
 	// process-wide default group served by obs.Serve — the CLI
@@ -262,8 +272,15 @@ func New(spec *config.LabSpec, o Options) (*System, error) {
 			core.WithObserver(reg),
 		}
 		sys.SLOs = obs.NewSafetySLOs()
-		sys.SLOs.RegisterIn(group)
+		if o.Tenant != "" {
+			sys.SLOs.RegisterTenantIn(group, o.Tenant)
+		} else {
+			sys.SLOs.RegisterIn(group)
+		}
 		engOpts = append(engOpts, core.WithSLOs(sys.SLOs))
+		if o.NoRuleMetrics {
+			engOpts = append(engOpts, core.WithoutRuleMetrics())
+		}
 		if sys.Tracer != nil {
 			engOpts = append(engOpts, core.WithTracer(sys.Tracer))
 		}
